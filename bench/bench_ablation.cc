@@ -1,0 +1,176 @@
+// Ablation studies for the design choices DESIGN.md §5 calls out:
+//
+//   A. Partition count — more slices mean cheaper local mining but more
+//      candidates to verify globally (the [13] trade-off).
+//   B. Sampling rate — smaller samples are cheaper to mine but raise the
+//      probability of a Toivonen miss (the extra full pass).
+//   C. DHP bucket count — fewer buckets mean more hash collisions and
+//      weaker pass-2 pruning (the [12] trade-off).
+//   D. Preprocessor item pruning (Q3's HAVING) — disabling the SQL-side
+//      prune (threshold 1) pushes all pruning into the core operator; the
+//      borderline placement exists because the SQL prune shrinks
+//      CodedSource and the core's level-1 work.
+
+#include <benchmark/benchmark.h>
+
+#include "datagen/quest_gen.h"
+#include "engine/data_mining_system.h"
+#include "mining/simple_miner.h"
+
+namespace {
+
+using namespace minerule;
+
+mining::TransactionDb& SharedDb() {
+  static mining::TransactionDb* db = [] {
+    datagen::QuestParams params;
+    params.num_transactions = 4000;
+    params.avg_transaction_size = 10;
+    params.num_items = 1000;
+    params.num_patterns = 100;
+    return new mining::TransactionDb(datagen::GenerateQuestDb(params));
+  }();
+  return *db;
+}
+
+// --- A: partition count ----------------------------------------------------
+void BM_PartitionCount(benchmark::State& state) {
+  mining::SimpleMinerOptions options;
+  options.partition_count = static_cast<int>(state.range(0));
+  auto miner = mining::CreateMiner(mining::SimpleAlgorithm::kPartition,
+                                   options);
+  const mining::TransactionDb& db = SharedDb();
+  const int64_t min_count = mining::MinGroupCount(0.01, db.total_groups());
+  mining::SimpleMinerStats stats;
+  for (auto _ : state) {
+    stats = {};
+    auto result = miner->Mine(db, min_count, -1, &stats);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(result.value().size());
+  }
+  state.counters["global_candidates"] =
+      static_cast<double>(stats.candidates_per_level.empty()
+                              ? 0
+                              : stats.candidates_per_level[0]);
+}
+BENCHMARK(BM_PartitionCount)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+// --- B: sampling rate --------------------------------------------------------
+void BM_SamplingRate(benchmark::State& state) {
+  mining::SimpleMinerOptions options;
+  options.sample_rate = static_cast<double>(state.range(0)) / 100.0;
+  options.sample_lowering = 0.5;  // aggressive lowering to dodge misses
+  const mining::TransactionDb& db = SharedDb();
+  // A higher threshold keeps the borderline population small enough that
+  // the miss rate actually varies with the sample size.
+  const int64_t min_count = mining::MinGroupCount(0.04, db.total_groups());
+  int misses = 0;
+  int runs = 0;
+  for (auto _ : state) {
+    // Vary the seed per iteration so the miss *rate* is observable.
+    options.seed = 1000 + static_cast<uint64_t>(runs);
+    auto miner =
+        mining::CreateMiner(mining::SimpleAlgorithm::kSampling, options);
+    mining::SimpleMinerStats stats;
+    auto result = miner->Mine(db, min_count, -1, &stats);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    misses += stats.sampling_needed_full_pass ? 1 : 0;
+    ++runs;
+  }
+  state.counters["miss_rate"] =
+      runs == 0 ? 0.0 : static_cast<double>(misses) / runs;
+  state.counters["sample_pct"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_SamplingRate)
+    ->Arg(5)
+    ->Arg(10)
+    ->Arg(20)
+    ->Arg(40)
+    ->Unit(benchmark::kMillisecond);
+
+// --- C: DHP bucket count -----------------------------------------------------
+void BM_DhpBuckets(benchmark::State& state) {
+  mining::SimpleMinerOptions options;
+  options.dhp_buckets = static_cast<int>(state.range(0));
+  auto miner = mining::CreateMiner(mining::SimpleAlgorithm::kDhp, options);
+  const mining::TransactionDb& db = SharedDb();
+  const int64_t min_count = mining::MinGroupCount(0.01, db.total_groups());
+  mining::SimpleMinerStats stats;
+  for (auto _ : state) {
+    stats = {};
+    auto result = miner->Mine(db, min_count, -1, &stats);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(result.value().size());
+  }
+  state.counters["pair_candidates"] = static_cast<double>(
+      stats.candidates_per_level.size() > 1 ? stats.candidates_per_level[1]
+                                            : 0);
+}
+BENCHMARK(BM_DhpBuckets)
+    ->Arg(1 << 8)
+    ->Arg(1 << 12)
+    ->Arg(1 << 16)
+    ->Arg(1 << 20)
+    ->Unit(benchmark::kMillisecond);
+
+// --- D: the Q3 borderline prune ---------------------------------------------
+// Compare the full pipeline when the SQL-side item prune is effective
+// (normal support) vs when every item sails through to the core
+// (support so low that :mingroups becomes 1). The row counts show why the
+// paper places item pruning on the SQL side of the border.
+void BM_BorderlineItemPrune(benchmark::State& state) {
+  Catalog catalog;
+  mr::DataMiningSystem system(&catalog);
+  datagen::QuestParams params;
+  params.num_transactions = 2000;
+  params.num_items = 1000;
+  if (!datagen::MaterializeQuestTable(&catalog, "Baskets", params).ok()) {
+    state.SkipWithError("generation failed");
+    return;
+  }
+  const bool pruned = state.range(0) == 1;
+  // 2% support prunes hard; 0.05% (1 group) disables the prune.
+  const char* statement =
+      pruned ? "MINE RULE R AS SELECT DISTINCT 1..2 item AS BODY, 1..1 item "
+               "AS HEAD FROM Baskets GROUP BY tid EXTRACTING RULES WITH "
+               "SUPPORT: 0.02, CONFIDENCE: 0.6"
+             : "MINE RULE R AS SELECT DISTINCT 1..2 item AS BODY, 1..1 item "
+               "AS HEAD FROM Baskets GROUP BY tid EXTRACTING RULES WITH "
+               "SUPPORT: 0.0001, CONFIDENCE: 0.6";
+  int64_t coded_rows = 0;
+  for (auto _ : state) {
+    auto stats = system.ExecuteMineRule(statement);
+    if (!stats.ok()) {
+      state.SkipWithError(stats.status().ToString().c_str());
+      return;
+    }
+    for (const mr::QueryStat& q : stats.value().preprocess_queries) {
+      if (q.id == "Q4") coded_rows = q.rows;
+    }
+  }
+  state.counters["coded_source_rows"] = static_cast<double>(coded_rows);
+  state.SetLabel(pruned ? "sql_prune_on" : "sql_prune_off");
+}
+BENCHMARK(BM_BorderlineItemPrune)
+    ->Arg(1)
+    ->Arg(0)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,97 @@
+// Experiment §3 (algorithm interoperability): the pool of simple-core
+// algorithms on Quest workloads, reproducing the qualitative shapes of the
+// cited literature [1,3,12,13,7]:
+//   - gid-list intersection wins once the vertical layout is built;
+//   - DHP prunes pass-2 candidates vs plain Apriori at low supports;
+//   - Partition does the work in 2 passes; Sampling in ~1 pass when the
+//     sample is representative;
+//   - everything degrades as minimum support drops.
+
+#include <benchmark/benchmark.h>
+
+#include "datagen/quest_gen.h"
+#include "mining/simple_miner.h"
+
+namespace {
+
+using namespace minerule;
+using mining::SimpleAlgorithm;
+
+mining::TransactionDb& SharedDb(int64_t transactions) {
+  static std::map<int64_t, mining::TransactionDb>* dbs =
+      new std::map<int64_t, mining::TransactionDb>();
+  auto it = dbs->find(transactions);
+  if (it == dbs->end()) {
+    datagen::QuestParams params;  // T10.I4, 1000 items
+    params.num_transactions = transactions;
+    params.avg_transaction_size = 10;
+    params.avg_pattern_size = 4;
+    params.num_items = 1000;
+    params.num_patterns = 100;
+    it = dbs->emplace(transactions, datagen::GenerateQuestDb(params)).first;
+  }
+  return it->second;
+}
+
+void RunMiner(benchmark::State& state, SimpleAlgorithm algorithm) {
+  const int64_t transactions = state.range(0);
+  const double support = static_cast<double>(state.range(1)) / 10000.0;
+  mining::TransactionDb& db = SharedDb(transactions);
+  const int64_t min_count = mining::MinGroupCount(support, db.total_groups());
+  mining::SimpleMinerOptions options;
+  options.partition_count = 4;
+  options.sample_rate = 0.2;
+  auto miner = mining::CreateMiner(algorithm, options);
+
+  mining::SimpleMinerStats stats;
+  int64_t itemsets = 0;
+  for (auto _ : state) {
+    stats = {};
+    auto result = miner->Mine(db, min_count, -1, &stats);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    itemsets = static_cast<int64_t>(result.value().size());
+  }
+  state.counters["itemsets"] = static_cast<double>(itemsets);
+  state.counters["passes"] = static_cast<double>(stats.passes);
+  int64_t candidates = 0;
+  for (int64_t c : stats.candidates_per_level) candidates += c;
+  state.counters["candidates"] = static_cast<double>(candidates);
+  state.counters["minsup_bp"] = static_cast<double>(state.range(1));
+}
+
+#define POOL_BENCH(name, algorithm)                       \
+  void name(benchmark::State& state) {                    \
+    RunMiner(state, algorithm);                           \
+  }                                                       \
+  BENCHMARK(name)                                         \
+      ->ArgsProduct({{2000}, {200, 100, 50}})             \
+      ->Unit(benchmark::kMillisecond)
+
+POOL_BENCH(BM_Apriori, SimpleAlgorithm::kApriori);
+POOL_BENCH(BM_AprioriTid, SimpleAlgorithm::kAprioriTid);
+POOL_BENCH(BM_GidList, SimpleAlgorithm::kGidList);
+POOL_BENCH(BM_Dhp, SimpleAlgorithm::kDhp);
+POOL_BENCH(BM_Partition, SimpleAlgorithm::kPartition);
+POOL_BENCH(BM_Sampling, SimpleAlgorithm::kSampling);
+
+// Database-size scaling at fixed support (the |D| sweep of [3]).
+void BM_GidListScaleD(benchmark::State& state) {
+  RunMiner(state, SimpleAlgorithm::kGidList);
+}
+BENCHMARK(BM_GidListScaleD)
+    ->ArgsProduct({{1000, 4000, 16000}, {100}})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_AprioriScaleD(benchmark::State& state) {
+  RunMiner(state, SimpleAlgorithm::kApriori);
+}
+BENCHMARK(BM_AprioriScaleD)
+    ->ArgsProduct({{1000, 4000, 16000}, {100}})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,178 @@
+// Experiment §4.3.2: the general core processing algorithm.
+//
+//   1. Overhead of the general lattice on statements that are semantically
+//      simple (the cost of generality — why the architecture keeps two core
+//      variants, Figure 3.b).
+//   2. Lattice growth as cluster counts rise.
+//   3. The parent-choice heuristic ("start from the set with lower
+//      cardinality") vs always-body-extension, measured by candidate count.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "datagen/quest_gen.h"
+#include "mining/core_operator.h"
+
+namespace {
+
+using namespace minerule;
+using mining::CodedSourceData;
+using mining::CoreDirectives;
+
+CodedSourceData SimpleShapedData(int64_t groups, int num_items,
+                                 double density, uint64_t seed) {
+  Random rng(seed);
+  CodedSourceData data;
+  data.total_groups = groups;
+  for (int64_t g = 1; g <= groups; ++g) {
+    for (int item = 1; item <= num_items; ++item) {
+      if (rng.NextBool(density)) {
+        data.simple_pairs.emplace_back(static_cast<mining::Gid>(g),
+                                       static_cast<mining::ItemId>(item));
+        data.body_rows.push_back({static_cast<mining::Gid>(g),
+                                  mining::kNoCluster,
+                                  static_cast<mining::ItemId>(item)});
+      }
+    }
+  }
+  return data;
+}
+
+void BM_SimpleCoreOnSimpleClass(benchmark::State& state) {
+  CodedSourceData data = SimpleShapedData(state.range(0), 30, 0.3, 11);
+  CoreDirectives directives;  // simple
+  int64_t rules = 0;
+  for (auto _ : state) {
+    mining::CoreStats stats;
+    auto result = RunCoreOperator(data, directives, 0.1, 0.3, {1, -1},
+                                  {1, -1}, mining::CoreOptions{}, &stats);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    rules = stats.rules_found;
+  }
+  state.counters["rules"] = static_cast<double>(rules);
+}
+BENCHMARK(BM_SimpleCoreOnSimpleClass)
+    ->Arg(200)
+    ->Arg(800)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GeneralCoreOnSimpleClass(benchmark::State& state) {
+  CodedSourceData data = SimpleShapedData(state.range(0), 30, 0.3, 11);
+  CoreDirectives directives;
+  directives.general = true;  // force the lattice algorithm
+  int64_t rules = 0;
+  for (auto _ : state) {
+    mining::CoreStats stats;
+    auto result = RunCoreOperator(data, directives, 0.1, 0.3, {1, -1},
+                                  {1, -1}, mining::CoreOptions{}, &stats);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    rules = stats.rules_found;
+  }
+  state.counters["rules"] = static_cast<double>(rules);
+}
+BENCHMARK(BM_GeneralCoreOnSimpleClass)
+    ->Arg(200)
+    ->Arg(800)
+    ->Unit(benchmark::kMillisecond);
+
+/// Lattice growth with the number of clusters per group: items spread over
+/// k clusters; all pairs valid.
+void BM_GeneralCoreClusterCount(benchmark::State& state) {
+  const int clusters = static_cast<int>(state.range(0));
+  Random rng(7);
+  CodedSourceData data;
+  const int64_t groups = 300;
+  data.total_groups = groups;
+  for (int64_t g = 1; g <= groups; ++g) {
+    for (int item = 1; item <= 24; ++item) {
+      if (rng.NextBool(0.25)) {
+        const mining::Cid cid =
+            static_cast<mining::Cid>(1 + rng.NextBounded(clusters));
+        data.body_rows.push_back({static_cast<mining::Gid>(g), cid,
+                                  static_cast<mining::ItemId>(item)});
+      }
+    }
+  }
+  CoreDirectives directives;
+  directives.general = true;
+  directives.has_clusters = true;
+  int64_t elementary = 0;
+  for (auto _ : state) {
+    mining::CoreStats stats;
+    auto result = RunCoreOperator(data, directives, 0.05, 0.3, {1, -1},
+                                  {1, -1}, mining::CoreOptions{}, &stats);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    elementary = stats.general.elementary_rules;
+  }
+  state.counters["elementary"] = static_cast<double>(elementary);
+  state.counters["clusters"] = static_cast<double>(clusters);
+}
+BENCHMARK(BM_GeneralCoreClusterCount)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+/// Asymmetric head/body universes stress the §4.3.2 parent-choice rule:
+/// few body items x many head items makes head extension the cheap parent.
+void BM_GeneralCoreAsymmetric(benchmark::State& state) {
+  Random rng(23);
+  CodedSourceData data;
+  const int64_t groups = 250;
+  data.total_groups = groups;
+  const int body_items = 6;
+  const int head_items = static_cast<int>(state.range(0));
+  for (int64_t g = 1; g <= groups; ++g) {
+    for (int item = 1; item <= body_items; ++item) {
+      if (rng.NextBool(0.5)) {
+        data.body_rows.push_back({static_cast<mining::Gid>(g),
+                                  mining::kNoCluster,
+                                  static_cast<mining::ItemId>(item)});
+      }
+    }
+    for (int item = 1; item <= head_items; ++item) {
+      if (rng.NextBool(0.4)) {
+        data.head_rows.push_back({static_cast<mining::Gid>(g),
+                                  mining::kNoCluster,
+                                  static_cast<mining::ItemId>(item)});
+      }
+    }
+  }
+  CoreDirectives directives;
+  directives.general = true;
+  directives.distinct_head = true;
+  int64_t body_ext_sets = 0, head_ext_sets = 0;
+  for (auto _ : state) {
+    mining::CoreStats stats;
+    auto result = RunCoreOperator(data, directives, 0.1, 0.2, {1, 3}, {1, 3},
+                                  mining::CoreOptions{}, &stats);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    body_ext_sets = head_ext_sets = 0;
+    for (const auto& set : stats.general.sets) {
+      (set.from_body_extension ? body_ext_sets : head_ext_sets) += 1;
+    }
+  }
+  state.counters["body_ext_sets"] = static_cast<double>(body_ext_sets);
+  state.counters["head_ext_sets"] = static_cast<double>(head_ext_sets);
+}
+BENCHMARK(BM_GeneralCoreAsymmetric)
+    ->Arg(6)
+    ->Arg(18)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

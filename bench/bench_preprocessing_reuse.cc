@@ -1,0 +1,74 @@
+// Experiment §3 ("the same preprocessing could be in common to the
+// execution of several data mining queries, thus saving its cost"):
+// K successive queries that differ only in confidence, with the
+// preprocessing cache off vs on.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "datagen/retail_gen.h"
+#include "engine/data_mining_system.h"
+
+namespace {
+
+using namespace minerule;
+
+std::string Statement(double confidence) {
+  char text[640];
+  std::snprintf(text, sizeof(text),
+                "MINE RULE FollowUps AS SELECT DISTINCT 1..2 item AS BODY, "
+                "1..1 item AS HEAD, SUPPORT, CONFIDENCE WHERE BODY.price >= "
+                "100 AND HEAD.price < 100 FROM Purchase GROUP BY customer "
+                "CLUSTER BY date HAVING BODY.date < HEAD.date EXTRACTING "
+                "RULES WITH SUPPORT: 0.03, CONFIDENCE: %g",
+                confidence);
+  return text;
+}
+
+void RunSweep(benchmark::State& state, bool reuse) {
+  Catalog catalog;
+  mr::DataMiningSystem system(&catalog);
+  datagen::RetailParams params;
+  params.num_customers = state.range(0);
+  params.num_items = 50;
+  if (!datagen::GenerateRetailTable(&catalog, "Purchase", params).ok()) {
+    state.SkipWithError("generation failed");
+    return;
+  }
+  mr::MiningOptions options;
+  options.reuse_preprocessing = reuse;
+  static const double kConfidences[] = {0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8};
+  double preprocess_total = 0;
+  int reused = 0;
+  for (auto _ : state) {
+    preprocess_total = 0;
+    reused = 0;
+    system.InvalidateCache();
+    for (double confidence : kConfidences) {
+      auto stats = system.ExecuteMineRule(Statement(confidence), options);
+      if (!stats.ok()) {
+        state.SkipWithError(stats.status().ToString().c_str());
+        return;
+      }
+      preprocess_total += stats.value().preprocess_seconds;
+      reused += stats.value().preprocessing_reused ? 1 : 0;
+    }
+  }
+  state.counters["queries"] = 7;
+  state.counters["reused"] = reused;
+  state.counters["preprocess_ms_total"] = preprocess_total * 1e3;
+}
+
+void BM_SweepNoReuse(benchmark::State& state) { RunSweep(state, false); }
+BENCHMARK(BM_SweepNoReuse)->Arg(400)->Arg(1600)->Unit(benchmark::kMillisecond);
+
+void BM_SweepWithReuse(benchmark::State& state) { RunSweep(state, true); }
+BENCHMARK(BM_SweepWithReuse)
+    ->Arg(400)
+    ->Arg(1600)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+// The scenario that motivates the paper's general rules: "which expensive
+// purchases are followed, on a later day, by cheap accessory purchases by
+// the same customer?" — CLUSTER BY date with an ordering condition plus a
+// mining condition on price, exactly the §2 statement shape, on a synthetic
+// retail workload with planted follow-up patterns.
+//
+// Also demonstrates preprocessing reuse (§3): the confidence threshold is
+// swept without re-running the encoding queries.
+
+#include <cstdio>
+#include <iostream>
+
+#include "datagen/retail_gen.h"
+#include "engine/data_mining_system.h"
+
+namespace {
+
+int Fail(const minerule::Status& status) {
+  std::cerr << "error: " << status << "\n";
+  return 1;
+}
+
+std::string StatementWithConfidence(double confidence) {
+  char text[640];
+  std::snprintf(
+      text, sizeof(text),
+      "MINE RULE FollowUps AS "
+      "SELECT DISTINCT 1..2 item AS BODY, 1..1 item AS HEAD, SUPPORT, "
+      "CONFIDENCE "
+      "WHERE BODY.price >= 100 AND HEAD.price < 100 "
+      "FROM Purchase "
+      "GROUP BY customer "
+      "CLUSTER BY date HAVING BODY.date < HEAD.date "
+      "EXTRACTING RULES WITH SUPPORT: 0.03, CONFIDENCE: %g",
+      confidence);
+  return text;
+}
+
+}  // namespace
+
+int main() {
+  using namespace minerule;
+
+  Catalog catalog;
+  mr::DataMiningSystem system(&catalog);
+
+  datagen::RetailParams params;
+  params.num_customers = 400;
+  params.num_items = 60;
+  params.visits_per_customer = 5;
+  params.follow_up_probability = 0.6;
+  auto table = datagen::GenerateRetailTable(&catalog, "Purchase", params);
+  if (!table.ok()) return Fail(table.status());
+  std::cout << "Synthetic store: " << table.value()->num_rows()
+            << " purchase rows, " << params.num_customers << " customers\n\n";
+
+  mr::MiningOptions options;
+  options.reuse_preprocessing = true;
+
+  std::cout << "Confidence sweep with preprocessing reuse:\n";
+  for (double confidence : {0.2, 0.4, 0.6, 0.8}) {
+    auto stats =
+        system.ExecuteMineRule(StatementWithConfidence(confidence), options);
+    if (!stats.ok()) return Fail(stats.status());
+    std::printf(
+        "  minconf %.1f: %4lld rules | preprocess %7.2f ms%s | core %7.2f "
+        "ms\n",
+        confidence, static_cast<long long>(stats.value().output.num_rules),
+        stats.value().preprocess_seconds * 1e3,
+        stats.value().preprocessing_reused ? " (reused)" : "        ",
+        stats.value().core_seconds * 1e3);
+  }
+
+  // Show a few decoded temporal rules.
+  auto rules = system.ExecuteSql(
+      "SELECT B.item AS bought_first, H.item AS bought_later, R.SUPPORT, "
+      "R.CONFIDENCE FROM FollowUps R, FollowUps_Bodies B, FollowUps_Heads H "
+      "WHERE R.BodyId = B.BodyId AND R.HeadId = H.HeadId "
+      "ORDER BY R.CONFIDENCE DESC LIMIT 12");
+  if (!rules.ok()) return Fail(rules.status());
+  std::cout << "\n\"Bought X, later bought Y\" rules (body price >= 100, "
+               "head price < 100, head date after body date):\n"
+            << rules.value().ToDisplayString() << "\n";
+
+  // Sanity: the planted pattern pairs gear_k with a fixed accessory; the
+  // top rules should be gear -> accessory.
+  std::cout << "Every rule's body is expensive gear and head a cheap "
+               "accessory by construction of the mining condition.\n";
+  return 0;
+}

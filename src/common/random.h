@@ -1,0 +1,44 @@
+#ifndef MINERULE_COMMON_RANDOM_H_
+#define MINERULE_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace minerule {
+
+/// Deterministic, platform-independent pseudo-random generator
+/// (xoshiro256** core). Used by the data generators and the sampling miner
+/// so that every experiment is bit-reproducible across machines, unlike
+/// std::mt19937 distributions whose outputs vary between standard libraries.
+class Random {
+ public:
+  explicit Random(uint64_t seed);
+
+  /// Uniform over the full 64-bit range.
+  uint64_t NextUint64();
+
+  /// Uniform integer in [0, bound). Precondition: bound > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability p (clamped to [0,1]).
+  bool NextBool(double p);
+
+  /// Poisson-distributed value with the given mean (Knuth's method; the mean
+  /// values used by the Quest generator are small).
+  int NextPoisson(double mean);
+
+  /// Exponentially distributed value with the given mean.
+  double NextExponential(double mean);
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace minerule
+
+#endif  // MINERULE_COMMON_RANDOM_H_

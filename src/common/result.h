@@ -1,0 +1,71 @@
+#ifndef MINERULE_COMMON_RESULT_H_
+#define MINERULE_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace minerule {
+
+/// A value-or-error type in the style of absl::StatusOr / arrow::Result.
+///
+/// Invariant: exactly one of {value, error status} is held. Constructing a
+/// Result from an OK status is a programming error and is converted to an
+/// Internal error to keep the invariant without throwing.
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit, so `return value;` works).
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+
+  /// Constructs from an error status (implicit, so `return status;` works).
+  Result(Status status) : status_(std::move(status)) {
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Precondition: ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Used by MR_ASSIGN_OR_RETURN after checking ok(); no assertion so the
+  /// macro stays cheap in release builds.
+  T&& value_unsafe() && { return std::move(*value_); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this holds an error.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace minerule
+
+#endif  // MINERULE_COMMON_RESULT_H_

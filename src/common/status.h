@@ -1,0 +1,112 @@
+#ifndef MINERULE_COMMON_STATUS_H_
+#define MINERULE_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace minerule {
+
+/// Error categories used throughout the library. The library never throws;
+/// every fallible operation returns a Status or a Result<T>.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // caller passed something nonsensical
+  kNotFound,          // catalog object / item does not exist
+  kAlreadyExists,     // catalog object name collision
+  kParseError,        // SQL or MINE RULE text could not be parsed
+  kSemanticError,     // statement parsed but violates semantic rules (§4.1)
+  kTypeError,         // expression/value type mismatch
+  kExecutionError,    // runtime failure while evaluating a query
+  kUnimplemented,     // feature intentionally outside the supported subset
+  kInternal,          // invariant violation: a bug in this library
+};
+
+/// Returns a stable human-readable name, e.g. "ParseError".
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error value in the style of absl::Status / rocksdb::Status.
+///
+/// The default-constructed Status is OK. Error statuses carry a message that
+/// is meant for developers and error logs, not for end users.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status SemanticError(std::string msg) {
+    return Status(StatusCode::kSemanticError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status ExecutionError(std::string msg) {
+    return Status(StatusCode::kExecutionError, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Propagates an error Status from the enclosing function.
+#define MR_RETURN_IF_ERROR(expr)                 \
+  do {                                           \
+    ::minerule::Status _mr_status = (expr);      \
+    if (!_mr_status.ok()) return _mr_status;     \
+  } while (false)
+
+#define MR_CONCAT_IMPL(a, b) a##b
+#define MR_CONCAT(a, b) MR_CONCAT_IMPL(a, b)
+
+/// Evaluates `rexpr` (a Result<T>), propagating its error; on success binds
+/// the moved value to `lhs`, which may be a declaration.
+#define MR_ASSIGN_OR_RETURN(lhs, rexpr)                                \
+  MR_ASSIGN_OR_RETURN_IMPL(MR_CONCAT(_mr_result_, __LINE__), lhs, rexpr)
+
+#define MR_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                             \
+  if (!tmp.ok()) return tmp.status();             \
+  lhs = std::move(tmp).value_unsafe()
+
+}  // namespace minerule
+
+#endif  // MINERULE_COMMON_STATUS_H_

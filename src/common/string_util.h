@@ -1,0 +1,34 @@
+#ifndef MINERULE_COMMON_STRING_UTIL_H_
+#define MINERULE_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace minerule {
+
+/// ASCII-only lowercase copy (SQL identifiers are case-insensitive ASCII).
+std::string ToLower(std::string_view s);
+
+/// ASCII-only uppercase copy.
+std::string ToUpper(std::string_view s);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Removes leading and trailing whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+/// Splits on `sep`, keeping empty pieces.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Joins `pieces` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep);
+
+/// True if `s` begins with `prefix` (case-insensitive).
+bool StartsWithIgnoreCase(std::string_view s, std::string_view prefix);
+
+}  // namespace minerule
+
+#endif  // MINERULE_COMMON_STRING_UTIL_H_

@@ -1,0 +1,56 @@
+#include "datagen/paper_example.h"
+
+#include "relational/date.h"
+
+namespace minerule::datagen {
+
+Result<std::shared_ptr<Table>> MakePaperPurchaseTable(
+    Catalog* catalog, const std::string& name) {
+  Schema schema({{"tr", DataType::kInteger},
+                 {"customer", DataType::kString},
+                 {"item", DataType::kString},
+                 {"date", DataType::kDate},
+                 {"price", DataType::kDouble},
+                 {"qty", DataType::kInteger}});
+  MR_ASSIGN_OR_RETURN(std::shared_ptr<Table> table,
+                      catalog->CreateTable(name, schema));
+
+  struct PurchaseRow {
+    int tr;
+    const char* customer;
+    const char* item;
+    const char* date;
+    double price;
+    int qty;
+  };
+  static const PurchaseRow kRows[] = {
+      {1, "cust1", "ski_pants", "12/17/95", 140, 1},
+      {1, "cust1", "hiking_boots", "12/17/95", 180, 1},
+      {2, "cust2", "col_shirts", "12/18/95", 25, 2},
+      {2, "cust2", "brown_boots", "12/18/95", 150, 1},
+      {2, "cust2", "jackets", "12/18/95", 300, 1},
+      {3, "cust1", "jackets", "12/18/95", 300, 1},
+      {4, "cust2", "col_shirts", "12/19/95", 25, 3},
+      {4, "cust2", "jackets", "12/19/95", 300, 2},
+  };
+  for (const PurchaseRow& row : kRows) {
+    MR_ASSIGN_OR_RETURN(int32_t days, date::Parse(row.date));
+    table->AppendUnchecked({Value::Integer(row.tr), Value::String(row.customer),
+                            Value::String(row.item), Value::Date(days),
+                            Value::Double(row.price), Value::Integer(row.qty)});
+  }
+  return table;
+}
+
+std::string PaperExampleStatement() {
+  return R"(MINE RULE FilteredOrderedSets AS
+SELECT DISTINCT 1..n item AS BODY, 1..n item AS HEAD, SUPPORT, CONFIDENCE
+WHERE BODY.price >= 100 AND HEAD.price < 100
+FROM Purchase
+WHERE date BETWEEN '1/1/95' AND '12/31/95'
+GROUP BY customer
+CLUSTER BY date HAVING BODY.date < HEAD.date
+EXTRACTING RULES WITH SUPPORT: 0.2, CONFIDENCE: 0.3)";
+}
+
+}  // namespace minerule::datagen

@@ -1,0 +1,35 @@
+#ifndef MINERULE_DATAGEN_PAPER_EXAMPLE_H_
+#define MINERULE_DATAGEN_PAPER_EXAMPLE_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "relational/catalog.h"
+
+namespace minerule::datagen {
+
+/// Creates the paper's Figure 1 `Purchase` table, bit for bit:
+///
+///   tr  cust   item          date      price  q.ty
+///   1   cust1  ski_pants     12/17/95  140    1
+///   1   cust1  hiking_boots  12/17/95  180    1
+///   2   cust2  col_shirts    12/18/95  25     2
+///   2   cust2  brown_boots   12/18/95  150    1
+///   2   cust2  jackets       12/18/95  300    1
+///   3   cust1  jackets       12/18/95  300    1
+///   4   cust2  col_shirts    12/19/95  25     3
+///   4   cust2  jackets       12/19/95  300    2
+///
+/// Schema: tr INTEGER, customer STRING, item STRING, date DATE,
+/// price DOUBLE, qty INTEGER.
+Result<std::shared_ptr<Table>> MakePaperPurchaseTable(
+    Catalog* catalog, const std::string& name = "Purchase");
+
+/// The paper's Section 2 example statement over that table (quoted date
+/// strings instead of the paper's informal bare 1/1/95 literals).
+std::string PaperExampleStatement();
+
+}  // namespace minerule::datagen
+
+#endif  // MINERULE_DATAGEN_PAPER_EXAMPLE_H_

@@ -1,0 +1,135 @@
+#include "datagen/quest_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+
+namespace minerule::datagen {
+
+namespace {
+
+/// A maximal potentially-frequent itemset with its selection weight and
+/// corruption level, as in the Quest generator.
+struct Pattern {
+  mining::Itemset items;
+  double weight;
+  double corruption;
+};
+
+std::vector<Pattern> BuildPatterns(const QuestParams& params, Random* rng) {
+  std::vector<Pattern> patterns;
+  patterns.reserve(params.num_patterns);
+  mining::Itemset previous;
+  double weight_sum = 0;
+  for (int64_t p = 0; p < params.num_patterns; ++p) {
+    int size = std::max(1, rng->NextPoisson(params.avg_pattern_size - 1) + 1);
+    mining::Itemset items;
+    // With probability `correlation`, items are drawn from the previous
+    // pattern (exponentially decaying fraction), the rest uniformly.
+    if (!previous.empty()) {
+      const int reuse = std::min<int>(
+          static_cast<int>(std::lround(
+              params.correlation * static_cast<double>(size))),
+          static_cast<int>(previous.size()));
+      for (int i = 0; i < reuse; ++i) {
+        items.push_back(
+            previous[rng->NextBounded(previous.size())]);
+      }
+    }
+    while (static_cast<int>(items.size()) < size) {
+      items.push_back(
+          static_cast<mining::ItemId>(1 + rng->NextBounded(params.num_items)));
+    }
+    mining::Canonicalize(&items);
+    Pattern pattern;
+    pattern.items = items;
+    pattern.weight = rng->NextExponential(1.0);
+    pattern.corruption = std::clamp(
+        rng->NextDouble() * params.corruption_mean * 2.0, 0.0, 0.95);
+    weight_sum += pattern.weight;
+    patterns.push_back(std::move(pattern));
+    previous = std::move(items);
+  }
+  for (Pattern& pattern : patterns) pattern.weight /= weight_sum;
+  return patterns;
+}
+
+}  // namespace
+
+std::vector<mining::Itemset> GenerateQuestTransactions(
+    const QuestParams& params) {
+  Random rng(params.seed);
+  std::vector<Pattern> patterns = BuildPatterns(params, &rng);
+
+  // Cumulative weights for pattern selection.
+  std::vector<double> cumulative;
+  cumulative.reserve(patterns.size());
+  double acc = 0;
+  for (const Pattern& pattern : patterns) {
+    acc += pattern.weight;
+    cumulative.push_back(acc);
+  }
+
+  std::vector<mining::Itemset> transactions;
+  transactions.reserve(params.num_transactions);
+  for (int64_t t = 0; t < params.num_transactions; ++t) {
+    const int target =
+        std::max(1, rng.NextPoisson(params.avg_transaction_size - 1) + 1);
+    mining::Itemset txn;
+    int guard = 0;
+    while (static_cast<int>(txn.size()) < target && ++guard < 64) {
+      // Pick a pattern by weight.
+      const double pick = rng.NextDouble() * acc;
+      size_t index =
+          std::lower_bound(cumulative.begin(), cumulative.end(), pick) -
+          cumulative.begin();
+      if (index >= patterns.size()) index = patterns.size() - 1;
+      const Pattern& pattern = patterns[index];
+      // Corrupt: drop items while a biased coin keeps coming up heads.
+      mining::Itemset picked = pattern.items;
+      while (!picked.empty() && rng.NextBool(pattern.corruption)) {
+        picked.erase(picked.begin() +
+                     static_cast<long>(rng.NextBounded(picked.size())));
+      }
+      // If the pattern overflows the transaction, keep it anyway half the
+      // time (as the original generator does), otherwise retry.
+      if (static_cast<int>(txn.size() + picked.size()) > target &&
+          !txn.empty() && !rng.NextBool(0.5)) {
+        break;
+      }
+      txn.insert(txn.end(), picked.begin(), picked.end());
+    }
+    mining::Canonicalize(&txn);
+    if (txn.empty()) {
+      txn.push_back(
+          static_cast<mining::ItemId>(1 + rng.NextBounded(params.num_items)));
+    }
+    transactions.push_back(std::move(txn));
+  }
+  return transactions;
+}
+
+mining::TransactionDb GenerateQuestDb(const QuestParams& params) {
+  return mining::TransactionDb::FromTransactions(
+      GenerateQuestTransactions(params), params.num_transactions);
+}
+
+Result<std::shared_ptr<Table>> MaterializeQuestTable(
+    Catalog* catalog, const std::string& name, const QuestParams& params) {
+  Schema schema(
+      {{"tid", DataType::kInteger}, {"item", DataType::kInteger}});
+  MR_ASSIGN_OR_RETURN(std::shared_ptr<Table> table,
+                      catalog->CreateTable(name, schema));
+  std::vector<mining::Itemset> transactions =
+      GenerateQuestTransactions(params);
+  for (size_t t = 0; t < transactions.size(); ++t) {
+    for (mining::ItemId item : transactions[t]) {
+      table->AppendUnchecked({Value::Integer(static_cast<int64_t>(t + 1)),
+                              Value::Integer(item)});
+    }
+  }
+  return table;
+}
+
+}  // namespace minerule::datagen

@@ -1,0 +1,43 @@
+#ifndef MINERULE_DATAGEN_QUEST_GEN_H_
+#define MINERULE_DATAGEN_QUEST_GEN_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "mining/transaction_db.h"
+#include "relational/catalog.h"
+
+namespace minerule::datagen {
+
+/// Parameters of the IBM Quest synthetic transaction generator
+/// [Agrawal & Srikant, VLDB'94 §2.4.3] — the workload every algorithm the
+/// paper cites ([1,3,12,13,7]) was evaluated on. Dataset names follow the
+/// usual convention: T<avg txn size> I<avg pattern size> D<num txns>.
+struct QuestParams {
+  int64_t num_transactions = 1000;   // |D|
+  double avg_transaction_size = 10;  // |T|
+  double avg_pattern_size = 4;       // |I|
+  int64_t num_items = 1000;          // N
+  int64_t num_patterns = 200;        // |L|, candidate frequent patterns
+  double correlation = 0.5;          // pattern-to-pattern item reuse
+  double corruption_mean = 0.5;      // per-pattern corruption level
+  uint64_t seed = 715;
+};
+
+/// Generates the transaction set as itemsets over items 1..N.
+std::vector<mining::Itemset> GenerateQuestTransactions(
+    const QuestParams& params);
+
+/// Same data in TransactionDb form (gid = transaction index).
+mining::TransactionDb GenerateQuestDb(const QuestParams& params);
+
+/// Materializes the transactions into a relational table
+/// `name`(tid INTEGER, item INTEGER) — the shape the MINE RULE statement
+/// "GROUP BY tid" mines simple rules from.
+Result<std::shared_ptr<Table>> MaterializeQuestTable(
+    Catalog* catalog, const std::string& name, const QuestParams& params);
+
+}  // namespace minerule::datagen
+
+#endif  // MINERULE_DATAGEN_QUEST_GEN_H_

@@ -1,0 +1,96 @@
+#include "datagen/retail_gen.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "relational/date.h"
+
+namespace minerule::datagen {
+
+Result<std::shared_ptr<Table>> GenerateRetailTable(
+    Catalog* catalog, const std::string& name, const RetailParams& params) {
+  if (params.num_customers <= 0 || params.num_items <= 1 ||
+      params.date_span_days <= 1) {
+    return Status::InvalidArgument("degenerate retail parameters");
+  }
+  Schema schema({{"tr", DataType::kInteger},
+                 {"customer", DataType::kString},
+                 {"item", DataType::kString},
+                 {"date", DataType::kDate},
+                 {"price", DataType::kDouble},
+                 {"qty", DataType::kInteger}});
+  MR_ASSIGN_OR_RETURN(std::shared_ptr<Table> table,
+                      catalog->CreateTable(name, schema));
+  MR_ASSIGN_OR_RETURN(int32_t start_day, date::Parse(params.start_date));
+
+  Random rng(params.seed);
+
+  // Item universe: stable names and prices. The first `expensive_fraction`
+  // of items cost 100..500, the rest 5..95.
+  const int64_t num_expensive = std::max<int64_t>(
+      1, static_cast<int64_t>(params.expensive_fraction *
+                              static_cast<double>(params.num_items)));
+  std::vector<std::string> item_names(params.num_items);
+  std::vector<double> item_prices(params.num_items);
+  for (int64_t i = 0; i < params.num_items; ++i) {
+    const bool expensive = i < num_expensive;
+    item_names[i] = (expensive ? "gear_" : "accessory_") + std::to_string(i);
+    item_prices[i] = expensive
+                         ? 100.0 + static_cast<double>(rng.NextBounded(401))
+                         : 5.0 + static_cast<double>(rng.NextBounded(91));
+  }
+  // Fixed follow-up map: each expensive item has a matching cheap item that
+  // tends to be bought on a later visit (the temporal pattern).
+  std::vector<int64_t> follow_up(num_expensive);
+  for (int64_t i = 0; i < num_expensive; ++i) {
+    follow_up[i] =
+        num_expensive + rng.NextBounded(params.num_items - num_expensive);
+  }
+
+  int64_t next_tr = 1;
+  for (int64_t c = 0; c < params.num_customers; ++c) {
+    const std::string customer = "cust" + std::to_string(c + 1);
+    const int visits =
+        std::max(1, rng.NextPoisson(params.visits_per_customer - 1) + 1);
+    // Distinct, sorted visit days.
+    std::set<int32_t> days;
+    int guard = 0;
+    while (static_cast<int>(days.size()) < visits && ++guard < 1000) {
+      days.insert(start_day +
+                  static_cast<int32_t>(rng.NextBounded(params.date_span_days)));
+    }
+
+    std::vector<int64_t> pending_follow_ups;
+    for (int32_t day : days) {
+      const int64_t tr = next_tr++;
+      std::set<int64_t> bought;
+      // Scheduled follow-ups fire first (on this later visit).
+      for (int64_t item : pending_follow_ups) {
+        if (rng.NextBool(params.follow_up_probability)) bought.insert(item);
+      }
+      pending_follow_ups.clear();
+      const int count =
+          std::max(1, rng.NextPoisson(params.items_per_visit - 1) + 1);
+      while (static_cast<int>(bought.size()) < count) {
+        const int64_t item = rng.NextBounded(params.num_items);
+        bought.insert(item);
+        if (item < num_expensive) {
+          pending_follow_ups.push_back(follow_up[item]);
+        }
+      }
+      for (int64_t item : bought) {
+        table->AppendUnchecked(
+            {Value::Integer(tr), Value::String(customer),
+             Value::String(item_names[item]), Value::Date(day),
+             Value::Double(item_prices[item]),
+             Value::Integer(1 + static_cast<int64_t>(rng.NextBounded(3)))});
+      }
+    }
+  }
+  return table;
+}
+
+}  // namespace minerule::datagen

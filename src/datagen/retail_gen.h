@@ -1,0 +1,40 @@
+#ifndef MINERULE_DATAGEN_RETAIL_GEN_H_
+#define MINERULE_DATAGEN_RETAIL_GEN_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "relational/catalog.h"
+
+namespace minerule::datagen {
+
+/// Parameters of the synthetic big-store generator producing
+/// `Purchase`-shaped tables (the paper's Figure 1 schema at scale):
+/// customers make repeat visits over a date range; each visit is a
+/// transaction of several items; items carry stable prices; customers have
+/// persistent preferences plus day-dependent promotions, so that temporal
+/// (CLUSTER BY date) rules actually exist to be found.
+struct RetailParams {
+  int64_t num_customers = 100;
+  int64_t num_items = 50;
+  double visits_per_customer = 4;  // Poisson mean, min 1
+  double items_per_visit = 4;      // Poisson mean, min 1
+  int date_span_days = 30;         // visits fall in [start, start+span)
+  const char* start_date = "1995-01-01";
+  double expensive_fraction = 0.4;  // items priced >= 100
+  /// Strength of the "expensive purchase is followed by a cheap accessory
+  /// on a later day" pattern the paper's example statement hunts for.
+  double follow_up_probability = 0.5;
+  uint64_t seed = 2718;
+};
+
+/// Generates a Purchase table: tr INTEGER, customer STRING, item STRING,
+/// date DATE, price DOUBLE, qty INTEGER.
+Result<std::shared_ptr<Table>> GenerateRetailTable(Catalog* catalog,
+                                                   const std::string& name,
+                                                   const RetailParams& params);
+
+}  // namespace minerule::datagen
+
+#endif  // MINERULE_DATAGEN_RETAIL_GEN_H_

@@ -1,0 +1,106 @@
+#include "decoupled/decoupled_miner.h"
+
+#include <map>
+
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+
+namespace minerule::decoupled {
+
+Result<DecoupledStats> DecoupledMiner::Run(const std::string& table,
+                                           const std::string& group_col,
+                                           const std::string& item_col,
+                                           double min_support,
+                                           double min_confidence,
+                                           mining::SimpleAlgorithm algorithm) {
+  DecoupledStats stats;
+  rules_.clear();
+
+  // --- export: SQL extraction, serialized to a flat buffer ---------------
+  Stopwatch watch;
+  MR_ASSIGN_OR_RETURN(sql::QueryResult exported,
+                      engine_->Execute("SELECT " + group_col + ", " +
+                                       item_col + " FROM " + table));
+  std::string flat_file;
+  flat_file.reserve(exported.rows.size() * 16);
+  for (const Row& row : exported.rows) {
+    flat_file += row[0].ToString();
+    flat_file += '\t';
+    flat_file += row[1].ToString();
+    flat_file += '\n';
+  }
+  stats.flat_file_bytes = flat_file.size();
+  stats.export_seconds = watch.ElapsedSeconds();
+
+  // --- prepare: the tool parses the file and builds its own encodings ----
+  watch.Restart();
+  std::map<std::string, mining::Gid> group_dict;
+  std::map<std::string, mining::ItemId> item_dict;
+  std::vector<std::string> item_names;
+  std::vector<std::pair<mining::Gid, mining::ItemId>> pairs;
+  size_t pos = 0;
+  while (pos < flat_file.size()) {
+    const size_t tab = flat_file.find('\t', pos);
+    const size_t newline = flat_file.find('\n', tab);
+    std::string group = flat_file.substr(pos, tab - pos);
+    std::string item = flat_file.substr(tab + 1, newline - tab - 1);
+    pos = newline + 1;
+
+    auto [git, ginserted] = group_dict.try_emplace(
+        std::move(group), static_cast<mining::Gid>(group_dict.size()));
+    auto [iit, iinserted] = item_dict.try_emplace(
+        item, static_cast<mining::ItemId>(item_dict.size()));
+    if (iinserted) item_names.push_back(item);
+    pairs.emplace_back(git->second, iit->second);
+  }
+  mining::TransactionDb db = mining::TransactionDb::FromPairs(
+      std::move(pairs), static_cast<int64_t>(group_dict.size()));
+  stats.prepare_seconds = watch.ElapsedSeconds();
+
+  // --- mine ----------------------------------------------------------------
+  watch.Restart();
+  MR_ASSIGN_OR_RETURN(
+      std::vector<mining::MinedRule> mined,
+      mining::MineSimpleRules(db, min_support, min_confidence, {1, -1},
+                              {1, 1}, algorithm));
+  stats.mine_seconds = watch.ElapsedSeconds();
+
+  rules_.reserve(mined.size());
+  for (const mining::MinedRule& rule : mined) {
+    DecoupledRule out;
+    for (mining::ItemId item : rule.body) {
+      out.body.push_back(item_names[item]);
+    }
+    for (mining::ItemId item : rule.head) {
+      out.head.push_back(item_names[item]);
+    }
+    out.support = rule.Support(db.total_groups());
+    out.confidence = rule.Confidence();
+    rules_.push_back(std::move(out));
+  }
+  stats.num_rules = static_cast<int64_t>(rules_.size());
+  return stats;
+}
+
+Result<int64_t> DecoupledMiner::ImportRules(const std::string& table_name,
+                                            DecoupledStats* stats) {
+  Stopwatch watch;
+  Catalog* catalog = engine_->catalog();
+  catalog->DropTableIfExists(table_name);
+  Schema schema({{"body", DataType::kString},
+                 {"head", DataType::kString},
+                 {"support", DataType::kDouble},
+                 {"confidence", DataType::kDouble}});
+  MR_ASSIGN_OR_RETURN(std::shared_ptr<Table> table,
+                      catalog->CreateTable(table_name, schema));
+  for (const DecoupledRule& rule : rules_) {
+    table->AppendUnchecked({Value::String(Join(rule.body, "|")),
+                            Value::String(Join(rule.head, "|")),
+                            Value::Double(rule.support),
+                            Value::Double(rule.confidence)});
+  }
+  if (stats != nullptr) stats->import_seconds += watch.ElapsedSeconds();
+  return static_cast<int64_t>(rules_.size());
+}
+
+}  // namespace minerule::decoupled

@@ -1,0 +1,71 @@
+#ifndef MINERULE_DECOUPLED_DECOUPLED_MINER_H_
+#define MINERULE_DECOUPLED_DECOUPLED_MINER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "mining/simple_miner.h"
+#include "sql/engine.h"
+
+namespace minerule::decoupled {
+
+/// A decoded rule as the standalone tool reports it.
+struct DecoupledRule {
+  std::vector<std::string> body;  // item display strings
+  std::vector<std::string> head;
+  double support = 0;
+  double confidence = 0;
+};
+
+/// Phase timings of the decoupled workflow, mirroring the inconveniences
+/// §1 lists: export via SQL, file-format encode/parse, in-tool mining, and
+/// an explicit import step to get rules back into the database.
+struct DecoupledStats {
+  double export_seconds = 0;   // SQL extraction + flat-file serialization
+  double prepare_seconds = 0;  // tool-side parse + ad-hoc item encoding
+  double mine_seconds = 0;     // mining proper
+  double import_seconds = 0;   // writing rules back as a table
+  size_t flat_file_bytes = 0;
+  int64_t num_rules = 0;
+  double TotalSeconds() const {
+    return export_seconds + prepare_seconds + mine_seconds + import_seconds;
+  }
+};
+
+/// The baseline the paper argues against: a self-contained mining tool that
+/// pulls (group, item) data out of the SQL server into a flat character
+/// buffer (simulating the export file), re-encodes it with its own
+/// dictionaries, mines with the same pool algorithms as the tightly-coupled
+/// core (isolating the *architectural* overheads), and keeps rules inside
+/// the tool until ImportRules() writes them back.
+class DecoupledMiner {
+ public:
+  explicit DecoupledMiner(sql::SqlEngine* engine) : engine_(engine) {}
+
+  /// Runs the decoupled workflow: export `SELECT group_col, item_col FROM
+  /// table`, prepare, mine simple association rules.
+  Result<DecoupledStats> Run(const std::string& table,
+                             const std::string& group_col,
+                             const std::string& item_col, double min_support,
+                             double min_confidence,
+                             mining::SimpleAlgorithm algorithm =
+                                 mining::SimpleAlgorithm::kGidList);
+
+  /// Rules held inside the tool after Run().
+  const std::vector<DecoupledRule>& rules() const { return rules_; }
+
+  /// The extra step the decoupled world needs before rules can be joined
+  /// with database data again: materializes `table_name`(body, head,
+  /// support, confidence) with '|'-separated item lists.
+  Result<int64_t> ImportRules(const std::string& table_name,
+                              DecoupledStats* stats);
+
+ private:
+  sql::SqlEngine* engine_;
+  std::vector<DecoupledRule> rules_;
+};
+
+}  // namespace minerule::decoupled
+
+#endif  // MINERULE_DECOUPLED_DECOUPLED_MINER_H_

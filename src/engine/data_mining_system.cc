@@ -1,0 +1,247 @@
+#include "engine/data_mining_system.h"
+
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+
+namespace minerule::mr {
+
+namespace {
+
+Result<int64_t> IntAt(const Row& row, size_t index) {
+  if (index >= row.size() || row[index].type() != DataType::kInteger) {
+    return Status::Internal("encoded table column " + std::to_string(index) +
+                            " is not an integer");
+  }
+  return row[index].AsInteger();
+}
+
+}  // namespace
+
+std::string DataMiningSystem::PreprocessCacheKey(
+    const MineRuleStatement& stmt) {
+  // Only the clauses that reach the generated SQL matter: body/head
+  // schemas, FROM / source condition, grouping, clustering, the mining
+  // condition, and the support threshold (it sets :mingroups). The
+  // cardinalities, the SUPPORT/CONFIDENCE projection flags, the confidence
+  // threshold and the output table name only affect later phases.
+  std::string key;
+  key += "B:" + ToLower(Join(stmt.body_schema, ",")) + ";";
+  key += "H:" + ToLower(Join(stmt.head_schema, ",")) + ";";
+  key += "M:" + (stmt.mining_cond ? stmt.mining_cond->ToSql() : "") + ";";
+  key += "F:";
+  for (const sql::TableRef& ref : stmt.from) {
+    key += ToLower(ref.name) + " " + ToLower(ref.alias) + ",";
+  }
+  key += ";W:" + (stmt.source_cond ? stmt.source_cond->ToSql() : "") + ";";
+  key += "G:" + ToLower(Join(stmt.group_attrs, ",")) + ";";
+  key += "GC:" + (stmt.group_cond ? stmt.group_cond->ToSql() : "") + ";";
+  key += "C:" + ToLower(Join(stmt.cluster_attrs, ",")) + ";";
+  key += "CC:" + (stmt.cluster_cond ? stmt.cluster_cond->ToSql() : "") + ";";
+  key += "S:" + std::to_string(stmt.min_support);
+  return key;
+}
+
+Result<mining::CodedSourceData> DataMiningSystem::FetchEncodedData(
+    const PreprocessProgram& program, const Directives& directives) {
+  mining::CodedSourceData data;
+
+  if (!program.coded_source.empty()) {
+    MR_ASSIGN_OR_RETURN(
+        sql::QueryResult coded,
+        sql_engine_.Execute("SELECT Gid, Bid FROM " + program.coded_source));
+    data.simple_pairs.reserve(coded.rows.size());
+    for (const Row& row : coded.rows) {
+      MR_ASSIGN_OR_RETURN(int64_t gid, IntAt(row, 0));
+      MR_ASSIGN_OR_RETURN(int64_t bid, IntAt(row, 1));
+      data.simple_pairs.emplace_back(static_cast<mining::Gid>(gid),
+                                     static_cast<mining::ItemId>(bid));
+    }
+    return data;
+  }
+
+  auto fetch_role = [&](const std::string& table, const char* item_col,
+                        std::vector<mining::CodedSourceData::RoleRow>* out)
+      -> Status {
+    const std::string cols = directives.C
+                                 ? "Gid, Cid, " + std::string(item_col)
+                                 : "Gid, " + std::string(item_col);
+    MR_ASSIGN_OR_RETURN(sql::QueryResult rows, sql_engine_.Execute(
+                            "SELECT " + cols + " FROM " + table));
+    out->reserve(rows.rows.size());
+    for (const Row& row : rows.rows) {
+      MR_ASSIGN_OR_RETURN(int64_t gid, IntAt(row, 0));
+      int64_t cid = mining::kNoCluster;
+      size_t item_index = 1;
+      if (directives.C) {
+        MR_ASSIGN_OR_RETURN(cid, IntAt(row, 1));
+        item_index = 2;
+      }
+      MR_ASSIGN_OR_RETURN(int64_t item, IntAt(row, item_index));
+      out->push_back({static_cast<mining::Gid>(gid),
+                      static_cast<mining::Cid>(cid),
+                      static_cast<mining::ItemId>(item)});
+    }
+    return Status::OK();
+  };
+
+  MR_RETURN_IF_ERROR(
+      fetch_role(program.coded_source_b, "Bid", &data.body_rows));
+  if (!program.coded_source_h.empty()) {
+    MR_RETURN_IF_ERROR(
+        fetch_role(program.coded_source_h, "Hid", &data.head_rows));
+  }
+
+  if (!program.cluster_couples.empty()) {
+    MR_ASSIGN_OR_RETURN(sql::QueryResult couples,
+                        sql_engine_.Execute("SELECT Gid, BCid, HCid FROM " +
+                                            program.cluster_couples));
+    for (const Row& row : couples.rows) {
+      MR_ASSIGN_OR_RETURN(int64_t gid, IntAt(row, 0));
+      MR_ASSIGN_OR_RETURN(int64_t bcid, IntAt(row, 1));
+      MR_ASSIGN_OR_RETURN(int64_t hcid, IntAt(row, 2));
+      data.cluster_couples.emplace_back(static_cast<mining::Gid>(gid),
+                                        static_cast<mining::Cid>(bcid),
+                                        static_cast<mining::Cid>(hcid));
+    }
+  }
+
+  if (!program.input_rules.empty()) {
+    const std::string cols =
+        directives.C ? "Gid, BCid, HCid, Bid, Hid" : "Gid, Bid, Hid";
+    MR_ASSIGN_OR_RETURN(
+        sql::QueryResult rules,
+        sql_engine_.Execute("SELECT " + cols + " FROM " +
+                            program.input_rules));
+    for (const Row& row : rules.rows) {
+      mining::GeneralInput::ElementaryOccurrence occ;
+      MR_ASSIGN_OR_RETURN(int64_t gid, IntAt(row, 0));
+      occ.gid = static_cast<mining::Gid>(gid);
+      size_t next = 1;
+      if (directives.C) {
+        MR_ASSIGN_OR_RETURN(int64_t bcid, IntAt(row, next++));
+        MR_ASSIGN_OR_RETURN(int64_t hcid, IntAt(row, next++));
+        occ.bcid = static_cast<mining::Cid>(bcid);
+        occ.hcid = static_cast<mining::Cid>(hcid);
+      } else {
+        occ.bcid = mining::kNoCluster;
+        occ.hcid = mining::kNoCluster;
+      }
+      MR_ASSIGN_OR_RETURN(int64_t bid, IntAt(row, next++));
+      MR_ASSIGN_OR_RETURN(int64_t hid, IntAt(row, next++));
+      occ.bid = static_cast<mining::ItemId>(bid);
+      occ.hid = static_cast<mining::ItemId>(hid);
+      data.input_rules.push_back(occ);
+    }
+  }
+  return data;
+}
+
+Result<MiningRunStats> DataMiningSystem::ExecuteMineRule(
+    std::string_view text, const MiningOptions& options) {
+  Stopwatch watch;
+  MR_ASSIGN_OR_RETURN(MineRuleStatement stmt, ParseMineRule(text));
+  return ExecuteStatement(stmt, options);
+}
+
+Result<MiningRunStats> DataMiningSystem::ExecuteStatement(
+    const MineRuleStatement& stmt, const MiningOptions& options) {
+  MiningRunStats stats;
+
+  // --- translator --------------------------------------------------------
+  Stopwatch phase;
+  Translator translator(
+      catalog_, [this](const std::string& view) -> Result<Schema> {
+        // Resolve a view's output schema by planning (not executing) a
+        // zero-row probe through the SQL engine.
+        MR_ASSIGN_OR_RETURN(sql::QueryResult probe,
+                            sql_engine_.Execute("SELECT * FROM " + view +
+                                                " LIMIT 0"));
+        return probe.schema;
+      });
+  MR_ASSIGN_OR_RETURN(Translation translation, translator.Translate(stmt));
+  stats.directives = translation.directives;
+  stats.translate_seconds = phase.ElapsedSeconds();
+
+  // --- preprocessor ------------------------------------------------------
+  phase.Restart();
+  const std::string cache_key = PreprocessCacheKey(stmt);
+  PreprocessResult* preprocess = nullptr;
+  if (options.reuse_preprocessing && cache_key_ == cache_key &&
+      cached_preprocess_.has_value()) {
+    preprocess = &*cached_preprocess_;
+    stats.preprocessing_reused = true;
+  } else {
+    Preprocessor preprocessor(&sql_engine_);
+    MR_ASSIGN_OR_RETURN(PreprocessResult fresh,
+                        preprocessor.Run(stmt, translation));
+    cached_preprocess_ = std::move(fresh);
+    cache_key_ = cache_key;
+    preprocess = &*cached_preprocess_;
+  }
+  stats.total_groups = preprocess->total_groups;
+  stats.min_group_count = preprocess->min_group_count;
+  stats.preprocess_queries = preprocess->stats;
+  stats.preprocess_seconds = phase.ElapsedSeconds();
+
+  // --- core operator -----------------------------------------------------
+  phase.Restart();
+  mining::CoreDirectives core_directives;
+  core_directives.general = !translation.directives.IsSimpleClass();
+  core_directives.has_clusters = translation.directives.C;
+  core_directives.distinct_head = translation.directives.H;
+  core_directives.has_input_rules = translation.directives.M;
+  core_directives.has_cluster_couples = translation.directives.K;
+
+  MR_ASSIGN_OR_RETURN(
+      mining::CodedSourceData data,
+      FetchEncodedData(preprocess->program, translation.directives));
+  data.total_groups = preprocess->total_groups;
+
+  mining::CoreOptions core_options;
+  core_options.algorithm = options.algorithm;
+  core_options.simple_options = options.simple_options;
+  MR_ASSIGN_OR_RETURN(
+      std::vector<mining::MinedRule> rules,
+      RunCoreOperator(data, core_directives, stmt.min_support,
+                      stmt.min_confidence, stmt.body_card, stmt.head_card,
+                      core_options, &stats.core));
+  stats.core_seconds = phase.ElapsedSeconds();
+
+  // --- postprocessor -----------------------------------------------------
+  phase.Restart();
+  Postprocessor postprocessor(&sql_engine_);
+  MR_ASSIGN_OR_RETURN(
+      stats.output,
+      postprocessor.Run(stmt, translation, rules, preprocess->total_groups,
+                        preprocess->program));
+  stats.postprocess_queries = stats.output.stats;
+  stats.postprocess_seconds = phase.ElapsedSeconds();
+
+  executed_[ToLower(stmt.output_table)] =
+      RenderInfo{stmt.select_support, stmt.select_confidence};
+
+  if (!options.keep_encoded_tables) {
+    // Rerun the idempotent drops; this also invalidates the cache.
+    for (const GeneratedQuery& q : preprocess->program.drops) {
+      MR_RETURN_IF_ERROR(sql_engine_.Execute(q.sql).status());
+    }
+    InvalidateCache();
+    cached_preprocess_.reset();
+  }
+  return stats;
+}
+
+Result<std::string> DataMiningSystem::RenderRules(
+    const std::string& output_table) {
+  auto it = executed_.find(ToLower(output_table));
+  if (it == executed_.end()) {
+    return Status::NotFound("no MINE RULE run produced table " + output_table);
+  }
+  MineRuleStatement stmt;
+  stmt.output_table = output_table;
+  stmt.select_support = it->second.select_support;
+  stmt.select_confidence = it->second.select_confidence;
+  return RenderRuleTable(&sql_engine_, stmt);
+}
+
+}  // namespace minerule::mr

@@ -1,0 +1,123 @@
+#ifndef MINERULE_ENGINE_DATA_MINING_SYSTEM_H_
+#define MINERULE_ENGINE_DATA_MINING_SYSTEM_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "minerule/parser.h"
+#include "minerule/translator.h"
+#include "mining/core_operator.h"
+#include "postprocess/postprocessor.h"
+#include "preprocess/preprocessor.h"
+#include "sql/engine.h"
+
+namespace minerule::mr {
+
+/// Knobs for one MINE RULE execution.
+struct MiningOptions {
+  /// Which pool member the simple core uses (§3: algorithm
+  /// interoperability). The general core has a single implementation.
+  mining::SimpleAlgorithm algorithm = mining::SimpleAlgorithm::kGidList;
+  mining::SimpleMinerOptions simple_options;
+
+  /// §3: "the same preprocessing could be in common to the execution of
+  /// several data mining queries, thus saving its cost". When true, a
+  /// statement whose encoding-relevant clauses (and support threshold)
+  /// match the previous run reuses the encoded tables. The cache assumes
+  /// the source tables have not changed; call InvalidateCache() otherwise.
+  bool reuse_preprocessing = false;
+
+  /// Keep the encoded tables in the catalog after the run (useful for
+  /// inspection and for preprocessing reuse); they are overwritten by the
+  /// next run regardless.
+  bool keep_encoded_tables = true;
+};
+
+/// Per-run report: classification, phase timings (the Figure 3 process
+/// flow), per-query preprocessing stats (Figure 4), and core counters.
+struct MiningRunStats {
+  Directives directives;
+  int64_t total_groups = 0;
+  int64_t min_group_count = 0;
+  bool preprocessing_reused = false;
+
+  double translate_seconds = 0;
+  double preprocess_seconds = 0;
+  double core_seconds = 0;
+  double postprocess_seconds = 0;
+  double TotalSeconds() const {
+    return translate_seconds + preprocess_seconds + core_seconds +
+           postprocess_seconds;
+  }
+
+  std::vector<QueryStat> preprocess_queries;
+  std::vector<QueryStat> postprocess_queries;
+  mining::CoreStats core;
+
+  PostprocessResult output;
+};
+
+/// The kernel of the tightly-coupled architecture (Figure 3a): translator,
+/// preprocessor, core operator and postprocessor around one SQL server.
+/// Everything flows through the catalog: sources in, encoded tables in the
+/// middle, rule tables out — the integration property the paper argues for.
+class DataMiningSystem {
+ public:
+  explicit DataMiningSystem(Catalog* catalog)
+      : catalog_(catalog), sql_engine_(catalog) {}
+
+  DataMiningSystem(const DataMiningSystem&) = delete;
+  DataMiningSystem& operator=(const DataMiningSystem&) = delete;
+
+  /// Executes a MINE RULE statement end to end. On success the output
+  /// tables <out>, <out>_Bodies and <out>_Heads exist in the catalog.
+  Result<MiningRunStats> ExecuteMineRule(std::string_view text,
+                                         const MiningOptions& options = {});
+
+  /// Executes an already-parsed statement.
+  Result<MiningRunStats> ExecuteStatement(const MineRuleStatement& stmt,
+                                          const MiningOptions& options = {});
+
+  /// Plain SQL passthrough to the embedded server (loading data, querying
+  /// rule tables, joining rules with source data — the tight coupling).
+  Result<sql::QueryResult> ExecuteSql(std::string_view sql) {
+    return sql_engine_.Execute(sql);
+  }
+
+  /// Renders a previously mined output table in Figure 2.b notation.
+  Result<std::string> RenderRules(const std::string& output_table);
+
+  /// Drops the preprocessing cache (call after modifying source tables).
+  void InvalidateCache() { cache_key_.reset(); }
+
+  sql::SqlEngine* sql_engine() { return &sql_engine_; }
+  Catalog* catalog() { return catalog_; }
+
+ private:
+  /// Cache key: the statement with everything that does not influence the
+  /// generated preprocessing program masked out.
+  static std::string PreprocessCacheKey(const MineRuleStatement& stmt);
+
+  Result<mining::CodedSourceData> FetchEncodedData(
+      const PreprocessProgram& program, const Directives& directives);
+
+  Catalog* catalog_;
+  sql::SqlEngine sql_engine_;
+
+  std::optional<std::string> cache_key_;
+  std::optional<PreprocessResult> cached_preprocess_;
+
+  /// What RenderRules needs to know about past runs, by output table.
+  struct RenderInfo {
+    bool select_support = false;
+    bool select_confidence = false;
+  };
+  std::map<std::string, RenderInfo> executed_;
+};
+
+}  // namespace minerule::mr
+
+#endif  // MINERULE_ENGINE_DATA_MINING_SYSTEM_H_

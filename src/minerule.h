@@ -1,0 +1,51 @@
+#ifndef MINERULE_MINERULE_H_
+#define MINERULE_MINERULE_H_
+
+/// \mainpage MineRule — A Tightly-Coupled Architecture for Data Mining
+///
+/// Umbrella header: everything a downstream user needs to embed the
+/// tightly-coupled mining system of Meo, Psaila & Ceri (ICDE 1998).
+///
+/// Typical usage:
+/// \code
+///   minerule::Catalog catalog;
+///   minerule::mr::DataMiningSystem system(&catalog);
+///   system.ExecuteSql("CREATE TABLE t (...)");
+///   auto stats = system.ExecuteMineRule("MINE RULE R AS SELECT ...");
+///   auto browser =
+///       minerule::support::RuleBrowser::Load(system.sql_engine(), "R");
+/// \endcode
+///
+/// Layering (each header is also individually includable):
+///  - common/:      Status / Result error model, PRNG, stopwatch
+///  - relational/:  values, schemas, tables, catalog, persistence
+///  - sql/:         the embedded SQL engine
+///  - minerule/:    MINE RULE parsing and translation
+///  - preprocess/:  generated-SQL preprocessing (Appendix A)
+///  - mining/:      the core operator and its algorithm pool
+///  - postprocess/: rule decoding
+///  - engine/:      the kernel facade
+///  - support/:     rule browsing (the user-support layer)
+///  - datagen/:     synthetic workloads (Quest, retail, Figure 1)
+///  - decoupled/:   the decoupled-architecture baseline
+
+#include "common/random.h"        // IWYU pragma: export
+#include "common/result.h"        // IWYU pragma: export
+#include "common/status.h"        // IWYU pragma: export
+#include "datagen/paper_example.h"  // IWYU pragma: export
+#include "datagen/quest_gen.h"    // IWYU pragma: export
+#include "datagen/retail_gen.h"   // IWYU pragma: export
+#include "decoupled/decoupled_miner.h"  // IWYU pragma: export
+#include "engine/data_mining_system.h"  // IWYU pragma: export
+#include "minerule/parser.h"      // IWYU pragma: export
+#include "minerule/translator.h"  // IWYU pragma: export
+#include "mining/core_operator.h" // IWYU pragma: export
+#include "mining/simple_miner.h"  // IWYU pragma: export
+#include "postprocess/postprocessor.h"  // IWYU pragma: export
+#include "preprocess/preprocessor.h"    // IWYU pragma: export
+#include "relational/catalog.h"   // IWYU pragma: export
+#include "relational/catalog_io.h"  // IWYU pragma: export
+#include "sql/engine.h"           // IWYU pragma: export
+#include "support/rule_browser.h" // IWYU pragma: export
+
+#endif  // MINERULE_MINERULE_H_

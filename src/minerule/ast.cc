@@ -1,0 +1,77 @@
+#include "minerule/ast.h"
+
+#include <cstdio>
+
+#include "common/string_util.h"
+
+namespace minerule::mr {
+
+namespace {
+
+std::string CardToString(const mining::CardinalityConstraint& card) {
+  std::string out = std::to_string(card.min) + "..";
+  out += card.max < 0 ? "n" : std::to_string(card.max);
+  return out;
+}
+
+std::string FormatNumber(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string MineRuleStatement::ToString() const {
+  std::string out = "MINE RULE " + output_table + " AS\nSELECT DISTINCT ";
+  out += CardToString(body_card) + " " + Join(body_schema, ", ") + " AS BODY, ";
+  out += CardToString(head_card) + " " + Join(head_schema, ", ") + " AS HEAD";
+  if (select_support) out += ", SUPPORT";
+  if (select_confidence) out += ", CONFIDENCE";
+  out += "\n";
+  if (mining_cond != nullptr) {
+    out += "WHERE " + mining_cond->ToSql() + "\n";
+  }
+  out += "FROM ";
+  for (size_t i = 0; i < from.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += from[i].name;
+    if (!EqualsIgnoreCase(from[i].alias, from[i].name)) {
+      out += " AS " + from[i].alias;
+    }
+  }
+  out += "\n";
+  if (source_cond != nullptr) {
+    out += "WHERE " + source_cond->ToSql() + "\n";
+  }
+  out += "GROUP BY " + Join(group_attrs, ", ");
+  if (group_cond != nullptr) {
+    out += " HAVING " + group_cond->ToSql();
+  }
+  out += "\n";
+  if (!cluster_attrs.empty()) {
+    out += "CLUSTER BY " + Join(cluster_attrs, ", ");
+    if (cluster_cond != nullptr) {
+      out += " HAVING " + cluster_cond->ToSql();
+    }
+    out += "\n";
+  }
+  out += "EXTRACTING RULES WITH SUPPORT: " + FormatNumber(min_support) +
+         ", CONFIDENCE: " + FormatNumber(min_confidence);
+  return out;
+}
+
+std::string Directives::ToString() const {
+  std::string out;
+  out += H ? 'H' : '-';
+  out += W ? 'W' : '-';
+  out += M ? 'M' : '-';
+  out += G ? 'G' : '-';
+  out += C ? 'C' : '-';
+  out += K ? 'K' : '-';
+  out += F ? 'F' : '-';
+  out += R ? 'R' : '-';
+  return out;
+}
+
+}  // namespace minerule::mr

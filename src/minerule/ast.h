@@ -1,0 +1,76 @@
+#ifndef MINERULE_MINERULE_AST_H_
+#define MINERULE_MINERULE_AST_H_
+
+#include <string>
+#include <vector>
+
+#include "mining/rule.h"
+#include "sql/ast.h"
+
+namespace minerule::mr {
+
+/// A parsed MINE RULE statement, following the grammar of §4.1:
+///
+///   MINE RULE <output table name> AS
+///   SELECT DISTINCT <body descr>, <head descr> [, SUPPORT] [, CONFIDENCE]
+///   [ WHERE <mining cond> ]
+///   FROM <from list> [ WHERE <source cond> ]
+///   GROUP BY <group attr list> [ HAVING <group cond> ]
+///   [ CLUSTER BY <cluster attr list> [ HAVING <cluster cond> ] ]
+///   EXTRACTING RULES WITH SUPPORT: <n>, CONFIDENCE: <n>
+///
+/// Conditions are stored as SQL expression trees; the mining and cluster
+/// conditions reference attributes through the BODY./HEAD. qualifiers.
+struct MineRuleStatement {
+  std::string output_table;
+
+  mining::CardinalityConstraint body_card{1, -1};  // default 1..n
+  mining::CardinalityConstraint head_card{1, 1};   // default 1..1
+  std::vector<std::string> body_schema;
+  std::vector<std::string> head_schema;
+  bool select_support = false;
+  bool select_confidence = false;
+
+  sql::ExprPtr mining_cond;  // may be null
+
+  std::vector<sql::TableRef> from;  // base tables only (checked later)
+  sql::ExprPtr source_cond;         // may be null
+
+  std::vector<std::string> group_attrs;
+  sql::ExprPtr group_cond;  // may be null
+
+  std::vector<std::string> cluster_attrs;  // empty = no CLUSTER BY
+  sql::ExprPtr cluster_cond;               // may be null
+
+  double min_support = 0.0;
+  double min_confidence = 0.0;
+
+  /// Unparses back to MINE RULE text (canonical form, for logging and the
+  /// preprocessing cache key).
+  std::string ToString() const;
+};
+
+/// The eight classification booleans of §4.1, produced by the translator
+/// and consumed as directives by preprocessor, core operator and
+/// postprocessor.
+struct Directives {
+  bool H = false;  // body and head on different attributes
+  bool W = false;  // source condition / multi-table FROM present
+  bool M = false;  // mining condition present
+  bool G = false;  // group condition present
+  bool C = false;  // CLUSTER BY present
+  bool K = false;  // cluster condition present (K => C)
+  bool F = false;  // aggregates in the cluster condition (F => K)
+  bool R = false;  // aggregates in the group condition (R => G)
+
+  /// The statement-class split of §3/Figure 3b: simple statements use the
+  /// classic itemset algorithms, everything else the general core.
+  bool IsSimpleClass() const { return !H && !C && !M; }
+
+  /// "HWMGCKFR" with '-' for unset flags, e.g. "H----C--".
+  std::string ToString() const;
+};
+
+}  // namespace minerule::mr
+
+#endif  // MINERULE_MINERULE_AST_H_

@@ -1,0 +1,293 @@
+#include "minerule/parser.h"
+
+#include <vector>
+
+#include "common/string_util.h"
+#include "sql/lexer.h"
+#include "sql/parser.h"
+#include "sql/token.h"
+
+namespace minerule::mr {
+
+namespace {
+
+using sql::Token;
+using sql::TokenType;
+
+/// Token-stream cursor for the MINE RULE grammar. Embedded SQL search
+/// conditions are sliced out of the original text (by token offsets) and
+/// handed to the SQL expression parser.
+class MineRuleParser {
+ public:
+  explicit MineRuleParser(std::string_view text) : text_(text) {}
+
+  Result<MineRuleStatement> Parse();
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    const size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() {
+    const Token& tok = Peek();
+    if (pos_ < tokens_.size() - 1) ++pos_;
+    return tok;
+  }
+  bool Check(TokenType type) const { return Peek().type == type; }
+  bool CheckKeyword(const char* kw) const { return Peek().IsKeyword(kw); }
+  bool MatchKeyword(const char* kw) {
+    if (CheckKeyword(kw)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  bool Match(TokenType type) {
+    if (Check(type)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  Status ExpectKeyword(const char* kw) {
+    if (!MatchKeyword(kw)) return ErrorHere(std::string("expected ") + kw);
+    return Status::OK();
+  }
+  Status Expect(TokenType type, const char* what) {
+    if (!Match(type)) return ErrorHere(std::string("expected ") + what);
+    return Status::OK();
+  }
+  Status ErrorHere(const std::string& message) const {
+    const Token& tok = Peek();
+    std::string got = tok.type == TokenType::kEnd
+                          ? "end of input"
+                          : (tok.text.empty() ? sql::TokenTypeName(tok.type)
+                                              : "'" + tok.text + "'");
+    return Status::ParseError("MINE RULE: " + message + ", got " + got +
+                              " at line " + std::to_string(tok.line));
+  }
+
+  /// Parses "[<card>] <attr> (, <attr>)* AS BODY|HEAD".
+  Status ParseDescriptor(const char* role,
+                         mining::CardinalityConstraint* card,
+                         std::vector<std::string>* schema);
+
+  /// Extracts the expression text spanning from the current token up to
+  /// (excluding) the first token matching one of `terminators` at paren
+  /// depth 0, parses it as a SQL expression, and advances past it.
+  Result<sql::ExprPtr> ParseConditionUntil(
+      const std::vector<const char*>& terminators);
+
+  Result<double> ParseFraction(const char* what);
+
+  std::string_view text_;
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+Status MineRuleParser::ParseDescriptor(const char* role,
+                                       mining::CardinalityConstraint* card,
+                                       std::vector<std::string>* schema) {
+  // Optional cardinality: INTEGER .. (INTEGER | n).
+  if (Check(TokenType::kIntegerLiteral) &&
+      Peek(1).type == TokenType::kDotDot) {
+    card->min = Advance().int_value;
+    Advance();  // '..'
+    if (Check(TokenType::kIntegerLiteral)) {
+      card->max = Advance().int_value;
+    } else if (Peek().IsKeyword("N")) {
+      Advance();
+      card->max = -1;
+    } else {
+      return ErrorHere("expected integer or 'n' after '..'");
+    }
+    if (card->min < 1 || (card->max >= 0 && card->max < card->min)) {
+      return Status::SemanticError(
+          std::string("invalid cardinality for ") + role);
+    }
+  }
+  while (true) {
+    if (!Check(TokenType::kIdentifier)) {
+      return ErrorHere(std::string("expected attribute name in ") + role +
+                       " schema");
+    }
+    schema->push_back(Advance().text);
+    if (MatchKeyword("AS")) break;
+    MR_RETURN_IF_ERROR(Expect(TokenType::kComma, "',' or AS"));
+  }
+  MR_RETURN_IF_ERROR(ExpectKeyword(role));
+  return Status::OK();
+}
+
+Result<sql::ExprPtr> MineRuleParser::ParseConditionUntil(
+    const std::vector<const char*>& terminators) {
+  const size_t start_offset = Peek().offset;
+  int depth = 0;
+  size_t end = pos_;
+  while (end < tokens_.size() && tokens_[end].type != TokenType::kEnd) {
+    const Token& tok = tokens_[end];
+    if (tok.type == TokenType::kLParen) ++depth;
+    if (tok.type == TokenType::kRParen) --depth;
+    if (depth == 0) {
+      bool terminal = false;
+      for (const char* kw : terminators) {
+        if (tok.IsKeyword(kw)) {
+          terminal = true;
+          break;
+        }
+      }
+      if (terminal) break;
+    }
+    ++end;
+  }
+  const size_t end_offset = tokens_[end].offset;
+  if (end == pos_) {
+    return ErrorHere("empty condition");
+  }
+  std::string_view condition_text =
+      text_.substr(start_offset, end_offset - start_offset);
+  sql::Parser expr_parser(condition_text);
+  MR_ASSIGN_OR_RETURN(sql::ExprPtr expr,
+                      expr_parser.ParseStandaloneExpression());
+  pos_ = end;
+  return expr;
+}
+
+Result<double> MineRuleParser::ParseFraction(const char* what) {
+  double value = 0.0;
+  if (Check(TokenType::kDoubleLiteral)) {
+    value = Advance().double_value;
+  } else if (Check(TokenType::kIntegerLiteral)) {
+    value = static_cast<double>(Advance().int_value);
+  } else {
+    return ErrorHere(std::string("expected a number for ") + what);
+  }
+  if (value < 0.0 || value > 1.0) {
+    return Status::SemanticError(std::string(what) +
+                                 " must be in [0, 1], got " +
+                                 std::to_string(value));
+  }
+  return value;
+}
+
+Result<MineRuleStatement> MineRuleParser::Parse() {
+  MR_ASSIGN_OR_RETURN(tokens_, sql::TokenizeSql(text_));
+  MineRuleStatement stmt;
+
+  MR_RETURN_IF_ERROR(ExpectKeyword("MINE"));
+  MR_RETURN_IF_ERROR(ExpectKeyword("RULE"));
+  if (!Check(TokenType::kIdentifier)) {
+    return ErrorHere("expected output table name");
+  }
+  stmt.output_table = Advance().text;
+  MR_RETURN_IF_ERROR(ExpectKeyword("AS"));
+  MR_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+  MR_RETURN_IF_ERROR(ExpectKeyword("DISTINCT"));
+
+  MR_RETURN_IF_ERROR(ParseDescriptor("BODY", &stmt.body_card,
+                                     &stmt.body_schema));
+  MR_RETURN_IF_ERROR(Expect(TokenType::kComma, "',' before head descriptor"));
+  MR_RETURN_IF_ERROR(ParseDescriptor("HEAD", &stmt.head_card,
+                                     &stmt.head_schema));
+
+  while (Match(TokenType::kComma)) {
+    if (MatchKeyword("SUPPORT")) {
+      stmt.select_support = true;
+    } else if (MatchKeyword("CONFIDENCE")) {
+      stmt.select_confidence = true;
+    } else {
+      return ErrorHere("expected SUPPORT or CONFIDENCE");
+    }
+  }
+
+  if (MatchKeyword("WHERE")) {
+    MR_ASSIGN_OR_RETURN(stmt.mining_cond, ParseConditionUntil({"FROM"}));
+  }
+
+  MR_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+  do {
+    if (!Check(TokenType::kIdentifier)) {
+      return ErrorHere("expected table name in FROM");
+    }
+    sql::TableRef ref;
+    ref.kind = sql::TableRef::Kind::kBase;
+    ref.name = Advance().text;
+    ref.alias = ref.name;
+    if (MatchKeyword("AS")) {
+      if (!Check(TokenType::kIdentifier)) {
+        return ErrorHere("expected alias after AS");
+      }
+      ref.alias = Advance().text;
+    } else if (Check(TokenType::kIdentifier) && !CheckKeyword("WHERE") &&
+               !CheckKeyword("GROUP")) {
+      ref.alias = Advance().text;
+    }
+    stmt.from.push_back(std::move(ref));
+  } while (Match(TokenType::kComma));
+
+  if (MatchKeyword("WHERE")) {
+    MR_ASSIGN_OR_RETURN(stmt.source_cond, ParseConditionUntil({"GROUP"}));
+  }
+
+  MR_RETURN_IF_ERROR(ExpectKeyword("GROUP"));
+  MR_RETURN_IF_ERROR(ExpectKeyword("BY"));
+  do {
+    if (!Check(TokenType::kIdentifier)) {
+      return ErrorHere("expected attribute in GROUP BY");
+    }
+    stmt.group_attrs.push_back(Advance().text);
+  } while (Match(TokenType::kComma));
+
+  if (MatchKeyword("HAVING")) {
+    MR_ASSIGN_OR_RETURN(stmt.group_cond,
+                        ParseConditionUntil({"CLUSTER", "EXTRACTING"}));
+  }
+
+  if (MatchKeyword("CLUSTER")) {
+    MR_RETURN_IF_ERROR(ExpectKeyword("BY"));
+    do {
+      if (!Check(TokenType::kIdentifier)) {
+        return ErrorHere("expected attribute in CLUSTER BY");
+      }
+      stmt.cluster_attrs.push_back(Advance().text);
+    } while (Match(TokenType::kComma));
+    if (MatchKeyword("HAVING")) {
+      MR_ASSIGN_OR_RETURN(stmt.cluster_cond,
+                          ParseConditionUntil({"EXTRACTING"}));
+    }
+  }
+
+  MR_RETURN_IF_ERROR(ExpectKeyword("EXTRACTING"));
+  MR_RETURN_IF_ERROR(ExpectKeyword("RULES"));
+  MR_RETURN_IF_ERROR(ExpectKeyword("WITH"));
+  MR_RETURN_IF_ERROR(ExpectKeyword("SUPPORT"));
+  MR_RETURN_IF_ERROR(Expect(TokenType::kColon, "':' after SUPPORT"));
+  MR_ASSIGN_OR_RETURN(stmt.min_support, ParseFraction("SUPPORT"));
+  MR_RETURN_IF_ERROR(Expect(TokenType::kComma, "','"));
+  MR_RETURN_IF_ERROR(ExpectKeyword("CONFIDENCE"));
+  MR_RETURN_IF_ERROR(Expect(TokenType::kColon, "':' after CONFIDENCE"));
+  MR_ASSIGN_OR_RETURN(stmt.min_confidence, ParseFraction("CONFIDENCE"));
+
+  Match(TokenType::kSemicolon);
+  if (!Check(TokenType::kEnd)) {
+    return ErrorHere("unexpected trailing input");
+  }
+  return stmt;
+}
+
+}  // namespace
+
+Result<MineRuleStatement> ParseMineRule(std::string_view text) {
+  MineRuleParser parser(text);
+  return parser.Parse();
+}
+
+bool IsMineRuleStatement(std::string_view text) {
+  auto tokens = sql::TokenizeSql(text);
+  if (!tokens.ok()) return false;
+  const std::vector<Token>& toks = tokens.value();
+  return toks.size() >= 2 && toks[0].IsKeyword("MINE") &&
+         toks[1].IsKeyword("RULE");
+}
+
+}  // namespace minerule::mr

@@ -1,0 +1,26 @@
+#ifndef MINERULE_MINERULE_PARSER_H_
+#define MINERULE_MINERULE_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "minerule/ast.h"
+
+namespace minerule::mr {
+
+/// Parses a MINE RULE statement (grammar of §4.1). The operator shares
+/// SQL's lexical structure; embedded conditions (mining / source / group /
+/// cluster) are delegated to the SQL expression parser, so anything legal
+/// in a SQL search condition is legal here. Deviations from the paper's
+/// informal examples: dates must be written as SQL literals
+/// (DATE '1995-01-01' or a comparable string like '1/1/95'), not bare
+/// 1/1/95 which would lex as division.
+Result<MineRuleStatement> ParseMineRule(std::string_view text);
+
+/// True if the text looks like a MINE RULE statement (starts with the two
+/// keywords); used by facades that accept both SQL and MINE RULE.
+bool IsMineRuleStatement(std::string_view text);
+
+}  // namespace minerule::mr
+
+#endif  // MINERULE_MINERULE_PARSER_H_

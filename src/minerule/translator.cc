@@ -1,0 +1,410 @@
+#include "minerule/translator.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "sql/ast.h"
+
+namespace minerule::mr {
+
+namespace {
+
+using sql::AggregateExpr;
+using sql::ColumnRefExpr;
+using sql::Expr;
+using sql::ExprKind;
+
+struct ColumnUse {
+  std::string qualifier;
+  std::string name;
+};
+
+/// Collects column references, split into those outside aggregate functions
+/// and those inside aggregate arguments; also collects aggregate nodes.
+void Walk(const Expr& expr, bool inside_agg, std::vector<ColumnUse>* outside,
+          std::vector<ColumnUse>* inside,
+          std::vector<const AggregateExpr*>* aggs) {
+  switch (expr.kind) {
+    case ExprKind::kColumnRef: {
+      const auto& ref = static_cast<const ColumnRefExpr&>(expr);
+      (inside_agg ? inside : outside)
+          ->push_back({ref.qualifier, ref.column});
+      return;
+    }
+    case ExprKind::kAggregate: {
+      const auto& agg = static_cast<const AggregateExpr&>(expr);
+      aggs->push_back(&agg);
+      if (agg.arg != nullptr) {
+        Walk(*agg.arg, /*inside_agg=*/true, outside, inside, aggs);
+      }
+      return;
+    }
+    case ExprKind::kUnary:
+      Walk(*static_cast<const sql::UnaryExpr&>(expr).operand, inside_agg,
+           outside, inside, aggs);
+      return;
+    case ExprKind::kBinary: {
+      const auto& b = static_cast<const sql::BinaryExpr&>(expr);
+      Walk(*b.lhs, inside_agg, outside, inside, aggs);
+      Walk(*b.rhs, inside_agg, outside, inside, aggs);
+      return;
+    }
+    case ExprKind::kBetween: {
+      const auto& b = static_cast<const sql::BetweenExpr&>(expr);
+      Walk(*b.operand, inside_agg, outside, inside, aggs);
+      Walk(*b.low, inside_agg, outside, inside, aggs);
+      Walk(*b.high, inside_agg, outside, inside, aggs);
+      return;
+    }
+    case ExprKind::kInList: {
+      const auto& in = static_cast<const sql::InListExpr&>(expr);
+      Walk(*in.operand, inside_agg, outside, inside, aggs);
+      for (const sql::ExprPtr& e : in.list) {
+        Walk(*e, inside_agg, outside, inside, aggs);
+      }
+      return;
+    }
+    case ExprKind::kIsNull:
+      Walk(*static_cast<const sql::IsNullExpr&>(expr).operand, inside_agg,
+           outside, inside, aggs);
+      return;
+    case ExprKind::kFunction: {
+      const auto& f = static_cast<const sql::FunctionExpr&>(expr);
+      for (const sql::ExprPtr& e : f.args) {
+        Walk(*e, inside_agg, outside, inside, aggs);
+      }
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+bool ContainsName(const std::vector<std::string>& names,
+                  const std::string& name) {
+  for (const std::string& n : names) {
+    if (EqualsIgnoreCase(n, name)) return true;
+  }
+  return false;
+}
+
+void AddUnique(std::vector<std::string>* names, const std::string& name) {
+  if (!ContainsName(*names, name)) names->push_back(name);
+}
+
+/// Renders an aggregate with qualifiers stripped from its argument, e.g.
+/// SUM(BODY.qty) -> "SUM(qty)". Cluster aggregates are role-neutral: they
+/// are computed once per cluster and the BODY./HEAD. qualifier only selects
+/// which cluster's value the condition compares.
+Result<std::string> RoleNeutralAggregateSql(const AggregateExpr& agg) {
+  if (agg.func == sql::AggFunc::kCountStar) {
+    return std::string("COUNT(*)");
+  }
+  sql::ExprPtr arg = agg.arg->Clone();
+  // Strip qualifiers in the cloned argument tree.
+  struct Stripper {
+    static void Strip(Expr* e) {
+      if (e->kind == ExprKind::kColumnRef) {
+        static_cast<ColumnRefExpr*>(e)->qualifier.clear();
+        return;
+      }
+      switch (e->kind) {
+        case ExprKind::kUnary:
+          Strip(static_cast<sql::UnaryExpr*>(e)->operand.get());
+          break;
+        case ExprKind::kBinary: {
+          auto* b = static_cast<sql::BinaryExpr*>(e);
+          Strip(b->lhs.get());
+          Strip(b->rhs.get());
+          break;
+        }
+        case ExprKind::kFunction: {
+          auto* f = static_cast<sql::FunctionExpr*>(e);
+          for (sql::ExprPtr& x : f->args) Strip(x.get());
+          break;
+        }
+        default:
+          break;
+      }
+    }
+  };
+  Stripper::Strip(arg.get());
+  std::string out = sql::AggFuncName(agg.func);
+  out += "(";
+  if (agg.distinct) out += "DISTINCT ";
+  out += arg->ToSql();
+  out += ")";
+  return out;
+}
+
+}  // namespace
+
+Result<Translation> Translator::Translate(const MineRuleStatement& stmt) const {
+  Translation translation;
+
+  // --- resolve the FROM list against the data dictionary ---------------
+  if (stmt.from.empty()) {
+    return Status::SemanticError("MINE RULE requires a FROM clause");
+  }
+  for (const sql::TableRef& ref : stmt.from) {
+    Schema table_schema;
+    if (catalog_->HasTable(ref.name)) {
+      MR_ASSIGN_OR_RETURN(std::shared_ptr<Table> table,
+                          catalog_->GetTable(ref.name));
+      table_schema = table->schema();
+    } else if (catalog_->HasView(ref.name)) {
+      // Views are legal sources — the paper's §1 promises "an unrestricted
+      // query on the database" as the extraction step. The translator only
+      // needs the view's output schema; Q0 will materialize it.
+      if (view_resolver_ == nullptr) {
+        return Status::Unimplemented(
+            "views in the MINE RULE FROM list require a view schema "
+            "resolver; materialize '" + ref.name + "' first");
+      }
+      MR_ASSIGN_OR_RETURN(table_schema, view_resolver_(ref.name));
+      translation.from_has_view = true;
+    } else {
+      return Status::SemanticError("unknown source table: " + ref.name);
+    }
+    for (const Column& col : table_schema.columns()) {
+      if (translation.source_schema.HasColumn(col.name)) {
+        return Status::SemanticError(
+            "attribute '" + col.name +
+            "' appears in more than one source table; disambiguate with a "
+            "projection view");
+      }
+      translation.source_schema.AddColumn(col);
+    }
+  }
+  const Schema& schema = translation.source_schema;
+
+  // --- check 1: all attribute lists defined on the source schema -------
+  auto check_attrs = [&](const std::vector<std::string>& attrs,
+                         const char* what) -> Status {
+    if (attrs.empty()) {
+      return Status::SemanticError(std::string(what) + " list is empty");
+    }
+    for (const std::string& attr : attrs) {
+      if (!schema.HasColumn(attr)) {
+        return Status::SemanticError(std::string(what) + " attribute '" +
+                                     attr + "' not found in source schema (" +
+                                     schema.ToString() + ")");
+      }
+    }
+    return Status::OK();
+  };
+  MR_RETURN_IF_ERROR(check_attrs(stmt.body_schema, "body schema"));
+  MR_RETURN_IF_ERROR(check_attrs(stmt.head_schema, "head schema"));
+  MR_RETURN_IF_ERROR(check_attrs(stmt.group_attrs, "grouping"));
+  if (!stmt.cluster_attrs.empty()) {
+    MR_RETURN_IF_ERROR(check_attrs(stmt.cluster_attrs, "clustering"));
+  }
+
+  // --- check 2: disjointness -------------------------------------------
+  for (const std::string& g : stmt.group_attrs) {
+    if (ContainsName(stmt.cluster_attrs, g)) {
+      return Status::SemanticError(
+          "grouping and clustering attributes must be disjoint: '" + g + "'");
+    }
+  }
+  for (const std::string& attr : stmt.body_schema) {
+    if (ContainsName(stmt.group_attrs, attr) ||
+        ContainsName(stmt.cluster_attrs, attr)) {
+      return Status::SemanticError(
+          "body schema attribute '" + attr +
+          "' collides with grouping/clustering attributes");
+    }
+  }
+  for (const std::string& attr : stmt.head_schema) {
+    if (ContainsName(stmt.group_attrs, attr) ||
+        ContainsName(stmt.cluster_attrs, attr)) {
+      return Status::SemanticError(
+          "head schema attribute '" + attr +
+          "' collides with grouping/clustering attributes");
+    }
+  }
+
+  // --- check 3a: group condition refs ----------------------------------
+  std::vector<const AggregateExpr*> group_aggs;
+  if (stmt.group_cond != nullptr) {
+    std::vector<ColumnUse> outside, inside;
+    Walk(*stmt.group_cond, false, &outside, &inside, &group_aggs);
+    for (const ColumnUse& use : outside) {
+      if (!ContainsName(stmt.group_attrs, use.name)) {
+        return Status::SemanticError(
+            "group condition may only reference grouping attributes; got '" +
+            use.name + "'");
+      }
+    }
+    for (const ColumnUse& use : inside) {
+      if (!schema.HasColumn(use.name)) {
+        return Status::SemanticError(
+            "group condition aggregate references unknown attribute '" +
+            use.name + "'");
+      }
+    }
+  }
+
+  // --- check 3b: cluster condition refs --------------------------------
+  std::vector<const AggregateExpr*> cluster_aggs;
+  if (stmt.cluster_cond != nullptr) {
+    if (stmt.cluster_attrs.empty()) {
+      return Status::SemanticError(
+          "cluster condition requires a CLUSTER BY clause");
+    }
+    std::vector<ColumnUse> outside, inside;
+    Walk(*stmt.cluster_cond, false, &outside, &inside, &cluster_aggs);
+    for (const ColumnUse& use : outside) {
+      if (!EqualsIgnoreCase(use.qualifier, "BODY") &&
+          !EqualsIgnoreCase(use.qualifier, "HEAD")) {
+        return Status::SemanticError(
+            "cluster condition attributes must be qualified with BODY or "
+            "HEAD: '" + use.name + "'");
+      }
+      if (!ContainsName(stmt.cluster_attrs, use.name)) {
+        return Status::SemanticError(
+            "cluster condition may only reference clustering attributes "
+            "outside aggregates; got '" + use.name + "'");
+      }
+    }
+    for (const ColumnUse& use : inside) {
+      if (!schema.HasColumn(use.name)) {
+        return Status::SemanticError(
+            "cluster condition aggregate references unknown attribute '" +
+            use.name + "'");
+      }
+      if (ContainsName(stmt.group_attrs, use.name)) {
+        return Status::SemanticError(
+            "cluster condition aggregate may not reference grouping "
+            "attribute '" + use.name + "'");
+      }
+    }
+  }
+
+  // --- check 4: mining condition refs ----------------------------------
+  if (stmt.mining_cond != nullptr) {
+    std::vector<ColumnUse> outside, inside;
+    std::vector<const AggregateExpr*> aggs;
+    Walk(*stmt.mining_cond, false, &outside, &inside, &aggs);
+    if (!aggs.empty()) {
+      return Status::SemanticError(
+          "aggregate functions are not allowed in the mining condition");
+    }
+    for (const ColumnUse& use : outside) {
+      const bool is_body = EqualsIgnoreCase(use.qualifier, "BODY");
+      const bool is_head = EqualsIgnoreCase(use.qualifier, "HEAD");
+      if (!is_body && !is_head) {
+        return Status::SemanticError(
+            "mining condition attributes must be qualified with BODY or "
+            "HEAD: '" + use.name + "'");
+      }
+      if (!schema.HasColumn(use.name)) {
+        return Status::SemanticError(
+            "mining condition references unknown attribute '" + use.name +
+            "'");
+      }
+      if (ContainsName(stmt.group_attrs, use.name) ||
+          ContainsName(stmt.cluster_attrs, use.name)) {
+        return Status::SemanticError(
+            "mining condition may not reference grouping or clustering "
+            "attributes: '" + use.name + "'");
+      }
+      AddUnique(is_body ? &translation.body_mine_attrs
+                        : &translation.head_mine_attrs,
+                use.name);
+    }
+  }
+
+  // --- check source condition refs --------------------------------------
+  if (stmt.source_cond != nullptr) {
+    std::vector<ColumnUse> outside, inside;
+    std::vector<const AggregateExpr*> aggs;
+    Walk(*stmt.source_cond, false, &outside, &inside, &aggs);
+    if (!aggs.empty()) {
+      return Status::SemanticError(
+          "aggregate functions are not allowed in the source condition");
+    }
+    for (const ColumnUse& use : outside) {
+      if (!schema.HasColumn(use.name)) {
+        return Status::SemanticError(
+            "source condition references unknown attribute '" + use.name +
+            "'");
+      }
+    }
+  }
+
+  // --- directives (§4.1) -------------------------------------------------
+  Directives& d = translation.directives;
+  {
+    // H: body and head relative to different attribute sets.
+    std::vector<std::string> body_sorted, head_sorted;
+    for (const std::string& attr : stmt.body_schema) {
+      body_sorted.push_back(ToLower(attr));
+    }
+    for (const std::string& attr : stmt.head_schema) {
+      head_sorted.push_back(ToLower(attr));
+    }
+    std::sort(body_sorted.begin(), body_sorted.end());
+    std::sort(head_sorted.begin(), head_sorted.end());
+    d.H = body_sorted != head_sorted;
+  }
+  d.W = stmt.source_cond != nullptr || stmt.from.size() > 1;
+  d.M = stmt.mining_cond != nullptr;
+  d.G = stmt.group_cond != nullptr;
+  d.C = !stmt.cluster_attrs.empty();
+  d.K = stmt.cluster_cond != nullptr;
+  d.F = !cluster_aggs.empty();
+  d.R = !group_aggs.empty();
+
+  // --- cluster aggregates for Q6/Q7 --------------------------------------
+  for (const AggregateExpr* agg : cluster_aggs) {
+    MR_ASSIGN_OR_RETURN(std::string sql, RoleNeutralAggregateSql(*agg));
+    if (std::find(translation.cluster_agg_sql.begin(),
+                  translation.cluster_agg_sql.end(),
+                  sql) == translation.cluster_agg_sql.end()) {
+      translation.cluster_agg_columns.push_back(
+          "agg_" + std::to_string(translation.cluster_agg_sql.size()));
+      translation.cluster_agg_sql.push_back(std::move(sql));
+    }
+  }
+
+  // --- <needed attr list> for Q0 -----------------------------------------
+  for (const std::string& attr : stmt.body_schema) {
+    AddUnique(&translation.needed_attrs, attr);
+  }
+  for (const std::string& attr : stmt.head_schema) {
+    AddUnique(&translation.needed_attrs, attr);
+  }
+  for (const std::string& attr : stmt.group_attrs) {
+    AddUnique(&translation.needed_attrs, attr);
+  }
+  for (const std::string& attr : stmt.cluster_attrs) {
+    AddUnique(&translation.needed_attrs, attr);
+  }
+  for (const std::string& attr : translation.body_mine_attrs) {
+    AddUnique(&translation.needed_attrs, attr);
+  }
+  for (const std::string& attr : translation.head_mine_attrs) {
+    AddUnique(&translation.needed_attrs, attr);
+  }
+  if (stmt.group_cond != nullptr) {
+    std::vector<ColumnUse> outside, inside;
+    std::vector<const AggregateExpr*> aggs;
+    Walk(*stmt.group_cond, false, &outside, &inside, &aggs);
+    for (const ColumnUse& use : inside) {
+      AddUnique(&translation.needed_attrs, use.name);
+    }
+  }
+  if (stmt.cluster_cond != nullptr) {
+    std::vector<ColumnUse> outside, inside;
+    std::vector<const AggregateExpr*> aggs;
+    Walk(*stmt.cluster_cond, false, &outside, &inside, &aggs);
+    for (const ColumnUse& use : inside) {
+      AddUnique(&translation.needed_attrs, use.name);
+    }
+  }
+
+  return translation;
+}
+
+}  // namespace minerule::mr

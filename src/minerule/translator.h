@@ -1,0 +1,69 @@
+#ifndef MINERULE_MINERULE_TRANSLATOR_H_
+#define MINERULE_MINERULE_TRANSLATOR_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "minerule/ast.h"
+#include "relational/catalog.h"
+
+namespace minerule::mr {
+
+/// The translator's output: the validated statement classification plus the
+/// schema facts the preprocessor's SQL generator needs.
+struct Translation {
+  Directives directives;
+
+  /// The joined schema of the FROM list (attribute name -> type), with
+  /// every attribute name unique (ambiguous names are rejected).
+  Schema source_schema;
+
+  /// <needed attr list> for Q0: body ∪ head ∪ group ∪ cluster ∪ mine attrs,
+  /// in first-mention order.
+  std::vector<std::string> needed_attrs;
+
+  /// Attributes referenced by the mining condition through BODY. / HEAD.
+  /// (they populate MiningSourceB / MiningSourceH).
+  std::vector<std::string> body_mine_attrs;
+  std::vector<std::string> head_mine_attrs;
+
+  /// Distinct aggregate expressions appearing in the cluster condition
+  /// (qualifiers stripped), e.g. "SUM(qty)"; computed per cluster by Q6.
+  /// Parallel array of generated column names agg_0, agg_1, ...
+  std::vector<std::string> cluster_agg_sql;
+  std::vector<std::string> cluster_agg_columns;
+
+  /// True when the FROM list references a view: the preprocessor then
+  /// always materializes Source (Q0 runs even when W is false), so the
+  /// view is evaluated exactly once.
+  bool from_has_view = false;
+};
+
+/// The translator of §4.1: checks a MINE RULE statement against the data
+/// dictionary (the catalog), enforces the four semantic rules, and
+/// classifies the statement into the eight boolean directives.
+/// Resolves a view name to its output schema (views have no stored schema
+/// in the catalog; the kernel supplies a resolver backed by the SQL
+/// engine's planner).
+using ViewSchemaResolver =
+    std::function<Result<Schema>(const std::string& view_name)>;
+
+class Translator {
+ public:
+  explicit Translator(const Catalog* catalog,
+                      ViewSchemaResolver view_resolver = nullptr)
+      : catalog_(catalog), view_resolver_(std::move(view_resolver)) {}
+
+  /// Validates `stmt` and produces its translation. `stmt` is not modified.
+  Result<Translation> Translate(const MineRuleStatement& stmt) const;
+
+ private:
+  const Catalog* catalog_;
+  ViewSchemaResolver view_resolver_;
+};
+
+}  // namespace minerule::mr
+
+#endif  // MINERULE_MINERULE_TRANSLATOR_H_

@@ -1,0 +1,32 @@
+#ifndef MINERULE_MINING_APRIORI_H_
+#define MINERULE_MINING_APRIORI_H_
+
+#include "mining/simple_miner.h"
+
+namespace minerule::mining {
+
+/// Classic levelwise Apriori [Agrawal & Srikant, VLDB'94]: candidate
+/// generation with apriori pruning, support counted by one horizontal scan
+/// of the transactions per level.
+class AprioriMiner : public FrequentItemsetMiner {
+ public:
+  const char* name() const override { return "apriori"; }
+
+  Result<std::vector<FrequentItemset>> Mine(const TransactionDb& db,
+                                            int64_t min_group_count,
+                                            int64_t max_size,
+                                            SimpleMinerStats* stats) override;
+};
+
+/// Shared helper: counts the support of each candidate (all of size k) with
+/// one scan of db, via subset checks against a candidate hash set.
+std::vector<int64_t> CountCandidatesHorizontally(
+    const TransactionDb& db, const std::vector<Itemset>& candidates);
+
+/// Shared helper: frequent singletons (level 1), sorted by item id.
+std::vector<FrequentItemset> FrequentSingletons(const TransactionDb& db,
+                                                int64_t min_group_count);
+
+}  // namespace minerule::mining
+
+#endif  // MINERULE_MINING_APRIORI_H_

@@ -1,0 +1,175 @@
+#include "mining/apriori_tid.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "mining/apriori.h"
+
+namespace minerule::mining {
+
+namespace {
+
+/// Hash for the (generator1, generator2) index pair of a candidate.
+struct PairHash {
+  size_t operator()(const std::pair<int32_t, int32_t>& p) const {
+    return static_cast<size_t>(p.first) * 0x9e3779b9u ^
+           static_cast<size_t>(p.second);
+  }
+};
+
+}  // namespace
+
+Result<std::vector<FrequentItemset>> AprioriTidMiner::Mine(
+    const TransactionDb& db, int64_t min_group_count, int64_t max_size,
+    SimpleMinerStats* stats) {
+  std::vector<FrequentItemset> result;
+
+  // Pass 1: frequent singletons and the initial encoded transactions
+  // C̄_1 (indexes into the level-1 itemset list).
+  std::vector<FrequentItemset> level = FrequentSingletons(db, min_group_count);
+  if (stats != nullptr) {
+    stats->passes = 1;
+    stats->candidates_per_level.push_back(
+        static_cast<int64_t>(db.items().size()));
+    stats->large_per_level.push_back(static_cast<int64_t>(level.size()));
+  }
+  if (level.empty()) return result;
+  result.insert(result.end(), level.begin(), level.end());
+
+  std::unordered_map<ItemId, int32_t> item_index;
+  for (size_t i = 0; i < level.size(); ++i) {
+    item_index.emplace(level[i].items[0], static_cast<int32_t>(i));
+  }
+  // Encoded transactions: sorted indexes of contained level itemsets.
+  std::vector<std::vector<int32_t>> encoded;
+  encoded.reserve(db.num_transactions());
+  for (const Itemset& txn : db.transactions()) {
+    std::vector<int32_t> codes;
+    for (ItemId item : txn) {
+      auto it = item_index.find(item);
+      if (it != item_index.end()) codes.push_back(it->second);
+    }
+    if (!codes.empty()) encoded.push_back(std::move(codes));
+  }
+
+  while (!level.empty()) {
+    if (max_size >= 0 &&
+        static_cast<int64_t>(level[0].items.size()) >= max_size) {
+      break;
+    }
+    // Candidate generation (the usual join + prune), remembering each
+    // candidate's generator pair (i, j) within the current level.
+    std::vector<Itemset> prev;
+    prev.reserve(level.size());
+    for (const FrequentItemset& fi : level) prev.push_back(fi.items);
+    std::unordered_set<Itemset, ItemsetHash> prev_set(prev.begin(),
+                                                      prev.end());
+    const size_t k = prev[0].size();
+
+    std::vector<Itemset> candidates;
+    std::unordered_map<std::pair<int32_t, int32_t>, int32_t, PairHash>
+        generator_of;
+    for (size_t i = 0; i < prev.size(); ++i) {
+      for (size_t j = i + 1; j < prev.size(); ++j) {
+        if (!SharesPrefix(prev[i], prev[j], k - 1)) break;
+        Itemset candidate = prev[i];
+        candidate.push_back(prev[j].back());
+        bool keep = true;
+        for (size_t drop = 0; drop + 2 < candidate.size() && keep; ++drop) {
+          Itemset subset;
+          subset.reserve(k);
+          for (size_t m = 0; m < candidate.size(); ++m) {
+            if (m != drop) subset.push_back(candidate[m]);
+          }
+          if (prev_set.find(subset) == prev_set.end()) keep = false;
+        }
+        if (!keep) continue;
+        generator_of[{static_cast<int32_t>(i), static_cast<int32_t>(j)}] =
+            static_cast<int32_t>(candidates.size());
+        candidates.push_back(std::move(candidate));
+      }
+    }
+    if (candidates.empty()) break;
+
+    // Count via the encoded transactions; build C̄_k simultaneously.
+    std::vector<int64_t> counts(candidates.size(), 0);
+    std::vector<std::vector<int32_t>> next_encoded;
+    next_encoded.reserve(encoded.size());
+    for (const std::vector<int32_t>& codes : encoded) {
+      std::vector<int32_t> next_codes;
+      for (size_t a = 0; a < codes.size(); ++a) {
+        for (size_t b = a + 1; b < codes.size(); ++b) {
+          auto it = generator_of.find({codes[a], codes[b]});
+          if (it != generator_of.end()) {
+            ++counts[it->second];
+            next_codes.push_back(it->second);
+          }
+        }
+      }
+      if (!next_codes.empty()) {
+        std::sort(next_codes.begin(), next_codes.end());
+        next_encoded.push_back(std::move(next_codes));
+      }
+    }
+
+    // Prune to L_k and remap the encoded sets onto L_k indexes.
+    std::vector<int32_t> remap(candidates.size(), -1);
+    std::vector<FrequentItemset> next;
+    for (size_t c = 0; c < candidates.size(); ++c) {
+      if (counts[c] >= min_group_count) {
+        remap[c] = static_cast<int32_t>(next.size());
+        next.push_back({std::move(candidates[c]), counts[c]});
+      }
+    }
+    // Candidates are generated in lexicographic order of (i, j) over a
+    // lexicographically sorted level, which is itself lexicographic — but
+    // only within a shared prefix; re-sort to be safe and rebuild remap.
+    {
+      std::vector<size_t> order(next.size());
+      for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+      std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return next[a].items < next[b].items;
+      });
+      std::vector<int32_t> position(next.size());
+      for (size_t rank = 0; rank < order.size(); ++rank) {
+        position[order[rank]] = static_cast<int32_t>(rank);
+      }
+      std::vector<FrequentItemset> sorted(next.size());
+      for (size_t i = 0; i < next.size(); ++i) {
+        sorted[position[i]] = std::move(next[i]);
+      }
+      next = std::move(sorted);
+      for (int32_t& code : remap) {
+        if (code >= 0) code = position[code];
+      }
+    }
+
+    std::vector<std::vector<int32_t>> remapped;
+    remapped.reserve(next_encoded.size());
+    for (std::vector<int32_t>& codes : next_encoded) {
+      std::vector<int32_t> kept;
+      for (int32_t code : codes) {
+        if (remap[code] >= 0) kept.push_back(remap[code]);
+      }
+      if (!kept.empty()) {
+        std::sort(kept.begin(), kept.end());
+        remapped.push_back(std::move(kept));
+      }
+    }
+    encoded = std::move(remapped);
+
+    if (stats != nullptr) {
+      // No further database passes: counting used the in-memory encoding.
+      stats->candidates_per_level.push_back(
+          static_cast<int64_t>(candidates.size()));
+      stats->large_per_level.push_back(static_cast<int64_t>(next.size()));
+    }
+    result.insert(result.end(), next.begin(), next.end());
+    level = std::move(next);
+  }
+  SortFrequentItemsets(&result);
+  return result;
+}
+
+}  // namespace minerule::mining

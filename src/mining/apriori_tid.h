@@ -1,0 +1,26 @@
+#ifndef MINERULE_MINING_APRIORI_TID_H_
+#define MINERULE_MINING_APRIORI_TID_H_
+
+#include "mining/simple_miner.h"
+
+namespace minerule::mining {
+
+/// AprioriTid — the second algorithm of Agrawal & Srikant [VLDB'94]. After
+/// the first pass it never rescans the database: each transaction is
+/// replaced by the set of level-k candidates it contains (C̄_k), computed
+/// from C̄_(k-1) by joining pairs of contained (k−1)-itemsets. Transactions
+/// whose candidate set becomes empty drop out entirely, which is what makes
+/// the algorithm fast at the deep levels where the encoded set shrinks.
+class AprioriTidMiner : public FrequentItemsetMiner {
+ public:
+  const char* name() const override { return "apriori_tid"; }
+
+  Result<std::vector<FrequentItemset>> Mine(const TransactionDb& db,
+                                            int64_t min_group_count,
+                                            int64_t max_size,
+                                            SimpleMinerStats* stats) override;
+};
+
+}  // namespace minerule::mining
+
+#endif  // MINERULE_MINING_APRIORI_TID_H_

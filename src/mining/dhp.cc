@@ -1,0 +1,113 @@
+#include "mining/dhp.h"
+
+#include "mining/apriori.h"
+
+namespace minerule::mining {
+
+namespace {
+
+size_t PairBucket(ItemId a, ItemId b, size_t num_buckets) {
+  // Order-independent (inputs are sorted a < b), cheap mixing.
+  uint64_t h = (static_cast<uint64_t>(a) << 32) ^ static_cast<uint64_t>(b);
+  h *= 0x9e3779b97f4a7c15ull;
+  h ^= h >> 29;
+  return static_cast<size_t>(h % num_buckets);
+}
+
+}  // namespace
+
+Result<std::vector<FrequentItemset>> DhpMiner::Mine(
+    const TransactionDb& db, int64_t min_group_count, int64_t max_size,
+    SimpleMinerStats* stats) {
+  if (num_buckets_ <= 0) {
+    return Status::InvalidArgument("DHP bucket count must be positive");
+  }
+  const size_t buckets = static_cast<size_t>(num_buckets_);
+
+  // Pass 1: count singletons (via the vertical index) and hash all pairs.
+  std::vector<int64_t> bucket_counts(buckets, 0);
+  for (const Itemset& txn : db.transactions()) {
+    for (size_t i = 0; i < txn.size(); ++i) {
+      for (size_t j = i + 1; j < txn.size(); ++j) {
+        ++bucket_counts[PairBucket(txn[i], txn[j], buckets)];
+      }
+    }
+  }
+  std::vector<FrequentItemset> level = FrequentSingletons(db, min_group_count);
+  if (stats != nullptr) {
+    stats->passes = 1;
+    stats->candidates_per_level.push_back(
+        static_cast<int64_t>(db.items().size()));
+    stats->large_per_level.push_back(static_cast<int64_t>(level.size()));
+  }
+
+  std::vector<FrequentItemset> result(level.begin(), level.end());
+  if (level.empty() || max_size == 1) {
+    return result;
+  }
+
+  // Pass 2: candidate pairs filtered through the hash table.
+  std::vector<Itemset> pair_candidates;
+  int64_t unfiltered_pairs = 0;
+  for (size_t i = 0; i < level.size(); ++i) {
+    for (size_t j = i + 1; j < level.size(); ++j) {
+      ++unfiltered_pairs;
+      const ItemId a = level[i].items[0];
+      const ItemId b = level[j].items[0];
+      if (bucket_counts[PairBucket(a, b, buckets)] >= min_group_count) {
+        pair_candidates.push_back(Itemset{a, b});
+      }
+    }
+  }
+  (void)unfiltered_pairs;
+  std::vector<int64_t> counts = CountCandidatesHorizontally(db, pair_candidates);
+  std::vector<FrequentItemset> pairs;
+  for (size_t i = 0; i < pair_candidates.size(); ++i) {
+    if (counts[i] >= min_group_count) {
+      pairs.push_back({std::move(pair_candidates[i]), counts[i]});
+    }
+  }
+  SortFrequentItemsets(&pairs);
+  if (stats != nullptr) {
+    ++stats->passes;
+    stats->candidates_per_level.push_back(
+        static_cast<int64_t>(pair_candidates.size()));
+    stats->large_per_level.push_back(static_cast<int64_t>(pairs.size()));
+  }
+  result.insert(result.end(), pairs.begin(), pairs.end());
+  level = std::move(pairs);
+
+  // Levels >= 3: plain Apriori.
+  while (!level.empty()) {
+    if (max_size >= 0 &&
+        static_cast<int64_t>(level[0].items.size()) >= max_size) {
+      break;
+    }
+    std::vector<Itemset> prev;
+    prev.reserve(level.size());
+    for (const FrequentItemset& fi : level) prev.push_back(fi.items);
+    std::vector<Itemset> candidates = GenerateCandidates(prev);
+    if (candidates.empty()) break;
+    std::vector<int64_t> level_counts =
+        CountCandidatesHorizontally(db, candidates);
+    std::vector<FrequentItemset> next;
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (level_counts[i] >= min_group_count) {
+        next.push_back({std::move(candidates[i]), level_counts[i]});
+      }
+    }
+    SortFrequentItemsets(&next);
+    if (stats != nullptr) {
+      ++stats->passes;
+      stats->candidates_per_level.push_back(
+          static_cast<int64_t>(candidates.size()));
+      stats->large_per_level.push_back(static_cast<int64_t>(next.size()));
+    }
+    result.insert(result.end(), next.begin(), next.end());
+    level = std::move(next);
+  }
+  SortFrequentItemsets(&result);
+  return result;
+}
+
+}  // namespace minerule::mining

@@ -1,0 +1,31 @@
+#ifndef MINERULE_MINING_DHP_H_
+#define MINERULE_MINING_DHP_H_
+
+#include "mining/simple_miner.h"
+
+namespace minerule::mining {
+
+/// DHP — the hash-based algorithm of Park, Chen & Yu [SIGMOD'95]. During
+/// the first pass it hashes every 2-subset of every transaction into a
+/// bucket-count table; a candidate pair is generated in pass 2 only if both
+/// items are frequent *and* its bucket count reaches the threshold, which
+/// prunes most of the quadratic pair-candidate space. Later levels proceed
+/// as in Apriori.
+class DhpMiner : public FrequentItemsetMiner {
+ public:
+  explicit DhpMiner(int num_buckets) : num_buckets_(num_buckets) {}
+
+  const char* name() const override { return "dhp"; }
+
+  Result<std::vector<FrequentItemset>> Mine(const TransactionDb& db,
+                                            int64_t min_group_count,
+                                            int64_t max_size,
+                                            SimpleMinerStats* stats) override;
+
+ private:
+  int num_buckets_;
+};
+
+}  // namespace minerule::mining
+
+#endif  // MINERULE_MINING_DHP_H_

@@ -1,0 +1,144 @@
+#ifndef MINERULE_MINING_GENERAL_MINER_H_
+#define MINERULE_MINING_GENERAL_MINER_H_
+
+#include <map>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "mining/rule.h"
+
+namespace minerule::mining {
+
+/// One (group, body-cluster, head-cluster) occurrence of a rule. A rule is
+/// supported by a group iff at least one valid cluster pair covers all its
+/// body items (in the body cluster) and all its head items (in the head
+/// cluster) — §2 step 5: "all cluster pairs contribute to the evaluation of
+/// support". Statements without CLUSTER BY use the single implicit cluster
+/// kNoCluster for both sides.
+struct Occurrence {
+  Gid gid = 0;
+  Cid bcid = kNoCluster;
+  Cid hcid = kNoCluster;
+
+  friend bool operator==(const Occurrence&, const Occurrence&) = default;
+  friend auto operator<=>(const Occurrence&, const Occurrence&) = default;
+};
+
+/// Sorted, duplicate-free list of occurrences.
+using OccurrenceList = std::vector<Occurrence>;
+
+OccurrenceList IntersectOccurrences(const OccurrenceList& a,
+                                    const OccurrenceList& b);
+
+/// Number of distinct group ids in a sorted occurrence list.
+int64_t CountDistinctGids(const OccurrenceList& occs);
+
+/// The encoded input of the general core operator (§4.3.2). Built by the
+/// kernel from CodedSourceB/CodedSourceH, Clusters/ClusterCouples and
+/// InputRules; the miner itself never sees attribute names or conditions.
+struct GeneralInput {
+  struct Cluster {
+    Cid cid = kNoCluster;
+    Itemset body_items;  // encoded items available for the body role
+    Itemset head_items;  // ... for the head role (== body_items when !H)
+  };
+  struct Group {
+    Gid gid = 0;
+    std::vector<Cluster> clusters;
+    /// Valid (body cid, head cid) pairs for this group; used only when
+    /// `all_pairs` is false (cluster condition present, K true).
+    std::vector<std::pair<Cid, Cid>> couples;
+  };
+
+  std::vector<Group> groups;
+  bool all_pairs = true;  // K false: every ordered cluster pair is valid
+
+  /// H directive: body and head use distinct encodings; identical ids on
+  /// the two sides then do NOT denote the same item, so body/head overlap
+  /// is not excluded.
+  bool distinct_head_encoding = false;
+
+  int64_t total_groups = 0;  // Q1 count (support denominator)
+
+  /// M directive: elementary 1×1 rules were built in SQL (Q8..Q10); when
+  /// set, the miner starts from these instead of forming the cartesian
+  /// product itself.
+  bool has_input_rules = false;
+  struct ElementaryOccurrence {
+    Gid gid;
+    Cid bcid;
+    Cid hcid;
+    ItemId bid;
+    ItemId hid;
+  };
+  std::vector<ElementaryOccurrence> input_rules;
+};
+
+/// Counters for the benchmark harness.
+struct GeneralMinerStats {
+  int64_t elementary_rules = 0;       // large 1×1 rules
+  int64_t elementary_candidates = 0;  // before the support prune
+  struct SetStat {
+    int body_size;
+    int head_size;
+    int64_t candidates;
+    int64_t kept;
+    bool from_body_extension;  // which parent was chosen (§4.3.2)
+  };
+  std::vector<SetStat> sets;
+  int64_t body_supports_computed = 0;
+};
+
+/// The general core processing algorithm (§4.3.2): starting from the set of
+/// large elementary rules, grows a lattice of m×n rule sets — the left child
+/// extends the body, the right child the head — pruning by support at every
+/// set and choosing, for each (m, n), the parent with fewer rules.
+/// Confidence divides rule support by the body's support over *all* body
+/// clusters (§2 step 5).
+class GeneralMiner {
+ public:
+  explicit GeneralMiner(GeneralInput input);
+
+  Result<std::vector<MinedRule>> Mine(double min_support,
+                                      double min_confidence,
+                                      const CardinalityConstraint& body_card,
+                                      const CardinalityConstraint& head_card,
+                                      GeneralMinerStats* stats);
+
+ private:
+  struct GeneralRule {
+    Itemset body;
+    Itemset head;
+    OccurrenceList occs;
+    int64_t group_count = 0;
+  };
+  using RuleSet = std::vector<GeneralRule>;
+
+  /// Builds the pruned 1×1 rule set (from input_rules or the per-group
+  /// cartesian product over valid cluster pairs).
+  RuleSet BuildElementaryRules(int64_t min_group_count,
+                               GeneralMinerStats* stats);
+
+  /// (m+1, n) from (m, n): join rules sharing head and an m−1 body prefix.
+  RuleSet ExtendBody(const RuleSet& parent, int64_t min_group_count,
+                     int64_t* candidates);
+  /// (m, n+1) from (m, n): join rules sharing body and an n−1 head prefix.
+  RuleSet ExtendHead(const RuleSet& parent, int64_t min_group_count,
+                     int64_t* candidates);
+
+  /// Support of a body itemset: distinct groups with all body items inside
+  /// one body cluster ("all body clusters are used for computing
+  /// confidence"). Memoized.
+  int64_t BodySupport(const Itemset& body, GeneralMinerStats* stats);
+
+  GeneralInput input_;
+  /// Per-item body presence as sorted (gid, cid) pairs.
+  std::unordered_map<ItemId, std::vector<std::pair<Gid, Cid>>> body_presence_;
+  std::unordered_map<Itemset, int64_t, ItemsetHash> body_support_cache_;
+};
+
+}  // namespace minerule::mining
+
+#endif  // MINERULE_MINING_GENERAL_MINER_H_

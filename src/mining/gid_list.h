@@ -1,0 +1,24 @@
+#ifndef MINERULE_MINING_GID_LIST_H_
+#define MINERULE_MINING_GID_LIST_H_
+
+#include <vector>
+
+#include "mining/itemset.h"
+
+namespace minerule::mining {
+
+/// A sorted list of the group identifiers containing some itemset. This is
+/// the support-counting structure the paper describes for the simple core
+/// ("counting elements in an associated list that contains identifiers of
+/// groups in which the itemset is present").
+using GidList = std::vector<Gid>;
+
+/// Sorted-merge intersection.
+GidList IntersectGidLists(const GidList& a, const GidList& b);
+
+/// Size of the intersection without materializing it.
+size_t IntersectionSize(const GidList& a, const GidList& b);
+
+}  // namespace minerule::mining
+
+#endif  // MINERULE_MINING_GID_LIST_H_

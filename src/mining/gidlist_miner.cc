@@ -1,0 +1,83 @@
+#include "mining/gidlist_miner.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace minerule::mining {
+
+Result<std::vector<FrequentItemset>> GidListMiner::Mine(
+    const TransactionDb& db, int64_t min_group_count, int64_t max_size,
+    SimpleMinerStats* stats) {
+  struct Entry {
+    Itemset items;
+    GidList gids;
+  };
+
+  std::vector<Entry> level;
+  for (ItemId item : db.items()) {
+    const GidList& gids = db.gid_list(item);
+    if (static_cast<int64_t>(gids.size()) >= min_group_count) {
+      level.push_back({Itemset{item}, gids});
+    }
+  }
+  if (stats != nullptr) {
+    stats->passes = 1;  // only the vertical build touches the data
+    stats->candidates_per_level.push_back(
+        static_cast<int64_t>(db.items().size()));
+    stats->large_per_level.push_back(static_cast<int64_t>(level.size()));
+  }
+
+  std::vector<FrequentItemset> result;
+  while (!level.empty()) {
+    for (const Entry& e : level) {
+      result.push_back({e.items, static_cast<int64_t>(e.gids.size())});
+    }
+    if (max_size >= 0 &&
+        static_cast<int64_t>(level[0].items.size()) >= max_size) {
+      break;
+    }
+
+    // Candidate generation mirrors GenerateCandidates but intersects the
+    // parents' gid lists instead of re-scanning the database.
+    std::unordered_map<Itemset, size_t, ItemsetHash> index;
+    index.reserve(level.size());
+    for (size_t i = 0; i < level.size(); ++i) index.emplace(level[i].items, i);
+
+    const size_t k = level[0].items.size();
+    std::vector<Entry> next;
+    int64_t candidate_count = 0;
+    for (size_t i = 0; i < level.size(); ++i) {
+      for (size_t j = i + 1; j < level.size(); ++j) {
+        if (!SharesPrefix(level[i].items, level[j].items, k - 1)) break;
+        Itemset candidate = level[i].items;
+        candidate.push_back(level[j].items.back());
+        bool keep = true;
+        for (size_t drop = 0; drop + 2 < candidate.size() && keep; ++drop) {
+          Itemset subset;
+          subset.reserve(k);
+          for (size_t m = 0; m < candidate.size(); ++m) {
+            if (m != drop) subset.push_back(candidate[m]);
+          }
+          if (index.find(subset) == index.end()) keep = false;
+        }
+        if (!keep) continue;
+        ++candidate_count;
+        GidList gids = IntersectGidLists(level[i].gids, level[j].gids);
+        if (static_cast<int64_t>(gids.size()) >= min_group_count) {
+          next.push_back({std::move(candidate), std::move(gids)});
+        }
+      }
+    }
+    std::sort(next.begin(), next.end(),
+              [](const Entry& a, const Entry& b) { return a.items < b.items; });
+    if (stats != nullptr) {
+      stats->candidates_per_level.push_back(candidate_count);
+      stats->large_per_level.push_back(static_cast<int64_t>(next.size()));
+    }
+    level = std::move(next);
+  }
+  SortFrequentItemsets(&result);
+  return result;
+}
+
+}  // namespace minerule::mining

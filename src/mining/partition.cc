@@ -1,0 +1,68 @@
+#include "mining/partition.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "mining/gidlist_miner.h"
+
+namespace minerule::mining {
+
+Result<std::vector<FrequentItemset>> PartitionMiner::Mine(
+    const TransactionDb& db, int64_t min_group_count, int64_t max_size,
+    SimpleMinerStats* stats) {
+  if (partition_count_ <= 0) {
+    return Status::InvalidArgument("partition count must be positive");
+  }
+  const size_t n = db.num_transactions();
+  if (n == 0) return std::vector<FrequentItemset>{};
+  const size_t parts = std::min<size_t>(static_cast<size_t>(partition_count_),
+                                        std::max<size_t>(n, 1));
+
+  // Phase 1: local mining. The local threshold for a slice of size s is
+  // ceil(min_group_count * s / n): if an itemset misses that bound in every
+  // slice, its slice counts sum to < min_group_count, so it cannot be
+  // globally large (the Partition correctness argument).
+  GidListMiner local_miner;
+  std::unordered_set<Itemset, ItemsetHash> candidate_set;
+  size_t begin = 0;
+  for (size_t p = 0; p < parts; ++p) {
+    const size_t end = begin + (n - begin) / (parts - p);
+    if (end == begin) continue;
+    TransactionDb slice = db.Slice(begin, end);
+    const double scaled = static_cast<double>(min_group_count) *
+                          static_cast<double>(end - begin) /
+                          static_cast<double>(n);
+    const int64_t local_threshold =
+        std::max<int64_t>(1, static_cast<int64_t>(std::ceil(scaled - 1e-9)));
+    MR_ASSIGN_OR_RETURN(
+        std::vector<FrequentItemset> local,
+        local_miner.Mine(slice, local_threshold, max_size, nullptr));
+    for (FrequentItemset& fi : local) candidate_set.insert(std::move(fi.items));
+    begin = end;
+  }
+
+  // Phase 2: one full counting pass over the vertical layout.
+  std::vector<Itemset> candidates(candidate_set.begin(), candidate_set.end());
+  SortItemsets(&candidates);
+  std::vector<FrequentItemset> result;
+  for (const Itemset& candidate : candidates) {
+    GidList gids = db.gid_list(candidate[0]);
+    for (size_t i = 1; i < candidate.size() && !gids.empty(); ++i) {
+      gids = IntersectGidLists(gids, db.gid_list(candidate[i]));
+    }
+    const int64_t count = static_cast<int64_t>(gids.size());
+    if (count >= min_group_count) {
+      result.push_back({candidate, count});
+    }
+  }
+  if (stats != nullptr) {
+    stats->passes = 2;  // one pass of local mining + one verification pass
+    stats->candidates_per_level.assign(
+        1, static_cast<int64_t>(candidates.size()));
+    stats->large_per_level.assign(1, static_cast<int64_t>(result.size()));
+  }
+  SortFrequentItemsets(&result);
+  return result;
+}
+
+}  // namespace minerule::mining

@@ -1,0 +1,32 @@
+#ifndef MINERULE_MINING_PARTITION_H_
+#define MINERULE_MINING_PARTITION_H_
+
+#include "mining/simple_miner.h"
+
+namespace minerule::mining {
+
+/// Partition — Savasere, Omiecinski & Navathe [VLDB'95]. Phase 1 splits the
+/// transactions into `partition_count` slices and mines each slice
+/// independently (with the gid-list scheme, which the original paper also
+/// uses via its tidlists); every globally large itemset must be locally
+/// large in at least one slice, so the union of local results is a complete
+/// candidate set. Phase 2 counts all candidates in one full pass.
+class PartitionMiner : public FrequentItemsetMiner {
+ public:
+  explicit PartitionMiner(int partition_count)
+      : partition_count_(partition_count) {}
+
+  const char* name() const override { return "partition"; }
+
+  Result<std::vector<FrequentItemset>> Mine(const TransactionDb& db,
+                                            int64_t min_group_count,
+                                            int64_t max_size,
+                                            SimpleMinerStats* stats) override;
+
+ private:
+  int partition_count_;
+};
+
+}  // namespace minerule::mining
+
+#endif  // MINERULE_MINING_PARTITION_H_

@@ -1,0 +1,40 @@
+#include "mining/reference_miner.h"
+
+namespace minerule::mining {
+
+Result<std::vector<FrequentItemset>> ReferenceMiner::Mine(
+    const TransactionDb& db, int64_t min_group_count, int64_t max_size,
+    SimpleMinerStats* stats) {
+  const std::vector<ItemId>& items = db.items();
+  if (items.size() > kMaxItems) {
+    return Status::InvalidArgument(
+        "ReferenceMiner is a test oracle; refusing " +
+        std::to_string(items.size()) + " items (max " +
+        std::to_string(kMaxItems) + ")");
+  }
+  std::vector<FrequentItemset> result;
+  const uint32_t limit = 1u << items.size();
+  for (uint32_t mask = 1; mask < limit; ++mask) {
+    Itemset candidate;
+    for (size_t i = 0; i < items.size(); ++i) {
+      if (mask & (1u << i)) candidate.push_back(items[i]);
+    }
+    if (max_size >= 0 && static_cast<int64_t>(candidate.size()) > max_size) {
+      continue;
+    }
+    int64_t count = 0;
+    for (const Itemset& txn : db.transactions()) {
+      if (IsSubset(candidate, txn)) ++count;
+    }
+    if (count >= min_group_count) {
+      result.push_back({std::move(candidate), count});
+    }
+  }
+  if (stats != nullptr) {
+    stats->passes = static_cast<int>(limit);  // honesty in advertising
+  }
+  SortFrequentItemsets(&result);
+  return result;
+}
+
+}  // namespace minerule::mining

@@ -1,0 +1,27 @@
+#ifndef MINERULE_MINING_REFERENCE_MINER_H_
+#define MINERULE_MINING_REFERENCE_MINER_H_
+
+#include "mining/simple_miner.h"
+
+namespace minerule::mining {
+
+/// Brute-force oracle for property tests: enumerates every itemset over the
+/// items actually present and counts it by scanning all transactions. No
+/// pruning cleverness whatsoever — deliberately dumb, so the clever miners
+/// can be validated against it. Guarded against blow-up: refuses databases
+/// with more than kMaxItems distinct items.
+class ReferenceMiner : public FrequentItemsetMiner {
+ public:
+  static constexpr size_t kMaxItems = 20;
+
+  const char* name() const override { return "reference"; }
+
+  Result<std::vector<FrequentItemset>> Mine(const TransactionDb& db,
+                                            int64_t min_group_count,
+                                            int64_t max_size,
+                                            SimpleMinerStats* stats) override;
+};
+
+}  // namespace minerule::mining
+
+#endif  // MINERULE_MINING_REFERENCE_MINER_H_

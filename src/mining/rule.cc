@@ -1,0 +1,63 @@
+#include "mining/rule.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace minerule::mining {
+
+std::string MinedRule::ToString() const {
+  return ItemsetToString(body) + " => " + ItemsetToString(head);
+}
+
+bool RuleLess(const MinedRule& a, const MinedRule& b) {
+  if (a.body != b.body) {
+    return std::lexicographical_compare(a.body.begin(), a.body.end(),
+                                        b.body.begin(), b.body.end());
+  }
+  return std::lexicographical_compare(a.head.begin(), a.head.end(),
+                                      b.head.begin(), b.head.end());
+}
+
+std::vector<MinedRule> BuildRulesFromItemsets(
+    const std::vector<FrequentItemset>& itemsets, int64_t min_group_count,
+    double min_confidence, const CardinalityConstraint& body_card,
+    const CardinalityConstraint& head_card) {
+  std::unordered_map<Itemset, int64_t, ItemsetHash> counts;
+  counts.reserve(itemsets.size());
+  for (const FrequentItemset& fi : itemsets) {
+    counts[fi.items] = fi.group_count;
+  }
+
+  std::vector<MinedRule> rules;
+  for (const FrequentItemset& fi : itemsets) {
+    if (fi.items.size() < 2) continue;
+    if (fi.group_count < min_group_count) continue;
+    // Head sizes compatible with both constraints.
+    for (size_t head_size = 1; head_size < fi.items.size(); ++head_size) {
+      if (!head_card.Allows(head_size)) continue;
+      if (!body_card.Allows(fi.items.size() - head_size)) continue;
+      for (Itemset& head : SubsetsOfSize(fi.items, head_size)) {
+        Itemset body;
+        body.reserve(fi.items.size() - head_size);
+        std::set_difference(fi.items.begin(), fi.items.end(), head.begin(),
+                            head.end(), std::back_inserter(body));
+        auto it = counts.find(body);
+        if (it == counts.end()) continue;  // body not mined (size cap)
+        const int64_t body_count = it->second;
+        const double confidence = static_cast<double>(fi.group_count) /
+                                  static_cast<double>(body_count);
+        if (confidence + 1e-12 < min_confidence) continue;
+        MinedRule rule;
+        rule.body = std::move(body);
+        rule.head = std::move(head);
+        rule.group_count = fi.group_count;
+        rule.body_group_count = body_count;
+        rules.push_back(std::move(rule));
+      }
+    }
+  }
+  std::sort(rules.begin(), rules.end(), RuleLess);
+  return rules;
+}
+
+}  // namespace minerule::mining

@@ -1,0 +1,37 @@
+#ifndef MINERULE_MINING_SAMPLING_H_
+#define MINERULE_MINING_SAMPLING_H_
+
+#include "mining/simple_miner.h"
+
+namespace minerule::mining {
+
+/// Sampling — Toivonen [VLDB'96]. Mines a random sample of the groups at a
+/// lowered threshold, then makes one full pass counting the sample-frequent
+/// itemsets plus their negative border. If nothing in the border turns out
+/// globally frequent (the common case), one pass sufficed; otherwise a
+/// second full pass extends the candidates until closed — which is why the
+/// paper the architecture cites says the I/O cost is "more than one but
+/// less than two" passes.
+class SamplingMiner : public FrequentItemsetMiner {
+ public:
+  SamplingMiner(double sample_rate, double lowering_factor, uint64_t seed)
+      : sample_rate_(sample_rate),
+        lowering_factor_(lowering_factor),
+        seed_(seed) {}
+
+  const char* name() const override { return "sampling"; }
+
+  Result<std::vector<FrequentItemset>> Mine(const TransactionDb& db,
+                                            int64_t min_group_count,
+                                            int64_t max_size,
+                                            SimpleMinerStats* stats) override;
+
+ private:
+  double sample_rate_;
+  double lowering_factor_;
+  uint64_t seed_;
+};
+
+}  // namespace minerule::mining
+
+#endif  // MINERULE_MINING_SAMPLING_H_

@@ -1,0 +1,197 @@
+#include "postprocess/postprocessor.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+
+namespace minerule::mr {
+
+namespace {
+
+/// Column definitions copied from the source schema for an attr list.
+Result<std::string> ColumnDefs(const Schema& schema,
+                               const std::vector<std::string>& attrs) {
+  std::string out;
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    if (i > 0) out += ", ";
+    const int idx = schema.FindColumn(attrs[i]);
+    if (idx < 0) {
+      return Status::Internal("attribute vanished from source schema: " +
+                              attrs[i]);
+    }
+    out += attrs[i];
+    out += ' ';
+    out += DataTypeName(schema.column(idx).type);
+  }
+  return out;
+}
+
+std::string AttrList(const std::vector<std::string>& attrs) {
+  return Join(attrs, ", ");
+}
+
+}  // namespace
+
+Result<PostprocessResult> Postprocessor::Run(
+    const MineRuleStatement& stmt, const Translation& translation,
+    const std::vector<mining::MinedRule>& rules, int64_t total_groups,
+    const PreprocessProgram& program) {
+  PostprocessResult result;
+  result.rules_table = stmt.output_table;
+  result.bodies_table = stmt.output_table + "_Bodies";
+  result.heads_table = stmt.output_table + "_Heads";
+  result.num_rules = static_cast<int64_t>(rules.size());
+
+  Catalog* catalog = engine_->catalog();
+  for (const std::string& name :
+       {result.rules_table, result.bodies_table, result.heads_table,
+        std::string("OutputBodies"), std::string("OutputHeads")}) {
+    catalog->DropTableIfExists(name);
+    catalog->DropViewIfExists(name);
+  }
+
+  // --- the core operator's normalized output (§4.4) ----------------------
+  // Identifiers for distinct bodies and heads, assigned in rule order.
+  std::map<mining::Itemset, int64_t> body_ids;
+  std::map<mining::Itemset, int64_t> head_ids;
+  for (const mining::MinedRule& rule : rules) {
+    body_ids.emplace(rule.body, 0);
+    head_ids.emplace(rule.head, 0);
+  }
+  int64_t next_id = 1;
+  for (auto& [items, id] : body_ids) id = next_id++;
+  next_id = 1;
+  for (auto& [items, id] : head_ids) id = next_id++;
+
+  {
+    Schema schema({{"BodyId", DataType::kInteger},
+                   {"Bid", DataType::kInteger}});
+    MR_ASSIGN_OR_RETURN(std::shared_ptr<Table> bodies,
+                        catalog->CreateTable("OutputBodies", schema));
+    for (const auto& [items, id] : body_ids) {
+      for (mining::ItemId item : items) {
+        bodies->AppendUnchecked({Value::Integer(id), Value::Integer(item)});
+      }
+    }
+  }
+  {
+    Schema schema({{"HeadId", DataType::kInteger},
+                   {"Hid", DataType::kInteger}});
+    MR_ASSIGN_OR_RETURN(std::shared_ptr<Table> heads,
+                        catalog->CreateTable("OutputHeads", schema));
+    for (const auto& [items, id] : head_ids) {
+      for (mining::ItemId item : items) {
+        heads->AppendUnchecked({Value::Integer(id), Value::Integer(item)});
+      }
+    }
+  }
+  {
+    Schema schema;
+    schema.AddColumn({"BodyId", DataType::kInteger});
+    schema.AddColumn({"HeadId", DataType::kInteger});
+    if (stmt.select_support) {
+      schema.AddColumn({"SUPPORT", DataType::kDouble});
+    }
+    if (stmt.select_confidence) {
+      schema.AddColumn({"CONFIDENCE", DataType::kDouble});
+    }
+    MR_ASSIGN_OR_RETURN(std::shared_ptr<Table> out,
+                        catalog->CreateTable(result.rules_table, schema));
+    for (const mining::MinedRule& rule : rules) {
+      Row row{Value::Integer(body_ids[rule.body]),
+              Value::Integer(head_ids[rule.head])};
+      if (stmt.select_support) {
+        row.push_back(Value::Double(rule.Support(total_groups)));
+      }
+      if (stmt.select_confidence) {
+        row.push_back(Value::Double(rule.Confidence()));
+      }
+      out->AppendUnchecked(std::move(row));
+    }
+  }
+
+  // --- decoding (Appendix A's postprocessing query) -----------------------
+  const Schema& source_schema = translation.source_schema;
+  MR_ASSIGN_OR_RETURN(const std::string body_defs,
+                      ColumnDefs(source_schema, stmt.body_schema));
+  MR_ASSIGN_OR_RETURN(const std::string head_defs,
+                      ColumnDefs(source_schema, stmt.head_schema));
+  const std::string hset = program.hset.empty() ? program.bset : program.hset;
+  const std::string hset_key = program.hset.empty() ? "Bid" : "Hid";
+
+  std::vector<std::string> decode_sql = {
+      "CREATE TABLE " + result.bodies_table + " (BodyId INTEGER, " +
+          body_defs + ")",
+      "INSERT INTO " + result.bodies_table + " (SELECT BodyId, " +
+          AttrList(stmt.body_schema) + " FROM OutputBodies, " + program.bset +
+          " WHERE OutputBodies.Bid = " + program.bset + ".Bid)",
+      "CREATE TABLE " + result.heads_table + " (HeadId INTEGER, " +
+          head_defs + ")",
+      "INSERT INTO " + result.heads_table + " (SELECT HeadId, " +
+          AttrList(stmt.head_schema) + " FROM OutputHeads, " + hset +
+          " WHERE OutputHeads.Hid = " + hset + "." + hset_key + ")",
+  };
+  for (const std::string& sql : decode_sql) {
+    Stopwatch watch;
+    MR_ASSIGN_OR_RETURN(sql::QueryResult query_result, engine_->Execute(sql));
+    result.stats.push_back(
+        {"POST", sql, watch.ElapsedMicros(), query_result.affected_rows});
+  }
+  return result;
+}
+
+Result<std::string> RenderRuleTable(sql::SqlEngine* engine,
+                                    const MineRuleStatement& stmt) {
+  Catalog* catalog = engine->catalog();
+  MR_ASSIGN_OR_RETURN(std::shared_ptr<Table> rules,
+                      catalog->GetTable(stmt.output_table));
+  MR_ASSIGN_OR_RETURN(std::shared_ptr<Table> bodies,
+                      catalog->GetTable(stmt.output_table + "_Bodies"));
+  MR_ASSIGN_OR_RETURN(std::shared_ptr<Table> heads,
+                      catalog->GetTable(stmt.output_table + "_Heads"));
+
+  // Render each body/head id as "{v, v, ...}"; multi-attribute schemas
+  // render each item as "(a|b)".
+  auto build_sets = [](const Table& table) {
+    std::map<int64_t, std::vector<std::string>> sets;
+    for (const Row& row : table.rows()) {
+      std::string item;
+      for (size_t c = 1; c < row.size(); ++c) {
+        if (c > 1) item += "|";
+        item += row[c].ToString();
+      }
+      if (table.schema().num_columns() > 2) item = "(" + item + ")";
+      sets[row[0].AsInteger()].push_back(std::move(item));
+    }
+    std::map<int64_t, std::string> rendered;
+    for (auto& [id, items] : sets) {
+      std::sort(items.begin(), items.end());
+      rendered[id] = "{" + Join(items, ", ") + "}";
+    }
+    return rendered;
+  };
+  std::map<int64_t, std::string> body_sets = build_sets(*bodies);
+  std::map<int64_t, std::string> head_sets = build_sets(*heads);
+
+  Schema display_schema;
+  display_schema.AddColumn({"BODY", DataType::kString});
+  display_schema.AddColumn({"HEAD", DataType::kString});
+  if (stmt.select_support) {
+    display_schema.AddColumn({"SUPPORT", DataType::kDouble});
+  }
+  if (stmt.select_confidence) {
+    display_schema.AddColumn({"CONFIDENCE", DataType::kDouble});
+  }
+  Table display(stmt.output_table, display_schema);
+  for (const Row& row : rules->rows()) {
+    Row out{Value::String(body_sets[row[0].AsInteger()]),
+            Value::String(head_sets[row[1].AsInteger()])};
+    for (size_t c = 2; c < row.size(); ++c) out.push_back(row[c]);
+    display.AppendUnchecked(std::move(out));
+  }
+  return display.ToDisplayString(1000);
+}
+
+}  // namespace minerule::mr

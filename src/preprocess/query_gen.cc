@@ -1,0 +1,609 @@
+#include "preprocess/query_gen.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "sql/ast.h"
+
+namespace minerule::mr {
+
+namespace {
+
+using sql::AggregateExpr;
+using sql::ColumnRefExpr;
+using sql::Expr;
+using sql::ExprKind;
+using sql::ExprPtr;
+
+/// Renders "<prefix>a, <prefix>b, ..." from an attribute list.
+std::string AttrList(const std::vector<std::string>& attrs,
+                     const std::string& prefix = "") {
+  std::string out;
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += prefix.empty() ? attrs[i] : prefix + "." + attrs[i];
+  }
+  return out;
+}
+
+/// Renders "L.a = R.a AND L.b = R.b" equality joins over attrs.
+std::string EquiJoin(const std::string& left, const std::string& right,
+                     const std::vector<std::string>& attrs) {
+  std::string out;
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    if (i > 0) out += " AND ";
+    out += left + "." + attrs[i] + " = " + right + "." + attrs[i];
+  }
+  return out;
+}
+
+/// Renders "name TYPE, ..." column definitions for the given attrs, types
+/// resolved against the source schema.
+Result<std::string> ColumnDefs(const Schema& schema,
+                               const std::vector<std::string>& attrs) {
+  std::string out;
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    if (i > 0) out += ", ";
+    const int idx = schema.FindColumn(attrs[i]);
+    if (idx < 0) {
+      return Status::Internal("attribute vanished from source schema: " +
+                              attrs[i]);
+    }
+    out += attrs[i];
+    out += ' ';
+    out += DataTypeName(schema.column(idx).type);
+  }
+  return out;
+}
+
+/// Role of an aggregate argument: which of BODY/HEAD it references.
+Result<bool> AggregateUsesBodyRole(const Expr& expr) {
+  // Find the first qualified column reference.
+  switch (expr.kind) {
+    case ExprKind::kColumnRef: {
+      const auto& ref = static_cast<const ColumnRefExpr&>(expr);
+      if (EqualsIgnoreCase(ref.qualifier, "BODY")) return true;
+      if (EqualsIgnoreCase(ref.qualifier, "HEAD")) return false;
+      return Status::SemanticError(
+          "cluster-condition aggregate arguments must be qualified with "
+          "BODY or HEAD: " + expr.ToSql());
+    }
+    case ExprKind::kUnary:
+      return AggregateUsesBodyRole(
+          *static_cast<const sql::UnaryExpr&>(expr).operand);
+    case ExprKind::kBinary: {
+      const auto& b = static_cast<const sql::BinaryExpr&>(expr);
+      Result<bool> lhs = AggregateUsesBodyRole(*b.lhs);
+      if (lhs.ok()) return lhs;
+      return AggregateUsesBodyRole(*b.rhs);
+    }
+    case ExprKind::kFunction: {
+      const auto& f = static_cast<const sql::FunctionExpr&>(expr);
+      for (const ExprPtr& arg : f.args) {
+        Result<bool> role = AggregateUsesBodyRole(*arg);
+        if (role.ok()) return role;
+      }
+      return Status::SemanticError("aggregate argument has no role: " +
+                                   expr.ToSql());
+    }
+    default:
+      return Status::SemanticError(
+          "cannot determine BODY/HEAD role of aggregate argument: " +
+          expr.ToSql());
+  }
+}
+
+/// Reconstructs the role-neutral SQL of an aggregate (qualifiers stripped)
+/// to find its precomputed column. Mirrors the translator's rendering.
+std::string StripQualifiers(const Expr& expr);
+
+class RoleRewriter {
+ public:
+  RoleRewriter(const std::string& body_alias, const std::string& head_alias,
+               const Translation* translation)
+      : body_alias_(body_alias),
+        head_alias_(head_alias),
+        translation_(translation) {}
+
+  Result<std::string> Rewrite(const Expr& expr) {
+    switch (expr.kind) {
+      case ExprKind::kLiteral:
+      case ExprKind::kHostVar:
+        return expr.ToSql();
+      case ExprKind::kColumnRef: {
+        const auto& ref = static_cast<const ColumnRefExpr&>(expr);
+        if (EqualsIgnoreCase(ref.qualifier, "BODY")) {
+          return body_alias_ + "." + ref.column;
+        }
+        if (EqualsIgnoreCase(ref.qualifier, "HEAD")) {
+          return head_alias_ + "." + ref.column;
+        }
+        return Status::SemanticError(
+            "condition attribute must be qualified with BODY or HEAD: " +
+            ref.ToSql());
+      }
+      case ExprKind::kAggregate: {
+        const auto& agg = static_cast<const AggregateExpr&>(expr);
+        if (translation_ == nullptr) {
+          return Status::SemanticError(
+              "aggregates are not allowed in this condition: " + agg.ToSql());
+        }
+        if (agg.func == sql::AggFunc::kCountStar) {
+          return Status::SemanticError(
+              "COUNT(*) is ambiguous in a cluster condition; aggregate a "
+              "BODY.- or HEAD.-qualified attribute instead");
+        }
+        MR_ASSIGN_OR_RETURN(bool body_role, AggregateUsesBodyRole(*agg.arg));
+        // Locate the precomputed per-cluster column.
+        std::string neutral = sql::AggFuncName(agg.func);
+        neutral += "(";
+        if (agg.distinct) neutral += "DISTINCT ";
+        neutral += StripQualifiers(*agg.arg);
+        neutral += ")";
+        for (size_t i = 0; i < translation_->cluster_agg_sql.size(); ++i) {
+          if (EqualsIgnoreCase(translation_->cluster_agg_sql[i], neutral)) {
+            return (body_role ? body_alias_ : head_alias_) + "." +
+                   translation_->cluster_agg_columns[i];
+          }
+        }
+        return Status::Internal("aggregate not precomputed by Q6: " +
+                                neutral);
+      }
+      case ExprKind::kUnary: {
+        const auto& u = static_cast<const sql::UnaryExpr&>(expr);
+        MR_ASSIGN_OR_RETURN(std::string inner, Rewrite(*u.operand));
+        return (u.op == sql::UnaryOp::kNot ? "NOT (" : "-(") + inner + ")";
+      }
+      case ExprKind::kBinary: {
+        const auto& b = static_cast<const sql::BinaryExpr&>(expr);
+        MR_ASSIGN_OR_RETURN(std::string lhs, Rewrite(*b.lhs));
+        MR_ASSIGN_OR_RETURN(std::string rhs, Rewrite(*b.rhs));
+        return "(" + lhs + " " + sql::BinaryOpName(b.op) + " " + rhs + ")";
+      }
+      case ExprKind::kBetween: {
+        const auto& b = static_cast<const sql::BetweenExpr&>(expr);
+        MR_ASSIGN_OR_RETURN(std::string operand, Rewrite(*b.operand));
+        MR_ASSIGN_OR_RETURN(std::string low, Rewrite(*b.low));
+        MR_ASSIGN_OR_RETURN(std::string high, Rewrite(*b.high));
+        return operand + (b.negated ? " NOT BETWEEN " : " BETWEEN ") + low +
+               " AND " + high;
+      }
+      case ExprKind::kInList: {
+        const auto& in = static_cast<const sql::InListExpr&>(expr);
+        MR_ASSIGN_OR_RETURN(std::string operand, Rewrite(*in.operand));
+        std::string out = operand + (in.negated ? " NOT IN (" : " IN (");
+        for (size_t i = 0; i < in.list.size(); ++i) {
+          if (i > 0) out += ", ";
+          MR_ASSIGN_OR_RETURN(std::string piece, Rewrite(*in.list[i]));
+          out += piece;
+        }
+        out += ")";
+        return out;
+      }
+      case ExprKind::kIsNull: {
+        const auto& n = static_cast<const sql::IsNullExpr&>(expr);
+        MR_ASSIGN_OR_RETURN(std::string operand, Rewrite(*n.operand));
+        return operand + (n.negated ? " IS NOT NULL" : " IS NULL");
+      }
+      case ExprKind::kFunction: {
+        const auto& f = static_cast<const sql::FunctionExpr&>(expr);
+        std::string out = f.name + "(";
+        for (size_t i = 0; i < f.args.size(); ++i) {
+          if (i > 0) out += ", ";
+          MR_ASSIGN_OR_RETURN(std::string piece, Rewrite(*f.args[i]));
+          out += piece;
+        }
+        out += ")";
+        return out;
+      }
+      default:
+        return Status::SemanticError("unsupported construct in condition: " +
+                                     expr.ToSql());
+    }
+  }
+
+ private:
+  const std::string& body_alias_;
+  const std::string& head_alias_;
+  const Translation* translation_;
+};
+
+std::string StripQualifiers(const Expr& expr) {
+  switch (expr.kind) {
+    case ExprKind::kColumnRef:
+      return static_cast<const ColumnRefExpr&>(expr).column;
+    case ExprKind::kUnary: {
+      const auto& u = static_cast<const sql::UnaryExpr&>(expr);
+      return (u.op == sql::UnaryOp::kNot ? "NOT (" : "-(") +
+             StripQualifiers(*u.operand) + ")";
+    }
+    case ExprKind::kBinary: {
+      const auto& b = static_cast<const sql::BinaryExpr&>(expr);
+      return "(" + StripQualifiers(*b.lhs) + " " + sql::BinaryOpName(b.op) +
+             " " + StripQualifiers(*b.rhs) + ")";
+    }
+    case ExprKind::kFunction: {
+      const auto& f = static_cast<const sql::FunctionExpr&>(expr);
+      std::string out = f.name + "(";
+      for (size_t i = 0; i < f.args.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += StripQualifiers(*f.args[i]);
+      }
+      out += ")";
+      return out;
+    }
+    default:
+      return expr.ToSql();
+  }
+}
+
+/// Rough result type of a per-cluster aggregate, for the Clusters DDL.
+DataType ClusterAggType(const std::string& agg_sql, const Schema& schema) {
+  if (StartsWithIgnoreCase(agg_sql, "COUNT")) return DataType::kInteger;
+  if (StartsWithIgnoreCase(agg_sql, "AVG")) return DataType::kDouble;
+  // SUM/MIN/MAX of a plain column keep its type.
+  const size_t open = agg_sql.find('(');
+  const size_t close = agg_sql.rfind(')');
+  if (open != std::string::npos && close != std::string::npos) {
+    std::string arg = agg_sql.substr(open + 1, close - open - 1);
+    if (StartsWithIgnoreCase(arg, "DISTINCT ")) arg = arg.substr(9);
+    const int idx = schema.FindColumn(arg);
+    if (idx >= 0) return schema.column(idx).type;
+  }
+  return DataType::kDouble;
+}
+
+}  // namespace
+
+Result<std::string> RewriteRoleCondition(const sql::Expr& condition,
+                                         const std::string& body_alias,
+                                         const std::string& head_alias,
+                                         const Translation* translation) {
+  RoleRewriter rewriter(body_alias, head_alias, translation);
+  return rewriter.Rewrite(condition);
+}
+
+Result<PreprocessProgram> GeneratePreprocessProgram(
+    const MineRuleStatement& stmt, const Translation& translation) {
+  const Directives& d = translation.directives;
+  const Schema& schema = translation.source_schema;
+  PreprocessProgram program;
+
+  auto drop = [&](const std::string& kind, const std::string& name) {
+    program.drops.push_back({"DROP", "DROP " + kind + " IF EXISTS " + name});
+  };
+  auto setup = [&](const std::string& sql) {
+    program.setup.push_back({"DDL", sql});
+  };
+  auto query = [&](const std::string& id, const std::string& sql,
+                   bool computes_total = false) {
+    program.queries.push_back({id, sql, computes_total});
+  };
+
+  // ---- cleanup of any previous run -------------------------------------
+  for (const char* view :
+       {"ValidGroupsView", "ClustersView", "CodedSourceB", "CodedSourceH",
+        "MiningSourceH_View"}) {
+    drop("VIEW", view);
+  }
+  for (const char* table :
+       {"Source", "ValidGroups", "DistinctGroupsInBody", "Bset",
+        "DistinctGroupsInHead", "Hset", "Clusters", "ClusterCouples",
+        "MiningSourceB", "MiningSourceH", "CodedSource", "InputRules",
+        "LargeRules", "InputRulesLarge"}) {
+    drop("TABLE", table);
+  }
+  for (const char* seq :
+       {"Gidsequence", "Bidsequence", "Hidsequence", "Cidsequence"}) {
+    drop("SEQUENCE", seq);
+  }
+
+  // ---- DDL ---------------------------------------------------------------
+  setup("CREATE SEQUENCE Gidsequence");
+  setup("CREATE SEQUENCE Bidsequence");
+  if (d.H) setup("CREATE SEQUENCE Hidsequence");
+  if (d.C) setup("CREATE SEQUENCE Cidsequence");
+
+  MR_ASSIGN_OR_RETURN(const std::string needed_defs,
+                      ColumnDefs(schema, translation.needed_attrs));
+  MR_ASSIGN_OR_RETURN(const std::string group_defs,
+                      ColumnDefs(schema, stmt.group_attrs));
+  MR_ASSIGN_OR_RETURN(const std::string body_defs,
+                      ColumnDefs(schema, stmt.body_schema));
+
+  // Views in the FROM list force Source materialization even when W is
+  // false, so the view is evaluated once (see Translation::from_has_view).
+  const bool materialize_source = d.W || translation.from_has_view;
+  if (materialize_source) setup("CREATE TABLE Source (" + needed_defs + ")");
+  setup("CREATE TABLE ValidGroups (Gid INTEGER, " + group_defs + ")");
+  setup("CREATE TABLE DistinctGroupsInBody (" + body_defs + ", " + group_defs +
+        ")");
+  setup("CREATE TABLE Bset (Bid INTEGER, " + body_defs +
+        ", grpcount INTEGER)");
+
+  // The relation subsequent queries read raw source tuples from. When W is
+  // false, Q0 is skipped and the single base table serves directly (§4.2.1).
+  const std::string source_rel =
+      materialize_source ? "Source" : stmt.from[0].name;
+
+  // ---- Q0: materialize the source view ----------------------------------
+  if (materialize_source) {
+    std::string from_list;
+    for (size_t i = 0; i < stmt.from.size(); ++i) {
+      if (i > 0) from_list += ", ";
+      from_list += stmt.from[i].name;
+      if (!EqualsIgnoreCase(stmt.from[i].alias, stmt.from[i].name)) {
+        from_list += " AS " + stmt.from[i].alias;
+      }
+    }
+    std::string sql = "INSERT INTO Source (SELECT " +
+                      AttrList(translation.needed_attrs) + " FROM " +
+                      from_list;
+    if (stmt.source_cond != nullptr) {
+      sql += " WHERE " + stmt.source_cond->ToSql();
+    }
+    sql += ")";
+    query("Q0", sql);
+  }
+
+  // ---- Q1: total group count --------------------------------------------
+  query("Q1",
+        "SELECT COUNT(*) INTO :totg FROM (SELECT DISTINCT " +
+            AttrList(stmt.group_attrs) + " FROM " + source_rel + ")",
+        /*computes_total=*/true);
+
+  // ---- Q2: valid groups + group encoding ----------------------------------
+  {
+    std::string view_sql = "CREATE VIEW ValidGroupsView AS (SELECT " +
+                           AttrList(stmt.group_attrs) + " FROM " + source_rel +
+                           " GROUP BY " + AttrList(stmt.group_attrs);
+    if (d.G) view_sql += " HAVING " + stmt.group_cond->ToSql();
+    view_sql += ")";
+    query("Q2", view_sql);
+    query("Q2",
+          "INSERT INTO ValidGroups (SELECT Gidsequence.NEXTVAL AS Gid, V.* "
+          "FROM ValidGroupsView AS V)");
+  }
+
+  // ---- Q3: body item encoding ---------------------------------------------
+  {
+    std::string sql;
+    if (d.G) {
+      sql = "INSERT INTO DistinctGroupsInBody (SELECT DISTINCT " +
+            AttrList(stmt.body_schema, "S") + ", " +
+            AttrList(stmt.group_attrs, "S") + " FROM " + source_rel +
+            " AS S, ValidGroups AS V WHERE " +
+            EquiJoin("S", "V", stmt.group_attrs) + ")";
+    } else {
+      sql = "INSERT INTO DistinctGroupsInBody (SELECT DISTINCT " +
+            AttrList(stmt.body_schema) + ", " + AttrList(stmt.group_attrs) +
+            " FROM " + source_rel + ")";
+    }
+    query("Q3", sql);
+    query("Q3",
+          "INSERT INTO Bset (SELECT Bidsequence.NEXTVAL AS Bid, " +
+              AttrList(stmt.body_schema) + ", COUNT(*) AS grpcount FROM " +
+              "DistinctGroupsInBody GROUP BY " + AttrList(stmt.body_schema) +
+              " HAVING COUNT(*) >= :mingroups)");
+  }
+
+  // ---- Q5: head item encoding (general, H) --------------------------------
+  if (d.H) {
+    MR_ASSIGN_OR_RETURN(const std::string head_defs,
+                        ColumnDefs(schema, stmt.head_schema));
+    setup("CREATE TABLE DistinctGroupsInHead (" + head_defs + ", " +
+          group_defs + ")");
+    setup("CREATE TABLE Hset (Hid INTEGER, " + head_defs +
+          ", grpcount INTEGER)");
+    std::string sql;
+    if (d.G) {
+      sql = "INSERT INTO DistinctGroupsInHead (SELECT DISTINCT " +
+            AttrList(stmt.head_schema, "S") + ", " +
+            AttrList(stmt.group_attrs, "S") + " FROM " + source_rel +
+            " AS S, ValidGroups AS V WHERE " +
+            EquiJoin("S", "V", stmt.group_attrs) + ")";
+    } else {
+      sql = "INSERT INTO DistinctGroupsInHead (SELECT DISTINCT " +
+            AttrList(stmt.head_schema) + ", " + AttrList(stmt.group_attrs) +
+            " FROM " + source_rel + ")";
+    }
+    query("Q5", sql);
+    query("Q5",
+          "INSERT INTO Hset (SELECT Hidsequence.NEXTVAL AS Hid, " +
+              AttrList(stmt.head_schema) + ", COUNT(*) AS grpcount FROM " +
+              "DistinctGroupsInHead GROUP BY " + AttrList(stmt.head_schema) +
+              " HAVING COUNT(*) >= :mingroups)");
+    program.hset = "Hset";
+  }
+
+  const bool simple_class = d.IsSimpleClass();
+
+  if (simple_class) {
+    // ---- Q4: CodedSource for the simple core ------------------------------
+    setup("CREATE TABLE CodedSource (Gid INTEGER, Bid INTEGER)");
+    query("Q4",
+          "INSERT INTO CodedSource (SELECT DISTINCT V.Gid, B.Bid FROM " +
+              source_rel + " AS S, ValidGroups AS V, Bset AS B WHERE " +
+              EquiJoin("S", "V", stmt.group_attrs) + " AND " +
+              EquiJoin("S", "B", stmt.body_schema) + ")");
+    program.coded_source = "CodedSource";
+    return program;
+  }
+
+  // ======================= general class ===================================
+
+  // ---- Q6: cluster encoding ----------------------------------------------
+  if (d.C) {
+    MR_ASSIGN_OR_RETURN(const std::string cluster_defs,
+                        ColumnDefs(schema, stmt.cluster_attrs));
+    std::string agg_defs;
+    std::string agg_select;
+    for (size_t i = 0; i < translation.cluster_agg_sql.size(); ++i) {
+      agg_defs += ", " + translation.cluster_agg_columns[i] + " " +
+                  std::string(DataTypeName(
+                      ClusterAggType(translation.cluster_agg_sql[i], schema)));
+      agg_select += ", " + translation.cluster_agg_sql[i] + " AS " +
+                    translation.cluster_agg_columns[i];
+    }
+    setup("CREATE TABLE Clusters (Cid INTEGER, Gid INTEGER, " + cluster_defs +
+          agg_defs + ")");
+    query("Q6",
+          "CREATE VIEW ClustersView AS (SELECT V.Gid AS Gid, " +
+              AttrList(stmt.cluster_attrs, "S") + agg_select + " FROM " +
+              source_rel + " AS S, ValidGroups AS V WHERE " +
+              EquiJoin("S", "V", stmt.group_attrs) + " GROUP BY V.Gid, " +
+              AttrList(stmt.cluster_attrs, "S") + ")");
+    query("Q6",
+          "INSERT INTO Clusters (SELECT Cidsequence.NEXTVAL AS Cid, C.* FROM "
+          "ClustersView AS C)");
+  }
+
+  // ---- Q7: valid cluster pairs (K) ----------------------------------------
+  if (d.K) {
+    setup(
+        "CREATE TABLE ClusterCouples (Gid INTEGER, BCid INTEGER, HCid "
+        "INTEGER)");
+    MR_ASSIGN_OR_RETURN(
+        std::string condition,
+        RewriteRoleCondition(*stmt.cluster_cond, "C1", "C2", &translation));
+    query("Q7",
+          "INSERT INTO ClusterCouples (SELECT C1.Gid, C1.Cid AS BCid, C2.Cid "
+          "AS HCid FROM Clusters AS C1, Clusters AS C2 WHERE C1.Gid = C2.Gid "
+          "AND " + condition + ")");
+    program.cluster_couples = "ClusterCouples";
+  }
+
+  // ---- Q4b: role-tagged coded source --------------------------------------
+  // MiningSourceB carries (Gid[,Cid],Bid) plus the mining attributes the
+  // condition reads through BODY. (and, when the encodings are shared, also
+  // those read through HEAD., since MiningSourceH is then a rename view).
+  std::vector<std::string> b_extra = translation.body_mine_attrs;
+  if (!d.H) {
+    for (const std::string& attr : translation.head_mine_attrs) {
+      if (std::find_if(b_extra.begin(), b_extra.end(),
+                       [&](const std::string& a) {
+                         return EqualsIgnoreCase(a, attr);
+                       }) == b_extra.end()) {
+        b_extra.push_back(attr);
+      }
+    }
+  }
+
+  const std::string cid_col = d.C ? "Cid INTEGER, " : "";
+  {
+    std::string extra_defs;
+    if (!b_extra.empty()) {
+      MR_ASSIGN_OR_RETURN(std::string defs, ColumnDefs(schema, b_extra));
+      extra_defs = ", " + defs;
+    }
+    setup("CREATE TABLE MiningSourceB (Gid INTEGER, " + cid_col +
+          "Bid INTEGER" + extra_defs + ")");
+
+    std::string select = "SELECT DISTINCT V.Gid";
+    std::string from = " FROM " + source_rel +
+                       " AS S, ValidGroups AS V, Bset AS B";
+    std::string where = " WHERE " + EquiJoin("S", "V", stmt.group_attrs) +
+                        " AND " + EquiJoin("S", "B", stmt.body_schema);
+    if (d.C) {
+      select += ", C.Cid";
+      from += ", Clusters AS C";
+      where += " AND C.Gid = V.Gid AND " +
+               EquiJoin("S", "C", stmt.cluster_attrs);
+    }
+    select += ", B.Bid";
+    if (!b_extra.empty()) select += ", " + AttrList(b_extra, "S");
+    query("Q4b", "INSERT INTO MiningSourceB (" + select + from + where + ")");
+  }
+
+  if (d.H) {
+    std::string extra_defs;
+    if (!translation.head_mine_attrs.empty()) {
+      MR_ASSIGN_OR_RETURN(std::string defs,
+                          ColumnDefs(schema, translation.head_mine_attrs));
+      extra_defs = ", " + defs;
+    }
+    setup("CREATE TABLE MiningSourceH (Gid INTEGER, " + cid_col +
+          "Hid INTEGER" + extra_defs + ")");
+    std::string select = "SELECT DISTINCT V.Gid";
+    std::string from =
+        " FROM " + source_rel + " AS S, ValidGroups AS V, Hset AS H";
+    std::string where = " WHERE " + EquiJoin("S", "V", stmt.group_attrs) +
+                        " AND " + EquiJoin("S", "H", stmt.head_schema);
+    if (d.C) {
+      select += ", C.Cid";
+      from += ", Clusters AS C";
+      where += " AND C.Gid = V.Gid AND " +
+               EquiJoin("S", "C", stmt.cluster_attrs);
+    }
+    select += ", H.Hid";
+    if (!translation.head_mine_attrs.empty()) {
+      select += ", " + AttrList(translation.head_mine_attrs, "S");
+    }
+    query("Q4b", "INSERT INTO MiningSourceH (" + select + from + where + ")");
+  } else if (d.M) {
+    // Shared encoding: the head side is a rename view over MiningSourceB.
+    std::string cols = "Gid, ";
+    if (d.C) cols += "Cid, ";
+    cols += "Bid AS Hid";
+    if (!b_extra.empty()) cols += ", " + AttrList(b_extra);
+    query("Q4b", "CREATE VIEW MiningSourceH_View AS (SELECT " + cols +
+                     " FROM MiningSourceB)");
+  }
+
+  // ---- Q11: the views the core operator reads -----------------------------
+  {
+    std::string cols = d.C ? "Gid, Cid, Bid" : "Gid, Bid";
+    query("Q11", "CREATE VIEW CodedSourceB AS (SELECT DISTINCT " + cols +
+                     " FROM MiningSourceB)");
+    program.coded_source_b = "CodedSourceB";
+    if (d.H) {
+      std::string hcols = d.C ? "Gid, Cid, Hid" : "Gid, Hid";
+      query("Q11", "CREATE VIEW CodedSourceH AS (SELECT DISTINCT " + hcols +
+                       " FROM MiningSourceH)");
+      program.coded_source_h = "CodedSourceH";
+    }
+  }
+
+  // ---- Q8..Q10: elementary rules in SQL (M) --------------------------------
+  if (d.M) {
+    const std::string head_rel = d.H ? "MiningSourceH" : "MiningSourceH_View";
+    const std::string couple_cols =
+        d.C ? "BCid INTEGER, HCid INTEGER, " : "";
+    setup("CREATE TABLE InputRules (Gid INTEGER, " + couple_cols +
+          "Bid INTEGER, Hid INTEGER)");
+    setup("CREATE TABLE LargeRules (Bid INTEGER, Hid INTEGER, supp INTEGER)");
+    setup("CREATE TABLE InputRulesLarge (Gid INTEGER, " + couple_cols +
+          "Bid INTEGER, Hid INTEGER)");
+
+    MR_ASSIGN_OR_RETURN(
+        std::string condition,
+        RewriteRoleCondition(*stmt.mining_cond, "S1", "S2", nullptr));
+
+    std::string select = "SELECT DISTINCT S1.Gid";
+    if (d.C) select += ", S1.Cid AS BCid, S2.Cid AS HCid";
+    select += ", S1.Bid, S2.Hid";
+    std::string from = " FROM MiningSourceB AS S1, " + head_rel + " AS S2";
+    std::string where = " WHERE S1.Gid = S2.Gid";
+    if (!d.H) where += " AND S1.Bid <> S2.Hid";
+    if (d.K) {
+      from += ", ClusterCouples AS CC";
+      where +=
+          " AND CC.Gid = S1.Gid AND CC.BCid = S1.Cid AND CC.HCid = S2.Cid";
+    }
+    where += " AND " + condition;
+    query("Q8", "INSERT INTO InputRules (" + select + from + where + ")");
+
+    query("Q9",
+          "INSERT INTO LargeRules (SELECT Bid, Hid, COUNT(DISTINCT Gid) AS "
+          "supp FROM InputRules GROUP BY Bid, Hid HAVING COUNT(DISTINCT Gid) "
+          ">= :mingroups)");
+    query("Q10",
+          "INSERT INTO InputRulesLarge (SELECT I.* FROM InputRules AS I, "
+          "LargeRules AS L WHERE I.Bid = L.Bid AND I.Hid = L.Hid)");
+    program.input_rules = "InputRulesLarge";
+  }
+
+  return program;
+}
+
+}  // namespace minerule::mr

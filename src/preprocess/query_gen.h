@@ -1,0 +1,62 @@
+#ifndef MINERULE_PREPROCESS_QUERY_GEN_H_
+#define MINERULE_PREPROCESS_QUERY_GEN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "minerule/ast.h"
+#include "minerule/translator.h"
+
+namespace minerule::mr {
+
+/// One generated SQL statement of the preprocessing program. `id` names the
+/// Appendix A query it implements ("Q0".."Q11", or "DDL"/"DROP" for the
+/// schema program).
+struct GeneratedQuery {
+  std::string id;
+  std::string sql;
+  /// Set on Q1: after execution the preprocessor reads :totg and computes
+  /// :mingroups = ceil(min_support * totg).
+  bool computes_group_total = false;
+};
+
+/// The complete generated program plus the names of the encoded tables the
+/// core operator will read. Table names are fixed (as in the paper); the
+/// DROP program clears any earlier run's leftovers.
+struct PreprocessProgram {
+  std::vector<GeneratedQuery> drops;    // idempotent cleanup
+  std::vector<GeneratedQuery> setup;    // CREATE TABLE / SEQUENCE
+  std::vector<GeneratedQuery> queries;  // Q0..Q11 in execution order
+
+  // Core-operator input tables (empty string = not produced).
+  std::string coded_source;     // simple class: CodedSource(Gid, Bid)
+  std::string coded_source_b;   // general: CodedSourceB(Gid[,Cid],Bid)
+  std::string coded_source_h;   // general + H: CodedSourceH(Gid[,Cid],Hid)
+  std::string cluster_couples;  // K: ClusterCouples(Gid,BCid,HCid)
+  std::string input_rules;      // M: InputRulesLarge(Gid[,BCid,HCid],Bid,Hid)
+
+  // Decoding tables for the postprocessor.
+  std::string bset = "Bset";
+  std::string hset;  // "Hset" iff H
+};
+
+/// Generates the preprocessing SQL program for a validated statement
+/// (Appendix A for the simple class; §4.2.2 — adapted to role-split coded
+/// tables, see DESIGN.md — for the general class).
+Result<PreprocessProgram> GeneratePreprocessProgram(
+    const MineRuleStatement& stmt, const Translation& translation);
+
+/// Rewrites a BODY./HEAD.-qualified condition for use in a generated join
+/// query: column qualifiers BODY -> body_alias, HEAD -> head_alias;
+/// aggregate calls (cluster conditions only) become references to the
+/// precomputed per-cluster aggregate columns of `translation`, picked from
+/// the alias matching the aggregate argument's role. Exposed for tests.
+Result<std::string> RewriteRoleCondition(const sql::Expr& condition,
+                                         const std::string& body_alias,
+                                         const std::string& head_alias,
+                                         const Translation* translation);
+
+}  // namespace minerule::mr
+
+#endif  // MINERULE_PREPROCESS_QUERY_GEN_H_

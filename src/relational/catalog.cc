@@ -1,0 +1,156 @@
+#include "relational/catalog.h"
+
+#include "common/string_util.h"
+
+namespace minerule {
+
+std::string Catalog::Key(const std::string& name) { return ToLower(name); }
+
+Result<std::shared_ptr<Table>> Catalog::CreateTable(const std::string& name,
+                                                    Schema schema) {
+  if (HasRelation(name)) {
+    return Status::AlreadyExists("relation already exists: " + name);
+  }
+  for (size_t i = 0; i < schema.num_columns(); ++i) {
+    for (size_t j = i + 1; j < schema.num_columns(); ++j) {
+      if (EqualsIgnoreCase(schema.column(i).name, schema.column(j).name)) {
+        return Status::InvalidArgument("duplicate column name '" +
+                                       schema.column(i).name + "' in table " +
+                                       name);
+      }
+    }
+  }
+  auto table = std::make_shared<Table>(name, std::move(schema));
+  tables_[Key(name)] = table;
+  return table;
+}
+
+Status Catalog::AddTable(std::shared_ptr<Table> table) {
+  if (HasRelation(table->name())) {
+    return Status::AlreadyExists("relation already exists: " + table->name());
+  }
+  tables_[Key(table->name())] = std::move(table);
+  return Status::OK();
+}
+
+Result<std::shared_ptr<Table>> Catalog::GetTable(
+    const std::string& name) const {
+  auto it = tables_.find(Key(name));
+  if (it == tables_.end()) {
+    return Status::NotFound("table not found: " + name);
+  }
+  return it->second;
+}
+
+bool Catalog::HasTable(const std::string& name) const {
+  return tables_.count(Key(name)) > 0;
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  if (tables_.erase(Key(name)) == 0) {
+    return Status::NotFound("table not found: " + name);
+  }
+  return Status::OK();
+}
+
+void Catalog::DropTableIfExists(const std::string& name) {
+  tables_.erase(Key(name));
+}
+
+Status Catalog::CreateView(const std::string& name,
+                           const std::string& select_sql) {
+  if (HasRelation(name)) {
+    return Status::AlreadyExists("relation already exists: " + name);
+  }
+  views_[Key(name)] = ViewDef{name, select_sql};
+  return Status::OK();
+}
+
+Result<ViewDef> Catalog::GetView(const std::string& name) const {
+  auto it = views_.find(Key(name));
+  if (it == views_.end()) {
+    return Status::NotFound("view not found: " + name);
+  }
+  return it->second;
+}
+
+bool Catalog::HasView(const std::string& name) const {
+  return views_.count(Key(name)) > 0;
+}
+
+Status Catalog::DropView(const std::string& name) {
+  if (views_.erase(Key(name)) == 0) {
+    return Status::NotFound("view not found: " + name);
+  }
+  return Status::OK();
+}
+
+void Catalog::DropViewIfExists(const std::string& name) {
+  views_.erase(Key(name));
+}
+
+Status Catalog::CreateSequence(const std::string& name, int64_t start) {
+  if (HasSequence(name)) {
+    return Status::AlreadyExists("sequence already exists: " + name);
+  }
+  sequences_[Key(name)] = std::make_unique<Sequence>(name, start);
+  return Status::OK();
+}
+
+Result<Sequence*> Catalog::GetSequence(const std::string& name) {
+  auto it = sequences_.find(Key(name));
+  if (it == sequences_.end()) {
+    return Status::NotFound("sequence not found: " + name);
+  }
+  return it->second.get();
+}
+
+Result<const Sequence*> Catalog::GetSequence(const std::string& name) const {
+  auto it = sequences_.find(Key(name));
+  if (it == sequences_.end()) {
+    return Status::NotFound("sequence not found: " + name);
+  }
+  return static_cast<const Sequence*>(it->second.get());
+}
+
+bool Catalog::HasSequence(const std::string& name) const {
+  return sequences_.count(Key(name)) > 0;
+}
+
+Status Catalog::DropSequence(const std::string& name) {
+  if (sequences_.erase(Key(name)) == 0) {
+    return Status::NotFound("sequence not found: " + name);
+  }
+  return Status::OK();
+}
+
+void Catalog::DropSequenceIfExists(const std::string& name) {
+  sequences_.erase(Key(name));
+}
+
+bool Catalog::HasRelation(const std::string& name) const {
+  return HasTable(name) || HasView(name);
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [key, table] : tables_) names.push_back(table->name());
+  return names;
+}
+
+std::vector<std::string> Catalog::ViewNames() const {
+  std::vector<std::string> names;
+  names.reserve(views_.size());
+  for (const auto& [key, view] : views_) names.push_back(view.name);
+  return names;
+}
+
+std::vector<std::string> Catalog::SequenceNames() const {
+  std::vector<std::string> names;
+  names.reserve(sequences_.size());
+  for (const auto& [key, seq] : sequences_) names.push_back(seq->name());
+  return names;
+}
+
+}  // namespace minerule

@@ -1,0 +1,110 @@
+#ifndef MINERULE_RELATIONAL_CATALOG_H_
+#define MINERULE_RELATIONAL_CATALOG_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/table.h"
+
+namespace minerule {
+
+/// An Oracle-style sequence: monotonically increasing integer generator
+/// (CREATE SEQUENCE / <name>.NEXTVAL), used by the preprocessor to mint
+/// group/item/cluster identifiers exactly as Appendix A prescribes.
+class Sequence {
+ public:
+  explicit Sequence(std::string name, int64_t start = 1)
+      : name_(std::move(name)), next_(start) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Returns the current value and advances.
+  int64_t NextVal() { return next_++; }
+
+  /// The value the next NextVal() call will return.
+  int64_t PeekNext() const { return next_; }
+
+ private:
+  std::string name_;
+  int64_t next_;
+};
+
+/// A stored (virtual, non-materialized) view: name plus the SELECT text it
+/// expands to. The paper's Q11 defines CodedSource as exactly such a view.
+struct ViewDef {
+  std::string name;
+  std::string select_sql;
+};
+
+/// The database schema: tables, views and sequences, addressed by
+/// case-insensitive names shared across the three namespaces (as in most
+/// SQL dialects, a view may not shadow a table).
+///
+/// The Catalog doubles as the Data Dictionary the paper's translator
+/// consults for semantic checking.
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  // --- tables -----------------------------------------------------------
+
+  /// Creates an empty table. Fails on duplicate column names or if any
+  /// object with this name exists.
+  Result<std::shared_ptr<Table>> CreateTable(const std::string& name,
+                                             Schema schema);
+
+  /// Registers an already-built table (used by data generators).
+  Status AddTable(std::shared_ptr<Table> table);
+
+  Result<std::shared_ptr<Table>> GetTable(const std::string& name) const;
+  bool HasTable(const std::string& name) const;
+  Status DropTable(const std::string& name);
+
+  /// Drops the table if it exists; no-op otherwise.
+  void DropTableIfExists(const std::string& name);
+
+  // --- views ------------------------------------------------------------
+
+  Status CreateView(const std::string& name, const std::string& select_sql);
+  Result<ViewDef> GetView(const std::string& name) const;
+  bool HasView(const std::string& name) const;
+  Status DropView(const std::string& name);
+  void DropViewIfExists(const std::string& name);
+
+  // --- sequences --------------------------------------------------------
+
+  Status CreateSequence(const std::string& name, int64_t start = 1);
+  Result<Sequence*> GetSequence(const std::string& name);
+  Result<const Sequence*> GetSequence(const std::string& name) const;
+  bool HasSequence(const std::string& name) const;
+  Status DropSequence(const std::string& name);
+  void DropSequenceIfExists(const std::string& name);
+
+  // --- data dictionary --------------------------------------------------
+
+  /// True if any object (table or view) with this name exists.
+  bool HasRelation(const std::string& name) const;
+
+  /// Names of all tables, sorted.
+  std::vector<std::string> TableNames() const;
+  std::vector<std::string> ViewNames() const;
+  std::vector<std::string> SequenceNames() const;
+
+ private:
+  /// Case-insensitive key.
+  static std::string Key(const std::string& name);
+
+  std::map<std::string, std::shared_ptr<Table>> tables_;
+  std::map<std::string, ViewDef> views_;
+  std::map<std::string, std::unique_ptr<Sequence>> sequences_;
+};
+
+}  // namespace minerule
+
+#endif  // MINERULE_RELATIONAL_CATALOG_H_

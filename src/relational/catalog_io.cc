@@ -1,0 +1,225 @@
+#include "relational/catalog_io.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace minerule {
+
+namespace {
+
+constexpr char kMagic[] = "MINERULE-DB 1";
+
+/// Percent-escapes the separator/control characters.
+std::string Escape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    if (c == '\t' || c == '\n' || c == '\r' || c == '%' || c == ' ') {
+      char buf[4];
+      std::snprintf(buf, sizeof(buf), "%%%02X",
+                    static_cast<unsigned char>(c));
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+Result<std::string> Unescape(const std::string& escaped) {
+  std::string out;
+  out.reserve(escaped.size());
+  for (size_t i = 0; i < escaped.size(); ++i) {
+    if (escaped[i] != '%') {
+      out += escaped[i];
+      continue;
+    }
+    if (i + 2 >= escaped.size()) {
+      return Status::InvalidArgument("truncated escape in dump");
+    }
+    int value = 0;
+    if (std::sscanf(escaped.c_str() + i + 1, "%2x", &value) != 1) {
+      return Status::InvalidArgument("bad escape in dump");
+    }
+    out += static_cast<char>(value);
+    i += 2;
+  }
+  return out;
+}
+
+std::string EncodeValue(const Value& value) {
+  switch (value.type()) {
+    case DataType::kNull:
+      return "N";
+    case DataType::kBoolean:
+      return value.AsBoolean() ? "B1" : "B0";
+    case DataType::kInteger:
+      return "I" + std::to_string(value.AsInteger());
+    case DataType::kDouble: {
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "F%.17g", value.AsDouble());
+      return buf;
+    }
+    case DataType::kString:
+      return "S" + Escape(value.AsString());
+    case DataType::kDate:
+      return "T" + std::to_string(value.AsDate());
+  }
+  return "N";
+}
+
+Result<Value> DecodeValue(const std::string& encoded) {
+  if (encoded.empty()) {
+    return Status::InvalidArgument("empty value in dump");
+  }
+  const std::string payload = encoded.substr(1);
+  switch (encoded[0]) {
+    case 'N':
+      return Value::Null();
+    case 'B':
+      return Value::Boolean(payload == "1");
+    case 'I':
+      return Value::Integer(std::stoll(payload));
+    case 'F':
+      return Value::Double(std::stod(payload));
+    case 'S': {
+      MR_ASSIGN_OR_RETURN(std::string raw, Unescape(payload));
+      return Value::String(std::move(raw));
+    }
+    case 'T':
+      return Value::Date(static_cast<int32_t>(std::stol(payload)));
+    default:
+      return Status::InvalidArgument(std::string("unknown value tag '") +
+                                     encoded[0] + "' in dump");
+  }
+}
+
+}  // namespace
+
+Status SaveCatalog(const Catalog& catalog, std::ostream& out) {
+  out << kMagic << "\n";
+  for (const std::string& name : catalog.TableNames()) {
+    MR_ASSIGN_OR_RETURN(std::shared_ptr<Table> table,
+                        catalog.GetTable(name));
+    const Schema& schema = table->schema();
+    out << "TABLE " << Escape(name) << " " << schema.num_columns() << " "
+        << table->num_rows() << "\n";
+    for (const Column& col : schema.columns()) {
+      out << "COL " << Escape(col.name) << " " << DataTypeName(col.type)
+          << "\n";
+    }
+    for (const Row& row : table->rows()) {
+      for (size_t c = 0; c < row.size(); ++c) {
+        if (c > 0) out << '\t';
+        out << EncodeValue(row[c]);
+      }
+      out << "\n";
+    }
+  }
+  for (const std::string& name : catalog.ViewNames()) {
+    MR_ASSIGN_OR_RETURN(ViewDef view, catalog.GetView(name));
+    out << "VIEW " << Escape(name) << " " << Escape(view.select_sql) << "\n";
+  }
+  for (const std::string& name : catalog.SequenceNames()) {
+    MR_ASSIGN_OR_RETURN(const Sequence* seq, catalog.GetSequence(name));
+    out << "SEQ " << Escape(name) << " " << seq->PeekNext() << "\n";
+  }
+  out << "END\n";
+  if (!out.good()) {
+    return Status::ExecutionError("write failed while saving catalog");
+  }
+  return Status::OK();
+}
+
+Status SaveCatalogToFile(const Catalog& catalog, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::ExecutionError("cannot open for writing: " + path);
+  }
+  return SaveCatalog(catalog, out);
+}
+
+Status LoadCatalog(std::istream& in, Catalog* catalog) {
+  std::string line;
+  if (!std::getline(in, line) || line != kMagic) {
+    return Status::InvalidArgument("not a MineRule catalog dump");
+  }
+  while (std::getline(in, line)) {
+    if (line == "END") return Status::OK();
+    std::istringstream header(line);
+    std::string kind;
+    header >> kind;
+    if (kind == "TABLE") {
+      std::string escaped_name;
+      size_t num_columns = 0;
+      size_t num_rows = 0;
+      header >> escaped_name >> num_columns >> num_rows;
+      MR_ASSIGN_OR_RETURN(std::string name, Unescape(escaped_name));
+      Schema schema;
+      for (size_t c = 0; c < num_columns; ++c) {
+        if (!std::getline(in, line)) {
+          return Status::InvalidArgument("truncated dump (columns)");
+        }
+        std::istringstream col_line(line);
+        std::string col_kind, escaped_col, type_name;
+        col_line >> col_kind >> escaped_col >> type_name;
+        if (col_kind != "COL") {
+          return Status::InvalidArgument("expected COL line, got: " + line);
+        }
+        MR_ASSIGN_OR_RETURN(std::string col_name, Unescape(escaped_col));
+        MR_ASSIGN_OR_RETURN(DataType type, DataTypeFromName(type_name));
+        schema.AddColumn(Column(std::move(col_name), type));
+      }
+      MR_ASSIGN_OR_RETURN(std::shared_ptr<Table> table,
+                          catalog->CreateTable(name, std::move(schema)));
+      table->Reserve(num_rows);
+      for (size_t r = 0; r < num_rows; ++r) {
+        if (!std::getline(in, line)) {
+          return Status::InvalidArgument("truncated dump (rows)");
+        }
+        Row row;
+        row.reserve(num_columns);
+        for (const std::string& piece : Split(line, '\t')) {
+          MR_ASSIGN_OR_RETURN(Value value, DecodeValue(piece));
+          row.push_back(std::move(value));
+        }
+        if (row.size() != num_columns) {
+          return Status::InvalidArgument("row arity mismatch in dump");
+        }
+        table->AppendUnchecked(std::move(row));
+      }
+    } else if (kind == "VIEW") {
+      std::string escaped_name;
+      header >> escaped_name;
+      std::string escaped_sql;
+      std::getline(header, escaped_sql);
+      escaped_sql = std::string(StripWhitespace(escaped_sql));
+      MR_ASSIGN_OR_RETURN(std::string name, Unescape(escaped_name));
+      MR_ASSIGN_OR_RETURN(std::string sql, Unescape(escaped_sql));
+      MR_RETURN_IF_ERROR(catalog->CreateView(name, sql));
+    } else if (kind == "SEQ") {
+      std::string escaped_name;
+      int64_t next = 1;
+      header >> escaped_name >> next;
+      MR_ASSIGN_OR_RETURN(std::string name, Unescape(escaped_name));
+      MR_RETURN_IF_ERROR(catalog->CreateSequence(name, next));
+    } else if (!line.empty()) {
+      return Status::InvalidArgument("unrecognized dump line: " + line);
+    }
+  }
+  return Status::InvalidArgument("dump missing END marker");
+}
+
+Status LoadCatalogFromFile(const std::string& path, Catalog* catalog) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::NotFound("cannot open: " + path);
+  }
+  return LoadCatalog(in, catalog);
+}
+
+}  // namespace minerule

@@ -1,0 +1,27 @@
+#ifndef MINERULE_RELATIONAL_CATALOG_IO_H_
+#define MINERULE_RELATIONAL_CATALOG_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/result.h"
+#include "relational/catalog.h"
+
+namespace minerule {
+
+/// Serializes the whole catalog — tables with rows, view definitions, and
+/// sequence positions — to a line-oriented text format ("MINERULE-DB 1").
+/// Values are type-tagged and percent-escaped, so arbitrary strings
+/// round-trip. Intended for the shell's .save/.open and for snapshotting
+/// experiment databases; this is not a transactional store.
+Status SaveCatalog(const Catalog& catalog, std::ostream& out);
+Status SaveCatalogToFile(const Catalog& catalog, const std::string& path);
+
+/// Loads a dump produced by SaveCatalog into `catalog`, which must not
+/// already contain any object with a dumped name.
+Status LoadCatalog(std::istream& in, Catalog* catalog);
+Status LoadCatalogFromFile(const std::string& path, Catalog* catalog);
+
+}  // namespace minerule
+
+#endif  // MINERULE_RELATIONAL_CATALOG_IO_H_

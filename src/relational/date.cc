@@ -1,0 +1,115 @@
+#include "relational/date.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace minerule {
+namespace date {
+
+namespace {
+
+bool IsDigits(std::string_view s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+int ToInt(std::string_view s) {
+  int v = 0;
+  for (char c : s) v = v * 10 + (c - '0');
+  return v;
+}
+
+bool ValidCivil(int year, int month, int day) {
+  if (month < 1 || month > 12 || day < 1) return false;
+  static const int kDays[] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+  int dim = kDays[month - 1];
+  const bool leap = (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+  if (month == 2 && leap) dim = 29;
+  return day <= dim;
+}
+
+}  // namespace
+
+// Howard Hinnant's days_from_civil algorithm.
+int32_t FromCivil(int year, int month, int day) {
+  year -= month <= 2;
+  const int era = (year >= 0 ? year : year - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(year - era * 400);
+  const unsigned doy =
+      (153 * static_cast<unsigned>(month + (month > 2 ? -3 : 9)) + 2) / 5 +
+      static_cast<unsigned>(day) - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return static_cast<int32_t>(era * 146097 + static_cast<int>(doe) - 719468);
+}
+
+void ToCivil(int32_t days, int* year, int* month, int* day) {
+  int32_t z = days + 719468;
+  const int32_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int y = static_cast<int>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  *day = static_cast<int>(doy - (153 * mp + 2) / 5 + 1);
+  *month = static_cast<int>(mp + (mp < 10 ? 3 : -9));
+  *year = y + (*month <= 2);
+}
+
+Result<int32_t> Parse(std::string_view text) {
+  // Try ISO "YYYY-MM-DD".
+  {
+    size_t d1 = text.find('-');
+    if (d1 != std::string_view::npos) {
+      size_t d2 = text.find('-', d1 + 1);
+      if (d2 != std::string_view::npos) {
+        std::string_view ys = text.substr(0, d1);
+        std::string_view ms = text.substr(d1 + 1, d2 - d1 - 1);
+        std::string_view ds = text.substr(d2 + 1);
+        if (IsDigits(ys) && IsDigits(ms) && IsDigits(ds)) {
+          int y = ToInt(ys), m = ToInt(ms), d = ToInt(ds);
+          if (!ValidCivil(y, m, d)) {
+            return Status::InvalidArgument("invalid date: " +
+                                           std::string(text));
+          }
+          return FromCivil(y, m, d);
+        }
+      }
+    }
+  }
+  // Try "MM/DD/YY" or "MM/DD/YYYY".
+  {
+    size_t s1 = text.find('/');
+    if (s1 != std::string_view::npos) {
+      size_t s2 = text.find('/', s1 + 1);
+      if (s2 != std::string_view::npos) {
+        std::string_view ms = text.substr(0, s1);
+        std::string_view ds = text.substr(s1 + 1, s2 - s1 - 1);
+        std::string_view ys = text.substr(s2 + 1);
+        if (IsDigits(ms) && IsDigits(ds) && IsDigits(ys)) {
+          int m = ToInt(ms), d = ToInt(ds), y = ToInt(ys);
+          if (ys.size() <= 2) y = (y < 70) ? 2000 + y : 1900 + y;
+          if (!ValidCivil(y, m, d)) {
+            return Status::InvalidArgument("invalid date: " +
+                                           std::string(text));
+          }
+          return FromCivil(y, m, d);
+        }
+      }
+    }
+  }
+  return Status::InvalidArgument("unparseable date: " + std::string(text));
+}
+
+std::string ToString(int32_t days) {
+  int y, m, d;
+  ToCivil(days, &y, &m, &d);
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%02d/%02d/%04d", m, d, y);
+  return buf;
+}
+
+}  // namespace date
+}  // namespace minerule

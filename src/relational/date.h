@@ -1,0 +1,34 @@
+#ifndef MINERULE_RELATIONAL_DATE_H_
+#define MINERULE_RELATIONAL_DATE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace minerule {
+
+/// Calendar-date helpers. Dates are stored as the number of days since the
+/// civil epoch 1970-01-01 (negative for earlier dates), which makes date
+/// comparison in mining/cluster conditions a plain integer comparison.
+namespace date {
+
+/// Days since 1970-01-01 for the given civil date (proleptic Gregorian).
+int32_t FromCivil(int year, int month, int day);
+
+/// Inverse of FromCivil.
+void ToCivil(int32_t days, int* year, int* month, int* day);
+
+/// Parses "MM/DD/YY", "MM/DD/YYYY" (the paper's notation) or ISO
+/// "YYYY-MM-DD". Two-digit years are interpreted in 1970..2069 to match the
+/// paper's 12/17/95-style dates.
+Result<int32_t> Parse(std::string_view text);
+
+/// Formats as "MM/DD/YYYY" — the notation the paper uses in Figure 1.
+std::string ToString(int32_t days);
+
+}  // namespace date
+}  // namespace minerule
+
+#endif  // MINERULE_RELATIONAL_DATE_H_

@@ -1,0 +1,57 @@
+#include "relational/schema.h"
+
+#include "common/string_util.h"
+
+namespace minerule {
+
+int Schema::FindColumn(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (EqualsIgnoreCase(columns_[i].name, name)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Result<size_t> Schema::ResolveColumn(const std::string& name) const {
+  int found = -1;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (EqualsIgnoreCase(columns_[i].name, name)) {
+      if (found >= 0) {
+        return Status::SemanticError("ambiguous column reference: " + name);
+      }
+      found = static_cast<int>(i);
+    }
+  }
+  if (found < 0) {
+    return Status::NotFound("column not found: " + name);
+  }
+  return static_cast<size_t>(found);
+}
+
+std::string Schema::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += ' ';
+    out += DataTypeName(columns_[i].type);
+  }
+  return out;
+}
+
+size_t RowHash::operator()(const Row& row) const {
+  size_t h = 0x811c9dc5u;
+  for (const Value& v : row) {
+    h ^= v.Hash() + 0x9e3779b9u + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+bool RowEq::operator()(const Row& a, const Row& b) const {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!a[i].TotalEquals(b[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace minerule

@@ -1,0 +1,70 @@
+#ifndef MINERULE_RELATIONAL_SCHEMA_H_
+#define MINERULE_RELATIONAL_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/value.h"
+
+namespace minerule {
+
+/// One column of a relation. Column names are case-insensitive, as in SQL.
+struct Column {
+  std::string name;
+  DataType type = DataType::kString;
+
+  Column() = default;
+  Column(std::string n, DataType t) : name(std::move(n)), type(t) {}
+
+  bool operator==(const Column&) const = default;
+};
+
+/// An ordered list of columns. Duplicate names are allowed transiently in
+/// join intermediates (resolved by qualified references); user tables reject
+/// them at creation time in Catalog.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns)
+      : columns_(std::move(columns)) {}
+
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  void AddColumn(Column column) { columns_.push_back(std::move(column)); }
+
+  /// Index of the column with the given (case-insensitive) name, or -1.
+  int FindColumn(const std::string& name) const;
+
+  /// Like FindColumn but error if missing or ambiguous (duplicate name).
+  Result<size_t> ResolveColumn(const std::string& name) const;
+
+  bool HasColumn(const std::string& name) const {
+    return FindColumn(name) >= 0;
+  }
+
+  /// "name TYPE, name TYPE, ..." — used in error messages and dumps.
+  std::string ToString() const;
+
+  bool operator==(const Schema&) const = default;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+/// A tuple; the i-th value conforms to the i-th schema column.
+using Row = std::vector<Value>;
+
+/// Hash/equality functors for rows, used by DISTINCT / GROUP BY / hash join.
+struct RowHash {
+  size_t operator()(const Row& row) const;
+};
+struct RowEq {
+  bool operator()(const Row& a, const Row& b) const;
+};
+
+}  // namespace minerule
+
+#endif  // MINERULE_RELATIONAL_SCHEMA_H_

@@ -1,0 +1,89 @@
+#include "relational/table.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace minerule {
+
+Result<Value> CoerceValueToColumn(const Value& value, DataType type,
+                                  const std::string& column_name) {
+  if (value.is_null()) return value;
+  if (value.type() == type) return value;
+  if (type == DataType::kDouble && value.type() == DataType::kInteger) {
+    return Value::Double(static_cast<double>(value.AsInteger()));
+  }
+  if (type == DataType::kInteger && value.type() == DataType::kDouble) {
+    // Allow exact integral doubles (e.g. results of AVG-free arithmetic).
+    const double d = value.AsDouble();
+    const int64_t i = static_cast<int64_t>(d);
+    if (static_cast<double>(i) == d) return Value::Integer(i);
+  }
+  return Status::TypeError("value of type " +
+                           std::string(DataTypeName(value.type())) +
+                           " does not fit column '" + column_name + "' (" +
+                           DataTypeName(type) + ")");
+}
+
+Status Table::Append(Row row) {
+  if (row.size() != schema_.num_columns()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " does not match table '" +
+        name_ + "' with " + std::to_string(schema_.num_columns()) +
+        " columns");
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    MR_ASSIGN_OR_RETURN(
+        row[i], CoerceValueToColumn(row[i], schema_.column(i).type,
+                                    schema_.column(i).name));
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+std::string Table::ToDisplayString(size_t max_rows) const {
+  std::vector<size_t> widths(schema_.num_columns());
+  std::vector<std::vector<std::string>> cells;
+  for (size_t c = 0; c < schema_.num_columns(); ++c) {
+    widths[c] = schema_.column(c).name.size();
+  }
+  const size_t shown = std::min(max_rows, rows_.size());
+  cells.reserve(shown);
+  for (size_t r = 0; r < shown; ++r) {
+    std::vector<std::string> line;
+    line.reserve(schema_.num_columns());
+    for (size_t c = 0; c < schema_.num_columns(); ++c) {
+      line.push_back(rows_[r][c].ToString());
+      widths[c] = std::max(widths[c], line.back().size());
+    }
+    cells.push_back(std::move(line));
+  }
+  std::ostringstream os;
+  auto rule = [&] {
+    os << '+';
+    for (size_t w : widths) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  rule();
+  os << '|';
+  for (size_t c = 0; c < widths.size(); ++c) {
+    const std::string& n = schema_.column(c).name;
+    os << ' ' << n << std::string(widths[c] - n.size(), ' ') << " |";
+  }
+  os << '\n';
+  rule();
+  for (const auto& line : cells) {
+    os << '|';
+    for (size_t c = 0; c < widths.size(); ++c) {
+      os << ' ' << line[c] << std::string(widths[c] - line[c].size(), ' ')
+         << " |";
+    }
+    os << '\n';
+  }
+  rule();
+  if (shown < rows_.size()) {
+    os << "(" << rows_.size() - shown << " more rows)\n";
+  }
+  return os.str();
+}
+
+}  // namespace minerule

@@ -1,0 +1,55 @@
+#ifndef MINERULE_RELATIONAL_TABLE_H_
+#define MINERULE_RELATIONAL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/schema.h"
+
+namespace minerule {
+
+/// An in-memory row-store relation. Tables are owned by the Catalog and
+/// referenced by shared_ptr so query results can outlive DDL.
+class Table {
+ public:
+  Table(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return rows_.size(); }
+  const std::vector<Row>& rows() const { return rows_; }
+  const Row& row(size_t i) const { return rows_[i]; }
+
+  /// Appends after checking arity and per-column type compatibility
+  /// (NULL fits any column; INTEGER widens into DOUBLE columns).
+  Status Append(Row row);
+
+  /// Appends without checks; used by operators whose output schema is
+  /// correct by construction.
+  void AppendUnchecked(Row row) { rows_.push_back(std::move(row)); }
+
+  void Clear() { rows_.clear(); }
+  void Reserve(size_t n) { rows_.reserve(n); }
+
+  /// Direct row access for DML (DELETE rewrites the row vector in place).
+  std::vector<Row>& mutable_rows() { return rows_; }
+
+  /// Renders an aligned ASCII table (for examples and debugging).
+  std::string ToDisplayString(size_t max_rows = 100) const;
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<Row> rows_;
+};
+
+/// Checks that `value` may be stored in a column of type `type`, coercing
+/// INTEGER to DOUBLE when needed. Returns the possibly-coerced value.
+Result<Value> CoerceValueToColumn(const Value& value, DataType type,
+                                  const std::string& column_name);
+
+}  // namespace minerule
+
+#endif  // MINERULE_RELATIONAL_TABLE_H_

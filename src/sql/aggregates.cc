@@ -1,0 +1,81 @@
+#include "sql/aggregates.h"
+
+namespace minerule::sql {
+
+AggAccumulator::AggAccumulator(AggFunc func, bool distinct)
+    : func_(func), distinct_(distinct) {}
+
+Status AggAccumulator::Add(const Value& value) {
+  if (func_ == AggFunc::kCountStar) {
+    ++count_;
+    return Status::OK();
+  }
+  if (value.is_null()) return Status::OK();
+  if (distinct_) {
+    if (!seen_.insert(value).second) return Status::OK();
+  }
+  switch (func_) {
+    case AggFunc::kCount:
+      ++count_;
+      return Status::OK();
+    case AggFunc::kSum:
+    case AggFunc::kAvg: {
+      if (!value.is_numeric()) {
+        return Status::TypeError("SUM/AVG over non-numeric value");
+      }
+      ++count_;
+      if (value.type() == DataType::kInteger) {
+        int_sum_ += value.AsInteger();
+      } else {
+        all_integers_ = false;
+      }
+      double_sum_ += value.AsDouble();
+      return Status::OK();
+    }
+    case AggFunc::kMin: {
+      ++count_;
+      if (min_.is_null()) {
+        min_ = value;
+      } else {
+        MR_ASSIGN_OR_RETURN(int cmp, value.SqlCompare(min_));
+        if (cmp < 0) min_ = value;
+      }
+      return Status::OK();
+    }
+    case AggFunc::kMax: {
+      ++count_;
+      if (max_.is_null()) {
+        max_ = value;
+      } else {
+        MR_ASSIGN_OR_RETURN(int cmp, value.SqlCompare(max_));
+        if (cmp > 0) max_ = value;
+      }
+      return Status::OK();
+    }
+    case AggFunc::kCountStar:
+      break;
+  }
+  return Status::Internal("unhandled aggregate in Add");
+}
+
+Result<Value> AggAccumulator::Finish() const {
+  switch (func_) {
+    case AggFunc::kCountStar:
+    case AggFunc::kCount:
+      return Value::Integer(count_);
+    case AggFunc::kSum:
+      if (count_ == 0) return Value::Null();
+      if (all_integers_) return Value::Integer(int_sum_);
+      return Value::Double(double_sum_);
+    case AggFunc::kAvg:
+      if (count_ == 0) return Value::Null();
+      return Value::Double(double_sum_ / static_cast<double>(count_));
+    case AggFunc::kMin:
+      return min_;
+    case AggFunc::kMax:
+      return max_;
+  }
+  return Status::Internal("unhandled aggregate in Finish");
+}
+
+}  // namespace minerule::sql

@@ -1,0 +1,39 @@
+#ifndef MINERULE_SQL_AGGREGATES_H_
+#define MINERULE_SQL_AGGREGATES_H_
+
+#include <unordered_set>
+
+#include "common/result.h"
+#include "relational/value.h"
+#include "sql/ast.h"
+
+namespace minerule::sql {
+
+/// Incremental state for one aggregate function over one group.
+/// SQL semantics: non-star aggregates ignore NULL inputs; empty input yields
+/// 0 for COUNT and NULL for SUM/AVG/MIN/MAX.
+class AggAccumulator {
+ public:
+  AggAccumulator(AggFunc func, bool distinct);
+
+  /// Feeds one input value (ignored payload for COUNT(*)).
+  Status Add(const Value& value);
+
+  /// Produces the aggregate result for the rows fed so far.
+  Result<Value> Finish() const;
+
+ private:
+  AggFunc func_;
+  bool distinct_;
+  int64_t count_ = 0;        // non-null rows seen (after DISTINCT filter)
+  int64_t int_sum_ = 0;
+  double double_sum_ = 0.0;
+  bool all_integers_ = true;
+  Value min_;
+  Value max_;
+  std::unordered_set<Value, ValueHash, ValueEq> seen_;
+};
+
+}  // namespace minerule::sql
+
+#endif  // MINERULE_SQL_AGGREGATES_H_

@@ -1,0 +1,209 @@
+#include "sql/ast.h"
+
+#include "common/string_util.h"
+
+namespace minerule::sql {
+
+const char* BinaryOpName(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAnd:
+      return "AND";
+    case BinaryOp::kOr:
+      return "OR";
+    case BinaryOp::kEq:
+      return "=";
+    case BinaryOp::kNotEq:
+      return "<>";
+    case BinaryOp::kLess:
+      return "<";
+    case BinaryOp::kLessEq:
+      return "<=";
+    case BinaryOp::kGreater:
+      return ">";
+    case BinaryOp::kGreaterEq:
+      return ">=";
+    case BinaryOp::kAdd:
+      return "+";
+    case BinaryOp::kSub:
+      return "-";
+    case BinaryOp::kMul:
+      return "*";
+    case BinaryOp::kDiv:
+      return "/";
+    case BinaryOp::kMod:
+      return "%";
+    case BinaryOp::kConcat:
+      return "||";
+  }
+  return "?";
+}
+
+const char* AggFuncName(AggFunc func) {
+  switch (func) {
+    case AggFunc::kCountStar:
+    case AggFunc::kCount:
+      return "COUNT";
+    case AggFunc::kSum:
+      return "SUM";
+    case AggFunc::kAvg:
+      return "AVG";
+    case AggFunc::kMin:
+      return "MIN";
+    case AggFunc::kMax:
+      return "MAX";
+  }
+  return "?";
+}
+
+std::string BinaryExpr::ToSql() const {
+  return "(" + lhs->ToSql() + " " + BinaryOpName(op) + " " + rhs->ToSql() +
+         ")";
+}
+
+ExprPtr InListExpr::Clone() const {
+  std::vector<ExprPtr> copies;
+  copies.reserve(list.size());
+  for (const ExprPtr& e : list) copies.push_back(e->Clone());
+  return std::make_unique<InListExpr>(operand->Clone(), std::move(copies),
+                                      negated);
+}
+
+std::string InListExpr::ToSql() const {
+  std::string out = operand->ToSql() + (negated ? " NOT IN (" : " IN (");
+  for (size_t i = 0; i < list.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += list[i]->ToSql();
+  }
+  out += ")";
+  return out;
+}
+
+ExprPtr FunctionExpr::Clone() const {
+  std::vector<ExprPtr> copies;
+  copies.reserve(args.size());
+  for (const ExprPtr& e : args) copies.push_back(e->Clone());
+  return std::make_unique<FunctionExpr>(name, std::move(copies));
+}
+
+std::string FunctionExpr::ToSql() const {
+  std::string out = name + "(";
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += args[i]->ToSql();
+  }
+  out += ")";
+  return out;
+}
+
+std::string AggregateExpr::ToSql() const {
+  std::string out = AggFuncName(func);
+  out += "(";
+  if (func == AggFunc::kCountStar) {
+    out += "*";
+  } else {
+    if (distinct) out += "DISTINCT ";
+    out += arg->ToSql();
+  }
+  out += ")";
+  return out;
+}
+
+bool ExprEquals(const Expr& a, const Expr& b) {
+  if (a.kind != b.kind) {
+    // A bound column reference and the slot it was rewritten to are not
+    // considered equal; matching happens before slot rewriting.
+    return false;
+  }
+  switch (a.kind) {
+    case ExprKind::kLiteral: {
+      const auto& la = static_cast<const LiteralExpr&>(a);
+      const auto& lb = static_cast<const LiteralExpr&>(b);
+      return la.value.TotalEquals(lb.value);
+    }
+    case ExprKind::kColumnRef: {
+      const auto& ca = static_cast<const ColumnRefExpr&>(a);
+      const auto& cb = static_cast<const ColumnRefExpr&>(b);
+      // Bound references compare by resolved slot: "price" and "p.price"
+      // are the same column if they bound to the same input position.
+      if (ca.bound_index >= 0 && cb.bound_index >= 0) {
+        return ca.bound_index == cb.bound_index;
+      }
+      return EqualsIgnoreCase(ca.qualifier, cb.qualifier) &&
+             EqualsIgnoreCase(ca.column, cb.column);
+    }
+    case ExprKind::kSlotRef: {
+      const auto& sa = static_cast<const SlotRefExpr&>(a);
+      const auto& sb = static_cast<const SlotRefExpr&>(b);
+      return sa.index == sb.index;
+    }
+    case ExprKind::kHostVar: {
+      const auto& ha = static_cast<const HostVarExpr&>(a);
+      const auto& hb = static_cast<const HostVarExpr&>(b);
+      return EqualsIgnoreCase(ha.name, hb.name);
+    }
+    case ExprKind::kUnary: {
+      const auto& ua = static_cast<const UnaryExpr&>(a);
+      const auto& ub = static_cast<const UnaryExpr&>(b);
+      return ua.op == ub.op && ExprEquals(*ua.operand, *ub.operand);
+    }
+    case ExprKind::kBinary: {
+      const auto& ba = static_cast<const BinaryExpr&>(a);
+      const auto& bb = static_cast<const BinaryExpr&>(b);
+      return ba.op == bb.op && ExprEquals(*ba.lhs, *bb.lhs) &&
+             ExprEquals(*ba.rhs, *bb.rhs);
+    }
+    case ExprKind::kBetween: {
+      const auto& ba = static_cast<const BetweenExpr&>(a);
+      const auto& bb = static_cast<const BetweenExpr&>(b);
+      return ba.negated == bb.negated &&
+             ExprEquals(*ba.operand, *bb.operand) &&
+             ExprEquals(*ba.low, *bb.low) && ExprEquals(*ba.high, *bb.high);
+    }
+    case ExprKind::kInList: {
+      const auto& ia = static_cast<const InListExpr&>(a);
+      const auto& ib = static_cast<const InListExpr&>(b);
+      if (ia.negated != ib.negated || ia.list.size() != ib.list.size() ||
+          !ExprEquals(*ia.operand, *ib.operand)) {
+        return false;
+      }
+      for (size_t i = 0; i < ia.list.size(); ++i) {
+        if (!ExprEquals(*ia.list[i], *ib.list[i])) return false;
+      }
+      return true;
+    }
+    case ExprKind::kIsNull: {
+      const auto& na = static_cast<const IsNullExpr&>(a);
+      const auto& nb = static_cast<const IsNullExpr&>(b);
+      return na.negated == nb.negated && ExprEquals(*na.operand, *nb.operand);
+    }
+    case ExprKind::kFunction: {
+      const auto& fa = static_cast<const FunctionExpr&>(a);
+      const auto& fb = static_cast<const FunctionExpr&>(b);
+      if (!EqualsIgnoreCase(fa.name, fb.name) ||
+          fa.args.size() != fb.args.size()) {
+        return false;
+      }
+      for (size_t i = 0; i < fa.args.size(); ++i) {
+        if (!ExprEquals(*fa.args[i], *fb.args[i])) return false;
+      }
+      return true;
+    }
+    case ExprKind::kAggregate: {
+      const auto& ga = static_cast<const AggregateExpr&>(a);
+      const auto& gb = static_cast<const AggregateExpr&>(b);
+      if (ga.func != gb.func || ga.distinct != gb.distinct) return false;
+      if ((ga.arg == nullptr) != (gb.arg == nullptr)) return false;
+      return ga.arg == nullptr || ExprEquals(*ga.arg, *gb.arg);
+    }
+    case ExprKind::kNextVal: {
+      const auto& na = static_cast<const NextValExpr&>(a);
+      const auto& nb = static_cast<const NextValExpr&>(b);
+      return EqualsIgnoreCase(na.sequence, nb.sequence);
+    }
+    case ExprKind::kStar:
+      return true;
+  }
+  return false;
+}
+
+}  // namespace minerule::sql

@@ -1,0 +1,371 @@
+#include "sql/binder.h"
+
+#include "common/string_util.h"
+
+namespace minerule::sql {
+
+Result<int> BindScope::Resolve(const std::string& qualifier,
+                               const std::string& name) const {
+  int found = -1;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    const BoundColumn& col = columns_[i];
+    if (!EqualsIgnoreCase(col.name, name)) continue;
+    if (!qualifier.empty() && !EqualsIgnoreCase(col.qualifier, qualifier)) {
+      continue;
+    }
+    if (found >= 0) {
+      return Status::SemanticError(
+          "ambiguous column reference: " +
+          (qualifier.empty() ? name : qualifier + "." + name));
+    }
+    found = static_cast<int>(i);
+  }
+  if (found < 0) {
+    return Status::SemanticError(
+        "column not found: " +
+        (qualifier.empty() ? name : qualifier + "." + name));
+  }
+  return found;
+}
+
+bool BindScope::CanResolve(const std::string& qualifier,
+                           const std::string& name) const {
+  int count = 0;
+  for (const BoundColumn& col : columns_) {
+    if (!EqualsIgnoreCase(col.name, name)) continue;
+    if (!qualifier.empty() && !EqualsIgnoreCase(col.qualifier, qualifier)) {
+      continue;
+    }
+    ++count;
+  }
+  return count == 1;
+}
+
+namespace {
+
+Status BindExprImpl(Expr* expr, const BindScope& scope, bool allow_aggregates,
+                    bool inside_aggregate) {
+  switch (expr->kind) {
+    case ExprKind::kLiteral:
+    case ExprKind::kHostVar:
+    case ExprKind::kNextVal:
+    case ExprKind::kSlotRef:
+    case ExprKind::kStar:
+      return Status::OK();
+    case ExprKind::kColumnRef: {
+      auto* ref = static_cast<ColumnRefExpr*>(expr);
+      MR_ASSIGN_OR_RETURN(int slot, scope.Resolve(ref->qualifier, ref->column));
+      ref->bound_index = slot;
+      ref->bound_type = scope.column(slot).type;
+      return Status::OK();
+    }
+    case ExprKind::kUnary: {
+      auto* u = static_cast<UnaryExpr*>(expr);
+      return BindExprImpl(u->operand.get(), scope, allow_aggregates,
+                          inside_aggregate);
+    }
+    case ExprKind::kBinary: {
+      auto* b = static_cast<BinaryExpr*>(expr);
+      MR_RETURN_IF_ERROR(BindExprImpl(b->lhs.get(), scope, allow_aggregates,
+                                      inside_aggregate));
+      return BindExprImpl(b->rhs.get(), scope, allow_aggregates,
+                          inside_aggregate);
+    }
+    case ExprKind::kBetween: {
+      auto* b = static_cast<BetweenExpr*>(expr);
+      MR_RETURN_IF_ERROR(BindExprImpl(b->operand.get(), scope,
+                                      allow_aggregates, inside_aggregate));
+      MR_RETURN_IF_ERROR(BindExprImpl(b->low.get(), scope, allow_aggregates,
+                                      inside_aggregate));
+      return BindExprImpl(b->high.get(), scope, allow_aggregates,
+                          inside_aggregate);
+    }
+    case ExprKind::kInList: {
+      auto* in = static_cast<InListExpr*>(expr);
+      MR_RETURN_IF_ERROR(BindExprImpl(in->operand.get(), scope,
+                                      allow_aggregates, inside_aggregate));
+      for (ExprPtr& e : in->list) {
+        MR_RETURN_IF_ERROR(
+            BindExprImpl(e.get(), scope, allow_aggregates, inside_aggregate));
+      }
+      return Status::OK();
+    }
+    case ExprKind::kIsNull: {
+      auto* n = static_cast<IsNullExpr*>(expr);
+      return BindExprImpl(n->operand.get(), scope, allow_aggregates,
+                          inside_aggregate);
+    }
+    case ExprKind::kFunction: {
+      auto* f = static_cast<FunctionExpr*>(expr);
+      for (ExprPtr& e : f->args) {
+        MR_RETURN_IF_ERROR(
+            BindExprImpl(e.get(), scope, allow_aggregates, inside_aggregate));
+      }
+      return Status::OK();
+    }
+    case ExprKind::kAggregate: {
+      if (!allow_aggregates) {
+        return Status::SemanticError(
+            "aggregate function not allowed here: " + expr->ToSql());
+      }
+      if (inside_aggregate) {
+        return Status::SemanticError("nested aggregate: " + expr->ToSql());
+      }
+      auto* agg = static_cast<AggregateExpr*>(expr);
+      if (agg->arg != nullptr) {
+        return BindExprImpl(agg->arg.get(), scope, allow_aggregates,
+                            /*inside_aggregate=*/true);
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unknown expression kind in binder");
+}
+
+bool BindableImpl(const Expr& expr, const BindScope& scope) {
+  switch (expr.kind) {
+    case ExprKind::kLiteral:
+    case ExprKind::kHostVar:
+    case ExprKind::kNextVal:
+    case ExprKind::kSlotRef:
+    case ExprKind::kStar:
+      return true;
+    case ExprKind::kColumnRef: {
+      const auto& ref = static_cast<const ColumnRefExpr&>(expr);
+      return scope.CanResolve(ref.qualifier, ref.column);
+    }
+    case ExprKind::kUnary:
+      return BindableImpl(*static_cast<const UnaryExpr&>(expr).operand, scope);
+    case ExprKind::kBinary: {
+      const auto& b = static_cast<const BinaryExpr&>(expr);
+      return BindableImpl(*b.lhs, scope) && BindableImpl(*b.rhs, scope);
+    }
+    case ExprKind::kBetween: {
+      const auto& b = static_cast<const BetweenExpr&>(expr);
+      return BindableImpl(*b.operand, scope) && BindableImpl(*b.low, scope) &&
+             BindableImpl(*b.high, scope);
+    }
+    case ExprKind::kInList: {
+      const auto& in = static_cast<const InListExpr&>(expr);
+      if (!BindableImpl(*in.operand, scope)) return false;
+      for (const ExprPtr& e : in.list) {
+        if (!BindableImpl(*e, scope)) return false;
+      }
+      return true;
+    }
+    case ExprKind::kIsNull:
+      return BindableImpl(*static_cast<const IsNullExpr&>(expr).operand,
+                          scope);
+    case ExprKind::kFunction: {
+      const auto& f = static_cast<const FunctionExpr&>(expr);
+      for (const ExprPtr& e : f.args) {
+        if (!BindableImpl(*e, scope)) return false;
+      }
+      return true;
+    }
+    case ExprKind::kAggregate: {
+      const auto& agg = static_cast<const AggregateExpr&>(expr);
+      return agg.arg == nullptr || BindableImpl(*agg.arg, scope);
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Status BindExpr(Expr* expr, const BindScope& scope, bool allow_aggregates) {
+  return BindExprImpl(expr, scope, allow_aggregates,
+                      /*inside_aggregate=*/false);
+}
+
+bool ExprBindableIn(const Expr& expr, const BindScope& scope) {
+  return BindableImpl(expr, scope);
+}
+
+bool ContainsAggregate(const Expr& expr) {
+  switch (expr.kind) {
+    case ExprKind::kAggregate:
+      return true;
+    case ExprKind::kUnary:
+      return ContainsAggregate(*static_cast<const UnaryExpr&>(expr).operand);
+    case ExprKind::kBinary: {
+      const auto& b = static_cast<const BinaryExpr&>(expr);
+      return ContainsAggregate(*b.lhs) || ContainsAggregate(*b.rhs);
+    }
+    case ExprKind::kBetween: {
+      const auto& b = static_cast<const BetweenExpr&>(expr);
+      return ContainsAggregate(*b.operand) || ContainsAggregate(*b.low) ||
+             ContainsAggregate(*b.high);
+    }
+    case ExprKind::kInList: {
+      const auto& in = static_cast<const InListExpr&>(expr);
+      if (ContainsAggregate(*in.operand)) return true;
+      for (const ExprPtr& e : in.list) {
+        if (ContainsAggregate(*e)) return true;
+      }
+      return false;
+    }
+    case ExprKind::kIsNull:
+      return ContainsAggregate(*static_cast<const IsNullExpr&>(expr).operand);
+    case ExprKind::kFunction: {
+      const auto& f = static_cast<const FunctionExpr&>(expr);
+      for (const ExprPtr& e : f.args) {
+        if (ContainsAggregate(*e)) return true;
+      }
+      return false;
+    }
+    default:
+      return false;
+  }
+}
+
+void CollectAggregates(Expr* expr, std::vector<AggregateExpr*>* out) {
+  switch (expr->kind) {
+    case ExprKind::kAggregate:
+      out->push_back(static_cast<AggregateExpr*>(expr));
+      return;
+    case ExprKind::kUnary:
+      CollectAggregates(static_cast<UnaryExpr*>(expr)->operand.get(), out);
+      return;
+    case ExprKind::kBinary: {
+      auto* b = static_cast<BinaryExpr*>(expr);
+      CollectAggregates(b->lhs.get(), out);
+      CollectAggregates(b->rhs.get(), out);
+      return;
+    }
+    case ExprKind::kBetween: {
+      auto* b = static_cast<BetweenExpr*>(expr);
+      CollectAggregates(b->operand.get(), out);
+      CollectAggregates(b->low.get(), out);
+      CollectAggregates(b->high.get(), out);
+      return;
+    }
+    case ExprKind::kInList: {
+      auto* in = static_cast<InListExpr*>(expr);
+      CollectAggregates(in->operand.get(), out);
+      for (ExprPtr& e : in->list) CollectAggregates(e.get(), out);
+      return;
+    }
+    case ExprKind::kIsNull:
+      CollectAggregates(static_cast<IsNullExpr*>(expr)->operand.get(), out);
+      return;
+    case ExprKind::kFunction: {
+      auto* f = static_cast<FunctionExpr*>(expr);
+      for (ExprPtr& e : f->args) CollectAggregates(e.get(), out);
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+Result<DataType> InferExprType(const Expr& expr) {
+  switch (expr.kind) {
+    case ExprKind::kLiteral:
+      return static_cast<const LiteralExpr&>(expr).value.type();
+    case ExprKind::kColumnRef: {
+      const auto& ref = static_cast<const ColumnRefExpr&>(expr);
+      if (ref.bound_index < 0) {
+        return Status::Internal("InferExprType on unbound column " +
+                                ref.ToSql());
+      }
+      return ref.bound_type;
+    }
+    case ExprKind::kSlotRef:
+      return static_cast<const SlotRefExpr&>(expr).type;
+    case ExprKind::kHostVar:
+      return DataType::kDouble;
+    case ExprKind::kUnary: {
+      const auto& u = static_cast<const UnaryExpr&>(expr);
+      if (u.op == UnaryOp::kNot) return DataType::kBoolean;
+      return InferExprType(*u.operand);
+    }
+    case ExprKind::kBinary: {
+      const auto& b = static_cast<const BinaryExpr&>(expr);
+      switch (b.op) {
+        case BinaryOp::kAnd:
+        case BinaryOp::kOr:
+        case BinaryOp::kEq:
+        case BinaryOp::kNotEq:
+        case BinaryOp::kLess:
+        case BinaryOp::kLessEq:
+        case BinaryOp::kGreater:
+        case BinaryOp::kGreaterEq:
+          return DataType::kBoolean;
+        case BinaryOp::kConcat:
+          return DataType::kString;
+        case BinaryOp::kAdd:
+        case BinaryOp::kSub:
+        case BinaryOp::kMul:
+        case BinaryOp::kDiv:
+        case BinaryOp::kMod: {
+          MR_ASSIGN_OR_RETURN(DataType lt, InferExprType(*b.lhs));
+          MR_ASSIGN_OR_RETURN(DataType rt, InferExprType(*b.rhs));
+          if (lt == DataType::kDouble || rt == DataType::kDouble) {
+            return DataType::kDouble;
+          }
+          return DataType::kInteger;
+        }
+      }
+      return Status::Internal("unknown binary op");
+    }
+    case ExprKind::kBetween:
+    case ExprKind::kInList:
+    case ExprKind::kIsNull:
+      return DataType::kBoolean;
+    case ExprKind::kFunction: {
+      const auto& f = static_cast<const FunctionExpr&>(expr);
+      if (f.name == "UPPER" || f.name == "LOWER" || f.name == "SUBSTR") {
+        return DataType::kString;
+      }
+      if (f.name == "LENGTH" || f.name == "YEAR" || f.name == "MONTH" ||
+          f.name == "DAY") {
+        return DataType::kInteger;
+      }
+      if (f.name == "ABS" || f.name == "ROUND") {
+        if (f.args.empty()) return DataType::kDouble;
+        return InferExprType(*f.args[0]);
+      }
+      return Status::SemanticError("unknown function: " + f.name);
+    }
+    case ExprKind::kAggregate: {
+      const auto& agg = static_cast<const AggregateExpr&>(expr);
+      switch (agg.func) {
+        case AggFunc::kCountStar:
+        case AggFunc::kCount:
+          return DataType::kInteger;
+        case AggFunc::kAvg:
+          return DataType::kDouble;
+        case AggFunc::kSum: {
+          MR_ASSIGN_OR_RETURN(DataType t, InferExprType(*agg.arg));
+          return t == DataType::kInteger ? DataType::kInteger
+                                         : DataType::kDouble;
+        }
+        case AggFunc::kMin:
+        case AggFunc::kMax:
+          return InferExprType(*agg.arg);
+      }
+      return Status::Internal("unknown aggregate");
+    }
+    case ExprKind::kNextVal:
+      return DataType::kInteger;
+    case ExprKind::kStar:
+      return Status::Internal("InferExprType on '*'");
+  }
+  return Status::Internal("unknown expression kind");
+}
+
+void SplitConjuncts(ExprPtr expr, std::vector<ExprPtr>* out) {
+  if (expr == nullptr) return;
+  if (expr->kind == ExprKind::kBinary) {
+    auto* b = static_cast<BinaryExpr*>(expr.get());
+    if (b->op == BinaryOp::kAnd) {
+      SplitConjuncts(std::move(b->lhs), out);
+      SplitConjuncts(std::move(b->rhs), out);
+      return;
+    }
+  }
+  out->push_back(std::move(expr));
+}
+
+}  // namespace minerule::sql

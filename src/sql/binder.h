@@ -1,0 +1,80 @@
+#ifndef MINERULE_SQL_BINDER_H_
+#define MINERULE_SQL_BINDER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/schema.h"
+#include "sql/ast.h"
+
+namespace minerule::sql {
+
+/// One column visible to name resolution: its table alias (qualifier), its
+/// name, and its type. The position in the BindScope is the slot index into
+/// the runtime row.
+struct BoundColumn {
+  std::string qualifier;  // table alias; empty for derived columns
+  std::string name;
+  DataType type = DataType::kNull;
+};
+
+/// The set of columns an expression may reference, in row order. Scopes are
+/// built by the planner as it assembles the FROM clause left-to-right, so
+/// slot indexes bound against a prefix scope stay valid after more columns
+/// are appended on the right.
+class BindScope {
+ public:
+  BindScope() = default;
+
+  void Add(std::string qualifier, std::string name, DataType type) {
+    columns_.push_back({std::move(qualifier), std::move(name), type});
+  }
+  void Append(const BindScope& other) {
+    columns_.insert(columns_.end(), other.columns_.begin(),
+                    other.columns_.end());
+  }
+
+  size_t size() const { return columns_.size(); }
+  const BoundColumn& column(size_t i) const { return columns_[i]; }
+  const std::vector<BoundColumn>& columns() const { return columns_; }
+
+  /// Resolves a possibly-qualified column name to a slot index.
+  /// Unqualified names must be unambiguous across all visible columns.
+  Result<int> Resolve(const std::string& qualifier,
+                      const std::string& name) const;
+
+  /// Like Resolve but reports absence/ambiguity as false without an error.
+  bool CanResolve(const std::string& qualifier, const std::string& name) const;
+
+ private:
+  std::vector<BoundColumn> columns_;
+};
+
+/// Binds column references in `expr` (in place) to slots of `scope`.
+/// If `allow_aggregates` is false, any AggregateExpr is a semantic error;
+/// when true, aggregate *arguments* are bound but must themselves be
+/// aggregate-free.
+Status BindExpr(Expr* expr, const BindScope& scope, bool allow_aggregates);
+
+/// True iff every column reference in `expr` resolves in `scope`
+/// (dry run, no mutation).
+bool ExprBindableIn(const Expr& expr, const BindScope& scope);
+
+/// True iff the tree contains at least one AggregateExpr node.
+bool ContainsAggregate(const Expr& expr);
+
+/// Collects pointers to every AggregateExpr in the tree, outermost first.
+void CollectAggregates(Expr* expr, std::vector<AggregateExpr*>* out);
+
+/// Result type of a *bound* expression. Host variables are typed kDouble
+/// (they only appear in thresholds in the generated queries); NULL literals
+/// are kNull.
+Result<DataType> InferExprType(const Expr& expr);
+
+/// Splits an expression into its top-level AND conjuncts.
+void SplitConjuncts(ExprPtr expr, std::vector<ExprPtr>* out);
+
+}  // namespace minerule::sql
+
+#endif  // MINERULE_SQL_BINDER_H_

@@ -1,0 +1,68 @@
+#ifndef MINERULE_SQL_ENGINE_H_
+#define MINERULE_SQL_ENGINE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/catalog.h"
+#include "sql/expr_eval.h"
+
+namespace minerule::sql {
+
+/// The result of executing one statement. SELECTs fill schema/rows; DML
+/// fills affected_rows; DDL leaves both empty.
+struct QueryResult {
+  Schema schema;
+  std::vector<Row> rows;
+  int64_t affected_rows = 0;
+
+  /// Aligned ASCII rendering, for examples and debugging.
+  std::string ToDisplayString(size_t max_rows = 100) const;
+};
+
+/// The SQL92-subset server of the tightly-coupled architecture. Everything
+/// the paper's preprocessor and postprocessor do goes through this facade as
+/// plain SQL text — that is the portability property the architecture is
+/// designed around.
+///
+/// Host variables: `SELECT expr INTO :name ...` stores a scalar; `:name` in
+/// any expression reads it back; SetHostVariable seeds values (the
+/// preprocessor sets :mingroups this way, as in Appendix A's Q3).
+class SqlEngine {
+ public:
+  explicit SqlEngine(Catalog* catalog) : catalog_(catalog) {}
+
+  SqlEngine(const SqlEngine&) = delete;
+  SqlEngine& operator=(const SqlEngine&) = delete;
+
+  /// Executes a single SQL statement.
+  Result<QueryResult> Execute(std::string_view sql);
+
+  /// Executes a ';'-separated script; returns the last statement's result.
+  Result<QueryResult> ExecuteScript(std::string_view sql);
+
+  void SetHostVariable(const std::string& name, Value value);
+  Result<Value> GetHostVariable(const std::string& name) const;
+
+  Catalog* catalog() { return catalog_; }
+
+ private:
+  Result<QueryResult> ExecuteStatement(struct Statement* stmt);
+  Result<QueryResult> ExecuteSelect(struct SelectStmt* stmt);
+  Result<QueryResult> ExecuteCreateTable(struct CreateTableStmt* stmt);
+  Result<QueryResult> ExecuteCreateView(struct CreateViewStmt* stmt);
+  Result<QueryResult> ExecuteCreateSequence(struct CreateSequenceStmt* stmt);
+  Result<QueryResult> ExecuteDrop(struct DropStmt* stmt);
+  Result<QueryResult> ExecuteInsert(struct InsertStmt* stmt);
+  Result<QueryResult> ExecuteDelete(struct DeleteStmt* stmt);
+  Result<QueryResult> ExecuteUpdate(struct UpdateStmt* stmt);
+
+  Catalog* catalog_;
+  HostVarMap host_vars_;
+};
+
+}  // namespace minerule::sql
+
+#endif  // MINERULE_SQL_ENGINE_H_

@@ -1,0 +1,36 @@
+#ifndef MINERULE_SQL_EXPR_EVAL_H_
+#define MINERULE_SQL_EXPR_EVAL_H_
+
+#include <map>
+#include <string>
+
+#include "common/result.h"
+#include "relational/catalog.h"
+#include "relational/schema.h"
+#include "sql/ast.h"
+
+namespace minerule::sql {
+
+/// Host variables (":totg"-style) live for the duration of an engine
+/// session; keys are stored lower-case.
+using HostVarMap = std::map<std::string, Value>;
+
+/// Per-query evaluation context shared by all operators in a plan.
+struct ExecContext {
+  Catalog* catalog = nullptr;     // for <seq>.NEXTVAL
+  HostVarMap* host_vars = nullptr;
+};
+
+/// Evaluates a *bound* expression against `row`. SQL three-valued logic:
+/// comparisons and arithmetic over NULL yield NULL; AND/OR follow Kleene
+/// semantics. Aggregate nodes are a hard error here — the planner rewrites
+/// them to slot references before evaluation.
+Result<Value> EvalExpr(const Expr& expr, const Row& row, ExecContext* ctx);
+
+/// Evaluates a predicate: NULL and FALSE both reject the row (SQL WHERE
+/// semantics). Non-boolean results are a type error.
+Result<bool> EvalPredicate(const Expr& expr, const Row& row, ExecContext* ctx);
+
+}  // namespace minerule::sql
+
+#endif  // MINERULE_SQL_EXPR_EVAL_H_

@@ -1,0 +1,264 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+
+namespace minerule::sql {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+char Lexer::Peek(size_t ahead) const {
+  return pos_ + ahead < input_.size() ? input_[pos_ + ahead] : '\0';
+}
+
+char Lexer::Advance() {
+  char c = input_[pos_++];
+  if (c == '\n') {
+    ++line_;
+    column_ = 1;
+  } else {
+    ++column_;
+  }
+  return c;
+}
+
+void Lexer::SkipWhitespaceAndComments() {
+  while (!AtEnd()) {
+    char c = Peek();
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      Advance();
+    } else if (c == '-' && Peek(1) == '-') {
+      while (!AtEnd() && Peek() != '\n') Advance();
+    } else if (c == '/' && Peek(1) == '*') {
+      Advance();
+      Advance();
+      while (!AtEnd() && !(Peek() == '*' && Peek(1) == '/')) Advance();
+      if (!AtEnd()) {
+        Advance();
+        Advance();
+      }
+    } else {
+      break;
+    }
+  }
+}
+
+Result<Token> Lexer::NextToken() {
+  SkipWhitespaceAndComments();
+  Token tok;
+  tok.line = line_;
+  tok.column = column_;
+  tok.offset = pos_;
+  if (AtEnd()) {
+    tok.type = TokenType::kEnd;
+    return tok;
+  }
+  const char c = Peek();
+
+  if (IsIdentStart(c)) {
+    std::string text;
+    while (!AtEnd() && IsIdentChar(Peek())) text += Advance();
+    tok.type = TokenType::kIdentifier;
+    tok.text = std::move(text);
+    return tok;
+  }
+
+  if (c == '"') {  // quoted identifier
+    Advance();
+    std::string text;
+    while (!AtEnd() && Peek() != '"') text += Advance();
+    if (AtEnd()) {
+      return Status::ParseError("unterminated quoted identifier at line " +
+                                std::to_string(tok.line));
+    }
+    Advance();
+    tok.type = TokenType::kIdentifier;
+    tok.text = std::move(text);
+    return tok;
+  }
+
+  if (c == ':') {
+    Advance();
+    if (!IsIdentStart(Peek())) {
+      tok.type = TokenType::kColon;
+      return tok;
+    }
+    std::string text;
+    while (!AtEnd() && IsIdentChar(Peek())) text += Advance();
+    tok.type = TokenType::kHostVariable;
+    tok.text = std::move(text);
+    return tok;
+  }
+
+  if (std::isdigit(static_cast<unsigned char>(c))) {
+    std::string text;
+    while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+      text += Advance();
+    }
+    // ".." after digits is a cardinality range (1..n), not a decimal point.
+    if (Peek() == '.' && Peek(1) != '.' &&
+        std::isdigit(static_cast<unsigned char>(Peek(1)))) {
+      text += Advance();  // '.'
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        text += Advance();
+      }
+      if (Peek() == 'e' || Peek() == 'E') {
+        text += Advance();
+        if (Peek() == '+' || Peek() == '-') text += Advance();
+        while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+          text += Advance();
+        }
+      }
+      tok.type = TokenType::kDoubleLiteral;
+      tok.text = text;
+      tok.double_value = std::stod(text);
+      return tok;
+    }
+    tok.type = TokenType::kIntegerLiteral;
+    tok.text = text;
+    tok.int_value = std::stoll(text);
+    return tok;
+  }
+
+  // Fractions like ".5".
+  if (c == '.' && std::isdigit(static_cast<unsigned char>(Peek(1)))) {
+    std::string text;
+    text += Advance();  // '.'
+    while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+      text += Advance();
+    }
+    tok.type = TokenType::kDoubleLiteral;
+    tok.text = text;
+    tok.double_value = std::stod(text);
+    return tok;
+  }
+
+  if (c == '\'') {
+    Advance();
+    std::string text;
+    while (!AtEnd()) {
+      char d = Advance();
+      if (d == '\'') {
+        if (Peek() == '\'') {  // doubled quote escape
+          text += '\'';
+          Advance();
+        } else {
+          tok.type = TokenType::kStringLiteral;
+          tok.text = std::move(text);
+          return tok;
+        }
+      } else {
+        text += d;
+      }
+    }
+    return Status::ParseError("unterminated string literal at line " +
+                              std::to_string(tok.line));
+  }
+
+  Advance();
+  switch (c) {
+    case ',':
+      tok.type = TokenType::kComma;
+      return tok;
+    case '.':
+      if (Peek() == '.') {
+        Advance();
+        tok.type = TokenType::kDotDot;
+        return tok;
+      }
+      tok.type = TokenType::kDot;
+      return tok;
+    case ';':
+      tok.type = TokenType::kSemicolon;
+      return tok;
+    case '(':
+      tok.type = TokenType::kLParen;
+      return tok;
+    case ')':
+      tok.type = TokenType::kRParen;
+      return tok;
+    case '*':
+      tok.type = TokenType::kStar;
+      return tok;
+    case '+':
+      tok.type = TokenType::kPlus;
+      return tok;
+    case '-':
+      tok.type = TokenType::kMinus;
+      return tok;
+    case '/':
+      tok.type = TokenType::kSlash;
+      return tok;
+    case '%':
+      tok.type = TokenType::kPercent;
+      return tok;
+    case '=':
+      tok.type = TokenType::kEq;
+      return tok;
+    case '!':
+      if (Peek() == '=') {
+        Advance();
+        tok.type = TokenType::kNotEq;
+        return tok;
+      }
+      return Status::ParseError("unexpected '!' at line " +
+                                std::to_string(tok.line));
+    case '<':
+      if (Peek() == '=') {
+        Advance();
+        tok.type = TokenType::kLessEq;
+      } else if (Peek() == '>') {
+        Advance();
+        tok.type = TokenType::kNotEq;
+      } else {
+        tok.type = TokenType::kLess;
+      }
+      return tok;
+    case '>':
+      if (Peek() == '=') {
+        Advance();
+        tok.type = TokenType::kGreaterEq;
+      } else {
+        tok.type = TokenType::kGreater;
+      }
+      return tok;
+    case '|':
+      if (Peek() == '|') {
+        Advance();
+        tok.type = TokenType::kConcat;
+        return tok;
+      }
+      return Status::ParseError("unexpected '|' at line " +
+                                std::to_string(tok.line));
+    default:
+      return Status::ParseError(std::string("unexpected character '") + c +
+                                "' at line " + std::to_string(tok.line));
+  }
+}
+
+Result<std::vector<Token>> Lexer::Tokenize() {
+  std::vector<Token> tokens;
+  while (true) {
+    MR_ASSIGN_OR_RETURN(Token tok, NextToken());
+    const bool end = tok.type == TokenType::kEnd;
+    tokens.push_back(std::move(tok));
+    if (end) break;
+  }
+  return tokens;
+}
+
+Result<std::vector<Token>> TokenizeSql(std::string_view input) {
+  Lexer lexer(input);
+  return lexer.Tokenize();
+}
+
+}  // namespace minerule::sql

@@ -1,0 +1,42 @@
+#ifndef MINERULE_SQL_LEXER_H_
+#define MINERULE_SQL_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/token.h"
+
+namespace minerule::sql {
+
+/// Tokenizes SQL (and MINE RULE) text. The MINE RULE operator deliberately
+/// shares the SQL lexical structure (it is "a SQL-like operator"), so one
+/// lexer serves both parsers.
+class Lexer {
+ public:
+  explicit Lexer(std::string_view input) : input_(input) {}
+
+  /// Lexes the whole input; the returned vector always ends with a kEnd
+  /// token. Fails on unterminated strings or stray characters.
+  Result<std::vector<Token>> Tokenize();
+
+ private:
+  Result<Token> NextToken();
+  void SkipWhitespaceAndComments();
+  char Peek(size_t ahead = 0) const;
+  char Advance();
+  bool AtEnd() const { return pos_ >= input_.size(); }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+/// Convenience wrapper for one-shot tokenization.
+Result<std::vector<Token>> TokenizeSql(std::string_view input);
+
+}  // namespace minerule::sql
+
+#endif  // MINERULE_SQL_LEXER_H_

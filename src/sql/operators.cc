@@ -1,0 +1,414 @@
+#include "sql/operators.h"
+
+#include <algorithm>
+
+namespace minerule::sql {
+
+Result<std::vector<Row>> CollectRows(ExecNode* node) {
+  MR_RETURN_IF_ERROR(node->Open());
+  std::vector<Row> rows;
+  Row row;
+  while (true) {
+    MR_ASSIGN_OR_RETURN(bool more, node->Next(&row));
+    if (!more) break;
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+// ---------------------------------------------------------------------------
+// TableScanNode
+// ---------------------------------------------------------------------------
+
+TableScanNode::TableScanNode(std::shared_ptr<Table> table)
+    : ExecNode(table->schema()), table_(std::move(table)) {}
+
+Status TableScanNode::Open() {
+  pos_ = 0;
+  snapshot_size_ = table_->num_rows();
+  return Status::OK();
+}
+
+Result<bool> TableScanNode::Next(Row* out) {
+  if (pos_ >= snapshot_size_) return false;
+  *out = table_->row(pos_++);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// RowsNode
+// ---------------------------------------------------------------------------
+
+RowsNode::RowsNode(Schema schema, std::vector<Row> rows)
+    : ExecNode(std::move(schema)), rows_(std::move(rows)) {}
+
+Status RowsNode::Open() {
+  pos_ = 0;
+  return Status::OK();
+}
+
+Result<bool> RowsNode::Next(Row* out) {
+  if (pos_ >= rows_.size()) return false;
+  *out = rows_[pos_++];
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// FilterNode
+// ---------------------------------------------------------------------------
+
+FilterNode::FilterNode(ExecNodePtr child, ExprPtr predicate, ExecContext* ctx)
+    : ExecNode(child->schema()),
+      child_(std::move(child)),
+      predicate_(std::move(predicate)),
+      ctx_(ctx) {}
+
+Status FilterNode::Open() { return child_->Open(); }
+
+Result<bool> FilterNode::Next(Row* out) {
+  while (true) {
+    MR_ASSIGN_OR_RETURN(bool more, child_->Next(out));
+    if (!more) return false;
+    MR_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*predicate_, *out, ctx_));
+    if (pass) return true;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ProjectNode
+// ---------------------------------------------------------------------------
+
+ProjectNode::ProjectNode(ExecNodePtr child, std::vector<ExprPtr> exprs,
+                         Schema out_schema, ExecContext* ctx)
+    : ExecNode(std::move(out_schema)),
+      child_(std::move(child)),
+      exprs_(std::move(exprs)),
+      ctx_(ctx) {}
+
+Status ProjectNode::Open() { return child_->Open(); }
+
+Result<bool> ProjectNode::Next(Row* out) {
+  Row input;
+  MR_ASSIGN_OR_RETURN(bool more, child_->Next(&input));
+  if (!more) return false;
+  out->clear();
+  out->reserve(exprs_.size());
+  for (const ExprPtr& e : exprs_) {
+    MR_ASSIGN_OR_RETURN(Value v, EvalExpr(*e, input, ctx_));
+    out->push_back(std::move(v));
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// NestedLoopJoinNode
+// ---------------------------------------------------------------------------
+
+namespace {
+
+Schema ConcatSchemas(const Schema& a, const Schema& b) {
+  Schema out;
+  for (const Column& c : a.columns()) out.AddColumn(c);
+  for (const Column& c : b.columns()) out.AddColumn(c);
+  return out;
+}
+
+Row ConcatRows(const Row& a, const Row& b) {
+  Row out;
+  out.reserve(a.size() + b.size());
+  out.insert(out.end(), a.begin(), a.end());
+  out.insert(out.end(), b.begin(), b.end());
+  return out;
+}
+
+}  // namespace
+
+NestedLoopJoinNode::NestedLoopJoinNode(ExecNodePtr left, ExecNodePtr right,
+                                       ExprPtr predicate, ExecContext* ctx)
+    : ExecNode(ConcatSchemas(left->schema(), right->schema())),
+      left_(std::move(left)),
+      right_(std::move(right)),
+      predicate_(std::move(predicate)),
+      ctx_(ctx) {}
+
+Status NestedLoopJoinNode::Open() {
+  MR_RETURN_IF_ERROR(left_->Open());
+  MR_ASSIGN_OR_RETURN(right_rows_, CollectRows(right_.get()));
+  have_left_ = false;
+  right_pos_ = 0;
+  return Status::OK();
+}
+
+Result<bool> NestedLoopJoinNode::Next(Row* out) {
+  while (true) {
+    if (!have_left_) {
+      MR_ASSIGN_OR_RETURN(bool more, left_->Next(&current_left_));
+      if (!more) return false;
+      have_left_ = true;
+      right_pos_ = 0;
+    }
+    while (right_pos_ < right_rows_.size()) {
+      Row joined = ConcatRows(current_left_, right_rows_[right_pos_++]);
+      if (predicate_ != nullptr) {
+        MR_ASSIGN_OR_RETURN(bool pass,
+                            EvalPredicate(*predicate_, joined, ctx_));
+        if (!pass) continue;
+      }
+      *out = std::move(joined);
+      return true;
+    }
+    have_left_ = false;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// HashJoinNode
+// ---------------------------------------------------------------------------
+
+HashJoinNode::HashJoinNode(ExecNodePtr left, ExecNodePtr right,
+                           std::vector<ExprPtr> left_keys,
+                           std::vector<ExprPtr> right_keys, ExprPtr residual,
+                           ExecContext* ctx)
+    : ExecNode(ConcatSchemas(left->schema(), right->schema())),
+      left_(std::move(left)),
+      right_(std::move(right)),
+      left_keys_(std::move(left_keys)),
+      right_keys_(std::move(right_keys)),
+      residual_(std::move(residual)),
+      ctx_(ctx) {}
+
+Result<bool> HashJoinNode::ComputeKey(const std::vector<ExprPtr>& exprs,
+                                      const Row& row, Row* key) const {
+  key->clear();
+  key->reserve(exprs.size());
+  for (const ExprPtr& e : exprs) {
+    MR_ASSIGN_OR_RETURN(Value v, EvalExpr(*e, row, ctx_));
+    if (v.is_null()) return false;  // NULL keys never join
+    // Normalize numerics so INTEGER 1 joins with DOUBLE 1.0 (hash/equality
+    // of Value already treat them alike).
+    key->push_back(std::move(v));
+  }
+  return true;
+}
+
+Status HashJoinNode::Open() {
+  hash_table_.clear();
+  MR_RETURN_IF_ERROR(right_->Open());
+  Row row;
+  Row key;
+  while (true) {
+    MR_ASSIGN_OR_RETURN(bool more, right_->Next(&row));
+    if (!more) break;
+    MR_ASSIGN_OR_RETURN(bool valid, ComputeKey(right_keys_, row, &key));
+    if (!valid) continue;
+    hash_table_[key].push_back(std::move(row));
+  }
+  MR_RETURN_IF_ERROR(left_->Open());
+  current_bucket_ = nullptr;
+  bucket_pos_ = 0;
+  return Status::OK();
+}
+
+Result<bool> HashJoinNode::Next(Row* out) {
+  Row key;
+  while (true) {
+    if (current_bucket_ != nullptr) {
+      while (bucket_pos_ < current_bucket_->size()) {
+        Row joined =
+            ConcatRows(current_left_, (*current_bucket_)[bucket_pos_++]);
+        if (residual_ != nullptr) {
+          MR_ASSIGN_OR_RETURN(bool pass,
+                              EvalPredicate(*residual_, joined, ctx_));
+          if (!pass) continue;
+        }
+        *out = std::move(joined);
+        return true;
+      }
+      current_bucket_ = nullptr;
+    }
+    MR_ASSIGN_OR_RETURN(bool more, left_->Next(&current_left_));
+    if (!more) return false;
+    MR_ASSIGN_OR_RETURN(bool valid, ComputeKey(left_keys_, current_left_, &key));
+    if (!valid) continue;
+    auto it = hash_table_.find(key);
+    if (it == hash_table_.end()) continue;
+    current_bucket_ = &it->second;
+    bucket_pos_ = 0;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// HashAggregateNode
+// ---------------------------------------------------------------------------
+
+HashAggregateNode::HashAggregateNode(ExecNodePtr child,
+                                     std::vector<ExprPtr> group_exprs,
+                                     std::vector<AggSpec> aggs,
+                                     Schema out_schema, ExecContext* ctx)
+    : ExecNode(std::move(out_schema)),
+      child_(std::move(child)),
+      group_exprs_(std::move(group_exprs)),
+      aggs_(std::move(aggs)),
+      ctx_(ctx) {}
+
+Status HashAggregateNode::Open() {
+  results_.clear();
+  pos_ = 0;
+  MR_RETURN_IF_ERROR(child_->Open());
+
+  // Group state: key -> accumulators. Keys kept in first-seen order for
+  // deterministic output.
+  std::unordered_map<Row, size_t, RowHash, RowEq> index;
+  std::vector<Row> keys;
+  std::vector<std::vector<AggAccumulator>> states;
+
+  auto make_accumulators = [&]() {
+    std::vector<AggAccumulator> accs;
+    accs.reserve(aggs_.size());
+    for (const AggSpec& spec : aggs_) {
+      accs.emplace_back(spec.func, spec.distinct);
+    }
+    return accs;
+  };
+
+  Row row;
+  while (true) {
+    MR_ASSIGN_OR_RETURN(bool more, child_->Next(&row));
+    if (!more) break;
+    Row key;
+    key.reserve(group_exprs_.size());
+    for (const ExprPtr& e : group_exprs_) {
+      MR_ASSIGN_OR_RETURN(Value v, EvalExpr(*e, row, ctx_));
+      key.push_back(std::move(v));
+    }
+    auto [it, inserted] = index.try_emplace(key, keys.size());
+    if (inserted) {
+      keys.push_back(std::move(key));
+      states.push_back(make_accumulators());
+    }
+    std::vector<AggAccumulator>& accs = states[it->second];
+    for (size_t i = 0; i < aggs_.size(); ++i) {
+      Value arg;  // NULL placeholder for COUNT(*)
+      if (aggs_[i].arg != nullptr) {
+        MR_ASSIGN_OR_RETURN(arg, EvalExpr(*aggs_[i].arg, row, ctx_));
+      }
+      MR_RETURN_IF_ERROR(accs[i].Add(arg));
+    }
+  }
+
+  // Global aggregate over empty input still yields one row.
+  if (group_exprs_.empty() && keys.empty()) {
+    keys.emplace_back();
+    states.push_back(make_accumulators());
+  }
+
+  results_.reserve(keys.size());
+  for (size_t g = 0; g < keys.size(); ++g) {
+    Row out = std::move(keys[g]);
+    for (const AggAccumulator& acc : states[g]) {
+      MR_ASSIGN_OR_RETURN(Value v, acc.Finish());
+      out.push_back(std::move(v));
+    }
+    results_.push_back(std::move(out));
+  }
+  return Status::OK();
+}
+
+Result<bool> HashAggregateNode::Next(Row* out) {
+  if (pos_ >= results_.size()) return false;
+  *out = std::move(results_[pos_++]);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// DistinctNode
+// ---------------------------------------------------------------------------
+
+DistinctNode::DistinctNode(ExecNodePtr child)
+    : ExecNode(child->schema()), child_(std::move(child)) {}
+
+Status DistinctNode::Open() {
+  seen_.clear();
+  return child_->Open();
+}
+
+Result<bool> DistinctNode::Next(Row* out) {
+  while (true) {
+    MR_ASSIGN_OR_RETURN(bool more, child_->Next(out));
+    if (!more) return false;
+    if (seen_.insert(*out).second) return true;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SortNode
+// ---------------------------------------------------------------------------
+
+SortNode::SortNode(ExecNodePtr child, std::vector<SortKey> keys,
+                   ExecContext* ctx)
+    : ExecNode(child->schema()),
+      child_(std::move(child)),
+      keys_(std::move(keys)),
+      ctx_(ctx) {}
+
+Status SortNode::Open() {
+  pos_ = 0;
+  MR_ASSIGN_OR_RETURN(rows_, CollectRows(child_.get()));
+
+  // Precompute sort keys; stable sort keeps input order among ties.
+  std::vector<std::pair<Row, size_t>> keyed;
+  keyed.reserve(rows_.size());
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    Row key;
+    key.reserve(keys_.size());
+    for (const SortKey& sk : keys_) {
+      MR_ASSIGN_OR_RETURN(Value v, EvalExpr(*sk.expr, rows_[i], ctx_));
+      key.push_back(std::move(v));
+    }
+    keyed.emplace_back(std::move(key), i);
+  }
+  std::stable_sort(keyed.begin(), keyed.end(),
+                   [this](const auto& a, const auto& b) {
+                     for (size_t k = 0; k < keys_.size(); ++k) {
+                       const Value& va = a.first[k];
+                       const Value& vb = b.first[k];
+                       if (va.TotalEquals(vb)) continue;
+                       const bool less = va.TotalLess(vb);
+                       return keys_[k].descending ? !less : less;
+                     }
+                     return false;
+                   });
+  std::vector<Row> sorted;
+  sorted.reserve(rows_.size());
+  for (const auto& [key, idx] : keyed) sorted.push_back(std::move(rows_[idx]));
+  rows_ = std::move(sorted);
+  return Status::OK();
+}
+
+Result<bool> SortNode::Next(Row* out) {
+  if (pos_ >= rows_.size()) return false;
+  *out = std::move(rows_[pos_++]);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// LimitNode
+// ---------------------------------------------------------------------------
+
+LimitNode::LimitNode(ExecNodePtr child, int64_t limit)
+    : ExecNode(child->schema()), child_(std::move(child)), limit_(limit) {}
+
+Status LimitNode::Open() {
+  produced_ = 0;
+  return child_->Open();
+}
+
+Result<bool> LimitNode::Next(Row* out) {
+  if (produced_ >= limit_) return false;
+  MR_ASSIGN_OR_RETURN(bool more, child_->Next(out));
+  if (!more) return false;
+  ++produced_;
+  return true;
+}
+
+}  // namespace minerule::sql

@@ -1,0 +1,220 @@
+#ifndef MINERULE_SQL_OPERATORS_H_
+#define MINERULE_SQL_OPERATORS_H_
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/table.h"
+#include "sql/aggregates.h"
+#include "sql/ast.h"
+#include "sql/expr_eval.h"
+
+namespace minerule::sql {
+
+/// Base class of the volcano-style (Open/Next) executor nodes. A node's
+/// output schema is fixed at construction; Next() produces one row at a
+/// time until it returns false.
+class ExecNode {
+ public:
+  explicit ExecNode(Schema schema) : schema_(std::move(schema)) {}
+  virtual ~ExecNode() = default;
+
+  ExecNode(const ExecNode&) = delete;
+  ExecNode& operator=(const ExecNode&) = delete;
+
+  virtual Status Open() = 0;
+
+  /// Produces the next row into *out; returns false at end of stream.
+  virtual Result<bool> Next(Row* out) = 0;
+
+  const Schema& schema() const { return schema_; }
+
+ protected:
+  Schema schema_;
+};
+
+using ExecNodePtr = std::unique_ptr<ExecNode>;
+
+/// Drains a plan into a vector of rows.
+Result<std::vector<Row>> CollectRows(ExecNode* node);
+
+/// Full scan over a catalog table. The row count is snapshotted at Open()
+/// so `INSERT INTO t SELECT ... FROM t` terminates.
+class TableScanNode : public ExecNode {
+ public:
+  explicit TableScanNode(std::shared_ptr<Table> table);
+  Status Open() override;
+  Result<bool> Next(Row* out) override;
+
+ private:
+  std::shared_ptr<Table> table_;
+  size_t pos_ = 0;
+  size_t snapshot_size_ = 0;
+};
+
+/// Emits a fixed in-memory row set (subquery materialization, VALUES,
+/// and the implicit single empty row of a FROM-less SELECT).
+class RowsNode : public ExecNode {
+ public:
+  RowsNode(Schema schema, std::vector<Row> rows);
+  Status Open() override;
+  Result<bool> Next(Row* out) override;
+
+ private:
+  std::vector<Row> rows_;
+  size_t pos_ = 0;
+};
+
+/// WHERE / HAVING filter.
+class FilterNode : public ExecNode {
+ public:
+  FilterNode(ExecNodePtr child, ExprPtr predicate, ExecContext* ctx);
+  Status Open() override;
+  Result<bool> Next(Row* out) override;
+
+ private:
+  ExecNodePtr child_;
+  ExprPtr predicate_;
+  ExecContext* ctx_;
+};
+
+/// SELECT-list projection (expressions already bound / rewritten).
+class ProjectNode : public ExecNode {
+ public:
+  ProjectNode(ExecNodePtr child, std::vector<ExprPtr> exprs, Schema out_schema,
+              ExecContext* ctx);
+  Status Open() override;
+  Result<bool> Next(Row* out) override;
+
+ private:
+  ExecNodePtr child_;
+  std::vector<ExprPtr> exprs_;
+  ExecContext* ctx_;
+};
+
+/// Nested-loop join with optional residual predicate evaluated over the
+/// concatenated row. The right side is materialized at Open() for rescans.
+class NestedLoopJoinNode : public ExecNode {
+ public:
+  NestedLoopJoinNode(ExecNodePtr left, ExecNodePtr right, ExprPtr predicate,
+                     ExecContext* ctx);
+  Status Open() override;
+  Result<bool> Next(Row* out) override;
+
+ private:
+  ExecNodePtr left_;
+  ExecNodePtr right_;
+  ExprPtr predicate_;  // may be null (cross join)
+  ExecContext* ctx_;
+  std::vector<Row> right_rows_;
+  Row current_left_;
+  bool have_left_ = false;
+  size_t right_pos_ = 0;
+};
+
+/// Equi hash join: builds a hash table over the right input keyed on
+/// `right_keys`, probes with `left_keys`. A residual predicate (the
+/// non-equi part of the join condition) filters matches. SQL semantics:
+/// NULL keys never match.
+class HashJoinNode : public ExecNode {
+ public:
+  HashJoinNode(ExecNodePtr left, ExecNodePtr right,
+               std::vector<ExprPtr> left_keys, std::vector<ExprPtr> right_keys,
+               ExprPtr residual, ExecContext* ctx);
+  Status Open() override;
+  Result<bool> Next(Row* out) override;
+
+ private:
+  Result<bool> ComputeKey(const std::vector<ExprPtr>& exprs, const Row& row,
+                          Row* key) const;
+
+  ExecNodePtr left_;
+  ExecNodePtr right_;
+  std::vector<ExprPtr> left_keys_;
+  std::vector<ExprPtr> right_keys_;
+  ExprPtr residual_;  // may be null
+  ExecContext* ctx_;
+  std::unordered_map<Row, std::vector<Row>, RowHash, RowEq> hash_table_;
+  Row current_left_;
+  const std::vector<Row>* current_bucket_ = nullptr;
+  size_t bucket_pos_ = 0;
+};
+
+/// One aggregate computed by HashAggregateNode.
+struct AggSpec {
+  AggFunc func = AggFunc::kCountStar;
+  bool distinct = false;
+  ExprPtr arg;  // bound against the child schema; null for COUNT(*)
+};
+
+/// GROUP BY via hashing. Output row layout: group expressions first, then
+/// aggregate results, matching the slot rewriting done by the planner.
+/// With no group expressions it emits exactly one row (global aggregate),
+/// even over empty input.
+class HashAggregateNode : public ExecNode {
+ public:
+  HashAggregateNode(ExecNodePtr child, std::vector<ExprPtr> group_exprs,
+                    std::vector<AggSpec> aggs, Schema out_schema,
+                    ExecContext* ctx);
+  Status Open() override;
+  Result<bool> Next(Row* out) override;
+
+ private:
+  ExecNodePtr child_;
+  std::vector<ExprPtr> group_exprs_;
+  std::vector<AggSpec> aggs_;
+  ExecContext* ctx_;
+  std::vector<Row> results_;
+  size_t pos_ = 0;
+};
+
+/// Streaming hash-based DISTINCT.
+class DistinctNode : public ExecNode {
+ public:
+  explicit DistinctNode(ExecNodePtr child);
+  Status Open() override;
+  Result<bool> Next(Row* out) override;
+
+ private:
+  ExecNodePtr child_;
+  std::unordered_set<Row, RowHash, RowEq> seen_;
+};
+
+/// ORDER BY: materializes and sorts at Open() using the total value order.
+class SortNode : public ExecNode {
+ public:
+  struct SortKey {
+    ExprPtr expr;  // bound against the child schema
+    bool descending = false;
+  };
+  SortNode(ExecNodePtr child, std::vector<SortKey> keys, ExecContext* ctx);
+  Status Open() override;
+  Result<bool> Next(Row* out) override;
+
+ private:
+  ExecNodePtr child_;
+  std::vector<SortKey> keys_;
+  ExecContext* ctx_;
+  std::vector<Row> rows_;
+  size_t pos_ = 0;
+};
+
+/// LIMIT n.
+class LimitNode : public ExecNode {
+ public:
+  LimitNode(ExecNodePtr child, int64_t limit);
+  Status Open() override;
+  Result<bool> Next(Row* out) override;
+
+ private:
+  ExecNodePtr child_;
+  int64_t limit_;
+  int64_t produced_ = 0;
+};
+
+}  // namespace minerule::sql
+
+#endif  // MINERULE_SQL_OPERATORS_H_

@@ -1,0 +1,87 @@
+#ifndef MINERULE_SQL_PARSER_H_
+#define MINERULE_SQL_PARSER_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/ast.h"
+#include "sql/token.h"
+
+namespace minerule::sql {
+
+/// Recursive-descent parser for the SQL subset required by the generated
+/// preprocessing queries (Appendix A / §4.2) plus a practical general SELECT
+/// surface: DISTINCT, expressions, comma joins, subqueries in FROM,
+/// GROUP BY / HAVING with aggregates (incl. COUNT(DISTINCT x)),
+/// ORDER BY / LIMIT, INSERT ... SELECT / VALUES, DELETE,
+/// CREATE TABLE [AS SELECT], CREATE VIEW, CREATE SEQUENCE and <seq>.NEXTVAL,
+/// DROP ... [IF EXISTS], SELECT ... INTO :hostvar.
+class Parser {
+ public:
+  explicit Parser(std::string_view input) : input_(input) {}
+
+  /// Parses exactly one statement (a trailing ';' is allowed).
+  Result<Statement> ParseStatement();
+
+  /// Parses a ';'-separated script.
+  Result<std::vector<Statement>> ParseScript();
+
+  /// Parses a bare expression (used by the MINE RULE parser for embedded
+  /// conditions); input must be fully consumed.
+  Result<ExprPtr> ParseStandaloneExpression();
+
+ private:
+  Status Init();
+
+  const Token& Peek(size_t ahead = 0) const;
+  const Token& Advance();
+  bool Check(TokenType type) const { return Peek().type == type; }
+  bool CheckKeyword(const char* kw) const { return Peek().IsKeyword(kw); }
+  bool MatchKeyword(const char* kw);
+  bool Match(TokenType type);
+  Status Expect(TokenType type, const char* what);
+  Status ExpectKeyword(const char* kw);
+  Status ErrorHere(const std::string& message) const;
+
+  Result<Statement> ParseOneStatement();
+  Result<std::unique_ptr<SelectStmt>> ParseSelect();
+  Result<SelectItem> ParseSelectItem();
+  Result<TableRef> ParseTableRef();
+  Result<Statement> ParseCreate();
+  Result<Statement> ParseDrop();
+  Result<Statement> ParseInsert();
+  Result<Statement> ParseDelete();
+  Result<Statement> ParseUpdate();
+
+  // Expression grammar, lowest precedence first.
+  Result<ExprPtr> ParseExpr();        // OR
+  Result<ExprPtr> ParseAnd();
+  Result<ExprPtr> ParseNot();
+  Result<ExprPtr> ParseComparison();  // = <> < <= > >= BETWEEN IN IS [NOT] NULL
+  Result<ExprPtr> ParseAdditive();    // + - ||
+  Result<ExprPtr> ParseMultiplicative();  // * / %
+  Result<ExprPtr> ParseUnary();       // unary -
+  Result<ExprPtr> ParsePrimary();
+  Result<ExprPtr> ParseFunctionOrAggregate(const std::string& name);
+
+  /// True when the current identifier token may serve as an implicit alias
+  /// (i.e. is not a reserved clause keyword).
+  bool CurrentIsAliasCandidate() const;
+
+  std::string_view input_;
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  bool initialized_ = false;
+};
+
+/// One-shot helpers.
+Result<Statement> ParseSql(std::string_view sql);
+Result<std::vector<Statement>> ParseSqlScript(std::string_view sql);
+Result<std::unique_ptr<SelectStmt>> ParseSelectSql(std::string_view sql);
+
+}  // namespace minerule::sql
+
+#endif  // MINERULE_SQL_PARSER_H_

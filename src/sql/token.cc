@@ -1,0 +1,67 @@
+#include "sql/token.h"
+
+#include "common/string_util.h"
+
+namespace minerule::sql {
+
+const char* TokenTypeName(TokenType type) {
+  switch (type) {
+    case TokenType::kEnd:
+      return "end of input";
+    case TokenType::kIdentifier:
+      return "identifier";
+    case TokenType::kHostVariable:
+      return "host variable";
+    case TokenType::kIntegerLiteral:
+      return "integer literal";
+    case TokenType::kDoubleLiteral:
+      return "double literal";
+    case TokenType::kStringLiteral:
+      return "string literal";
+    case TokenType::kComma:
+      return "','";
+    case TokenType::kDot:
+      return "'.'";
+    case TokenType::kSemicolon:
+      return "';'";
+    case TokenType::kLParen:
+      return "'('";
+    case TokenType::kRParen:
+      return "')'";
+    case TokenType::kStar:
+      return "'*'";
+    case TokenType::kPlus:
+      return "'+'";
+    case TokenType::kMinus:
+      return "'-'";
+    case TokenType::kSlash:
+      return "'/'";
+    case TokenType::kPercent:
+      return "'%'";
+    case TokenType::kEq:
+      return "'='";
+    case TokenType::kNotEq:
+      return "'<>'";
+    case TokenType::kLess:
+      return "'<'";
+    case TokenType::kLessEq:
+      return "'<='";
+    case TokenType::kGreater:
+      return "'>'";
+    case TokenType::kGreaterEq:
+      return "'>='";
+    case TokenType::kConcat:
+      return "'||'";
+    case TokenType::kDotDot:
+      return "'..'";
+    case TokenType::kColon:
+      return "':'";
+  }
+  return "unknown token";
+}
+
+bool Token::IsKeyword(const char* keyword) const {
+  return type == TokenType::kIdentifier && EqualsIgnoreCase(text, keyword);
+}
+
+}  // namespace minerule::sql

@@ -1,0 +1,60 @@
+#ifndef MINERULE_SQL_TOKEN_H_
+#define MINERULE_SQL_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace minerule::sql {
+
+/// Lexical token categories. SQL keywords are lexed as kIdentifier and
+/// recognized case-insensitively by the parser, so that keywords not used
+/// in a given position remain usable as identifiers (e.g. a column named
+/// "date", which the paper's Purchase table has).
+enum class TokenType {
+  kEnd = 0,
+  kIdentifier,      // foo, "quoted id"
+  kHostVariable,    // :totg
+  kIntegerLiteral,  // 42
+  kDoubleLiteral,   // 0.2
+  kStringLiteral,   // 'text'
+  kComma,
+  kDot,
+  kSemicolon,
+  kLParen,
+  kRParen,
+  kStar,
+  kPlus,
+  kMinus,
+  kSlash,
+  kPercent,
+  kEq,        // =
+  kNotEq,     // <> or !=
+  kLess,      // <
+  kLessEq,    // <=
+  kGreater,   // >
+  kGreaterEq, // >=
+  kConcat,    // ||
+  kDotDot,    // .. (MINE RULE cardinality ranges)
+  kColon,     // : followed by a non-identifier (MINE RULE "SUPPORT: 0.2")
+};
+
+const char* TokenTypeName(TokenType type);
+
+/// A lexed token with its source position (1-based line/column) for error
+/// messages.
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;     // identifier/literal spelling (unquoted, unescaped)
+  int64_t int_value = 0;
+  double double_value = 0.0;
+  int line = 1;
+  int column = 1;
+  size_t offset = 0;  // byte offset of the token start in the input
+
+  /// Case-insensitive keyword test for identifier tokens.
+  bool IsKeyword(const char* keyword) const;
+};
+
+}  // namespace minerule::sql
+
+#endif  // MINERULE_SQL_TOKEN_H_

@@ -1,0 +1,138 @@
+#include "support/rule_browser.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/string_util.h"
+
+namespace minerule::support {
+
+std::string RuleView::ToString() const {
+  return "{" + Join(body_items, ", ") + "} => {" + Join(head_items, ", ") +
+         "}";
+}
+
+Result<RuleBrowser> RuleBrowser::Load(sql::SqlEngine* engine,
+                                      const std::string& output_table) {
+  RuleBrowser browser;
+  browser.output_table_ = output_table;
+
+  MR_ASSIGN_OR_RETURN(sql::QueryResult rule_rows,
+                      engine->Execute("SELECT * FROM " + output_table));
+  const int support_col = rule_rows.schema.FindColumn("SUPPORT");
+  const int confidence_col = rule_rows.schema.FindColumn("CONFIDENCE");
+
+  // Collect body/head item display strings keyed by id. Multi-attribute
+  // schemas render one item as "(a|b)".
+  auto load_side = [&](const std::string& table, const char* id_col)
+      -> Result<std::map<int64_t, std::vector<std::string>>> {
+    MR_ASSIGN_OR_RETURN(sql::QueryResult rows,
+                        engine->Execute("SELECT * FROM " + table));
+    MR_ASSIGN_OR_RETURN(size_t id_index,
+                        rows.schema.ResolveColumn(id_col));
+    std::map<int64_t, std::vector<std::string>> sides;
+    for (const Row& row : rows.rows) {
+      std::string item;
+      for (size_t c = 0; c < row.size(); ++c) {
+        if (c == id_index) continue;
+        if (!item.empty()) item += "|";
+        item += row[c].ToString();
+      }
+      if (rows.schema.num_columns() > 2) item = "(" + item + ")";
+      sides[row[id_index].AsInteger()].push_back(std::move(item));
+    }
+    for (auto& [id, items] : sides) std::sort(items.begin(), items.end());
+    return sides;
+  };
+  MR_ASSIGN_OR_RETURN(auto bodies,
+                      load_side(output_table + "_Bodies", "BodyId"));
+  MR_ASSIGN_OR_RETURN(auto heads, load_side(output_table + "_Heads", "HeadId"));
+
+  browser.rules_.reserve(rule_rows.rows.size());
+  for (const Row& row : rule_rows.rows) {
+    RuleView view;
+    view.body_id = row[0].AsInteger();
+    view.head_id = row[1].AsInteger();
+    view.body_items = bodies[view.body_id];
+    view.head_items = heads[view.head_id];
+    if (support_col >= 0) view.support = row[support_col].AsDouble();
+    if (confidence_col >= 0) view.confidence = row[confidence_col].AsDouble();
+    browser.rules_.push_back(std::move(view));
+  }
+  return browser;
+}
+
+namespace {
+
+std::vector<RuleView> TopK(std::vector<RuleView> rules, size_t k,
+                           bool by_confidence) {
+  std::stable_sort(rules.begin(), rules.end(),
+                   [by_confidence](const RuleView& a, const RuleView& b) {
+                     const double pa = by_confidence ? a.confidence : a.support;
+                     const double pb = by_confidence ? b.confidence : b.support;
+                     if (pa != pb) return pa > pb;
+                     const double sa = by_confidence ? a.support : a.confidence;
+                     const double sb = by_confidence ? b.support : b.confidence;
+                     return sa > sb;
+                   });
+  if (rules.size() > k) rules.resize(k);
+  return rules;
+}
+
+}  // namespace
+
+std::vector<RuleView> RuleBrowser::TopByConfidence(size_t k) const {
+  return TopK(rules_, k, /*by_confidence=*/true);
+}
+
+std::vector<RuleView> RuleBrowser::TopBySupport(size_t k) const {
+  return TopK(rules_, k, /*by_confidence=*/false);
+}
+
+std::vector<RuleView> RuleBrowser::ContainingItem(
+    const std::string& item) const {
+  std::vector<RuleView> out;
+  for (const RuleView& rule : rules_) {
+    auto matches = [&](const std::vector<std::string>& items) {
+      for (const std::string& candidate : items) {
+        if (EqualsIgnoreCase(candidate, item)) return true;
+      }
+      return false;
+    };
+    if (matches(rule.body_items) || matches(rule.head_items)) {
+      out.push_back(rule);
+    }
+  }
+  return out;
+}
+
+std::vector<RuleView> RuleBrowser::AtLeast(double min_support,
+                                           double min_confidence) const {
+  std::vector<RuleView> out;
+  for (const RuleView& rule : rules_) {
+    if (rule.support + 1e-12 >= min_support &&
+        rule.confidence + 1e-12 >= min_confidence) {
+      out.push_back(rule);
+    }
+  }
+  return out;
+}
+
+std::string RuleBrowser::Render(const std::vector<RuleView>& rules) {
+  Schema schema({{"BODY", DataType::kString},
+                 {"HEAD", DataType::kString},
+                 {"SUPPORT", DataType::kDouble},
+                 {"CONFIDENCE", DataType::kDouble}});
+  Table table("rules", schema);
+  for (const RuleView& rule : rules) {
+    table.AppendUnchecked({Value::String("{" + Join(rule.body_items, ", ") +
+                                         "}"),
+                           Value::String("{" + Join(rule.head_items, ", ") +
+                                         "}"),
+                           Value::Double(rule.support),
+                           Value::Double(rule.confidence)});
+  }
+  return table.ToDisplayString(1000);
+}
+
+}  // namespace minerule::support

@@ -1,0 +1,63 @@
+#ifndef MINERULE_SUPPORT_RULE_BROWSER_H_
+#define MINERULE_SUPPORT_RULE_BROWSER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/engine.h"
+
+namespace minerule::support {
+
+/// A decoded rule as the user-support layer presents it.
+struct RuleView {
+  int64_t body_id = 0;
+  int64_t head_id = 0;
+  std::vector<std::string> body_items;  // display strings, sorted
+  std::vector<std::string> head_items;
+  double support = 0;     // 0 when the statement did not project SUPPORT
+  double confidence = 0;  // ditto for CONFIDENCE
+
+  /// "{a, b} => {c}".
+  std::string ToString() const;
+};
+
+/// The "ease of view" half of the paper's User Support module (§3 goals 3
+/// and 4; the full interactive environment is the AMORE system of [4]).
+/// Loads a MINE RULE output-table triple back out of the database and
+/// offers the browsing operations an analyst actually performs: rank,
+/// threshold, and search by item.
+class RuleBrowser {
+ public:
+  /// An empty browser; use Load() to populate one.
+  RuleBrowser() = default;
+
+  /// Loads <output_table>, <output_table>_Bodies and <output_table>_Heads.
+  static Result<RuleBrowser> Load(sql::SqlEngine* engine,
+                                  const std::string& output_table);
+
+  const std::string& output_table() const { return output_table_; }
+  const std::vector<RuleView>& rules() const { return rules_; }
+  size_t size() const { return rules_.size(); }
+
+  /// Top-k by confidence (ties by support), descending.
+  std::vector<RuleView> TopByConfidence(size_t k) const;
+  /// Top-k by support (ties by confidence), descending.
+  std::vector<RuleView> TopBySupport(size_t k) const;
+  /// Rules whose body or head contains the item (exact display match).
+  std::vector<RuleView> ContainingItem(const std::string& item) const;
+  /// Rules at or above both thresholds.
+  std::vector<RuleView> AtLeast(double min_support,
+                                double min_confidence) const;
+
+  /// Renders a rule list as an aligned table (Figure 2.b style).
+  static std::string Render(const std::vector<RuleView>& rules);
+
+ private:
+  std::string output_table_;
+  std::vector<RuleView> rules_;
+};
+
+}  // namespace minerule::support
+
+#endif  // MINERULE_SUPPORT_RULE_BROWSER_H_

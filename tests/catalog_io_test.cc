@@ -1,0 +1,124 @@
+#include "relational/catalog_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "datagen/paper_example.h"
+#include "relational/date.h"
+#include "sql/engine.h"
+
+namespace minerule {
+namespace {
+
+TEST(CatalogIoTest, RoundTripsTablesViewsSequences) {
+  Catalog original;
+  ASSERT_TRUE(datagen::MakePaperPurchaseTable(&original).ok());
+  ASSERT_TRUE(original
+                  .CreateView("Expensive",
+                              "SELECT item FROM Purchase WHERE price >= 100")
+                  .ok());
+  ASSERT_TRUE(original.CreateSequence("seq", 1).ok());
+  ASSERT_EQ(original.GetSequence("seq").value()->NextVal(), 1);
+  ASSERT_EQ(original.GetSequence("seq").value()->NextVal(), 2);
+
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveCatalog(original, buffer).ok());
+
+  Catalog loaded;
+  ASSERT_TRUE(LoadCatalog(buffer, &loaded).ok());
+
+  // Table contents identical.
+  auto original_table = original.GetTable("Purchase");
+  auto loaded_table = loaded.GetTable("Purchase");
+  ASSERT_TRUE(loaded_table.ok());
+  ASSERT_EQ(loaded_table.value()->num_rows(),
+            original_table.value()->num_rows());
+  EXPECT_EQ(loaded_table.value()->schema(), original_table.value()->schema());
+  for (size_t r = 0; r < loaded_table.value()->num_rows(); ++r) {
+    EXPECT_TRUE(RowEq{}(loaded_table.value()->row(r),
+                        original_table.value()->row(r)))
+        << r;
+  }
+  // View text survives and the view still executes.
+  EXPECT_EQ(loaded.GetView("Expensive").value().select_sql,
+            "SELECT item FROM Purchase WHERE price >= 100");
+  sql::SqlEngine engine(&loaded);
+  auto count = engine.Execute("SELECT COUNT(*) FROM Expensive");
+  ASSERT_TRUE(count.ok()) << count.status();
+  EXPECT_EQ(count.value().rows[0][0].AsInteger(), 6);
+  // Sequence resumes after its last value.
+  EXPECT_EQ(loaded.GetSequence("seq").value()->NextVal(), 3);
+}
+
+TEST(CatalogIoTest, EscapingSurvivesHostileStrings) {
+  Catalog original;
+  Schema schema({{"s", DataType::kString}});
+  auto table = original.CreateTable("hostile", schema);
+  ASSERT_TRUE(table.ok());
+  const std::string nasty = "tab\ttab newline\npercent% space end";
+  table.value()->AppendUnchecked({Value::String(nasty)});
+  table.value()->AppendUnchecked({Value::Null()});
+
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveCatalog(original, buffer).ok());
+  Catalog loaded;
+  ASSERT_TRUE(LoadCatalog(buffer, &loaded).ok());
+  auto loaded_table = loaded.GetTable("hostile");
+  ASSERT_TRUE(loaded_table.ok());
+  EXPECT_EQ(loaded_table.value()->row(0)[0].AsString(), nasty);
+  EXPECT_TRUE(loaded_table.value()->row(1)[0].is_null());
+}
+
+TEST(CatalogIoTest, AllValueTypesRoundTrip) {
+  Catalog original;
+  Schema schema({{"b", DataType::kBoolean},
+                 {"i", DataType::kInteger},
+                 {"f", DataType::kDouble},
+                 {"s", DataType::kString},
+                 {"d", DataType::kDate}});
+  auto table = original.CreateTable("types", schema);
+  ASSERT_TRUE(table.ok());
+  table.value()->AppendUnchecked(
+      {Value::Boolean(true), Value::Integer(-42), Value::Double(0.1),
+       Value::String(""), Value::Date(date::FromCivil(1995, 12, 17))});
+
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveCatalog(original, buffer).ok());
+  Catalog loaded;
+  ASSERT_TRUE(LoadCatalog(buffer, &loaded).ok());
+  const Row& row = loaded.GetTable("types").value()->row(0);
+  EXPECT_TRUE(row[0].AsBoolean());
+  EXPECT_EQ(row[1].AsInteger(), -42);
+  EXPECT_DOUBLE_EQ(row[2].AsDouble(), 0.1);
+  EXPECT_EQ(row[3].AsString(), "");
+  EXPECT_EQ(row[4].AsDate(), date::FromCivil(1995, 12, 17));
+}
+
+TEST(CatalogIoTest, RejectsGarbageInput) {
+  Catalog catalog;
+  std::stringstream not_a_dump("hello world\n");
+  EXPECT_FALSE(LoadCatalog(not_a_dump, &catalog).ok());
+
+  std::stringstream truncated("MINERULE-DB 1\nTABLE t 1 5\nCOL a INTEGER\n");
+  Catalog catalog2;
+  EXPECT_FALSE(LoadCatalog(truncated, &catalog2).ok());
+
+  std::stringstream no_end("MINERULE-DB 1\n");
+  Catalog catalog3;
+  EXPECT_FALSE(LoadCatalog(no_end, &catalog3).ok());
+}
+
+TEST(CatalogIoTest, FileRoundTrip) {
+  Catalog original;
+  ASSERT_TRUE(datagen::MakePaperPurchaseTable(&original).ok());
+  const std::string path = ::testing::TempDir() + "/minerule_dump_test.mrdb";
+  ASSERT_TRUE(SaveCatalogToFile(original, path).ok());
+  Catalog loaded;
+  ASSERT_TRUE(LoadCatalogFromFile(path, &loaded).ok());
+  EXPECT_EQ(loaded.GetTable("Purchase").value()->num_rows(), 8u);
+  EXPECT_FALSE(LoadCatalogFromFile("/nonexistent/nope.mrdb", &loaded).ok());
+}
+
+}  // namespace
+}  // namespace minerule

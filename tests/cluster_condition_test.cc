@@ -1,0 +1,129 @@
+// End-to-end tests of the CLUSTER BY ... HAVING machinery: attribute
+// conditions (K), aggregate conditions (F, precomputed by Q6 and rewritten
+// into Q7), and multi-attribute cluster keys.
+
+#include <gtest/gtest.h>
+
+#include "engine/data_mining_system.h"
+#include "relational/date.h"
+
+namespace minerule::mr {
+namespace {
+
+class ClusterConditionTest : public ::testing::Test {
+ protected:
+  ClusterConditionTest() : system_(&catalog_) {}
+
+  void MustSql(const std::string& sql) {
+    auto result = system_.ExecuteSql(sql);
+    ASSERT_TRUE(result.ok()) << sql << " -> " << result.status();
+  }
+
+  MiningRunStats MustMine(const std::string& text) {
+    auto stats = system_.ExecuteMineRule(text);
+    EXPECT_TRUE(stats.ok()) << stats.status();
+    return stats.ok() ? std::move(stats).value() : MiningRunStats{};
+  }
+
+  /// Two customers; visits on days 1..3 with controlled quantities so that
+  /// aggregate cluster conditions discriminate.
+  void LoadVisits() {
+    MustSql(
+        "CREATE TABLE Visits (customer VARCHAR, day INTEGER, item VARCHAR, "
+        "qty INTEGER)");
+    MustSql(
+        "INSERT INTO Visits VALUES "
+        // cust1: day1 buys a(1), day2 buys b(5)  -> day1 qty 1, day2 qty 5
+        "('c1', 1, 'a', 1), ('c1', 2, 'b', 5),"
+        // cust2: day1 buys a(4), day2 buys b(2)  -> day1 qty 4, day2 qty 2
+        "('c2', 1, 'a', 4), ('c2', 2, 'b', 2)");
+  }
+
+  Catalog catalog_;
+  DataMiningSystem system_;
+};
+
+TEST_F(ClusterConditionTest, AggregateClusterCondition) {
+  LoadVisits();
+  // Pair clusters where the head cluster bought strictly more units:
+  // cust1 (1 < 5): a => b qualifies. cust2 (4 > 2): only b-day -> a-day
+  // direction qualifies, giving b => a.
+  MiningRunStats stats = MustMine(
+      "MINE RULE MoreUnits AS SELECT DISTINCT 1..1 item AS BODY, 1..1 item "
+      "AS HEAD, SUPPORT, CONFIDENCE FROM Visits GROUP BY customer "
+      "CLUSTER BY day HAVING SUM(BODY.qty) < SUM(HEAD.qty) "
+      "EXTRACTING RULES WITH SUPPORT: 0.4, CONFIDENCE: 0.1");
+  EXPECT_TRUE(stats.directives.C);
+  EXPECT_TRUE(stats.directives.K);
+  EXPECT_TRUE(stats.directives.F);
+
+  auto rules = system_.ExecuteSql(
+      "SELECT B.item, H.item FROM MoreUnits R, MoreUnits_Bodies B, "
+      "MoreUnits_Heads H WHERE R.BodyId = B.BodyId AND R.HeadId = H.HeadId "
+      "ORDER BY 1");
+  ASSERT_TRUE(rules.ok()) << rules.status();
+  ASSERT_EQ(rules.value().rows.size(), 2u);
+  EXPECT_EQ(rules.value().rows[0][0].AsString(), "a");
+  EXPECT_EQ(rules.value().rows[0][1].AsString(), "b");
+  EXPECT_EQ(rules.value().rows[1][0].AsString(), "b");
+  EXPECT_EQ(rules.value().rows[1][1].AsString(), "a");
+}
+
+TEST_F(ClusterConditionTest, CountAggregateInClusterCondition) {
+  LoadVisits();
+  // Head cluster must contain at least as many rows as the body cluster;
+  // here every cluster has one row, so all ordered pairs qualify — same
+  // result as no HAVING at all.
+  MiningRunStats with_count = MustMine(
+      "MINE RULE WithCount AS SELECT DISTINCT 1..1 item AS BODY, 1..1 item "
+      "AS HEAD, SUPPORT, CONFIDENCE FROM Visits GROUP BY customer "
+      "CLUSTER BY day HAVING COUNT(BODY.item) <= COUNT(HEAD.item) "
+      "EXTRACTING RULES WITH SUPPORT: 0.4, CONFIDENCE: 0.1");
+  EXPECT_TRUE(with_count.directives.F);
+  MiningRunStats without = MustMine(
+      "MINE RULE Without AS SELECT DISTINCT 1..1 item AS BODY, 1..1 item "
+      "AS HEAD, SUPPORT, CONFIDENCE FROM Visits GROUP BY customer "
+      "CLUSTER BY day "
+      "EXTRACTING RULES WITH SUPPORT: 0.4, CONFIDENCE: 0.1");
+  EXPECT_EQ(with_count.output.num_rules, without.output.num_rules);
+}
+
+TEST_F(ClusterConditionTest, MultiAttributeClusterKeys) {
+  MustSql(
+      "CREATE TABLE Log (sess VARCHAR, site VARCHAR, hour INTEGER, page "
+      "VARCHAR)");
+  MustSql(
+      "INSERT INTO Log VALUES "
+      "('s1', 'web', 1, 'home'), ('s1', 'web', 2, 'cart'),"
+      "('s1', 'app', 1, 'home'),"
+      "('s2', 'web', 1, 'home'), ('s2', 'web', 2, 'cart')");
+  // Clusters are (site, hour) pairs; require the same site with the head
+  // strictly later.
+  MiningRunStats stats = MustMine(
+      "MINE RULE Paths AS SELECT DISTINCT 1..1 page AS BODY, 1..1 page AS "
+      "HEAD, SUPPORT, CONFIDENCE FROM Log GROUP BY sess "
+      "CLUSTER BY site, hour HAVING BODY.site = HEAD.site AND BODY.hour < "
+      "HEAD.hour EXTRACTING RULES WITH SUPPORT: 0.5, CONFIDENCE: 0.1");
+  EXPECT_TRUE(stats.directives.C);
+  EXPECT_TRUE(stats.directives.K);
+  auto rules = system_.ExecuteSql(
+      "SELECT B.page, H.page FROM Paths R, Paths_Bodies B, Paths_Heads H "
+      "WHERE R.BodyId = B.BodyId AND R.HeadId = H.HeadId");
+  ASSERT_TRUE(rules.ok());
+  ASSERT_EQ(rules.value().rows.size(), 1u);
+  EXPECT_EQ(rules.value().rows[0][0].AsString(), "home");
+  EXPECT_EQ(rules.value().rows[0][1].AsString(), "cart");
+}
+
+TEST_F(ClusterConditionTest, ClusterConditionCanEliminateEverything) {
+  LoadVisits();
+  MiningRunStats stats = MustMine(
+      "MINE RULE Nothing AS SELECT DISTINCT 1..1 item AS BODY, 1..1 item AS "
+      "HEAD, SUPPORT, CONFIDENCE FROM Visits GROUP BY customer "
+      "CLUSTER BY day HAVING BODY.day > HEAD.day AND BODY.day < HEAD.day "
+      "EXTRACTING RULES WITH SUPPORT: 0.1, CONFIDENCE: 0.1");
+  EXPECT_EQ(stats.output.num_rules, 0);
+}
+
+}  // namespace
+}  // namespace minerule::mr

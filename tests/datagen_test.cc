@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "datagen/paper_example.h"
+#include "datagen/quest_gen.h"
+#include "datagen/retail_gen.h"
+#include "mining/simple_miner.h"
+#include "relational/date.h"
+
+namespace minerule::datagen {
+namespace {
+
+TEST(PaperExampleTest, Figure1TableExactContents) {
+  Catalog catalog;
+  auto table = MakePaperPurchaseTable(&catalog);
+  ASSERT_TRUE(table.ok());
+  ASSERT_EQ(table.value()->num_rows(), 8u);
+  const Schema& schema = table.value()->schema();
+  EXPECT_EQ(schema.column(0).name, "tr");
+  EXPECT_EQ(schema.column(3).type, DataType::kDate);
+  // Spot-check the first and last rows of Figure 1.
+  const Row& first = table.value()->row(0);
+  EXPECT_EQ(first[0].AsInteger(), 1);
+  EXPECT_EQ(first[1].AsString(), "cust1");
+  EXPECT_EQ(first[2].AsString(), "ski_pants");
+  EXPECT_EQ(date::ToString(first[3].AsDate()), "12/17/1995");
+  EXPECT_DOUBLE_EQ(first[4].AsDouble(), 140);
+  const Row& last = table.value()->row(7);
+  EXPECT_EQ(last[2].AsString(), "jackets");
+  EXPECT_EQ(last[5].AsInteger(), 2);
+}
+
+TEST(QuestGenTest, DeterministicAndShapeRespectsParams) {
+  QuestParams params;
+  params.num_transactions = 500;
+  params.num_items = 100;
+  params.avg_transaction_size = 8;
+  auto a = GenerateQuestTransactions(params);
+  auto b = GenerateQuestTransactions(params);
+  ASSERT_EQ(a.size(), 500u);
+  EXPECT_EQ(a, b);  // same seed, same data
+
+  params.seed = 999;
+  auto c = GenerateQuestTransactions(params);
+  EXPECT_NE(a, c);  // different seed, different data
+
+  double total = 0;
+  for (const mining::Itemset& txn : a) {
+    ASSERT_FALSE(txn.empty());
+    EXPECT_TRUE(mining::IsCanonical(txn));
+    for (mining::ItemId item : txn) {
+      EXPECT_GE(item, 1);
+      EXPECT_LE(item, 100);
+    }
+    total += static_cast<double>(txn.size());
+  }
+  // Mean size within a loose factor of |T|.
+  EXPECT_GT(total / 500.0, 2.0);
+  EXPECT_LT(total / 500.0, 20.0);
+}
+
+TEST(QuestGenTest, HasFrequentPatterns) {
+  // The point of the generator: some itemsets of size >= 2 are frequent.
+  QuestParams params;
+  params.num_transactions = 400;
+  params.num_items = 60;
+  params.num_patterns = 10;
+  params.avg_pattern_size = 3;
+  mining::TransactionDb db = GenerateQuestDb(params);
+  auto miner = mining::CreateMiner(mining::SimpleAlgorithm::kGidList);
+  auto itemsets = miner->Mine(db, mining::MinGroupCount(0.03, 400), 3, nullptr);
+  ASSERT_TRUE(itemsets.ok());
+  bool has_pair = false;
+  for (const mining::FrequentItemset& fi : itemsets.value()) {
+    if (fi.items.size() >= 2) has_pair = true;
+  }
+  EXPECT_TRUE(has_pair);
+}
+
+TEST(QuestGenTest, MaterializedTableMatchesTransactions) {
+  Catalog catalog;
+  QuestParams params;
+  params.num_transactions = 50;
+  params.num_items = 20;
+  auto table = MaterializeQuestTable(&catalog, "Txns", params);
+  ASSERT_TRUE(table.ok());
+  auto transactions = GenerateQuestTransactions(params);
+  size_t expected_rows = 0;
+  for (const mining::Itemset& txn : transactions) expected_rows += txn.size();
+  EXPECT_EQ(table.value()->num_rows(), expected_rows);
+  // tids are 1-based and dense.
+  std::set<int64_t> tids;
+  for (const Row& row : table.value()->rows()) {
+    tids.insert(row[0].AsInteger());
+  }
+  EXPECT_EQ(tids.size(), 50u);
+  EXPECT_EQ(*tids.begin(), 1);
+  EXPECT_EQ(*tids.rbegin(), 50);
+}
+
+TEST(RetailGenTest, SchemaAndInvariants) {
+  Catalog catalog;
+  RetailParams params;
+  params.num_customers = 30;
+  params.num_items = 15;
+  auto table = GenerateRetailTable(&catalog, "Purchase", params);
+  ASSERT_TRUE(table.ok());
+  ASSERT_GT(table.value()->num_rows(), 0u);
+
+  std::map<std::string, double> price_of;
+  std::map<int64_t, std::pair<std::string, int32_t>> txn_identity;
+  for (const Row& row : table.value()->rows()) {
+    // Prices are stable per item.
+    const std::string item = row[2].AsString();
+    const double price = row[4].AsDouble();
+    auto [it, inserted] = price_of.emplace(item, price);
+    EXPECT_DOUBLE_EQ(it->second, price) << item;
+    // gear_* items are expensive, accessory_* cheap.
+    if (item.rfind("gear_", 0) == 0) {
+      EXPECT_GE(price, 100.0);
+    } else {
+      EXPECT_LT(price, 100.0);
+    }
+    // A transaction belongs to one customer on one date.
+    const int64_t tr = row[0].AsInteger();
+    auto [tit, tinserted] = txn_identity.emplace(
+        tr, std::make_pair(row[1].AsString(), row[3].AsDate()));
+    EXPECT_EQ(tit->second.first, row[1].AsString());
+    EXPECT_EQ(tit->second.second, row[3].AsDate());
+    // Quantity positive.
+    EXPECT_GE(row[5].AsInteger(), 1);
+  }
+}
+
+TEST(RetailGenTest, DeterministicPerSeed) {
+  Catalog a, b;
+  RetailParams params;
+  params.num_customers = 10;
+  auto ta = GenerateRetailTable(&a, "P", params);
+  auto tb = GenerateRetailTable(&b, "P", params);
+  ASSERT_TRUE(ta.ok());
+  ASSERT_TRUE(tb.ok());
+  ASSERT_EQ(ta.value()->num_rows(), tb.value()->num_rows());
+  for (size_t i = 0; i < ta.value()->num_rows(); ++i) {
+    EXPECT_TRUE(RowEq{}(ta.value()->row(i), tb.value()->row(i)));
+  }
+}
+
+TEST(RetailGenTest, RejectsDegenerateParams) {
+  Catalog catalog;
+  RetailParams params;
+  params.num_items = 1;
+  EXPECT_FALSE(GenerateRetailTable(&catalog, "P", params).ok());
+}
+
+}  // namespace
+}  // namespace minerule::datagen

@@ -1,0 +1,189 @@
+// Cross-cutting property tests of the whole pipeline on randomized data:
+//
+//  1. A trivially-true mining condition must not change the result: the
+//     general core (fed by Q8..Q10 SQL-built elementary rules) must produce
+//     exactly the simple pipeline's rules.
+//  2. CLUSTER BY on a constant column (single cluster per group) must not
+//     change the result either.
+//  3. The in-database pipeline must agree with an independently computed
+//     in-memory reference on the same relational data.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "engine/data_mining_system.h"
+#include "mining/reference_miner.h"
+
+namespace minerule::mr {
+namespace {
+
+struct RuleFacts {
+  double support;
+  double confidence;
+  bool operator==(const RuleFacts& other) const {
+    return std::abs(support - other.support) < 1e-9 &&
+           std::abs(confidence - other.confidence) < 1e-9;
+  }
+};
+using RuleMap = std::map<std::string, RuleFacts>;
+
+class EnginePropertyTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  EnginePropertyTest() : system_(&catalog_) {}
+
+  /// Random (tid, item, price, flag) rows; price constant per item.
+  void GenerateData(uint64_t seed) {
+    Random rng(seed);
+    Schema schema({{"tid", DataType::kInteger},
+                   {"item", DataType::kInteger},
+                   {"price", DataType::kDouble},
+                   {"single", DataType::kInteger}});
+    auto table = catalog_.CreateTable("T", schema);
+    ASSERT_TRUE(table.ok());
+    const int groups = 30;
+    const int items = 8;
+    std::vector<double> price(items + 1);
+    for (int i = 1; i <= items; ++i) {
+      price[i] = 10.0 * static_cast<double>(1 + rng.NextBounded(40));
+    }
+    for (int g = 1; g <= groups; ++g) {
+      for (int i = 1; i <= items; ++i) {
+        if (rng.NextBool(0.4)) {
+          table.value()->AppendUnchecked(
+              {Value::Integer(g), Value::Integer(i), Value::Double(price[i]),
+               Value::Integer(1)});
+          transactions_[g].push_back(i);
+        }
+      }
+    }
+  }
+
+  RuleMap MineAndDecode(const std::string& statement,
+                        const std::string& out) {
+    auto stats = system_.ExecuteMineRule(statement);
+    EXPECT_TRUE(stats.ok()) << stats.status();
+    if (!stats.ok()) return {};
+    RuleMap rules;
+    auto ids = system_.ExecuteSql(
+        "SELECT BodyId, HeadId, SUPPORT, CONFIDENCE FROM " + out);
+    EXPECT_TRUE(ids.ok());
+    std::map<int64_t, std::vector<std::string>> bodies, heads;
+    auto body_rows =
+        system_.ExecuteSql("SELECT BodyId, item FROM " + out + "_Bodies");
+    auto head_rows =
+        system_.ExecuteSql("SELECT HeadId, item FROM " + out + "_Heads");
+    EXPECT_TRUE(body_rows.ok());
+    EXPECT_TRUE(head_rows.ok());
+    for (const Row& row : body_rows.value().rows) {
+      bodies[row[0].AsInteger()].push_back(row[1].ToString());
+    }
+    for (const Row& row : head_rows.value().rows) {
+      heads[row[0].AsInteger()].push_back(row[1].ToString());
+    }
+    auto render = [](std::vector<std::string> items) {
+      std::sort(items.begin(), items.end());
+      return Join(items, ",");
+    };
+    for (const Row& row : ids.value().rows) {
+      rules["{" + render(bodies[row[0].AsInteger()]) + "}=>{" +
+            render(heads[row[1].AsInteger()]) + "}"] =
+          RuleFacts{row[2].AsDouble(), row[3].AsDouble()};
+    }
+    return rules;
+  }
+
+  void ExpectEqualRuleMaps(const RuleMap& a, const RuleMap& b,
+                           const char* what) {
+    EXPECT_EQ(a.size(), b.size()) << what;
+    for (const auto& [key, facts] : a) {
+      auto it = b.find(key);
+      ASSERT_TRUE(it != b.end()) << what << ": missing " << key;
+      EXPECT_NEAR(facts.support, it->second.support, 1e-9) << key;
+      EXPECT_NEAR(facts.confidence, it->second.confidence, 1e-9) << key;
+    }
+  }
+
+  Catalog catalog_;
+  DataMiningSystem system_;
+  std::map<int, mining::Itemset> transactions_;
+};
+
+TEST_P(EnginePropertyTest, TrivialMiningConditionEqualsSimplePipeline) {
+  GenerateData(GetParam());
+  RuleMap simple = MineAndDecode(
+      "MINE RULE SimpleOut AS SELECT DISTINCT 1..n item AS BODY, 1..n item "
+      "AS HEAD, SUPPORT, CONFIDENCE FROM T GROUP BY tid "
+      "EXTRACTING RULES WITH SUPPORT: 0.15, CONFIDENCE: 0.4",
+      "SimpleOut");
+  EXPECT_FALSE(simple.empty());
+  RuleMap general = MineAndDecode(
+      "MINE RULE GeneralOut AS SELECT DISTINCT 1..n item AS BODY, 1..n item "
+      "AS HEAD, SUPPORT, CONFIDENCE WHERE BODY.price >= 0 AND HEAD.price >= "
+      "0 FROM T GROUP BY tid "
+      "EXTRACTING RULES WITH SUPPORT: 0.15, CONFIDENCE: 0.4",
+      "GeneralOut");
+  ExpectEqualRuleMaps(simple, general, "trivial mining condition");
+}
+
+TEST_P(EnginePropertyTest, ConstantClusterColumnEqualsSimplePipeline) {
+  GenerateData(GetParam());
+  RuleMap simple = MineAndDecode(
+      "MINE RULE SimpleOut AS SELECT DISTINCT 1..n item AS BODY, 1..n item "
+      "AS HEAD, SUPPORT, CONFIDENCE FROM T GROUP BY tid "
+      "EXTRACTING RULES WITH SUPPORT: 0.15, CONFIDENCE: 0.4",
+      "SimpleOut");
+  RuleMap clustered = MineAndDecode(
+      "MINE RULE ClusterOut AS SELECT DISTINCT 1..n item AS BODY, 1..n item "
+      "AS HEAD, SUPPORT, CONFIDENCE FROM T GROUP BY tid CLUSTER BY single "
+      "EXTRACTING RULES WITH SUPPORT: 0.15, CONFIDENCE: 0.4",
+      "ClusterOut");
+  ExpectEqualRuleMaps(simple, clustered, "constant cluster");
+}
+
+TEST_P(EnginePropertyTest, PipelineAgreesWithInMemoryReference) {
+  GenerateData(GetParam());
+  RuleMap pipeline = MineAndDecode(
+      "MINE RULE RefOut AS SELECT DISTINCT 1..n item AS BODY, 1..1 item AS "
+      "HEAD, SUPPORT, CONFIDENCE FROM T GROUP BY tid "
+      "EXTRACTING RULES WITH SUPPORT: 0.15, CONFIDENCE: 0.4",
+      "RefOut");
+
+  // Independent computation: reference miner + rule builder on the raw
+  // transactions, bypassing all SQL.
+  std::vector<mining::Itemset> txns;
+  for (auto& [gid, items] : transactions_) txns.push_back(items);
+  const int64_t total = static_cast<int64_t>(txns.size());
+  mining::TransactionDb db =
+      mining::TransactionDb::FromTransactions(std::move(txns), total);
+  auto expected = mining::MineSimpleRules(db, 0.15, 0.4, {1, -1}, {1, 1},
+                                          mining::SimpleAlgorithm::kReference);
+  ASSERT_TRUE(expected.ok()) << expected.status();
+
+  ASSERT_EQ(pipeline.size(), expected.value().size());
+  for (const mining::MinedRule& rule : expected.value()) {
+    std::string key = "{";
+    for (size_t i = 0; i < rule.body.size(); ++i) {
+      if (i) key += ",";
+      key += std::to_string(rule.body[i]);
+    }
+    key += "}=>{";
+    for (size_t i = 0; i < rule.head.size(); ++i) {
+      if (i) key += ",";
+      key += std::to_string(rule.head[i]);
+    }
+    key += "}";
+    auto it = pipeline.find(key);
+    ASSERT_TRUE(it != pipeline.end()) << key;
+    EXPECT_NEAR(it->second.support, rule.Support(total), 1e-9) << key;
+    EXPECT_NEAR(it->second.confidence, rule.Confidence(), 1e-9) << key;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EnginePropertyTest,
+                         ::testing::Values(3u, 17u, 95u, 204u, 777u));
+
+}  // namespace
+}  // namespace minerule::mr

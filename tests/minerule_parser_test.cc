@@ -1,0 +1,167 @@
+#include "minerule/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/paper_example.h"
+
+namespace minerule::mr {
+namespace {
+
+MineRuleStatement MustParse(const std::string& text) {
+  Result<MineRuleStatement> result = ParseMineRule(text);
+  EXPECT_TRUE(result.ok()) << result.status();
+  return result.ok() ? std::move(result).value() : MineRuleStatement{};
+}
+
+void MustFail(const std::string& text) {
+  Result<MineRuleStatement> result = ParseMineRule(text);
+  EXPECT_FALSE(result.ok()) << "unexpectedly parsed: " << text;
+}
+
+TEST(MineRuleParserTest, PaperExampleStatement) {
+  MineRuleStatement stmt = MustParse(datagen::PaperExampleStatement());
+  EXPECT_EQ(stmt.output_table, "FilteredOrderedSets");
+  EXPECT_EQ(stmt.body_schema, std::vector<std::string>{"item"});
+  EXPECT_EQ(stmt.head_schema, std::vector<std::string>{"item"});
+  EXPECT_EQ(stmt.body_card.min, 1);
+  EXPECT_EQ(stmt.body_card.max, -1);
+  EXPECT_EQ(stmt.head_card.min, 1);
+  EXPECT_EQ(stmt.head_card.max, -1);
+  EXPECT_TRUE(stmt.select_support);
+  EXPECT_TRUE(stmt.select_confidence);
+  ASSERT_NE(stmt.mining_cond, nullptr);
+  ASSERT_NE(stmt.source_cond, nullptr);
+  EXPECT_EQ(stmt.group_attrs, std::vector<std::string>{"customer"});
+  EXPECT_EQ(stmt.cluster_attrs, std::vector<std::string>{"date"});
+  ASSERT_NE(stmt.cluster_cond, nullptr);
+  EXPECT_DOUBLE_EQ(stmt.min_support, 0.2);
+  EXPECT_DOUBLE_EQ(stmt.min_confidence, 0.3);
+  ASSERT_EQ(stmt.from.size(), 1u);
+  EXPECT_EQ(stmt.from[0].name, "Purchase");
+}
+
+TEST(MineRuleParserTest, MinimalSimpleStatement) {
+  MineRuleStatement stmt = MustParse(
+      "MINE RULE SimpleRules AS SELECT DISTINCT item AS BODY, item AS HEAD "
+      "FROM Purchase GROUP BY tr "
+      "EXTRACTING RULES WITH SUPPORT: 0.1, CONFIDENCE: 0.2");
+  EXPECT_FALSE(stmt.select_support);
+  EXPECT_FALSE(stmt.select_confidence);
+  EXPECT_EQ(stmt.mining_cond, nullptr);
+  EXPECT_EQ(stmt.source_cond, nullptr);
+  EXPECT_EQ(stmt.group_cond, nullptr);
+  EXPECT_TRUE(stmt.cluster_attrs.empty());
+  // Defaults: body 1..n, head 1..1.
+  EXPECT_EQ(stmt.body_card.max, -1);
+  EXPECT_EQ(stmt.head_card.max, 1);
+}
+
+TEST(MineRuleParserTest, ExplicitCardinalities) {
+  MineRuleStatement stmt = MustParse(
+      "MINE RULE R AS SELECT DISTINCT 2..4 item AS BODY, 1..2 item AS HEAD "
+      "FROM t GROUP BY g "
+      "EXTRACTING RULES WITH SUPPORT: 0.1, CONFIDENCE: 0.2");
+  EXPECT_EQ(stmt.body_card.min, 2);
+  EXPECT_EQ(stmt.body_card.max, 4);
+  EXPECT_EQ(stmt.head_card.min, 1);
+  EXPECT_EQ(stmt.head_card.max, 2);
+}
+
+TEST(MineRuleParserTest, MultiAttributeSchemas) {
+  MineRuleStatement stmt = MustParse(
+      "MINE RULE R AS SELECT DISTINCT item, category AS BODY, "
+      "brand AS HEAD FROM t GROUP BY g "
+      "EXTRACTING RULES WITH SUPPORT: 0.1, CONFIDENCE: 0.2");
+  EXPECT_EQ(stmt.body_schema, (std::vector<std::string>{"item", "category"}));
+  EXPECT_EQ(stmt.head_schema, std::vector<std::string>{"brand"});
+}
+
+TEST(MineRuleParserTest, GroupHavingCondition) {
+  MineRuleStatement stmt = MustParse(
+      "MINE RULE R AS SELECT DISTINCT item AS BODY, item AS HEAD "
+      "FROM t GROUP BY customer HAVING COUNT(*) > 3 "
+      "EXTRACTING RULES WITH SUPPORT: 0.1, CONFIDENCE: 0.2");
+  ASSERT_NE(stmt.group_cond, nullptr);
+}
+
+TEST(MineRuleParserTest, MultipleGroupAndClusterAttrs) {
+  MineRuleStatement stmt = MustParse(
+      "MINE RULE R AS SELECT DISTINCT item AS BODY, item AS HEAD "
+      "FROM t GROUP BY store, customer CLUSTER BY week, day "
+      "EXTRACTING RULES WITH SUPPORT: 0.1, CONFIDENCE: 0.2");
+  EXPECT_EQ(stmt.group_attrs, (std::vector<std::string>{"store", "customer"}));
+  EXPECT_EQ(stmt.cluster_attrs, (std::vector<std::string>{"week", "day"}));
+}
+
+TEST(MineRuleParserTest, FromAliases) {
+  MineRuleStatement stmt = MustParse(
+      "MINE RULE R AS SELECT DISTINCT item AS BODY, item AS HEAD "
+      "FROM Purchase AS P, Stores S WHERE x = 1 GROUP BY g "
+      "EXTRACTING RULES WITH SUPPORT: 0.1, CONFIDENCE: 0.2");
+  ASSERT_EQ(stmt.from.size(), 2u);
+  EXPECT_EQ(stmt.from[0].alias, "P");
+  EXPECT_EQ(stmt.from[1].alias, "S");
+  ASSERT_NE(stmt.source_cond, nullptr);
+}
+
+TEST(MineRuleParserTest, IntegerThresholds) {
+  MineRuleStatement stmt = MustParse(
+      "MINE RULE R AS SELECT DISTINCT i AS BODY, i AS HEAD FROM t GROUP BY g "
+      "EXTRACTING RULES WITH SUPPORT: 0, CONFIDENCE: 1");
+  EXPECT_DOUBLE_EQ(stmt.min_support, 0.0);
+  EXPECT_DOUBLE_EQ(stmt.min_confidence, 1.0);
+}
+
+TEST(MineRuleParserTest, RoundTripToString) {
+  MineRuleStatement stmt = MustParse(datagen::PaperExampleStatement());
+  // The canonical unparse must itself parse to the same structure.
+  MineRuleStatement again = MustParse(stmt.ToString());
+  EXPECT_EQ(again.output_table, stmt.output_table);
+  EXPECT_EQ(again.body_schema, stmt.body_schema);
+  EXPECT_EQ(again.group_attrs, stmt.group_attrs);
+  EXPECT_EQ(again.cluster_attrs, stmt.cluster_attrs);
+  EXPECT_DOUBLE_EQ(again.min_support, stmt.min_support);
+  ASSERT_NE(again.mining_cond, nullptr);
+  EXPECT_EQ(again.mining_cond->ToSql(), stmt.mining_cond->ToSql());
+}
+
+TEST(MineRuleParserTest, IsMineRuleStatementDetection) {
+  EXPECT_TRUE(IsMineRuleStatement("MINE RULE x AS SELECT ..."));
+  EXPECT_TRUE(IsMineRuleStatement("  mine   rule y AS"));
+  EXPECT_FALSE(IsMineRuleStatement("SELECT * FROM t"));
+  EXPECT_FALSE(IsMineRuleStatement(""));
+}
+
+TEST(MineRuleParserTest, Rejections) {
+  // Missing EXTRACTING clause.
+  MustFail(
+      "MINE RULE R AS SELECT DISTINCT i AS BODY, i AS HEAD FROM t GROUP BY "
+      "g");
+  // Missing DISTINCT.
+  MustFail(
+      "MINE RULE R AS SELECT i AS BODY, i AS HEAD FROM t GROUP BY g "
+      "EXTRACTING RULES WITH SUPPORT: 0.1, CONFIDENCE: 0.2");
+  // Missing GROUP BY (mandatory in the grammar).
+  MustFail(
+      "MINE RULE R AS SELECT DISTINCT i AS BODY, i AS HEAD FROM t "
+      "EXTRACTING RULES WITH SUPPORT: 0.1, CONFIDENCE: 0.2");
+  // Support out of range.
+  MustFail(
+      "MINE RULE R AS SELECT DISTINCT i AS BODY, i AS HEAD FROM t GROUP BY g "
+      "EXTRACTING RULES WITH SUPPORT: 1.5, CONFIDENCE: 0.2");
+  // Bad cardinality (0 lower bound).
+  MustFail(
+      "MINE RULE R AS SELECT DISTINCT 0..2 i AS BODY, i AS HEAD FROM t GROUP "
+      "BY g EXTRACTING RULES WITH SUPPORT: 0.1, CONFIDENCE: 0.2");
+  // Inverted cardinality.
+  MustFail(
+      "MINE RULE R AS SELECT DISTINCT 3..2 i AS BODY, i AS HEAD FROM t GROUP "
+      "BY g EXTRACTING RULES WITH SUPPORT: 0.1, CONFIDENCE: 0.2");
+  // CLUSTER BY without attributes.
+  MustFail(
+      "MINE RULE R AS SELECT DISTINCT i AS BODY, i AS HEAD FROM t GROUP BY g "
+      "CLUSTER BY EXTRACTING RULES WITH SUPPORT: 0.1, CONFIDENCE: 0.2");
+}
+
+}  // namespace
+}  // namespace minerule::mr

@@ -1,0 +1,416 @@
+#include "mining/general_miner.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "mining/core_operator.h"
+#include "mining/simple_miner.h"
+
+namespace minerule::mining {
+namespace {
+
+std::vector<MinedRule> MustMine(GeneralMiner* miner, double support,
+                                double confidence,
+                                CardinalityConstraint body = {1, -1},
+                                CardinalityConstraint head = {1, 1},
+                                GeneralMinerStats* stats = nullptr) {
+  auto result = miner->Mine(support, confidence, body, head, stats);
+  EXPECT_TRUE(result.ok()) << result.status();
+  return result.ok() ? std::move(result).value() : std::vector<MinedRule>{};
+}
+
+/// The paper's Figure 2a encoding: groups = customers, clusters = dates.
+/// Items: 1=ski_pants 2=hiking_boots 3=jackets 4=col_shirts 5=brown_boots.
+/// Body items filtered to price>=100, head to price<100 — mimicking the
+/// mining condition by feeding role-restricted item sets; valid pairs are
+/// those with body date < head date (mimicking the cluster condition).
+GeneralInput PaperExampleInput() {
+  GeneralInput input;
+  input.total_groups = 2;
+  input.distinct_head_encoding = false;
+  input.all_pairs = false;
+
+  // cust1: 12/17 {ski_pants(1), hiking_boots(2)}, 12/18 {jackets(3)}.
+  GeneralInput::Group cust1;
+  cust1.gid = 1;
+  {
+    GeneralInput::Cluster c17;
+    c17.cid = 17;
+    c17.body_items = {1, 2};  // both >= 100
+    c17.head_items = {};      // none < 100
+    GeneralInput::Cluster c18;
+    c18.cid = 18;
+    c18.body_items = {3};
+    c18.head_items = {};
+    cust1.clusters = {c17, c18};
+    cust1.couples = {{17, 18}};  // 12/17 < 12/18
+  }
+  input.groups.push_back(cust1);
+
+  // cust2: 12/18 {col_shirts(4), brown_boots(5), jackets(3)},
+  //        12/19 {col_shirts(4), jackets(3)}.
+  GeneralInput::Group cust2;
+  cust2.gid = 2;
+  {
+    GeneralInput::Cluster c18;
+    c18.cid = 18;
+    c18.body_items = {3, 5};  // brown_boots 150, jackets 300
+    c18.head_items = {4};     // col_shirts 25
+    GeneralInput::Cluster c19;
+    c19.cid = 19;
+    c19.body_items = {3};
+    c19.head_items = {4};
+    cust2.clusters = {c18, c19};
+    cust2.couples = {{18, 19}};
+  }
+  input.groups.push_back(cust2);
+  return input;
+}
+
+TEST(GeneralMinerTest, ReproducesPaperFigure2b) {
+  GeneralMiner miner(PaperExampleInput());
+  GeneralMinerStats stats;
+  auto rules = MustMine(&miner, 0.2, 0.3, {1, -1}, {1, -1}, &stats);
+
+  // Figure 2b: {brown_boots}=>{col_shirts} 0.5/1,
+  //            {jackets}=>{col_shirts} 0.5/0.5,
+  //            {brown_boots,jackets}=>{col_shirts} 0.5/1.
+  ASSERT_EQ(rules.size(), 3u);
+
+  EXPECT_EQ(rules[0].body, (Itemset{3}));  // jackets
+  EXPECT_EQ(rules[0].head, (Itemset{4}));
+  EXPECT_DOUBLE_EQ(rules[0].Support(2), 0.5);
+  EXPECT_DOUBLE_EQ(rules[0].Confidence(), 0.5);
+
+  EXPECT_EQ(rules[1].body, (Itemset{3, 5}));  // jackets+brown_boots
+  EXPECT_EQ(rules[1].head, (Itemset{4}));
+  EXPECT_DOUBLE_EQ(rules[1].Support(2), 0.5);
+  EXPECT_DOUBLE_EQ(rules[1].Confidence(), 1.0);
+
+  EXPECT_EQ(rules[2].body, (Itemset{5}));  // brown_boots
+  EXPECT_EQ(rules[2].head, (Itemset{4}));
+  EXPECT_DOUBLE_EQ(rules[2].Support(2), 0.5);
+  EXPECT_DOUBLE_EQ(rules[2].Confidence(), 1.0);
+
+  EXPECT_EQ(stats.elementary_rules, 2);  // 3=>4 and 5=>4 survive support
+}
+
+TEST(OccurrenceTest, IntersectionAndGidCount) {
+  OccurrenceList a = {{1, 1, 2}, {1, 2, 3}, {2, 1, 1}, {3, 1, 1}};
+  OccurrenceList b = {{1, 2, 3}, {2, 1, 1}, {4, 1, 1}};
+  OccurrenceList both = IntersectOccurrences(a, b);
+  ASSERT_EQ(both.size(), 2u);
+  EXPECT_EQ(CountDistinctGids(both), 2);
+  EXPECT_EQ(CountDistinctGids(a), 3);
+  EXPECT_EQ(CountDistinctGids({}), 0);
+}
+
+TEST(GeneralMinerTest, NoClusterNoConditionMatchesSimpleMiner) {
+  // Random databases: the general miner restricted to the simple case must
+  // produce exactly the simple pipeline's rules.
+  for (uint64_t seed : {11u, 47u, 1001u}) {
+    Random rng(seed);
+    std::vector<Itemset> txns;
+    const size_t groups = 40;
+    for (size_t g = 0; g < groups; ++g) {
+      Itemset txn;
+      for (ItemId item = 1; item <= 8; ++item) {
+        if (rng.NextBool(0.45)) txn.push_back(item);
+      }
+      txns.push_back(txn);
+    }
+    TransactionDb db =
+        TransactionDb::FromTransactions(txns, static_cast<int64_t>(groups));
+    auto simple = MineSimpleRules(db, 0.15, 0.5, {1, -1}, {1, -1},
+                                  SimpleAlgorithm::kGidList);
+    ASSERT_TRUE(simple.ok());
+
+    GeneralInput input;
+    input.total_groups = static_cast<int64_t>(groups);
+    for (size_t g = 0; g < groups; ++g) {
+      GeneralInput::Group group;
+      group.gid = static_cast<Gid>(g);
+      GeneralInput::Cluster cluster;
+      cluster.cid = kNoCluster;
+      cluster.body_items = txns[g];
+      Canonicalize(&cluster.body_items);
+      cluster.head_items = cluster.body_items;
+      group.clusters.push_back(cluster);
+      input.groups.push_back(std::move(group));
+    }
+    GeneralMiner miner(std::move(input));
+    auto general = MustMine(&miner, 0.15, 0.5, {1, -1}, {1, -1});
+
+    ASSERT_EQ(general.size(), simple.value().size()) << "seed " << seed;
+    for (size_t i = 0; i < general.size(); ++i) {
+      EXPECT_EQ(general[i].body, simple.value()[i].body);
+      EXPECT_EQ(general[i].head, simple.value()[i].head);
+      EXPECT_EQ(general[i].group_count, simple.value()[i].group_count);
+      EXPECT_EQ(general[i].body_group_count,
+                simple.value()[i].body_group_count);
+    }
+  }
+}
+
+TEST(GeneralMinerTest, InputRulesPathMatchesSelfComputedPath) {
+  // Build the cartesian product externally (as Q8 would) and feed it as
+  // InputRules; results must match the self-computed path.
+  GeneralInput self_input = PaperExampleInput();
+
+  GeneralInput sql_input = PaperExampleInput();
+  sql_input.has_input_rules = true;
+  for (const GeneralInput::Group& group : self_input.groups) {
+    std::map<Cid, const GeneralInput::Cluster*> by_cid;
+    for (const auto& cluster : group.clusters) by_cid[cluster.cid] = &cluster;
+    for (const auto& [bcid, hcid] : group.couples) {
+      for (ItemId bid : by_cid[bcid]->body_items) {
+        for (ItemId hid : by_cid[hcid]->head_items) {
+          if (bid == hid) continue;
+          sql_input.input_rules.push_back({group.gid, bcid, hcid, bid, hid});
+        }
+      }
+    }
+  }
+
+  GeneralMiner self_miner(std::move(self_input));
+  GeneralMiner sql_miner(std::move(sql_input));
+  auto self_rules = MustMine(&self_miner, 0.2, 0.3, {1, -1}, {1, -1});
+  auto sql_rules = MustMine(&sql_miner, 0.2, 0.3, {1, -1}, {1, -1});
+  ASSERT_EQ(self_rules.size(), sql_rules.size());
+  for (size_t i = 0; i < self_rules.size(); ++i) {
+    EXPECT_EQ(self_rules[i].body, sql_rules[i].body);
+    EXPECT_EQ(self_rules[i].head, sql_rules[i].head);
+    EXPECT_EQ(self_rules[i].group_count, sql_rules[i].group_count);
+  }
+}
+
+TEST(GeneralMinerTest, ClusterPairsRestrictSupport) {
+  // One group, two clusters A={1}, B={2}. With all pairs, 1=>2 holds; with
+  // couples restricted to (B,A) only, 1=>2 cannot occur but 2=>1 can.
+  GeneralInput input;
+  input.total_groups = 1;
+  GeneralInput::Group group;
+  group.gid = 1;
+  GeneralInput::Cluster a{10, {1}, {1}};
+  GeneralInput::Cluster b{20, {2}, {2}};
+  group.clusters = {a, b};
+  input.groups.push_back(group);
+
+  {
+    GeneralInput all = input;
+    all.all_pairs = true;
+    GeneralMiner miner(std::move(all));
+    auto rules = MustMine(&miner, 0.5, 0.0);
+    ASSERT_EQ(rules.size(), 2u);  // 1=>2 and 2=>1
+  }
+  {
+    GeneralInput restricted = input;
+    restricted.all_pairs = false;
+    restricted.groups[0].couples = {{20, 10}};
+    GeneralMiner miner(std::move(restricted));
+    auto rules = MustMine(&miner, 0.5, 0.0);
+    ASSERT_EQ(rules.size(), 1u);
+    EXPECT_EQ(rules[0].body, (Itemset{2}));
+    EXPECT_EQ(rules[0].head, (Itemset{1}));
+  }
+}
+
+TEST(GeneralMinerTest, DistinctHeadEncodingAllowsEqualIds) {
+  // With H true, body id 1 and head id 1 denote different items.
+  GeneralInput input;
+  input.total_groups = 2;
+  input.distinct_head_encoding = true;
+  for (Gid gid = 1; gid <= 2; ++gid) {
+    GeneralInput::Group group;
+    group.gid = gid;
+    GeneralInput::Cluster cluster;
+    cluster.cid = kNoCluster;
+    cluster.body_items = {1};
+    cluster.head_items = {1};
+    group.clusters.push_back(cluster);
+    input.groups.push_back(std::move(group));
+  }
+  GeneralMiner miner(std::move(input));
+  auto rules = MustMine(&miner, 0.5, 0.0);
+  ASSERT_EQ(rules.size(), 1u);
+  EXPECT_EQ(rules[0].body, (Itemset{1}));
+  EXPECT_EQ(rules[0].head, (Itemset{1}));
+  EXPECT_EQ(rules[0].group_count, 2);
+}
+
+TEST(GeneralMinerTest, HeadCardinalityGrowsHeads) {
+  // Two groups both containing head items {2,3} with body {1}.
+  GeneralInput input;
+  input.total_groups = 2;
+  input.distinct_head_encoding = true;
+  for (Gid gid = 1; gid <= 2; ++gid) {
+    GeneralInput::Group group;
+    group.gid = gid;
+    GeneralInput::Cluster cluster;
+    cluster.cid = kNoCluster;
+    cluster.body_items = {1};
+    cluster.head_items = {2, 3};
+    group.clusters.push_back(cluster);
+    input.groups.push_back(std::move(group));
+  }
+  GeneralMiner miner(std::move(input));
+  GeneralMinerStats stats;
+  auto rules = MustMine(&miner, 0.5, 0.0, {1, 1}, {2, 2}, &stats);
+  ASSERT_EQ(rules.size(), 1u);
+  EXPECT_EQ(rules[0].body, (Itemset{1}));
+  EXPECT_EQ(rules[0].head, (Itemset{2, 3}));
+  // The (1,2) set must have been generated by head extension.
+  bool found = false;
+  for (const auto& set : stats.sets) {
+    if (set.body_size == 1 && set.head_size == 2) {
+      found = true;
+      EXPECT_FALSE(set.from_body_extension);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(GeneralMinerTest, SupportCountsGroupOncePerMultipleClusterPairs) {
+  // One group where the rule occurs via two different cluster pairs must
+  // count once (support is per group, §2 step 5).
+  GeneralInput input;
+  input.total_groups = 2;
+  GeneralInput::Group group;
+  group.gid = 1;
+  GeneralInput::Cluster c1{10, {1}, {1, 2}};
+  GeneralInput::Cluster c2{20, {1}, {2}};
+  group.clusters = {c1, c2};
+  input.groups.push_back(group);
+  GeneralMiner miner(std::move(input));
+  auto rules = MustMine(&miner, 0.5, 0.0);
+  for (const MinedRule& rule : rules) {
+    EXPECT_EQ(rule.group_count, 1) << rule.ToString();
+  }
+}
+
+TEST(GeneralMinerTest, CouplesReferencingMissingClustersAreIgnored) {
+  GeneralInput input;
+  input.total_groups = 1;
+  input.all_pairs = false;
+  GeneralInput::Group group;
+  group.gid = 1;
+  group.clusters = {GeneralInput::Cluster{5, {1}, {2}}};
+  // One valid couple plus garbage references to clusters that don't exist.
+  group.couples = {{5, 5}, {5, 99}, {99, 5}};
+  input.groups.push_back(group);
+  GeneralMiner miner(std::move(input));
+  auto rules = MustMine(&miner, 0.5, 0.0);
+  ASSERT_EQ(rules.size(), 1u);
+  EXPECT_EQ(rules[0].body, (Itemset{1}));
+  EXPECT_EQ(rules[0].head, (Itemset{2}));
+}
+
+TEST(GeneralMinerTest, CardinalityBoundsStopTheLattice) {
+  // 6 items everywhere; bounding to 1x1 must not build deeper sets.
+  GeneralInput input;
+  input.total_groups = 3;
+  for (Gid gid = 1; gid <= 3; ++gid) {
+    GeneralInput::Group group;
+    group.gid = gid;
+    GeneralInput::Cluster cluster;
+    cluster.cid = kNoCluster;
+    cluster.body_items = {1, 2, 3, 4, 5, 6};
+    cluster.head_items = cluster.body_items;
+    group.clusters.push_back(cluster);
+    input.groups.push_back(std::move(group));
+  }
+  GeneralMiner miner(std::move(input));
+  GeneralMinerStats stats;
+  auto rules = MustMine(&miner, 0.5, 0.0, {1, 1}, {1, 1}, &stats);
+  EXPECT_EQ(rules.size(), 30u);  // 6*5 ordered disjoint singleton pairs
+  EXPECT_TRUE(stats.sets.empty());  // no extension sets built at all
+}
+
+TEST(GeneralMinerTest, ZeroTotalGroupsIsAnError) {
+  GeneralInput input;
+  input.total_groups = 0;
+  GeneralMiner miner(std::move(input));
+  auto rules = miner.Mine(0.5, 0.5, {1, -1}, {1, 1}, nullptr);
+  EXPECT_FALSE(rules.ok());
+}
+
+TEST(GeneralMinerTest, BodySupportCacheCountsOnce) {
+  // The same body appears in many rules; the memoized support must be
+  // computed once per distinct body.
+  GeneralInput input;
+  input.total_groups = 2;
+  input.distinct_head_encoding = true;
+  for (Gid gid = 1; gid <= 2; ++gid) {
+    GeneralInput::Group group;
+    group.gid = gid;
+    GeneralInput::Cluster cluster;
+    cluster.cid = kNoCluster;
+    cluster.body_items = {1};
+    cluster.head_items = {10, 11, 12};
+    group.clusters.push_back(cluster);
+    input.groups.push_back(std::move(group));
+  }
+  GeneralMiner miner(std::move(input));
+  GeneralMinerStats stats;
+  auto rules = MustMine(&miner, 0.5, 0.0, {1, 1}, {1, -1}, &stats);
+  // Rules: {1} => each nonempty subset of {10,11,12} = 7 rules.
+  EXPECT_EQ(rules.size(), 7u);
+  EXPECT_EQ(stats.body_supports_computed, 1);
+}
+
+TEST(CoreOperatorTest, SimpleDispatch) {
+  CodedSourceData data;
+  data.total_groups = 4;
+  data.simple_pairs = {{1, 1}, {1, 2}, {2, 1}, {2, 2}, {3, 1}, {4, 2}};
+  CoreDirectives directives;  // simple
+  CoreStats stats;
+  auto rules = RunCoreOperator(data, directives, 0.5, 0.5, {1, -1}, {1, 1},
+                               CoreOptions{}, &stats);
+  ASSERT_TRUE(rules.ok());
+  EXPECT_FALSE(stats.used_general);
+  // {1}=>{2} count 2 conf 2/3; {2}=>{1} count 2 conf 2/3.
+  ASSERT_EQ(rules.value().size(), 2u);
+}
+
+TEST(CoreOperatorTest, GeneralDispatchBuildsClusters) {
+  CodedSourceData data;
+  data.total_groups = 2;
+  data.body_rows = {{1, 10, 1}, {1, 20, 2}, {2, 10, 1}, {2, 20, 2}};
+  CoreDirectives directives;
+  directives.general = true;
+  directives.has_clusters = true;
+  CoreStats stats;
+  auto rules = RunCoreOperator(data, directives, 0.5, 0.0, {1, -1}, {1, 1},
+                               CoreOptions{}, &stats);
+  ASSERT_TRUE(rules.ok());
+  EXPECT_TRUE(stats.used_general);
+  // All cluster pairs valid: 1=>2 and 2=>1 each in both groups.
+  ASSERT_EQ(rules.value().size(), 2u);
+  EXPECT_EQ(rules.value()[0].group_count, 2);
+}
+
+TEST(CoreOperatorTest, EmptyTotalGroupsShortCircuits) {
+  CodedSourceData data;
+  data.total_groups = 0;
+  auto rules = RunCoreOperator(data, CoreDirectives{}, 0.5, 0.5, {1, -1},
+                               {1, 1}, CoreOptions{}, nullptr);
+  ASSERT_TRUE(rules.ok());
+  EXPECT_TRUE(rules.value().empty());
+}
+
+TEST(GeneralInputBuilderTest, SharedEncodingCopiesBodyToHead) {
+  CodedSourceData data;
+  data.total_groups = 1;
+  data.body_rows = {{1, 5, 7}, {1, 5, 8}};
+  CoreDirectives directives;
+  directives.general = true;
+  directives.has_clusters = true;
+  GeneralInput input = BuildGeneralInput(data, directives);
+  ASSERT_EQ(input.groups.size(), 1u);
+  ASSERT_EQ(input.groups[0].clusters.size(), 1u);
+  EXPECT_EQ(input.groups[0].clusters[0].body_items, (Itemset{7, 8}));
+  EXPECT_EQ(input.groups[0].clusters[0].head_items, (Itemset{7, 8}));
+}
+
+}  // namespace
+}  // namespace minerule::mining

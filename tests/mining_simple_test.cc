@@ -1,0 +1,367 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "mining/apriori.h"
+#include "mining/partition.h"
+#include "mining/reference_miner.h"
+#include "mining/simple_miner.h"
+
+namespace minerule::mining {
+namespace {
+
+TransactionDb SmallDb() {
+  // Groups: {1,2,3}, {1,2}, {2,3}, {1,3}, {1,2,3}.
+  return TransactionDb::FromTransactions(
+      {{1, 2, 3}, {1, 2}, {2, 3}, {1, 3}, {1, 2, 3}}, 5);
+}
+
+std::vector<FrequentItemset> MustMine(FrequentItemsetMiner* miner,
+                                      const TransactionDb& db,
+                                      int64_t min_count,
+                                      int64_t max_size = -1,
+                                      SimpleMinerStats* stats = nullptr) {
+  auto result = miner->Mine(db, min_count, max_size, stats);
+  EXPECT_TRUE(result.ok()) << miner->name() << ": " << result.status();
+  return result.ok() ? std::move(result).value()
+                     : std::vector<FrequentItemset>{};
+}
+
+TEST(ItemsetTest, CanonicalizeSortsAndDedupes) {
+  Itemset items = {3, 1, 2, 3, 1};
+  Canonicalize(&items);
+  EXPECT_EQ(items, (Itemset{1, 2, 3}));
+  EXPECT_TRUE(IsCanonical(items));
+  EXPECT_FALSE(IsCanonical(Itemset{2, 1}));
+  EXPECT_FALSE(IsCanonical(Itemset{1, 1}));
+}
+
+TEST(ItemsetTest, SubsetChecks) {
+  EXPECT_TRUE(IsSubset({}, {1, 2}));
+  EXPECT_TRUE(IsSubset({2}, {1, 2, 3}));
+  EXPECT_TRUE(IsSubset({1, 3}, {1, 2, 3}));
+  EXPECT_FALSE(IsSubset({1, 4}, {1, 2, 3}));
+  EXPECT_FALSE(IsSubset({1, 2}, {2}));
+}
+
+TEST(ItemsetTest, WithItemInsertsInOrder) {
+  EXPECT_EQ(WithItem({1, 3}, 2), (Itemset{1, 2, 3}));
+  EXPECT_EQ(WithItem({1, 3}, 0), (Itemset{0, 1, 3}));
+  EXPECT_EQ(WithItem({1, 3}, 9), (Itemset{1, 3, 9}));
+  EXPECT_EQ(WithItem({}, 5), (Itemset{5}));
+}
+
+TEST(ItemsetTest, SubsetsOfSize) {
+  auto subsets = SubsetsOfSize({1, 2, 3}, 2);
+  ASSERT_EQ(subsets.size(), 3u);
+  EXPECT_EQ(subsets[0], (Itemset{1, 2}));
+  EXPECT_EQ(subsets[1], (Itemset{1, 3}));
+  EXPECT_EQ(subsets[2], (Itemset{2, 3}));
+  EXPECT_EQ(SubsetsOfSize({1, 2}, 3).size(), 0u);
+  EXPECT_EQ(SubsetsOfSize({1, 2, 3, 4}, 1).size(), 4u);
+}
+
+TEST(GidListTest, Intersection) {
+  EXPECT_EQ(IntersectGidLists({1, 3, 5, 7}, {2, 3, 5, 8}), (GidList{3, 5}));
+  EXPECT_EQ(IntersectGidLists({}, {1}), GidList{});
+  EXPECT_EQ(IntersectionSize({1, 2, 3}, {1, 2, 3}), 3u);
+  EXPECT_EQ(IntersectionSize({1, 2}, {3, 4}), 0u);
+}
+
+TEST(TransactionDbTest, FromPairsBuildsBothLayouts) {
+  TransactionDb db = TransactionDb::FromPairs(
+      {{10, 1}, {10, 2}, {20, 2}, {20, 1}, {30, 3}, {10, 1}}, 4);
+  EXPECT_EQ(db.num_transactions(), 3u);
+  EXPECT_EQ(db.total_groups(), 4);
+  EXPECT_EQ(db.items(), (std::vector<ItemId>{1, 2, 3}));
+  EXPECT_EQ(db.gid_list(1), (GidList{10, 20}));
+  EXPECT_EQ(db.gid_list(2), (GidList{10, 20}));
+  EXPECT_EQ(db.gid_list(3), (GidList{30}));
+  EXPECT_EQ(db.gid_list(99), GidList{});
+  // Duplicate pair (10,1) deduplicated.
+  EXPECT_EQ(db.transactions()[0], (Itemset{1, 2}));
+}
+
+TEST(TransactionDbTest, SliceRestrictsTransactions) {
+  TransactionDb db = SmallDb();
+  TransactionDb slice = db.Slice(1, 4);
+  EXPECT_EQ(slice.num_transactions(), 3u);
+  EXPECT_EQ(slice.total_groups(), 3);
+  EXPECT_EQ(slice.transactions()[0], (Itemset{1, 2}));
+}
+
+TEST(SimpleMinerTest, MinGroupCountRounding) {
+  EXPECT_EQ(MinGroupCount(0.2, 10), 2);
+  EXPECT_EQ(MinGroupCount(0.25, 10), 3);  // ceil(2.5)
+  EXPECT_EQ(MinGroupCount(0.0, 10), 1);
+  EXPECT_EQ(MinGroupCount(1.0, 10), 10);
+  EXPECT_EQ(MinGroupCount(0.001, 10), 1);
+  EXPECT_EQ(MinGroupCount(0.3, 10), 3);  // exact boundary stays 3
+}
+
+TEST(GenerateCandidatesTest, JoinAndPrune) {
+  // L2 = {1,2},{1,3},{2,3},{2,4}: join gives {1,2,3} (kept: all subsets
+  // present) and {2,3,4} (pruned: {3,4} missing).
+  std::vector<Itemset> level = {{1, 2}, {1, 3}, {2, 3}, {2, 4}};
+  auto candidates = GenerateCandidates(level);
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0], (Itemset{1, 2, 3}));
+}
+
+TEST(AprioriTest, KnownCountsOnSmallDb) {
+  AprioriMiner miner;
+  SimpleMinerStats stats;
+  auto itemsets = MustMine(&miner, SmallDb(), 3, -1, &stats);
+  // Counts: 1:4, 2:4, 3:4, {1,2}:3, {1,3}:3, {2,3}:3, {1,2,3}:2.
+  ASSERT_EQ(itemsets.size(), 6u);
+  for (const FrequentItemset& fi : itemsets) {
+    if (fi.items.size() == 1) {
+      EXPECT_EQ(fi.group_count, 4) << fi.items[0];
+    }
+    if (fi.items.size() == 2) {
+      EXPECT_EQ(fi.group_count, 3);
+    }
+  }
+  EXPECT_GE(stats.passes, 3);  // levels 1..3 attempted
+}
+
+TEST(AprioriTest, MaxSizeCapsLevels) {
+  AprioriMiner miner;
+  auto itemsets = MustMine(&miner, SmallDb(), 1, 1);
+  for (const FrequentItemset& fi : itemsets) {
+    EXPECT_EQ(fi.items.size(), 1u);
+  }
+}
+
+TEST(ReferenceMinerTest, RefusesWideDatabases) {
+  std::vector<Itemset> txns(1);
+  for (ItemId i = 0; i < 25; ++i) txns[0].push_back(i);
+  TransactionDb db = TransactionDb::FromTransactions(std::move(txns), 1);
+  ReferenceMiner miner;
+  auto result = miner.Mine(db, 1, -1, nullptr);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RuleBuilderTest, PaperStyleRules) {
+  // Itemsets over items {1=A, 2=B}: A:4, B:4, AB:3 of 5 groups.
+  std::vector<FrequentItemset> itemsets = {
+      {{1}, 4}, {{2}, 4}, {{1, 2}, 3}};
+  auto rules = BuildRulesFromItemsets(itemsets, 1, 0.5, {1, -1}, {1, 1});
+  // A=>B and B=>A, both confidence 3/4.
+  ASSERT_EQ(rules.size(), 2u);
+  EXPECT_EQ(rules[0].body, (Itemset{1}));
+  EXPECT_EQ(rules[0].head, (Itemset{2}));
+  EXPECT_DOUBLE_EQ(rules[0].Confidence(), 0.75);
+  EXPECT_DOUBLE_EQ(rules[0].Support(5), 0.6);
+}
+
+TEST(RuleBuilderTest, ConfidenceFilter) {
+  std::vector<FrequentItemset> itemsets = {
+      {{1}, 10}, {{2}, 2}, {{1, 2}, 2}};
+  // 1=>2: conf 0.2; 2=>1: conf 1.0.
+  auto rules = BuildRulesFromItemsets(itemsets, 1, 0.5, {1, -1}, {1, 1});
+  ASSERT_EQ(rules.size(), 1u);
+  EXPECT_EQ(rules[0].body, (Itemset{2}));
+}
+
+TEST(RuleBuilderTest, CardinalityConstraints) {
+  std::vector<FrequentItemset> itemsets = {
+      {{1}, 5}, {{2}, 5}, {{3}, 5}, {{1, 2}, 5}, {{1, 3}, 5},
+      {{2, 3}, 5}, {{1, 2, 3}, 5}};
+  // Body exactly 2, head exactly 1.
+  auto rules = BuildRulesFromItemsets(itemsets, 1, 0.0, {2, 2}, {1, 1});
+  ASSERT_EQ(rules.size(), 3u);
+  for (const MinedRule& rule : rules) {
+    EXPECT_EQ(rule.body.size(), 2u);
+    EXPECT_EQ(rule.head.size(), 1u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pool equivalence: every algorithm must produce the same frequent itemsets
+// as the brute-force reference, across randomized databases and thresholds.
+// ---------------------------------------------------------------------------
+
+struct PoolCase {
+  SimpleAlgorithm algorithm;
+  uint64_t seed;
+  double support;
+};
+
+class PoolEquivalenceTest : public ::testing::TestWithParam<PoolCase> {};
+
+TransactionDb RandomDb(uint64_t seed, size_t num_groups, int num_items,
+                       double density) {
+  Random rng(seed);
+  std::vector<Itemset> txns;
+  txns.reserve(num_groups);
+  for (size_t g = 0; g < num_groups; ++g) {
+    Itemset txn;
+    for (ItemId item = 1; item <= num_items; ++item) {
+      if (rng.NextBool(density)) txn.push_back(item);
+    }
+    txns.push_back(std::move(txn));
+  }
+  return TransactionDb::FromTransactions(std::move(txns),
+                                         static_cast<int64_t>(num_groups));
+}
+
+TEST_P(PoolEquivalenceTest, MatchesReferenceMiner) {
+  const PoolCase& param = GetParam();
+  TransactionDb db = RandomDb(param.seed, 60, 12, 0.35);
+  const int64_t min_count = MinGroupCount(param.support, db.total_groups());
+
+  ReferenceMiner reference;
+  auto expected = MustMine(&reference, db, min_count);
+
+  SimpleMinerOptions options;
+  options.partition_count = 3;
+  options.sample_rate = 0.4;
+  options.seed = param.seed + 1;
+  auto miner = CreateMiner(param.algorithm, options);
+  auto actual = MustMine(miner.get(), db, min_count);
+
+  ASSERT_EQ(actual.size(), expected.size())
+      << miner->name() << " support=" << param.support;
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(actual[i].items, expected[i].items) << i;
+    EXPECT_EQ(actual[i].group_count, expected[i].group_count)
+        << ItemsetToString(expected[i].items);
+  }
+}
+
+std::vector<PoolCase> PoolCases() {
+  std::vector<PoolCase> cases;
+  for (SimpleAlgorithm algorithm :
+       {SimpleAlgorithm::kApriori, SimpleAlgorithm::kAprioriTid,
+        SimpleAlgorithm::kGidList, SimpleAlgorithm::kDhp,
+        SimpleAlgorithm::kPartition, SimpleAlgorithm::kSampling}) {
+    for (uint64_t seed : {7u, 21u, 99u}) {
+      for (double support : {0.05, 0.15, 0.3}) {
+        cases.push_back({algorithm, seed, support});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, PoolEquivalenceTest, ::testing::ValuesIn(PoolCases()),
+    [](const ::testing::TestParamInfo<PoolCase>& info) {
+      return std::string(SimpleAlgorithmName(info.param.algorithm)) + "_s" +
+             std::to_string(info.param.seed) + "_sup" +
+             std::to_string(static_cast<int>(info.param.support * 100));
+    });
+
+// Rule-level equivalence across the pool.
+class RulePoolTest : public ::testing::TestWithParam<SimpleAlgorithm> {};
+
+TEST_P(RulePoolTest, SameRulesAsGidList) {
+  TransactionDb db = RandomDb(1234, 80, 10, 0.4);
+  SimpleMinerOptions options;
+  options.sample_rate = 0.5;
+  auto baseline = MineSimpleRules(db, 0.1, 0.4, {1, -1}, {1, 1},
+                                  SimpleAlgorithm::kGidList, options);
+  ASSERT_TRUE(baseline.ok());
+  auto other =
+      MineSimpleRules(db, 0.1, 0.4, {1, -1}, {1, 1}, GetParam(), options);
+  ASSERT_TRUE(other.ok());
+  ASSERT_EQ(other.value().size(), baseline.value().size());
+  for (size_t i = 0; i < baseline.value().size(); ++i) {
+    EXPECT_EQ(other.value()[i].body, baseline.value()[i].body);
+    EXPECT_EQ(other.value()[i].head, baseline.value()[i].head);
+    EXPECT_EQ(other.value()[i].group_count, baseline.value()[i].group_count);
+    EXPECT_EQ(other.value()[i].body_group_count,
+              baseline.value()[i].body_group_count);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Pool, RulePoolTest,
+                         ::testing::Values(SimpleAlgorithm::kApriori,
+                                           SimpleAlgorithm::kAprioriTid,
+                                           SimpleAlgorithm::kDhp,
+                                           SimpleAlgorithm::kPartition,
+                                           SimpleAlgorithm::kSampling),
+                         [](const auto& info) {
+                           return SimpleAlgorithmName(info.param);
+                         });
+
+TEST(PoolEquivalenceTest2, EmptyGroupsInDenominator) {
+  // CodedSource only carries groups with at least one large item, so
+  // total_groups can exceed the transaction count. Every algorithm must
+  // count thresholds against total_groups, not the transaction count.
+  TransactionDb db = TransactionDb::FromTransactions(
+      {{1, 2}, {1, 2}, {1}, {2}}, /*total_groups=*/10);
+  // support 0.2 of 10 groups = 2 groups.
+  const int64_t min_count = MinGroupCount(0.2, db.total_groups());
+  EXPECT_EQ(min_count, 2);
+  for (SimpleAlgorithm algorithm :
+       {SimpleAlgorithm::kApriori, SimpleAlgorithm::kAprioriTid,
+        SimpleAlgorithm::kGidList, SimpleAlgorithm::kDhp,
+        SimpleAlgorithm::kPartition, SimpleAlgorithm::kSampling}) {
+    SimpleMinerOptions options;
+    options.sample_rate = 1.0;  // deterministic for this tiny input
+    auto miner = CreateMiner(algorithm, options);
+    auto itemsets = MustMine(miner.get(), db, min_count);
+    // Lexicographic order: {1}: 3 groups, {1,2}: 2 groups, {2}: 3 groups.
+    ASSERT_EQ(itemsets.size(), 3u) << miner->name();
+    EXPECT_EQ(itemsets[1].items, (Itemset{1, 2})) << miner->name();
+    EXPECT_EQ(itemsets[1].group_count, 2) << miner->name();
+  }
+  // At support 0.4 (4 groups) nothing survives.
+  for (SimpleAlgorithm algorithm :
+       {SimpleAlgorithm::kGidList, SimpleAlgorithm::kPartition}) {
+    auto miner = CreateMiner(algorithm);
+    auto itemsets = MustMine(miner.get(), db, MinGroupCount(0.4, 10));
+    EXPECT_TRUE(itemsets.empty()) << miner->name();
+  }
+}
+
+TEST(SamplingMinerTest, DeterministicForFixedSeed) {
+  TransactionDb db = RandomDb(5, 100, 10, 0.3);
+  SimpleMinerOptions options;
+  options.sample_rate = 0.3;
+  options.seed = 17;
+  auto a = CreateMiner(SimpleAlgorithm::kSampling, options);
+  auto b = CreateMiner(SimpleAlgorithm::kSampling, options);
+  auto ra = MustMine(a.get(), db, 10);
+  auto rb = MustMine(b.get(), db, 10);
+  ASSERT_EQ(ra.size(), rb.size());
+}
+
+TEST(PartitionMinerTest, MorePartitionsThanTransactions) {
+  TransactionDb db = SmallDb();
+  PartitionMiner miner(64);
+  auto itemsets = MustMine(&miner, db, 3);
+  EXPECT_EQ(itemsets.size(), 6u);
+}
+
+TEST(SimpleMinerTest, EmptyDatabaseYieldsNothing) {
+  TransactionDb db = TransactionDb::FromTransactions({}, 0);
+  for (SimpleAlgorithm algorithm :
+       {SimpleAlgorithm::kApriori, SimpleAlgorithm::kAprioriTid,
+        SimpleAlgorithm::kGidList, SimpleAlgorithm::kDhp,
+        SimpleAlgorithm::kPartition, SimpleAlgorithm::kSampling}) {
+    auto miner = CreateMiner(algorithm);
+    auto itemsets = MustMine(miner.get(), db, 1);
+    EXPECT_TRUE(itemsets.empty()) << miner->name();
+  }
+}
+
+TEST(SimpleMinerTest, AlgorithmNamesRoundTrip) {
+  for (SimpleAlgorithm algorithm :
+       {SimpleAlgorithm::kApriori, SimpleAlgorithm::kAprioriTid,
+        SimpleAlgorithm::kGidList, SimpleAlgorithm::kDhp,
+        SimpleAlgorithm::kPartition, SimpleAlgorithm::kSampling,
+        SimpleAlgorithm::kReference}) {
+    auto parsed = SimpleAlgorithmFromName(SimpleAlgorithmName(algorithm));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), algorithm);
+  }
+  EXPECT_FALSE(SimpleAlgorithmFromName("fp-growth").ok());
+}
+
+}  // namespace
+}  // namespace minerule::mining

@@ -1,0 +1,155 @@
+#include "preprocess/preprocessor.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "datagen/paper_example.h"
+#include "minerule/parser.h"
+
+namespace minerule::mr {
+namespace {
+
+/// Runs the real preprocessor against the Figure 1 data and inspects the
+/// encoded tables (the Figure 2a reproduction at the relational level).
+class PreprocessorTest : public ::testing::Test {
+ protected:
+  PreprocessorTest() : engine_(&catalog_) {}
+
+  void SetUp() override {
+    ASSERT_TRUE(datagen::MakePaperPurchaseTable(&catalog_).ok());
+  }
+
+  PreprocessResult MustPreprocess(const std::string& text) {
+    Result<MineRuleStatement> stmt = ParseMineRule(text);
+    EXPECT_TRUE(stmt.ok()) << stmt.status();
+    Translator translator(&catalog_);
+    Result<Translation> translation = translator.Translate(stmt.value());
+    EXPECT_TRUE(translation.ok()) << translation.status();
+    Preprocessor preprocessor(&engine_);
+    Result<PreprocessResult> result =
+        preprocessor.Run(stmt.value(), translation.value());
+    EXPECT_TRUE(result.ok()) << result.status();
+    return result.ok() ? std::move(result).value() : PreprocessResult{};
+  }
+
+  sql::QueryResult MustQuery(const std::string& sql) {
+    Result<sql::QueryResult> result = engine_.Execute(sql);
+    EXPECT_TRUE(result.ok()) << sql << " -> " << result.status();
+    return result.ok() ? std::move(result).value() : sql::QueryResult{};
+  }
+
+  Catalog catalog_;
+  sql::SqlEngine engine_;
+};
+
+TEST_F(PreprocessorTest, SimpleEncodingOnFigure1Data) {
+  MustPreprocess(
+      "MINE RULE R AS SELECT DISTINCT 1..n item AS BODY, 1..1 item AS HEAD "
+      "FROM Purchase GROUP BY customer "
+      "EXTRACTING RULES WITH SUPPORT: 0.5, CONFIDENCE: 0.3");
+
+  // 2 customers; every item in >= 1 group; threshold ceil(0.5*2)=1: all 5
+  // items are large.
+  EXPECT_EQ(MustQuery("SELECT COUNT(*) FROM ValidGroups").rows[0][0]
+                .AsInteger(),
+            2);
+  EXPECT_EQ(MustQuery("SELECT COUNT(*) FROM Bset").rows[0][0].AsInteger(), 5);
+  // jackets is bought by both customers: grpcount 2.
+  EXPECT_EQ(MustQuery("SELECT grpcount FROM Bset WHERE item = 'jackets'")
+                .rows[0][0]
+                .AsInteger(),
+            2);
+  // CodedSource: distinct (customer, item) pairs = 3 + 3 = 6.
+  EXPECT_EQ(
+      MustQuery("SELECT COUNT(*) FROM CodedSource").rows[0][0].AsInteger(),
+      6);
+}
+
+TEST_F(PreprocessorTest, SupportThresholdPrunesItemsInBset) {
+  PreprocessResult result = MustPreprocess(
+      "MINE RULE R AS SELECT DISTINCT 1..n item AS BODY, 1..1 item AS HEAD "
+      "FROM Purchase GROUP BY customer "
+      "EXTRACTING RULES WITH SUPPORT: 0.9, CONFIDENCE: 0.3");
+  EXPECT_EQ(result.total_groups, 2);
+  EXPECT_EQ(result.min_group_count, 2);  // ceil(0.9*2)
+  // Only jackets appears in both groups.
+  sql::QueryResult bset = MustQuery("SELECT item FROM Bset");
+  ASSERT_EQ(bset.rows.size(), 1u);
+  EXPECT_EQ(bset.rows[0][0].AsString(), "jackets");
+}
+
+TEST_F(PreprocessorTest, PaperExampleEncodedTables) {
+  PreprocessResult result = MustPreprocess(datagen::PaperExampleStatement());
+  EXPECT_EQ(result.total_groups, 2);
+
+  // Figure 2a: cust1 has dates {12/17, 12/18}; cust2 {12/18, 12/19} —
+  // 4 clusters total.
+  EXPECT_EQ(MustQuery("SELECT COUNT(*) FROM Clusters").rows[0][0].AsInteger(),
+            4);
+  // Valid couples (BODY.date < HEAD.date): one per customer.
+  EXPECT_EQ(
+      MustQuery("SELECT COUNT(*) FROM ClusterCouples").rows[0][0].AsInteger(),
+      2);
+  // Elementary rules surviving support (Q10): jackets=>col_shirts and
+  // brown_boots=>col_shirts, each with one occurrence triple.
+  sql::QueryResult input_rules = MustQuery(
+      "SELECT B.item, H.item FROM InputRulesLarge I, Bset B, Bset H WHERE "
+      "I.Bid = B.Bid AND I.Hid = H.Bid ORDER BY 1");
+  ASSERT_EQ(input_rules.rows.size(), 2u);
+  EXPECT_EQ(input_rules.rows[0][0].AsString(), "brown_boots");
+  EXPECT_EQ(input_rules.rows[0][1].AsString(), "col_shirts");
+  EXPECT_EQ(input_rules.rows[1][0].AsString(), "jackets");
+  EXPECT_EQ(input_rules.rows[1][1].AsString(), "col_shirts");
+}
+
+TEST_F(PreprocessorTest, HostVariablesMaintained) {
+  PreprocessResult result = MustPreprocess(
+      "MINE RULE R AS SELECT DISTINCT 1..n item AS BODY, 1..1 item AS HEAD "
+      "FROM Purchase GROUP BY tr "
+      "EXTRACTING RULES WITH SUPPORT: 0.5, CONFIDENCE: 0.3");
+  EXPECT_EQ(result.total_groups, 4);
+  EXPECT_EQ(result.min_group_count, 2);
+  EXPECT_EQ(engine_.GetHostVariable("totg").value().AsInteger(), 4);
+  EXPECT_EQ(engine_.GetHostVariable("mingroups").value().AsInteger(), 2);
+}
+
+TEST_F(PreprocessorTest, StatsRecordEveryQuery) {
+  PreprocessResult result = MustPreprocess(datagen::PaperExampleStatement());
+  std::set<std::string> ids;
+  for (const QueryStat& stat : result.stats) ids.insert(stat.id);
+  for (const char* expected :
+       {"Q0", "Q1", "Q2", "Q3", "Q4b", "Q6", "Q7", "Q8", "Q9", "Q10",
+        "Q11"}) {
+    EXPECT_TRUE(ids.count(expected)) << expected;
+  }
+  EXPECT_FALSE(ids.count("Q5"));  // H false
+  EXPECT_FALSE(ids.count("Q4"));  // general class: no simple CodedSource
+}
+
+TEST_F(PreprocessorTest, RerunIsIdempotent) {
+  // The drops make repeated preprocessing safe.
+  for (int i = 0; i < 3; ++i) {
+    PreprocessResult result =
+        MustPreprocess(datagen::PaperExampleStatement());
+    EXPECT_EQ(result.total_groups, 2);
+  }
+}
+
+TEST_F(PreprocessorTest, SourceConditionFiltersRows) {
+  MustPreprocess(
+      "MINE RULE R AS SELECT DISTINCT 1..n item AS BODY, 1..1 item AS HEAD "
+      "FROM Purchase WHERE price >= 100 GROUP BY customer "
+      "EXTRACTING RULES WITH SUPPORT: 0.1, CONFIDENCE: 0.3");
+  // Source keeps only the 6 rows with price >= 100.
+  EXPECT_EQ(MustQuery("SELECT COUNT(*) FROM Source").rows[0][0].AsInteger(),
+            6);
+  // col_shirts never reaches Bset.
+  EXPECT_EQ(MustQuery("SELECT COUNT(*) FROM Bset WHERE item = 'col_shirts'")
+                .rows[0][0]
+                .AsInteger(),
+            0);
+}
+
+}  // namespace
+}  // namespace minerule::mr

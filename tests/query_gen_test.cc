@@ -1,0 +1,253 @@
+#include "preprocess/query_gen.h"
+
+#include <gtest/gtest.h>
+
+#include "common/string_util.h"
+#include "datagen/paper_example.h"
+#include "minerule/parser.h"
+#include "sql/parser.h"
+
+namespace minerule::mr {
+namespace {
+
+/// Golden tests pinning the generated SQL text against the structure of
+/// Appendix A (simple class) and §4.2.2 (general class, with the role-split
+/// adaptation documented in DESIGN.md §5.6).
+class QueryGenTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(datagen::MakePaperPurchaseTable(&catalog_).ok());
+  }
+
+  PreprocessProgram MustGenerate(const std::string& text) {
+    Result<MineRuleStatement> stmt = ParseMineRule(text);
+    EXPECT_TRUE(stmt.ok()) << stmt.status();
+    Translator translator(&catalog_);
+    Result<Translation> translation = translator.Translate(stmt.value());
+    EXPECT_TRUE(translation.ok()) << translation.status();
+    Result<PreprocessProgram> program =
+        GeneratePreprocessProgram(stmt.value(), translation.value());
+    EXPECT_TRUE(program.ok()) << program.status();
+    return program.ok() ? std::move(program).value() : PreprocessProgram{};
+  }
+
+  static std::vector<std::string> QueriesWithId(
+      const PreprocessProgram& program, const std::string& id) {
+    std::vector<std::string> out;
+    for (const GeneratedQuery& q : program.queries) {
+      if (q.id == id) out.push_back(q.sql);
+    }
+    return out;
+  }
+
+  Catalog catalog_;
+};
+
+constexpr char kSimpleStatement[] =
+    "MINE RULE SimpleAR AS SELECT DISTINCT 1..n item AS BODY, 1..1 item AS "
+    "HEAD, SUPPORT, CONFIDENCE FROM Purchase GROUP BY customer "
+    "EXTRACTING RULES WITH SUPPORT: 0.2, CONFIDENCE: 0.3";
+
+TEST_F(QueryGenTest, SimpleClassGoldenText) {
+  PreprocessProgram program = MustGenerate(kSimpleStatement);
+
+  // W false: no Q0, and queries read the base table directly.
+  EXPECT_TRUE(QueriesWithId(program, "Q0").empty());
+
+  auto q1 = QueriesWithId(program, "Q1");
+  ASSERT_EQ(q1.size(), 1u);
+  EXPECT_EQ(q1[0],
+            "SELECT COUNT(*) INTO :totg FROM (SELECT DISTINCT customer FROM "
+            "Purchase)");
+
+  auto q2 = QueriesWithId(program, "Q2");
+  ASSERT_EQ(q2.size(), 2u);
+  EXPECT_EQ(q2[0],
+            "CREATE VIEW ValidGroupsView AS (SELECT customer FROM Purchase "
+            "GROUP BY customer)");
+  EXPECT_EQ(q2[1],
+            "INSERT INTO ValidGroups (SELECT Gidsequence.NEXTVAL AS Gid, V.* "
+            "FROM ValidGroupsView AS V)");
+
+  auto q3 = QueriesWithId(program, "Q3");
+  ASSERT_EQ(q3.size(), 2u);
+  EXPECT_EQ(q3[0],
+            "INSERT INTO DistinctGroupsInBody (SELECT DISTINCT item, "
+            "customer FROM Purchase)");
+  EXPECT_EQ(q3[1],
+            "INSERT INTO Bset (SELECT Bidsequence.NEXTVAL AS Bid, item, "
+            "COUNT(*) AS grpcount FROM DistinctGroupsInBody GROUP BY item "
+            "HAVING COUNT(*) >= :mingroups)");
+
+  auto q4 = QueriesWithId(program, "Q4");
+  ASSERT_EQ(q4.size(), 1u);
+  EXPECT_EQ(q4[0],
+            "INSERT INTO CodedSource (SELECT DISTINCT V.Gid, B.Bid FROM "
+            "Purchase AS S, ValidGroups AS V, Bset AS B WHERE S.customer = "
+            "V.customer AND S.item = B.item)");
+
+  EXPECT_EQ(program.coded_source, "CodedSource");
+  EXPECT_TRUE(program.input_rules.empty());
+  EXPECT_TRUE(program.cluster_couples.empty());
+}
+
+TEST_F(QueryGenTest, EveryGeneratedStatementParses) {
+  for (const std::string& text :
+       {std::string(kSimpleStatement), datagen::PaperExampleStatement()}) {
+    PreprocessProgram program = MustGenerate(text);
+    for (const auto* list : {&program.drops, &program.setup,
+                             &program.queries}) {
+      for (const GeneratedQuery& q : *list) {
+        EXPECT_TRUE(sql::ParseSql(q.sql).ok()) << q.id << ": " << q.sql;
+      }
+    }
+  }
+}
+
+TEST_F(QueryGenTest, SourceConditionProducesQ0) {
+  PreprocessProgram program = MustGenerate(datagen::PaperExampleStatement());
+  auto q0 = QueriesWithId(program, "Q0");
+  ASSERT_EQ(q0.size(), 1u);
+  // Q0 projects the needed attrs and embeds the source condition verbatim.
+  EXPECT_NE(q0[0].find("INSERT INTO Source (SELECT item, customer, date, "
+                       "price FROM Purchase WHERE"),
+            std::string::npos)
+      << q0[0];
+  EXPECT_NE(q0[0].find("BETWEEN"), std::string::npos);
+  // Subsequent queries read Source, not Purchase.
+  auto q1 = QueriesWithId(program, "Q1");
+  EXPECT_NE(q1[0].find("FROM Source"), std::string::npos);
+}
+
+TEST_F(QueryGenTest, PaperExampleGeneralProgram) {
+  PreprocessProgram program = MustGenerate(datagen::PaperExampleStatement());
+
+  // C: cluster encoding via Q6.
+  auto q6 = QueriesWithId(program, "Q6");
+  ASSERT_EQ(q6.size(), 2u);
+  EXPECT_EQ(q6[0],
+            "CREATE VIEW ClustersView AS (SELECT V.Gid AS Gid, S.date FROM "
+            "Source AS S, ValidGroups AS V WHERE S.customer = V.customer "
+            "GROUP BY V.Gid, S.date)");
+  EXPECT_EQ(q6[1],
+            "INSERT INTO Clusters (SELECT Cidsequence.NEXTVAL AS Cid, C.* "
+            "FROM ClustersView AS C)");
+
+  // K: cluster pairs with the rewritten condition BODY.date < HEAD.date.
+  auto q7 = QueriesWithId(program, "Q7");
+  ASSERT_EQ(q7.size(), 1u);
+  EXPECT_EQ(q7[0],
+            "INSERT INTO ClusterCouples (SELECT C1.Gid, C1.Cid AS BCid, "
+            "C2.Cid AS HCid FROM Clusters AS C1, Clusters AS C2 WHERE "
+            "C1.Gid = C2.Gid AND (C1.date < C2.date))");
+
+  // M: elementary rules via the role tables and the rewritten condition.
+  auto q8 = QueriesWithId(program, "Q8");
+  ASSERT_EQ(q8.size(), 1u);
+  EXPECT_EQ(q8[0],
+            "INSERT INTO InputRules (SELECT DISTINCT S1.Gid, S1.Cid AS BCid, "
+            "S2.Cid AS HCid, S1.Bid, S2.Hid FROM MiningSourceB AS S1, "
+            "MiningSourceH_View AS S2, ClusterCouples AS CC WHERE S1.Gid = "
+            "S2.Gid AND S1.Bid <> S2.Hid AND CC.Gid = S1.Gid AND CC.BCid = "
+            "S1.Cid AND CC.HCid = S2.Cid AND ((S1.price >= 100) AND "
+            "(S2.price < 100)))");
+
+  auto q9 = QueriesWithId(program, "Q9");
+  ASSERT_EQ(q9.size(), 1u);
+  EXPECT_NE(q9[0].find("COUNT(DISTINCT Gid) >= :mingroups"),
+            std::string::npos);
+
+  auto q10 = QueriesWithId(program, "Q10");
+  ASSERT_EQ(q10.size(), 1u);
+  EXPECT_EQ(q10[0],
+            "INSERT INTO InputRulesLarge (SELECT I.* FROM InputRules AS I, "
+            "LargeRules AS L WHERE I.Bid = L.Bid AND I.Hid = L.Hid)");
+
+  // Q11 exposes the coded-source views.
+  auto q11 = QueriesWithId(program, "Q11");
+  ASSERT_EQ(q11.size(), 1u);  // H false: only the body view
+  EXPECT_EQ(q11[0],
+            "CREATE VIEW CodedSourceB AS (SELECT DISTINCT Gid, Cid, Bid FROM "
+            "MiningSourceB)");
+
+  EXPECT_EQ(program.coded_source_b, "CodedSourceB");
+  EXPECT_TRUE(program.coded_source_h.empty());
+  EXPECT_EQ(program.input_rules, "InputRulesLarge");
+  EXPECT_EQ(program.cluster_couples, "ClusterCouples");
+  EXPECT_TRUE(program.hset.empty());  // shared encoding
+}
+
+TEST_F(QueryGenTest, DistinctHeadGeneratesQ5AndHeadTables) {
+  PreprocessProgram program = MustGenerate(
+      "MINE RULE R AS SELECT DISTINCT item AS BODY, date AS HEAD FROM "
+      "Purchase GROUP BY customer EXTRACTING RULES WITH SUPPORT: 0.2, "
+      "CONFIDENCE: 0.3");
+  auto q5 = QueriesWithId(program, "Q5");
+  ASSERT_EQ(q5.size(), 2u);
+  EXPECT_NE(q5[0].find("DistinctGroupsInHead"), std::string::npos);
+  EXPECT_NE(q5[1].find("Hidsequence.NEXTVAL AS Hid"), std::string::npos);
+  EXPECT_EQ(program.coded_source_h, "CodedSourceH");
+  EXPECT_EQ(program.hset, "Hset");
+}
+
+TEST_F(QueryGenTest, GroupHavingJoinsValidGroupsInQ3) {
+  PreprocessProgram program = MustGenerate(
+      "MINE RULE R AS SELECT DISTINCT item AS BODY, item AS HEAD FROM "
+      "Purchase GROUP BY customer HAVING COUNT(*) > 3 "
+      "EXTRACTING RULES WITH SUPPORT: 0.2, CONFIDENCE: 0.3");
+  auto q2 = QueriesWithId(program, "Q2");
+  EXPECT_NE(q2[0].find("HAVING (COUNT(*) > 3)"), std::string::npos) << q2[0];
+  auto q3 = QueriesWithId(program, "Q3");
+  // Items must be counted within *valid* groups only.
+  EXPECT_NE(q3[0].find("ValidGroups AS V"), std::string::npos) << q3[0];
+}
+
+TEST_F(QueryGenTest, ClusterAggregatesPrecomputedInQ6) {
+  PreprocessProgram program = MustGenerate(
+      "MINE RULE R AS SELECT DISTINCT item AS BODY, item AS HEAD FROM "
+      "Purchase GROUP BY customer CLUSTER BY date HAVING SUM(BODY.qty) < "
+      "SUM(HEAD.qty) EXTRACTING RULES WITH SUPPORT: 0.2, CONFIDENCE: 0.3");
+  auto q6 = QueriesWithId(program, "Q6");
+  EXPECT_NE(q6[0].find("SUM(qty) AS agg_0"), std::string::npos) << q6[0];
+  auto q7 = QueriesWithId(program, "Q7");
+  EXPECT_NE(q7[0].find("(C1.agg_0 < C2.agg_0)"), std::string::npos) << q7[0];
+}
+
+TEST_F(QueryGenTest, RoleConditionRewriting) {
+  auto expr = sql::Parser("BODY.price >= 100 AND HEAD.price < 100")
+                  .ParseStandaloneExpression();
+  ASSERT_TRUE(expr.ok());
+  auto rewritten = RewriteRoleCondition(*expr.value(), "S1", "S2", nullptr);
+  ASSERT_TRUE(rewritten.ok()) << rewritten.status();
+  EXPECT_EQ(rewritten.value(), "((S1.price >= 100) AND (S2.price < 100))");
+}
+
+TEST_F(QueryGenTest, RoleConditionRejectsUnqualified) {
+  auto expr = sql::Parser("price >= 100").ParseStandaloneExpression();
+  ASSERT_TRUE(expr.ok());
+  auto rewritten = RewriteRoleCondition(*expr.value(), "S1", "S2", nullptr);
+  EXPECT_FALSE(rewritten.ok());
+}
+
+TEST_F(QueryGenTest, DropsCoverEverySetupObject) {
+  // Failure-injection hygiene: every object the setup program creates must
+  // be covered by an idempotent drop, so reruns always start clean.
+  for (const std::string& text :
+       {std::string(kSimpleStatement), datagen::PaperExampleStatement()}) {
+    PreprocessProgram program = MustGenerate(text);
+    for (const GeneratedQuery& q : program.setup) {
+      // "CREATE TABLE|SEQUENCE name ..." -> name.
+      std::vector<std::string> words = Split(q.sql, ' ');
+      ASSERT_GE(words.size(), 3u);
+      const std::string& name = words[2];
+      bool dropped = false;
+      for (const GeneratedQuery& d : program.drops) {
+        if (d.sql.find(" " + name) != std::string::npos) dropped = true;
+      }
+      EXPECT_TRUE(dropped) << "no drop for " << name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace minerule::mr

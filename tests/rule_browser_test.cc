@@ -1,0 +1,100 @@
+#include "support/rule_browser.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/paper_example.h"
+#include "engine/data_mining_system.h"
+
+namespace minerule::support {
+namespace {
+
+class RuleBrowserTest : public ::testing::Test {
+ protected:
+  RuleBrowserTest() : system_(&catalog_) {}
+
+  void SetUp() override {
+    ASSERT_TRUE(datagen::MakePaperPurchaseTable(&catalog_).ok());
+    auto stats = system_.ExecuteMineRule(datagen::PaperExampleStatement());
+    ASSERT_TRUE(stats.ok()) << stats.status();
+  }
+
+  RuleBrowser MustLoad(const std::string& table) {
+    auto browser = RuleBrowser::Load(system_.sql_engine(), table);
+    EXPECT_TRUE(browser.ok()) << browser.status();
+    return browser.ok() ? std::move(browser).value() : RuleBrowser{};
+  }
+
+  Catalog catalog_;
+  mr::DataMiningSystem system_;
+};
+
+TEST_F(RuleBrowserTest, LoadsDecodedRules) {
+  RuleBrowser browser = MustLoad("FilteredOrderedSets");
+  ASSERT_EQ(browser.size(), 3u);
+  bool found_pair_body = false;
+  for (const RuleView& rule : browser.rules()) {
+    EXPECT_EQ(rule.head_items, std::vector<std::string>{"col_shirts"});
+    if (rule.body_items ==
+        std::vector<std::string>{"brown_boots", "jackets"}) {
+      found_pair_body = true;
+      EXPECT_DOUBLE_EQ(rule.support, 0.5);
+      EXPECT_DOUBLE_EQ(rule.confidence, 1.0);
+      EXPECT_EQ(rule.ToString(), "{brown_boots, jackets} => {col_shirts}");
+    }
+  }
+  EXPECT_TRUE(found_pair_body);
+}
+
+TEST_F(RuleBrowserTest, TopKOrdering) {
+  RuleBrowser browser = MustLoad("FilteredOrderedSets");
+  auto top = browser.TopByConfidence(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_DOUBLE_EQ(top[0].confidence, 1.0);
+  EXPECT_DOUBLE_EQ(top[1].confidence, 1.0);
+  auto all = browser.TopByConfidence(99);
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_DOUBLE_EQ(all[2].confidence, 0.5);
+  auto by_support = browser.TopBySupport(3);
+  EXPECT_DOUBLE_EQ(by_support[0].support, 0.5);
+}
+
+TEST_F(RuleBrowserTest, SearchByItem) {
+  RuleBrowser browser = MustLoad("FilteredOrderedSets");
+  EXPECT_EQ(browser.ContainingItem("brown_boots").size(), 2u);
+  EXPECT_EQ(browser.ContainingItem("col_shirts").size(), 3u);  // all heads
+  EXPECT_EQ(browser.ContainingItem("JACKETS").size(), 2u);     // case-insens.
+  EXPECT_EQ(browser.ContainingItem("ski_pants").size(), 0u);
+}
+
+TEST_F(RuleBrowserTest, ThresholdFilter) {
+  RuleBrowser browser = MustLoad("FilteredOrderedSets");
+  EXPECT_EQ(browser.AtLeast(0.0, 0.9).size(), 2u);
+  EXPECT_EQ(browser.AtLeast(0.6, 0.0).size(), 0u);
+  EXPECT_EQ(browser.AtLeast(0.5, 0.5).size(), 3u);
+}
+
+TEST_F(RuleBrowserTest, RenderContainsRuleSets) {
+  RuleBrowser browser = MustLoad("FilteredOrderedSets");
+  std::string rendered = RuleBrowser::Render(browser.rules());
+  EXPECT_NE(rendered.find("{brown_boots, jackets}"), std::string::npos);
+  EXPECT_NE(rendered.find("CONFIDENCE"), std::string::npos);
+}
+
+TEST_F(RuleBrowserTest, MissingTableFails) {
+  auto browser = RuleBrowser::Load(system_.sql_engine(), "NoSuchRules");
+  EXPECT_FALSE(browser.ok());
+}
+
+TEST_F(RuleBrowserTest, WorksWithoutSupportColumns) {
+  auto stats = system_.ExecuteMineRule(
+      "MINE RULE Bare AS SELECT DISTINCT 1..n item AS BODY, 1..1 item AS "
+      "HEAD FROM Purchase GROUP BY tr EXTRACTING RULES WITH SUPPORT: 0.5, "
+      "CONFIDENCE: 0.9");
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  RuleBrowser browser = MustLoad("Bare");
+  ASSERT_GE(browser.size(), 1u);
+  EXPECT_DOUBLE_EQ(browser.rules()[0].support, 0.0);  // not projected
+}
+
+}  // namespace
+}  // namespace minerule::support

@@ -1,0 +1,230 @@
+#include "sql/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/lexer.h"
+
+namespace minerule::sql {
+namespace {
+
+std::vector<Token> MustTokenize(const std::string& text) {
+  auto tokens = TokenizeSql(text);
+  EXPECT_TRUE(tokens.ok()) << tokens.status();
+  return tokens.ok() ? std::move(tokens).value() : std::vector<Token>{};
+}
+
+TEST(LexerTest, BasicTokens) {
+  auto tokens = MustTokenize("SELECT a, b.c FROM t WHERE x >= 1.5");
+  ASSERT_EQ(tokens.back().type, TokenType::kEnd);
+  EXPECT_TRUE(tokens[0].IsKeyword("select"));
+  EXPECT_EQ(tokens[1].text, "a");
+  EXPECT_EQ(tokens[2].type, TokenType::kComma);
+  EXPECT_EQ(tokens[4].type, TokenType::kDot);
+  EXPECT_EQ(tokens[10].type, TokenType::kGreaterEq);
+  EXPECT_EQ(tokens[11].type, TokenType::kDoubleLiteral);
+  EXPECT_DOUBLE_EQ(tokens[11].double_value, 1.5);
+}
+
+TEST(LexerTest, DotDotVersusDecimal) {
+  // "1..n" is INTEGER DOTDOT IDENT, not a malformed double.
+  auto tokens = MustTokenize("1..n 2..4 0.5 .25");
+  EXPECT_EQ(tokens[0].type, TokenType::kIntegerLiteral);
+  EXPECT_EQ(tokens[1].type, TokenType::kDotDot);
+  EXPECT_EQ(tokens[2].type, TokenType::kIdentifier);
+  EXPECT_EQ(tokens[3].type, TokenType::kIntegerLiteral);
+  EXPECT_EQ(tokens[4].type, TokenType::kDotDot);
+  EXPECT_EQ(tokens[5].type, TokenType::kIntegerLiteral);
+  EXPECT_EQ(tokens[6].type, TokenType::kDoubleLiteral);
+  EXPECT_DOUBLE_EQ(tokens[6].double_value, 0.5);
+  EXPECT_EQ(tokens[7].type, TokenType::kDoubleLiteral);
+  EXPECT_DOUBLE_EQ(tokens[7].double_value, 0.25);
+}
+
+TEST(LexerTest, HostVariablesAndColons) {
+  auto tokens = MustTokenize(":totg SUPPORT: 0.2");
+  EXPECT_EQ(tokens[0].type, TokenType::kHostVariable);
+  EXPECT_EQ(tokens[0].text, "totg");
+  EXPECT_EQ(tokens[2].type, TokenType::kColon);
+  EXPECT_EQ(tokens[3].type, TokenType::kDoubleLiteral);
+}
+
+TEST(LexerTest, StringEscapes) {
+  auto tokens = MustTokenize("'o''brien' ''");
+  EXPECT_EQ(tokens[0].type, TokenType::kStringLiteral);
+  EXPECT_EQ(tokens[0].text, "o'brien");
+  EXPECT_EQ(tokens[1].text, "");
+}
+
+TEST(LexerTest, Comments) {
+  auto tokens = MustTokenize(
+      "SELECT 1 -- trailing comment\n + /* block\ncomment */ 2");
+  // SELECT 1 + 2 END
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_EQ(tokens[3].int_value, 2);
+}
+
+TEST(LexerTest, OperatorVariants) {
+  auto tokens = MustTokenize("<> != <= >= || < >");
+  EXPECT_EQ(tokens[0].type, TokenType::kNotEq);
+  EXPECT_EQ(tokens[1].type, TokenType::kNotEq);
+  EXPECT_EQ(tokens[2].type, TokenType::kLessEq);
+  EXPECT_EQ(tokens[3].type, TokenType::kGreaterEq);
+  EXPECT_EQ(tokens[4].type, TokenType::kConcat);
+  EXPECT_EQ(tokens[5].type, TokenType::kLess);
+  EXPECT_EQ(tokens[6].type, TokenType::kGreater);
+}
+
+TEST(LexerTest, Failures) {
+  EXPECT_FALSE(TokenizeSql("'unterminated").ok());
+  EXPECT_FALSE(TokenizeSql("a ! b").ok());
+  EXPECT_FALSE(TokenizeSql("a | b").ok());
+  EXPECT_FALSE(TokenizeSql("#").ok());
+}
+
+TEST(LexerTest, QuotedIdentifiers) {
+  auto tokens = MustTokenize("\"weird name\"");
+  EXPECT_EQ(tokens[0].type, TokenType::kIdentifier);
+  EXPECT_EQ(tokens[0].text, "weird name");
+}
+
+Statement MustParse(const std::string& text) {
+  auto stmt = ParseSql(text);
+  EXPECT_TRUE(stmt.ok()) << text << " -> " << stmt.status();
+  return stmt.ok() ? std::move(stmt).value() : Statement{};
+}
+
+TEST(ParserTest, SelectClauseStructure) {
+  Statement stmt = MustParse(
+      "SELECT DISTINCT a, b AS bee, t.c FROM t WHERE a > 1 GROUP BY a, b "
+      "HAVING COUNT(*) > 2 ORDER BY 1 DESC LIMIT 5");
+  ASSERT_EQ(stmt.kind, Statement::Kind::kSelect);
+  const SelectStmt& select = *stmt.select;
+  EXPECT_TRUE(select.distinct);
+  ASSERT_EQ(select.items.size(), 3u);
+  EXPECT_EQ(select.items[1].alias, "bee");
+  ASSERT_EQ(select.from.size(), 1u);
+  ASSERT_NE(select.where, nullptr);
+  EXPECT_EQ(select.group_by.size(), 2u);
+  ASSERT_NE(select.having, nullptr);
+  ASSERT_EQ(select.order_by.size(), 1u);
+  EXPECT_TRUE(select.order_by[0].descending);
+  EXPECT_EQ(select.limit.value(), 5);
+}
+
+TEST(ParserTest, ImplicitAliasDoesNotEatKeywords) {
+  Statement stmt = MustParse("SELECT a FROM t WHERE a = 1");
+  EXPECT_EQ(stmt.select->from[0].alias, "t");
+  Statement stmt2 = MustParse("SELECT a FROM t u WHERE a = 1");
+  EXPECT_EQ(stmt2.select->from[0].alias, "u");
+}
+
+TEST(ParserTest, ExpressionPrecedence) {
+  Statement stmt = MustParse("SELECT 1 + 2 * 3 = 7 AND NOT FALSE");
+  const Expr& expr = *stmt.select->items[0].expr;
+  // Top node is AND.
+  ASSERT_EQ(expr.kind, ExprKind::kBinary);
+  EXPECT_EQ(static_cast<const BinaryExpr&>(expr).op, BinaryOp::kAnd);
+  EXPECT_EQ(expr.ToSql(), "(((1 + (2 * 3)) = 7) AND NOT (FALSE))");
+}
+
+TEST(ParserTest, NextvalVersusColumnRef) {
+  Statement stmt = MustParse("SELECT seq.NEXTVAL, t.col FROM t");
+  EXPECT_EQ(stmt.select->items[0].expr->kind, ExprKind::kNextVal);
+  EXPECT_EQ(stmt.select->items[1].expr->kind, ExprKind::kColumnRef);
+}
+
+TEST(ParserTest, DateLiteralAndDateColumn) {
+  // "date" doubles as a DATE literal keyword and a column name.
+  Statement stmt =
+      MustParse("SELECT date FROM t WHERE date < DATE '1995-12-31'");
+  EXPECT_EQ(stmt.select->items[0].expr->kind, ExprKind::kColumnRef);
+}
+
+TEST(ParserTest, InsertForms) {
+  Statement values = MustParse("INSERT INTO t VALUES (1, 'a'), (2, 'b')");
+  EXPECT_EQ(values.insert->values_rows.size(), 2u);
+  Statement cols = MustParse("INSERT INTO t (a, b) VALUES (1, 2)");
+  EXPECT_EQ(cols.insert->columns.size(), 2u);
+  Statement select = MustParse("INSERT INTO t SELECT a FROM u");
+  EXPECT_NE(select.insert->select, nullptr);
+  // The Appendix A parenthesized form.
+  Statement paren = MustParse("INSERT INTO t (SELECT a FROM u)");
+  EXPECT_NE(paren.insert->select, nullptr);
+  EXPECT_TRUE(paren.insert->columns.empty());
+}
+
+TEST(ParserTest, CreateTableColumnTypes) {
+  Statement stmt = MustParse(
+      "CREATE TABLE t (a INTEGER, b VARCHAR(20), c DOUBLE, d DATE, e BOOL)");
+  const auto& cols = stmt.create_table->columns;
+  ASSERT_EQ(cols.size(), 5u);
+  EXPECT_EQ(cols[0].type, DataType::kInteger);
+  EXPECT_EQ(cols[1].type, DataType::kString);
+  EXPECT_EQ(cols[2].type, DataType::kDouble);
+  EXPECT_EQ(cols[3].type, DataType::kDate);
+  EXPECT_EQ(cols[4].type, DataType::kBoolean);
+}
+
+TEST(ParserTest, CreateViewCapturesBodyText) {
+  Statement stmt =
+      MustParse("CREATE VIEW v AS (SELECT a FROM t WHERE a > 1)");
+  EXPECT_EQ(stmt.create_view->select_sql, "SELECT a FROM t WHERE a > 1");
+  Statement bare = MustParse("CREATE VIEW v AS SELECT a FROM t");
+  EXPECT_EQ(bare.create_view->select_sql, "SELECT a FROM t");
+}
+
+TEST(ParserTest, CreateSequenceStartWith) {
+  Statement stmt = MustParse("CREATE SEQUENCE s START WITH 100");
+  EXPECT_EQ(stmt.create_sequence->start, 100);
+}
+
+TEST(ParserTest, DropVariants) {
+  EXPECT_EQ(MustParse("DROP TABLE t").drop->object_kind,
+            DropStmt::ObjectKind::kTable);
+  EXPECT_TRUE(MustParse("DROP VIEW IF EXISTS v").drop->if_exists);
+  EXPECT_EQ(MustParse("DROP SEQUENCE s").drop->object_kind,
+            DropStmt::ObjectKind::kSequence);
+}
+
+TEST(ParserTest, ScriptSplitsOnSemicolons) {
+  auto stmts = ParseSqlScript(
+      "CREATE TABLE t (a INTEGER); INSERT INTO t VALUES (1);; SELECT a "
+      "FROM t");
+  ASSERT_TRUE(stmts.ok()) << stmts.status();
+  EXPECT_EQ(stmts.value().size(), 3u);
+}
+
+TEST(ParserTest, Failures) {
+  EXPECT_FALSE(ParseSql("SELECT").ok());
+  EXPECT_FALSE(ParseSql("SELECT a FROM").ok());
+  EXPECT_FALSE(ParseSql("SELECT a FROM t WHERE").ok());
+  EXPECT_FALSE(ParseSql("CREATE TABLE t (a NOTATYPE)").ok());
+  EXPECT_FALSE(ParseSql("INSERT INTO t").ok());
+  EXPECT_FALSE(ParseSql("SELECT a FROM t LIMIT x").ok());
+  EXPECT_FALSE(ParseSql("SELECT a FROM t; garbage").ok());
+  EXPECT_FALSE(ParseSql("DELETE t").ok());
+}
+
+TEST(ParserTest, ExprEqualsStructural) {
+  Parser p1("a + COUNT(DISTINCT b) * 2");
+  Parser p2("A + count(distinct B) * 2");
+  Parser p3("a + COUNT(b) * 2");
+  auto e1 = p1.ParseStandaloneExpression();
+  auto e2 = p2.ParseStandaloneExpression();
+  auto e3 = p3.ParseStandaloneExpression();
+  ASSERT_TRUE(e1.ok() && e2.ok() && e3.ok());
+  EXPECT_TRUE(ExprEquals(*e1.value(), *e2.value()));
+  EXPECT_FALSE(ExprEquals(*e1.value(), *e3.value()));
+}
+
+TEST(ParserTest, CloneProducesEqualTree) {
+  Parser parser("x BETWEEN 1 AND 2 OR y IN (3, 4) AND z IS NOT NULL");
+  auto expr = parser.ParseStandaloneExpression();
+  ASSERT_TRUE(expr.ok());
+  ExprPtr clone = expr.value()->Clone();
+  EXPECT_TRUE(ExprEquals(*expr.value(), *clone));
+  EXPECT_EQ(expr.value()->ToSql(), clone->ToSql());
+}
+
+}  // namespace
+}  // namespace minerule::sql

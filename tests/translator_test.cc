@@ -1,0 +1,214 @@
+#include "minerule/translator.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/paper_example.h"
+#include "minerule/parser.h"
+
+namespace minerule::mr {
+namespace {
+
+class TranslatorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(datagen::MakePaperPurchaseTable(&catalog_).ok());
+  }
+
+  Translation MustTranslate(const std::string& text) {
+    Result<MineRuleStatement> stmt = ParseMineRule(text);
+    EXPECT_TRUE(stmt.ok()) << stmt.status();
+    Translator translator(&catalog_);
+    Result<Translation> translation = translator.Translate(stmt.value());
+    EXPECT_TRUE(translation.ok()) << translation.status();
+    return translation.ok() ? std::move(translation).value() : Translation{};
+  }
+
+  Status TranslateError(const std::string& text) {
+    Result<MineRuleStatement> stmt = ParseMineRule(text);
+    EXPECT_TRUE(stmt.ok()) << stmt.status();
+    Translator translator(&catalog_);
+    Result<Translation> translation = translator.Translate(stmt.value());
+    EXPECT_FALSE(translation.ok()) << "unexpectedly translated: " << text;
+    return translation.ok() ? Status::OK() : translation.status();
+  }
+
+  static std::string Simple(const std::string& middle) {
+    return "MINE RULE R AS SELECT DISTINCT item AS BODY, item AS HEAD FROM "
+           "Purchase " +
+           middle + " EXTRACTING RULES WITH SUPPORT: 0.1, CONFIDENCE: 0.2";
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(TranslatorTest, PaperExampleClassification) {
+  Translation t = MustTranslate(datagen::PaperExampleStatement());
+  EXPECT_FALSE(t.directives.H);
+  EXPECT_TRUE(t.directives.W);   // source condition present
+  EXPECT_TRUE(t.directives.M);
+  EXPECT_FALSE(t.directives.G);
+  EXPECT_TRUE(t.directives.C);
+  EXPECT_TRUE(t.directives.K);
+  EXPECT_FALSE(t.directives.F);  // no aggregates in cluster condition
+  EXPECT_FALSE(t.directives.R);
+  EXPECT_FALSE(t.directives.IsSimpleClass());
+  EXPECT_EQ(t.directives.ToString(), "-WM-CK--");
+  // Needed attrs: item (body=head), customer, date, price (mining cond).
+  EXPECT_EQ(t.needed_attrs,
+            (std::vector<std::string>{"item", "customer", "date", "price"}));
+  EXPECT_EQ(t.body_mine_attrs, std::vector<std::string>{"price"});
+  EXPECT_EQ(t.head_mine_attrs, std::vector<std::string>{"price"});
+}
+
+TEST_F(TranslatorTest, SimpleClassification) {
+  Translation t = MustTranslate(Simple("GROUP BY customer"));
+  EXPECT_EQ(t.directives.ToString(), "--------");
+  EXPECT_TRUE(t.directives.IsSimpleClass());
+}
+
+TEST_F(TranslatorTest, GroupHavingSetsGAndR) {
+  Translation t =
+      MustTranslate(Simple("GROUP BY customer HAVING COUNT(*) > 1"));
+  EXPECT_TRUE(t.directives.G);
+  EXPECT_TRUE(t.directives.R);
+  EXPECT_TRUE(t.directives.IsSimpleClass());  // G alone stays simple
+}
+
+TEST_F(TranslatorTest, GroupHavingOnAttributeOnlySetsG) {
+  Translation t =
+      MustTranslate(Simple("GROUP BY customer HAVING customer <> 'cust9'"));
+  EXPECT_TRUE(t.directives.G);
+  EXPECT_FALSE(t.directives.R);
+}
+
+TEST_F(TranslatorTest, ClusterAggregateSetsF) {
+  Translation t = MustTranslate(Simple(
+      "GROUP BY customer CLUSTER BY date HAVING SUM(BODY.qty) < "
+      "SUM(HEAD.qty)"));
+  EXPECT_TRUE(t.directives.C);
+  EXPECT_TRUE(t.directives.K);
+  EXPECT_TRUE(t.directives.F);
+  ASSERT_EQ(t.cluster_agg_sql.size(), 1u);  // SUM(qty) deduplicated
+  EXPECT_EQ(t.cluster_agg_sql[0], "SUM(qty)");
+  EXPECT_EQ(t.cluster_agg_columns[0], "agg_0");
+}
+
+TEST_F(TranslatorTest, DistinctHeadSchemaSetsH) {
+  Translation t = MustTranslate(
+      "MINE RULE R AS SELECT DISTINCT item AS BODY, customer AS HEAD FROM "
+      "Purchase GROUP BY tr EXTRACTING RULES WITH SUPPORT: 0.1, CONFIDENCE: "
+      "0.2");
+  EXPECT_TRUE(t.directives.H);
+  EXPECT_FALSE(t.directives.IsSimpleClass());
+}
+
+TEST_F(TranslatorTest, MultiTableFromSetsW) {
+  Schema schema({{"sku", DataType::kString}, {"brand", DataType::kString}});
+  ASSERT_TRUE(catalog_.CreateTable("Product", schema).ok());
+  Translation t = MustTranslate(
+      "MINE RULE R AS SELECT DISTINCT brand AS BODY, brand AS HEAD FROM "
+      "Purchase, Product WHERE item = sku GROUP BY customer "
+      "EXTRACTING RULES WITH SUPPORT: 0.1, CONFIDENCE: 0.2");
+  EXPECT_TRUE(t.directives.W);
+  EXPECT_TRUE(t.source_schema.HasColumn("brand"));
+  EXPECT_TRUE(t.source_schema.HasColumn("price"));
+}
+
+TEST_F(TranslatorTest, RejectsUnknownTable) {
+  Status status = TranslateError(
+      "MINE RULE R AS SELECT DISTINCT item AS BODY, item AS HEAD FROM "
+      "NoSuch GROUP BY customer EXTRACTING RULES WITH SUPPORT: 0.1, "
+      "CONFIDENCE: 0.2");
+  EXPECT_EQ(status.code(), StatusCode::kSemanticError);
+}
+
+TEST_F(TranslatorTest, RejectsUnknownAttributes) {
+  EXPECT_EQ(TranslateError(Simple("GROUP BY nosuch")).code(),
+            StatusCode::kSemanticError);
+  EXPECT_EQ(TranslateError(
+                "MINE RULE R AS SELECT DISTINCT nosuch AS BODY, item AS HEAD "
+                "FROM Purchase GROUP BY customer EXTRACTING RULES WITH "
+                "SUPPORT: 0.1, CONFIDENCE: 0.2")
+                .code(),
+            StatusCode::kSemanticError);
+}
+
+TEST_F(TranslatorTest, RejectsGroupClusterOverlap) {
+  // Rule 2: grouping and clustering attrs must be disjoint.
+  EXPECT_EQ(
+      TranslateError(Simple("GROUP BY customer CLUSTER BY customer")).code(),
+      StatusCode::kSemanticError);
+}
+
+TEST_F(TranslatorTest, RejectsBodyOverlappingGrouping) {
+  EXPECT_EQ(TranslateError(
+                "MINE RULE R AS SELECT DISTINCT customer AS BODY, item AS "
+                "HEAD FROM Purchase GROUP BY customer EXTRACTING RULES WITH "
+                "SUPPORT: 0.1, CONFIDENCE: 0.2")
+                .code(),
+            StatusCode::kSemanticError);
+}
+
+TEST_F(TranslatorTest, RejectsGroupCondOnNonGroupAttribute) {
+  // Rule 3: the group HAVING may only reference grouping attributes
+  // outside aggregates.
+  EXPECT_EQ(TranslateError(Simple("GROUP BY customer HAVING price > 10"))
+                .code(),
+            StatusCode::kSemanticError);
+}
+
+TEST_F(TranslatorTest, RejectsClusterCondOnNonClusterAttribute) {
+  EXPECT_EQ(TranslateError(Simple("GROUP BY customer CLUSTER BY date HAVING "
+                                  "BODY.price < HEAD.price"))
+                .code(),
+            StatusCode::kSemanticError);
+}
+
+TEST_F(TranslatorTest, RejectsUnqualifiedClusterCond) {
+  EXPECT_EQ(TranslateError(
+                Simple("GROUP BY customer CLUSTER BY date HAVING date > 3"))
+                .code(),
+            StatusCode::kSemanticError);
+}
+
+TEST_F(TranslatorTest, RejectsMiningCondOnGroupingAttribute) {
+  // Rule 4: mining condition may not touch grouping/clustering attrs.
+  EXPECT_EQ(TranslateError(
+                "MINE RULE R AS SELECT DISTINCT item AS BODY, item AS HEAD "
+                "WHERE BODY.customer = 'x' FROM Purchase GROUP BY customer "
+                "EXTRACTING RULES WITH SUPPORT: 0.1, CONFIDENCE: 0.2")
+                .code(),
+            StatusCode::kSemanticError);
+}
+
+TEST_F(TranslatorTest, RejectsUnqualifiedMiningCond) {
+  EXPECT_EQ(TranslateError(
+                "MINE RULE R AS SELECT DISTINCT item AS BODY, item AS HEAD "
+                "WHERE price > 10 FROM Purchase GROUP BY customer "
+                "EXTRACTING RULES WITH SUPPORT: 0.1, CONFIDENCE: 0.2")
+                .code(),
+            StatusCode::kSemanticError);
+}
+
+TEST_F(TranslatorTest, RejectsAggregateInMiningCond) {
+  EXPECT_EQ(TranslateError(
+                "MINE RULE R AS SELECT DISTINCT item AS BODY, item AS HEAD "
+                "WHERE SUM(BODY.price) > 10 FROM Purchase GROUP BY customer "
+                "EXTRACTING RULES WITH SUPPORT: 0.1, CONFIDENCE: 0.2")
+                .code(),
+            StatusCode::kSemanticError);
+}
+
+TEST_F(TranslatorTest, RejectsDuplicateAttributeAcrossTables) {
+  Schema schema({{"item", DataType::kString}});
+  ASSERT_TRUE(catalog_.CreateTable("Other", schema).ok());
+  EXPECT_EQ(TranslateError(
+                "MINE RULE R AS SELECT DISTINCT item AS BODY, item AS HEAD "
+                "FROM Purchase, Other GROUP BY customer EXTRACTING RULES "
+                "WITH SUPPORT: 0.1, CONFIDENCE: 0.2")
+                .code(),
+            StatusCode::kSemanticError);
+}
+
+}  // namespace
+}  // namespace minerule::mr
