@@ -36,11 +36,14 @@ mining::TransactionDb& SharedDb(int64_t transactions) {
 void RunMiner(benchmark::State& state, SimpleAlgorithm algorithm) {
   const int64_t transactions = state.range(0);
   const double support = static_cast<double>(state.range(1)) / 10000.0;
+  // Third axis: worker threads for the parallel miners (1 = serial).
+  const int threads = static_cast<int>(state.range(2));
   mining::TransactionDb& db = SharedDb(transactions);
   const int64_t min_count = mining::MinGroupCount(support, db.total_groups());
   mining::SimpleMinerOptions options;
   options.partition_count = 4;
   options.sample_rate = 0.2;
+  options.num_threads = threads;
   auto miner = mining::CreateMiner(algorithm, options);
 
   mining::SimpleMinerStats stats;
@@ -60,6 +63,7 @@ void RunMiner(benchmark::State& state, SimpleAlgorithm algorithm) {
   for (int64_t c : stats.candidates_per_level) candidates += c;
   state.counters["candidates"] = static_cast<double>(candidates);
   state.counters["minsup_bp"] = static_cast<double>(state.range(1));
+  state.counters["threads"] = static_cast<double>(threads);
 }
 
 #define POOL_BENCH(name, algorithm)                       \
@@ -67,7 +71,7 @@ void RunMiner(benchmark::State& state, SimpleAlgorithm algorithm) {
     RunMiner(state, algorithm);                           \
   }                                                       \
   BENCHMARK(name)                                         \
-      ->ArgsProduct({{2000}, {200, 100, 50}})             \
+      ->ArgsProduct({{2000}, {200, 100, 50}, {1}})        \
       ->Unit(benchmark::kMillisecond)
 
 POOL_BENCH(BM_Apriori, SimpleAlgorithm::kApriori);
@@ -82,15 +86,30 @@ void BM_GidListScaleD(benchmark::State& state) {
   RunMiner(state, SimpleAlgorithm::kGidList);
 }
 BENCHMARK(BM_GidListScaleD)
-    ->ArgsProduct({{1000, 4000, 16000}, {100}})
+    ->ArgsProduct({{1000, 4000, 16000}, {100}, {1}})
     ->Unit(benchmark::kMillisecond);
 
 void BM_AprioriScaleD(benchmark::State& state) {
   RunMiner(state, SimpleAlgorithm::kApriori);
 }
 BENCHMARK(BM_AprioriScaleD)
-    ->ArgsProduct({{1000, 4000, 16000}, {100}})
+    ->ArgsProduct({{1000, 4000, 16000}, {100}, {1}})
     ->Unit(benchmark::kMillisecond);
+
+// Thread-count scaling of the parallel miners on a larger Quest set: the
+// speedup axis of the parallel mining core (Partition mines its slices
+// concurrently; Apriori/DHP count candidates over transaction ranges).
+#define THREADS_BENCH(name, algorithm)                    \
+  void name(benchmark::State& state) {                    \
+    RunMiner(state, algorithm);                           \
+  }                                                       \
+  BENCHMARK(name)                                         \
+      ->ArgsProduct({{16000}, {50}, {1, 2, 4, 8}})        \
+      ->Unit(benchmark::kMillisecond)->UseRealTime()
+
+THREADS_BENCH(BM_PartitionThreads, SimpleAlgorithm::kPartition);
+THREADS_BENCH(BM_AprioriThreads, SimpleAlgorithm::kApriori);
+THREADS_BENCH(BM_DhpThreads, SimpleAlgorithm::kDhp);
 
 }  // namespace
 

@@ -81,6 +81,37 @@ BENCHMARK(BM_GeneralCoreOnSimpleClass)
     ->Arg(800)
     ->Unit(benchmark::kMillisecond);
 
+/// Thread-count scaling of the general core: the m×n lattice cells of one
+/// level are evaluated concurrently, so wider levels (more items, looser
+/// cardinality windows) parallelize across the shared pool.
+void BM_GeneralCoreThreads(benchmark::State& state) {
+  CodedSourceData data = SimpleShapedData(500, 40, 0.3, 11);
+  CoreDirectives directives;
+  directives.general = true;
+  mining::CoreOptions options;
+  options.num_threads = static_cast<int>(state.range(0));
+  int64_t rules = 0;
+  for (auto _ : state) {
+    mining::CoreStats stats;
+    auto result = RunCoreOperator(data, directives, 0.1, 0.3, {1, 3}, {1, 3},
+                                  options, &stats);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    rules = stats.rules_found;
+  }
+  state.counters["rules"] = static_cast<double>(rules);
+  state.counters["threads"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_GeneralCoreThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
 /// Lattice growth with the number of clusters per group: items spread over
 /// k clusters; all pairs valid.
 void BM_GeneralCoreClusterCount(benchmark::State& state) {

@@ -1,0 +1,112 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace minerule {
+
+namespace {
+
+/// Set for the lifetime of a worker thread; lets ParallelFor detect nested
+/// invocations and fall back to inline execution.
+thread_local bool t_on_pool_worker = false;
+
+}  // namespace
+
+int HardwareThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+int ResolveThreadCount(int requested) {
+  return requested <= 0 ? HardwareThreads() : requested;
+}
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int count = std::max(1, num_threads);
+  workers_.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+bool ThreadPool::OnWorkerThread() { return t_on_pool_worker; }
+
+void ThreadPool::WorkerLoop() {
+  t_on_pool_worker = true;
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // packaged_task: exceptions land in the future
+  }
+}
+
+ThreadPool& SharedThreadPool() {
+  static ThreadPool* pool = new ThreadPool(HardwareThreads());
+  return *pool;
+}
+
+size_t ParallelChunks(size_t total, int num_threads) {
+  return std::min(total, static_cast<size_t>(ResolveThreadCount(num_threads)));
+}
+
+void ParallelFor(size_t total, int num_threads,
+                 const std::function<void(size_t, size_t, size_t)>& fn) {
+  const size_t chunks = ParallelChunks(total, num_threads);
+  if (chunks == 0) return;
+  auto run_chunk = [&](size_t c) {
+    fn(c, c * total / chunks, (c + 1) * total / chunks);
+  };
+  if (chunks == 1 || ThreadPool::OnWorkerThread()) {
+    for (size_t c = 0; c < chunks; ++c) run_chunk(c);
+    return;
+  }
+
+  // Dynamic chunk claiming: the caller and up to pool-size helpers race on
+  // an atomic cursor. Which thread runs a chunk is nondeterministic; the
+  // chunk boundaries (and hence any per-chunk accumulator a caller merges
+  // in chunk order) are not.
+  std::atomic<size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::mutex error_mutex;
+  std::exception_ptr error;
+  auto drain = [&] {
+    for (size_t c = next.fetch_add(1); c < chunks; c = next.fetch_add(1)) {
+      if (failed.load(std::memory_order_relaxed)) return;
+      try {
+        run_chunk(c);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (error == nullptr) error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  ThreadPool& pool = SharedThreadPool();
+  const size_t helpers =
+      std::min(chunks - 1, static_cast<size_t>(pool.size()));
+  std::vector<std::future<void>> futures;
+  futures.reserve(helpers);
+  for (size_t i = 0; i < helpers; ++i) futures.push_back(pool.Submit(drain));
+  drain();
+  for (std::future<void>& future : futures) future.get();
+  if (error != nullptr) std::rethrow_exception(error);
+}
+
+}  // namespace minerule

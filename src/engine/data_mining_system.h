@@ -23,6 +23,12 @@ struct MiningOptions {
   mining::SimpleAlgorithm algorithm = mining::SimpleAlgorithm::kGidList;
   mining::SimpleMinerOptions simple_options;
 
+  /// Worker threads for the core operator, forwarded translator -> core
+  /// operator -> miners (overrides simple_options.num_threads). <= 0 means
+  /// hardware concurrency; 1 preserves the serial execution exactly. The
+  /// mined rules are bit-identical at every setting.
+  int num_threads = 0;
+
   /// §3: "the same preprocessing could be in common to the execution of
   /// several data mining queries, thus saving its cost". When true, a
   /// statement whose encoding-relevant clauses (and support threshold)

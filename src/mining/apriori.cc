@@ -2,6 +2,8 @@
 
 #include <unordered_map>
 
+#include "common/thread_pool.h"
+
 namespace minerule::mining {
 
 std::vector<FrequentItemset> FrequentSingletons(const TransactionDb& db,
@@ -16,16 +18,16 @@ std::vector<FrequentItemset> FrequentSingletons(const TransactionDb& db,
   return level;  // db.items() ascending => lexicographic order
 }
 
-std::vector<int64_t> CountCandidatesHorizontally(
-    const TransactionDb& db, const std::vector<Itemset>& candidates) {
-  std::vector<int64_t> counts(candidates.size(), 0);
-  if (candidates.empty()) return counts;
+namespace {
+
+/// Counts the candidates against transactions [begin, end) into `counts`
+/// (accumulating). Reads only shared immutable state; each caller owns its
+/// own `counts`, which is what makes the parallel scan race-free.
+void CountTransactionRange(
+    const TransactionDb& db, const std::vector<Itemset>& candidates,
+    const std::unordered_map<Itemset, size_t, ItemsetHash>& index,
+    size_t begin, size_t end, std::vector<int64_t>* counts) {
   const size_t k = candidates[0].size();
-
-  std::unordered_map<Itemset, size_t, ItemsetHash> index;
-  index.reserve(candidates.size());
-  for (size_t i = 0; i < candidates.size(); ++i) index.emplace(candidates[i], i);
-
   Itemset subset;
   subset.reserve(k);
   // Recursively enumerate the k-subsets of a transaction, short-circuiting
@@ -33,7 +35,7 @@ std::vector<int64_t> CountCandidatesHorizontally(
   auto enumerate = [&](const Itemset& txn, auto&& self, size_t start) -> void {
     if (subset.size() == k) {
       auto it = index.find(subset);
-      if (it != index.end()) ++counts[it->second];
+      if (it != index.end()) ++(*counts)[it->second];
       return;
     }
     const size_t needed = k - subset.size();
@@ -44,7 +46,8 @@ std::vector<int64_t> CountCandidatesHorizontally(
     }
   };
 
-  for (const Itemset& txn : db.transactions()) {
+  for (size_t t = begin; t < end; ++t) {
+    const Itemset& txn = db.transactions()[t];
     if (txn.size() < k) continue;
     // When the transaction is wide, checking each candidate directly is
     // cheaper than enumerating C(|txn|, k) subsets.
@@ -54,11 +57,42 @@ std::vector<int64_t> CountCandidatesHorizontally(
     }
     if (combos > static_cast<double>(candidates.size()) * 4.0) {
       for (size_t c = 0; c < candidates.size(); ++c) {
-        if (IsSubset(candidates[c], txn)) ++counts[c];
+        if (IsSubset(candidates[c], txn)) ++(*counts)[c];
       }
     } else {
       enumerate(txn, enumerate, 0);
     }
+  }
+}
+
+}  // namespace
+
+std::vector<int64_t> CountCandidatesHorizontally(
+    const TransactionDb& db, const std::vector<Itemset>& candidates,
+    int num_threads) {
+  std::vector<int64_t> counts(candidates.size(), 0);
+  if (candidates.empty()) return counts;
+
+  std::unordered_map<Itemset, size_t, ItemsetHash> index;
+  index.reserve(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) index.emplace(candidates[i], i);
+
+  const size_t n = db.num_transactions();
+  const size_t chunks = ParallelChunks(n, num_threads);
+  if (chunks <= 1) {
+    CountTransactionRange(db, candidates, index, 0, n, &counts);
+    return counts;
+  }
+
+  // Per-range counters, merged in range order. int64 addition is
+  // associative, so the merged totals match the serial scan exactly.
+  std::vector<std::vector<int64_t>> partial(chunks);
+  ParallelFor(n, num_threads, [&](size_t chunk, size_t begin, size_t end) {
+    partial[chunk].assign(candidates.size(), 0);
+    CountTransactionRange(db, candidates, index, begin, end, &partial[chunk]);
+  });
+  for (const std::vector<int64_t>& part : partial) {
+    for (size_t c = 0; c < counts.size(); ++c) counts[c] += part[c];
   }
   return counts;
 }
@@ -87,7 +121,8 @@ Result<std::vector<FrequentItemset>> AprioriMiner::Mine(
     std::vector<Itemset> candidates = GenerateCandidates(prev);
     if (candidates.empty()) break;
 
-    std::vector<int64_t> counts = CountCandidatesHorizontally(db, candidates);
+    std::vector<int64_t> counts =
+        CountCandidatesHorizontally(db, candidates, num_threads_);
     std::vector<FrequentItemset> next;
     for (size_t i = 0; i < candidates.size(); ++i) {
       if (counts[i] >= min_group_count) {

@@ -7,21 +7,30 @@ namespace minerule::mining {
 
 /// Classic levelwise Apriori [Agrawal & Srikant, VLDB'94]: candidate
 /// generation with apriori pruning, support counted by one horizontal scan
-/// of the transactions per level.
+/// of the transactions per level. The scan is split into transaction ranges
+/// counted concurrently (num_threads workers, <= 0 = hardware).
 class AprioriMiner : public FrequentItemsetMiner {
  public:
+  explicit AprioriMiner(int num_threads = 1) : num_threads_(num_threads) {}
+
   const char* name() const override { return "apriori"; }
 
   Result<std::vector<FrequentItemset>> Mine(const TransactionDb& db,
                                             int64_t min_group_count,
                                             int64_t max_size,
                                             SimpleMinerStats* stats) override;
+
+ private:
+  int num_threads_;
 };
 
 /// Shared helper: counts the support of each candidate (all of size k) with
-/// one scan of db, via subset checks against a candidate hash set.
+/// one scan of db, via subset checks against a candidate hash set. The scan
+/// runs over transaction ranges in parallel with per-range counters merged
+/// in range order, so the totals are identical at every thread count.
 std::vector<int64_t> CountCandidatesHorizontally(
-    const TransactionDb& db, const std::vector<Itemset>& candidates);
+    const TransactionDb& db, const std::vector<Itemset>& candidates,
+    int num_threads = 1);
 
 /// Shared helper: frequent singletons (level 1), sorted by item id.
 std::vector<FrequentItemset> FrequentSingletons(const TransactionDb& db,

@@ -68,10 +68,12 @@ Result<std::vector<MinedRule>> RunCoreOperator(
   if (!directives.general) {
     TransactionDb db =
         TransactionDb::FromPairs(data.simple_pairs, data.total_groups);
+    SimpleMinerOptions simple_options = options.simple_options;
+    simple_options.num_threads = options.num_threads;
     MR_ASSIGN_OR_RETURN(
         std::vector<MinedRule> rules,
         MineSimpleRules(db, min_support, min_confidence, body_card, head_card,
-                        options.algorithm, options.simple_options,
+                        options.algorithm, simple_options,
                         stats != nullptr ? &stats->simple : nullptr));
     if (stats != nullptr) {
       stats->used_general = false;
@@ -79,7 +81,8 @@ Result<std::vector<MinedRule>> RunCoreOperator(
     }
     return rules;
   }
-  GeneralMiner miner(BuildGeneralInput(data, directives));
+  GeneralMiner miner(BuildGeneralInput(data, directives),
+                     options.num_threads);
   MR_ASSIGN_OR_RETURN(
       std::vector<MinedRule> rules,
       miner.Mine(min_support, min_confidence, body_card, head_card,

@@ -49,10 +49,16 @@ struct CodedSourceData {
   int64_t total_groups = 0;  // the Q1 count (:totg)
 };
 
-/// Core-operator knobs: which pool member the simple core uses.
+/// Core-operator knobs: which pool member the simple core uses, and how
+/// many worker threads the mining layer may draw from the shared pool.
 struct CoreOptions {
   SimpleAlgorithm algorithm = SimpleAlgorithm::kGidList;
   SimpleMinerOptions simple_options;
+
+  /// Applied to whichever core runs (simple pool member or the general
+  /// lattice miner); overrides simple_options.num_threads. <= 0 means
+  /// hardware concurrency, 1 preserves the serial execution exactly.
+  int num_threads = 0;
 };
 
 /// Counters surfaced to MiningRunStats.

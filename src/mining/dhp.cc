@@ -1,5 +1,6 @@
 #include "mining/dhp.h"
 
+#include "common/thread_pool.h"
 #include "mining/apriori.h"
 
 namespace minerule::mining {
@@ -25,12 +26,32 @@ Result<std::vector<FrequentItemset>> DhpMiner::Mine(
   const size_t buckets = static_cast<size_t>(num_buckets_);
 
   // Pass 1: count singletons (via the vertical index) and hash all pairs.
+  // The hashing scan is split into transaction ranges with one bucket table
+  // each; summing the tables in range order reproduces the serial counts.
+  const size_t n = db.num_transactions();
+  const size_t chunks = ParallelChunks(n, num_threads_);
   std::vector<int64_t> bucket_counts(buckets, 0);
-  for (const Itemset& txn : db.transactions()) {
-    for (size_t i = 0; i < txn.size(); ++i) {
-      for (size_t j = i + 1; j < txn.size(); ++j) {
-        ++bucket_counts[PairBucket(txn[i], txn[j], buckets)];
+  auto hash_range = [&](size_t begin, size_t end,
+                        std::vector<int64_t>* table) {
+    for (size_t t = begin; t < end; ++t) {
+      const Itemset& txn = db.transactions()[t];
+      for (size_t i = 0; i < txn.size(); ++i) {
+        for (size_t j = i + 1; j < txn.size(); ++j) {
+          ++(*table)[PairBucket(txn[i], txn[j], buckets)];
+        }
       }
+    }
+  };
+  if (chunks <= 1) {
+    hash_range(0, n, &bucket_counts);
+  } else {
+    std::vector<std::vector<int64_t>> partial(chunks);
+    ParallelFor(n, num_threads_, [&](size_t chunk, size_t begin, size_t end) {
+      partial[chunk].assign(buckets, 0);
+      hash_range(begin, end, &partial[chunk]);
+    });
+    for (const std::vector<int64_t>& part : partial) {
+      for (size_t b = 0; b < buckets; ++b) bucket_counts[b] += part[b];
     }
   }
   std::vector<FrequentItemset> level = FrequentSingletons(db, min_group_count);
@@ -60,7 +81,8 @@ Result<std::vector<FrequentItemset>> DhpMiner::Mine(
     }
   }
   (void)unfiltered_pairs;
-  std::vector<int64_t> counts = CountCandidatesHorizontally(db, pair_candidates);
+  std::vector<int64_t> counts =
+      CountCandidatesHorizontally(db, pair_candidates, num_threads_);
   std::vector<FrequentItemset> pairs;
   for (size_t i = 0; i < pair_candidates.size(); ++i) {
     if (counts[i] >= min_group_count) {
@@ -89,7 +111,7 @@ Result<std::vector<FrequentItemset>> DhpMiner::Mine(
     std::vector<Itemset> candidates = GenerateCandidates(prev);
     if (candidates.empty()) break;
     std::vector<int64_t> level_counts =
-        CountCandidatesHorizontally(db, candidates);
+        CountCandidatesHorizontally(db, candidates, num_threads_);
     std::vector<FrequentItemset> next;
     for (size_t i = 0; i < candidates.size(); ++i) {
       if (level_counts[i] >= min_group_count) {

@@ -11,9 +11,13 @@ namespace minerule::mining {
 /// items are frequent *and* its bucket count reaches the threshold, which
 /// prunes most of the quadratic pair-candidate space. Later levels proceed
 /// as in Apriori.
+/// Pass-1 pair hashing and all support counting run over transaction
+/// ranges in parallel (num_threads workers, <= 0 = hardware), with
+/// per-range tables merged deterministically.
 class DhpMiner : public FrequentItemsetMiner {
  public:
-  explicit DhpMiner(int num_buckets) : num_buckets_(num_buckets) {}
+  explicit DhpMiner(int num_buckets, int num_threads = 1)
+      : num_buckets_(num_buckets), num_threads_(num_threads) {}
 
   const char* name() const override { return "dhp"; }
 
@@ -24,6 +28,7 @@ class DhpMiner : public FrequentItemsetMiner {
 
  private:
   int num_buckets_;
+  int num_threads_;
 };
 
 }  // namespace minerule::mining

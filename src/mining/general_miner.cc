@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "common/thread_pool.h"
 #include "mining/gid_list.h"
 #include "mining/simple_miner.h"
 
@@ -67,7 +68,8 @@ void SortOccurrences(OccurrenceList* occs) {
 
 }  // namespace
 
-GeneralMiner::GeneralMiner(GeneralInput input) : input_(std::move(input)) {
+GeneralMiner::GeneralMiner(GeneralInput input, int num_threads)
+    : input_(std::move(input)), num_threads_(num_threads) {
   // Body presence index (confidence denominator source). Groups iterate in
   // ascending gid order and clusters in ascending cid order, so each
   // per-item list comes out sorted.
@@ -340,9 +342,20 @@ Result<std::vector<MinedRule>> GeneralMiner::Mine(
   const int64_t max_m = body_card.bound();
   const int64_t max_n = head_card.bound();
 
-  // Level-by-level descent of the lattice; level = m + n.
+  // Level-by-level descent of the lattice; level = m + n. Every cell of one
+  // level depends only on the previous level's sets, so the cells are
+  // planned serially (the parent-choice heuristic reads `sets`) and then
+  // extended concurrently; results are committed back in cell order.
+  struct Cell {
+    int m;
+    int n;
+    bool use_body;
+    const RuleSet* parent;
+    int64_t candidates = 0;
+    RuleSet result;
+  };
   for (int level = 3;; ++level) {
-    bool produced_any = false;
+    std::vector<Cell> cells;
     for (int m = 1; m < level; ++m) {
       const int n = level - m;
       if (m < 1 || n < 1) continue;
@@ -365,17 +378,36 @@ Result<std::vector<MinedRule>> GeneralMiner::Mine(
       } else {
         use_body = body_ok;
       }
-      int64_t candidates = 0;
-      RuleSet next = use_body ? ExtendBody(body_parent->second, min_count,
-                                           &candidates)
-                              : ExtendHead(head_parent->second, min_count,
-                                           &candidates);
+      Cell cell;
+      cell.m = m;
+      cell.n = n;
+      cell.use_body = use_body;
+      cell.parent = use_body ? &body_parent->second : &head_parent->second;
+      cells.push_back(std::move(cell));
+    }
+
+    ParallelFor(cells.size(), num_threads_,
+                [&](size_t, size_t begin, size_t end) {
+                  for (size_t c = begin; c < end; ++c) {
+                    Cell& cell = cells[c];
+                    cell.result =
+                        cell.use_body
+                            ? ExtendBody(*cell.parent, min_count,
+                                         &cell.candidates)
+                            : ExtendHead(*cell.parent, min_count,
+                                         &cell.candidates);
+                  }
+                });
+
+    bool produced_any = false;
+    for (Cell& cell : cells) {
       if (stats != nullptr) {
-        stats->sets.push_back({m, n, candidates,
-                               static_cast<int64_t>(next.size()), use_body});
+        stats->sets.push_back({cell.m, cell.n, cell.candidates,
+                               static_cast<int64_t>(cell.result.size()),
+                               cell.use_body});
       }
-      if (!next.empty()) produced_any = true;
-      sets[{m, n}] = std::move(next);
+      if (!cell.result.empty()) produced_any = true;
+      sets[{cell.m, cell.n}] = std::move(cell.result);
     }
     if (!produced_any) break;
     // Safety stop when both dimensions are bounded.

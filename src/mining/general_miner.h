@@ -97,9 +97,14 @@ struct GeneralMinerStats {
 /// set and choosing, for each (m, n), the parent with fewer rules.
 /// Confidence divides rule support by the body's support over *all* body
 /// clusters (§2 step 5).
+/// Within one lattice level the (m, n) cells are independent — each one
+/// reads only level-(m+n-1) parents — so they are evaluated concurrently on
+/// the shared pool (num_threads workers, <= 0 = hardware); results and
+/// stats are committed in cell order, keeping the output bit-identical to
+/// the serial descent.
 class GeneralMiner {
  public:
-  explicit GeneralMiner(GeneralInput input);
+  explicit GeneralMiner(GeneralInput input, int num_threads = 1);
 
   Result<std::vector<MinedRule>> Mine(double min_support,
                                       double min_confidence,
@@ -134,6 +139,7 @@ class GeneralMiner {
   int64_t BodySupport(const Itemset& body, GeneralMinerStats* stats);
 
   GeneralInput input_;
+  int num_threads_;
   /// Per-item body presence as sorted (gid, cid) pairs.
   std::unordered_map<ItemId, std::vector<std::pair<Gid, Cid>>> body_presence_;
   std::unordered_map<Itemset, int64_t, ItemsetHash> body_support_cache_;

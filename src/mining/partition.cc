@@ -3,6 +3,7 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "common/thread_pool.h"
 #include "mining/gidlist_miner.h"
 
 namespace minerule::mining {
@@ -15,44 +16,76 @@ Result<std::vector<FrequentItemset>> PartitionMiner::Mine(
   }
   const size_t n = db.num_transactions();
   if (n == 0) return std::vector<FrequentItemset>{};
-  const size_t parts = std::min<size_t>(static_cast<size_t>(partition_count_),
-                                        std::max<size_t>(n, 1));
+  // Clamp: more slices than transactions would leave some empty, and an
+  // empty slice makes every itemset "locally large" at threshold 1 there.
+  const size_t parts =
+      std::min<size_t>(static_cast<size_t>(partition_count_), n);
 
-  // Phase 1: local mining. The local threshold for a slice of size s is
-  // ceil(min_group_count * s / n): if an itemset misses that bound in every
-  // slice, its slice counts sum to < min_group_count, so it cannot be
-  // globally large (the Partition correctness argument).
-  GidListMiner local_miner;
-  std::unordered_set<Itemset, ItemsetHash> candidate_set;
-  size_t begin = 0;
+  // Deterministic slice boundaries: slice p covers [p*n/parts,
+  // (p+1)*n/parts), each nonempty because parts <= n.
+  std::vector<std::pair<size_t, size_t>> bounds;
+  bounds.reserve(parts);
   for (size_t p = 0; p < parts; ++p) {
-    const size_t end = begin + (n - begin) / (parts - p);
-    if (end == begin) continue;
-    TransactionDb slice = db.Slice(begin, end);
-    const double scaled = static_cast<double>(min_group_count) *
-                          static_cast<double>(end - begin) /
-                          static_cast<double>(n);
-    const int64_t local_threshold =
-        std::max<int64_t>(1, static_cast<int64_t>(std::ceil(scaled - 1e-9)));
-    MR_ASSIGN_OR_RETURN(
-        std::vector<FrequentItemset> local,
-        local_miner.Mine(slice, local_threshold, max_size, nullptr));
-    for (FrequentItemset& fi : local) candidate_set.insert(std::move(fi.items));
-    begin = end;
+    bounds.emplace_back(p * n / parts, (p + 1) * n / parts);
   }
 
-  // Phase 2: one full counting pass over the vertical layout.
+  // Phase 1: local mining, one slice per task on the shared pool. The local
+  // threshold for a slice of size s is ceil(min_group_count * s / n): if an
+  // itemset misses that bound in every slice, its slice counts sum to
+  // < min_group_count, so it cannot be globally large (the Partition
+  // correctness argument).
+  std::vector<std::vector<FrequentItemset>> local_results(parts);
+  std::vector<Status> local_status(parts, Status::OK());
+  ParallelFor(parts, num_threads_, [&](size_t, size_t begin, size_t end) {
+    GidListMiner local_miner;
+    for (size_t p = begin; p < end; ++p) {
+      TransactionDb slice = db.Slice(bounds[p].first, bounds[p].second);
+      const size_t slice_size = bounds[p].second - bounds[p].first;
+      const double scaled = static_cast<double>(min_group_count) *
+                            static_cast<double>(slice_size) /
+                            static_cast<double>(n);
+      const int64_t local_threshold =
+          std::max<int64_t>(1, static_cast<int64_t>(std::ceil(scaled - 1e-9)));
+      auto local = local_miner.Mine(slice, local_threshold, max_size, nullptr);
+      if (!local.ok()) {
+        local_status[p] = local.status();
+        continue;
+      }
+      local_results[p] = std::move(local).value();
+    }
+  });
+  // Merge serially in slice order (the union is order-independent anyway;
+  // candidates get re-sorted below).
+  std::unordered_set<Itemset, ItemsetHash> candidate_set;
+  for (size_t p = 0; p < parts; ++p) {
+    if (!local_status[p].ok()) return local_status[p];
+    for (FrequentItemset& fi : local_results[p]) {
+      candidate_set.insert(std::move(fi.items));
+    }
+  }
+
+  // Phase 2: one full counting pass over the vertical layout, candidates
+  // counted in parallel chunks. Each chunk writes disjoint slots of
+  // `counts`, so the merge is implicit and deterministic.
   std::vector<Itemset> candidates(candidate_set.begin(), candidate_set.end());
   SortItemsets(&candidates);
+  std::vector<int64_t> counts(candidates.size(), 0);
+  ParallelFor(candidates.size(), num_threads_,
+              [&](size_t, size_t begin, size_t end) {
+                for (size_t c = begin; c < end; ++c) {
+                  const Itemset& candidate = candidates[c];
+                  GidList gids = db.gid_list(candidate[0]);
+                  for (size_t i = 1; i < candidate.size() && !gids.empty();
+                       ++i) {
+                    gids = IntersectGidLists(gids, db.gid_list(candidate[i]));
+                  }
+                  counts[c] = static_cast<int64_t>(gids.size());
+                }
+              });
   std::vector<FrequentItemset> result;
-  for (const Itemset& candidate : candidates) {
-    GidList gids = db.gid_list(candidate[0]);
-    for (size_t i = 1; i < candidate.size() && !gids.empty(); ++i) {
-      gids = IntersectGidLists(gids, db.gid_list(candidate[i]));
-    }
-    const int64_t count = static_cast<int64_t>(gids.size());
-    if (count >= min_group_count) {
-      result.push_back({candidate, count});
+  for (size_t c = 0; c < candidates.size(); ++c) {
+    if (counts[c] >= min_group_count) {
+      result.push_back({candidates[c], counts[c]});
     }
   }
   if (stats != nullptr) {

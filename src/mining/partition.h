@@ -11,10 +11,15 @@ namespace minerule::mining {
 /// uses via its tidlists); every globally large itemset must be locally
 /// large in at least one slice, so the union of local results is a complete
 /// candidate set. Phase 2 counts all candidates in one full pass.
+///
+/// Both phases are embarrassingly parallel and run on the shared pool:
+/// slices are mined concurrently (num_threads workers, <= 0 = hardware) and
+/// phase-2 candidates are counted in parallel chunks. A partition_count
+/// larger than the transaction count is clamped so no slice is empty.
 class PartitionMiner : public FrequentItemsetMiner {
  public:
-  explicit PartitionMiner(int partition_count)
-      : partition_count_(partition_count) {}
+  explicit PartitionMiner(int partition_count, int num_threads = 1)
+      : partition_count_(partition_count), num_threads_(num_threads) {}
 
   const char* name() const override { return "partition"; }
 
@@ -25,6 +30,7 @@ class PartitionMiner : public FrequentItemsetMiner {
 
  private:
   int partition_count_;
+  int num_threads_;
 };
 
 }  // namespace minerule::mining

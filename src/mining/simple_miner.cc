@@ -53,15 +53,17 @@ std::unique_ptr<FrequentItemsetMiner> CreateMiner(
     SimpleAlgorithm algorithm, const SimpleMinerOptions& options) {
   switch (algorithm) {
     case SimpleAlgorithm::kApriori:
-      return std::make_unique<AprioriMiner>();
+      return std::make_unique<AprioriMiner>(options.num_threads);
     case SimpleAlgorithm::kAprioriTid:
       return std::make_unique<AprioriTidMiner>();
     case SimpleAlgorithm::kGidList:
       return std::make_unique<GidListMiner>();
     case SimpleAlgorithm::kDhp:
-      return std::make_unique<DhpMiner>(options.dhp_buckets);
+      return std::make_unique<DhpMiner>(options.dhp_buckets,
+                                        options.num_threads);
     case SimpleAlgorithm::kPartition:
-      return std::make_unique<PartitionMiner>(options.partition_count);
+      return std::make_unique<PartitionMiner>(options.partition_count,
+                                              options.num_threads);
     case SimpleAlgorithm::kSampling:
       return std::make_unique<SamplingMiner>(
           options.sample_rate, options.sample_lowering, options.seed);

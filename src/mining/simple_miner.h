@@ -34,6 +34,12 @@ struct SimpleMinerOptions {
   double sample_rate = 0.15;    // Sampling: fraction of groups sampled
   double sample_lowering = 0.8; // Sampling: threshold lowering factor
   uint64_t seed = 42;           // Sampling: PRNG seed
+
+  /// Worker threads for the parallel miners (Apriori/DHP counting,
+  /// Partition slices), drawn from the shared pool. <= 0 means hardware
+  /// concurrency; 1 reproduces the serial execution exactly. Results are
+  /// bit-identical at every setting (enforced by the differential tests).
+  int num_threads = 0;
 };
 
 /// Execution counters exposed for the benchmark harness.

@@ -61,20 +61,22 @@ class EnginePropertyTest : public ::testing::TestWithParam<uint64_t> {
     }
   }
 
-  RuleMap MineAndDecode(const std::string& statement,
-                        const std::string& out) {
-    auto stats = system_.ExecuteMineRule(statement);
+  static RuleMap MineAndDecodeWith(DataMiningSystem* system,
+                                   const std::string& statement,
+                                   const std::string& out,
+                                   const MiningOptions& options = {}) {
+    auto stats = system->ExecuteMineRule(statement, options);
     EXPECT_TRUE(stats.ok()) << stats.status();
     if (!stats.ok()) return {};
     RuleMap rules;
-    auto ids = system_.ExecuteSql(
+    auto ids = system->ExecuteSql(
         "SELECT BodyId, HeadId, SUPPORT, CONFIDENCE FROM " + out);
     EXPECT_TRUE(ids.ok());
     std::map<int64_t, std::vector<std::string>> bodies, heads;
     auto body_rows =
-        system_.ExecuteSql("SELECT BodyId, item FROM " + out + "_Bodies");
+        system->ExecuteSql("SELECT BodyId, item FROM " + out + "_Bodies");
     auto head_rows =
-        system_.ExecuteSql("SELECT HeadId, item FROM " + out + "_Heads");
+        system->ExecuteSql("SELECT HeadId, item FROM " + out + "_Heads");
     EXPECT_TRUE(body_rows.ok());
     EXPECT_TRUE(head_rows.ok());
     for (const Row& row : body_rows.value().rows) {
@@ -93,6 +95,11 @@ class EnginePropertyTest : public ::testing::TestWithParam<uint64_t> {
           RuleFacts{row[2].AsDouble(), row[3].AsDouble()};
     }
     return rules;
+  }
+
+  RuleMap MineAndDecode(const std::string& statement, const std::string& out,
+                        const MiningOptions& options = {}) {
+    return MineAndDecodeWith(&system_, statement, out, options);
   }
 
   void ExpectEqualRuleMaps(const RuleMap& a, const RuleMap& b,
@@ -179,6 +186,79 @@ TEST_P(EnginePropertyTest, PipelineAgreesWithInMemoryReference) {
     ASSERT_TRUE(it != pipeline.end()) << key;
     EXPECT_NEAR(it->second.support, rule.Support(total), 1e-9) << key;
     EXPECT_NEAR(it->second.confidence, rule.Confidence(), 1e-9) << key;
+  }
+}
+
+TEST_P(EnginePropertyTest, ResultInvariantUnderThreadCount) {
+  // End-to-end determinism of the parallel mining core: the same MINE RULE
+  // statement must produce identical rule tables at every num_threads, for
+  // both the simple pipeline and the general (lattice) pipeline.
+  GenerateData(GetParam());
+  const std::string simple_stmt =
+      "MINE RULE ThreadOut AS SELECT DISTINCT 1..n item AS BODY, 1..n item "
+      "AS HEAD, SUPPORT, CONFIDENCE FROM T GROUP BY tid "
+      "EXTRACTING RULES WITH SUPPORT: 0.15, CONFIDENCE: 0.4";
+  const std::string general_stmt =
+      "MINE RULE ThreadGenOut AS SELECT DISTINCT 1..n item AS BODY, 1..n "
+      "item AS HEAD, SUPPORT, CONFIDENCE WHERE BODY.price >= 0 AND "
+      "HEAD.price >= 0 FROM T GROUP BY tid "
+      "EXTRACTING RULES WITH SUPPORT: 0.15, CONFIDENCE: 0.4";
+  MiningOptions serial;
+  serial.num_threads = 1;
+  // The partition pool member exercises the slice-parallel path too.
+  serial.algorithm = mining::SimpleAlgorithm::kPartition;
+  RuleMap simple_baseline = MineAndDecode(simple_stmt, "ThreadOut", serial);
+  RuleMap general_baseline =
+      MineAndDecode(general_stmt, "ThreadGenOut", serial);
+  EXPECT_FALSE(simple_baseline.empty());
+  for (int threads : {2, 8}) {
+    MiningOptions options = serial;
+    options.num_threads = threads;
+    ExpectEqualRuleMaps(simple_baseline,
+                        MineAndDecode(simple_stmt, "ThreadOut", options),
+                        "simple pipeline under num_threads");
+    ExpectEqualRuleMaps(general_baseline,
+                        MineAndDecode(general_stmt, "ThreadGenOut", options),
+                        "general pipeline under num_threads");
+  }
+}
+
+TEST_P(EnginePropertyTest, ResultInvariantUnderInputRowShuffling) {
+  // Mining is defined over the *set* of (tid, item) rows; the physical
+  // insert order of the source table must not leak into the rule tables.
+  Random rng(GetParam() * 2654435761u + 1);
+  Schema schema({{"tid", DataType::kInteger}, {"item", DataType::kInteger}});
+  std::vector<std::pair<int, int>> rows;
+  for (int g = 1; g <= 25; ++g) {
+    for (int i = 1; i <= 9; ++i) {
+      if (rng.NextBool(0.45)) rows.emplace_back(g, i);
+    }
+  }
+  const std::string stmt =
+      "MINE RULE ShuffleOut AS SELECT DISTINCT 1..n item AS BODY, 1..1 item "
+      "AS HEAD, SUPPORT, CONFIDENCE FROM T GROUP BY tid "
+      "EXTRACTING RULES WITH SUPPORT: 0.1, CONFIDENCE: 0.3";
+  auto mine_in_order = [&](const std::vector<std::pair<int, int>>& ordered) {
+    Catalog catalog;
+    auto table = catalog.CreateTable("T", schema);
+    EXPECT_TRUE(table.ok());
+    for (const auto& [tid, item] : ordered) {
+      table.value()->AppendUnchecked(
+          {Value::Integer(tid), Value::Integer(item)});
+    }
+    DataMiningSystem system(&catalog);
+    return MineAndDecodeWith(&system, stmt, "ShuffleOut");
+  };
+  RuleMap ordered = mine_in_order(rows);
+  EXPECT_FALSE(ordered.empty());
+  for (int round = 0; round < 3; ++round) {
+    std::vector<std::pair<int, int>> shuffled = rows;
+    // Fisher-Yates with the deterministic test RNG.
+    for (size_t i = shuffled.size(); i > 1; --i) {
+      std::swap(shuffled[i - 1], shuffled[rng.NextBounded(i)]);
+    }
+    ExpectEqualRuleMaps(ordered, mine_in_order(shuffled),
+                        "input-row shuffling");
   }
 }
 

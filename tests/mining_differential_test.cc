@@ -1,0 +1,169 @@
+// Cross-miner differential harness — the mining-layer analogue of
+// tests/sql_differential_test.cc. On randomized Quest workloads it pins the
+// whole algorithm pool to itself:
+//
+//  1. every FrequentItemsetMiner returns exactly the same itemset set
+//     (counts included) on the same database;
+//  2. every miner returns bit-identical results at num_threads in {1,2,8} —
+//     the determinism guarantee of the parallel mining core.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "datagen/quest_gen.h"
+#include "mining/reference_miner.h"
+#include "mining/simple_miner.h"
+
+namespace minerule::mining {
+namespace {
+
+const std::vector<SimpleAlgorithm>& PoolUnderTest() {
+  static const std::vector<SimpleAlgorithm> pool = {
+      SimpleAlgorithm::kReference,  SimpleAlgorithm::kApriori,
+      SimpleAlgorithm::kAprioriTid, SimpleAlgorithm::kDhp,
+      SimpleAlgorithm::kPartition,  SimpleAlgorithm::kGidList,
+  };
+  return pool;
+}
+
+std::vector<FrequentItemset> MustMine(SimpleAlgorithm algorithm,
+                                      const TransactionDb& db,
+                                      int64_t min_count, int num_threads) {
+  SimpleMinerOptions options;
+  options.partition_count = 5;
+  options.num_threads = num_threads;
+  auto miner = CreateMiner(algorithm, options);
+  auto result = miner->Mine(db, min_count, -1, nullptr);
+  EXPECT_TRUE(result.ok()) << miner->name() << ": " << result.status();
+  return result.ok() ? std::move(result).value()
+                     : std::vector<FrequentItemset>{};
+}
+
+void ExpectSameItemsets(const std::vector<FrequentItemset>& expected,
+                        const std::vector<FrequentItemset>& actual,
+                        const std::string& what) {
+  ASSERT_EQ(actual.size(), expected.size()) << what;
+  for (size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_EQ(actual[i].items, expected[i].items)
+        << what << " itemset " << i;
+    ASSERT_EQ(actual[i].group_count, expected[i].group_count)
+        << what << " " << ItemsetToString(expected[i].items);
+  }
+}
+
+class MiningDifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+/// Quest data narrowed to <= 20 items so the brute-force reference miner
+/// (the sixth pool member) can participate.
+TransactionDb NarrowQuestDb(uint64_t seed) {
+  datagen::QuestParams params;
+  params.num_transactions = 250;
+  params.avg_transaction_size = 6;
+  params.avg_pattern_size = 3;
+  params.num_items = 18;
+  params.num_patterns = 12;
+  params.seed = seed;
+  return datagen::GenerateQuestDb(params);
+}
+
+/// Wider Quest data (T8.I4, 200 items) for the thread-count sweep, where
+/// the reference miner's item limit does not apply.
+TransactionDb WideQuestDb(uint64_t seed) {
+  datagen::QuestParams params;
+  params.num_transactions = 400;
+  params.avg_transaction_size = 8;
+  params.avg_pattern_size = 4;
+  params.num_items = 200;
+  params.num_patterns = 40;
+  params.seed = seed;
+  return datagen::GenerateQuestDb(params);
+}
+
+TEST_P(MiningDifferentialTest, AllSixMinersAgree) {
+  const TransactionDb db = NarrowQuestDb(GetParam());
+  for (double support : {0.05, 0.15}) {
+    const int64_t min_count = MinGroupCount(support, db.total_groups());
+    const std::vector<FrequentItemset> expected =
+        MustMine(SimpleAlgorithm::kReference, db, min_count, 1);
+    for (SimpleAlgorithm algorithm : PoolUnderTest()) {
+      ExpectSameItemsets(
+          expected, MustMine(algorithm, db, min_count, 1),
+          std::string(SimpleAlgorithmName(algorithm)) + " sup=" +
+              std::to_string(support));
+    }
+  }
+}
+
+TEST_P(MiningDifferentialTest, EveryMinerInvariantUnderThreadCount) {
+  const TransactionDb db = WideQuestDb(GetParam());
+  const int64_t min_count = MinGroupCount(0.02, db.total_groups());
+  for (SimpleAlgorithm algorithm :
+       {SimpleAlgorithm::kApriori, SimpleAlgorithm::kAprioriTid,
+        SimpleAlgorithm::kDhp, SimpleAlgorithm::kPartition,
+        SimpleAlgorithm::kGidList}) {
+    const std::vector<FrequentItemset> serial =
+        MustMine(algorithm, db, min_count, 1);
+    EXPECT_FALSE(serial.empty()) << SimpleAlgorithmName(algorithm);
+    for (int threads : {2, 8}) {
+      ExpectSameItemsets(
+          serial, MustMine(algorithm, db, min_count, threads),
+          std::string(SimpleAlgorithmName(algorithm)) + " threads=" +
+              std::to_string(threads));
+    }
+  }
+}
+
+TEST_P(MiningDifferentialTest, MinersAgreeAcrossThreadCountsPairwise) {
+  // The two properties combined: miner A at 8 threads must equal miner B at
+  // 2 threads — everything pins to one serial gid-list baseline.
+  const TransactionDb db = NarrowQuestDb(GetParam() ^ 0x5bd1e995u);
+  const int64_t min_count = MinGroupCount(0.1, db.total_groups());
+  const std::vector<FrequentItemset> baseline =
+      MustMine(SimpleAlgorithm::kGidList, db, min_count, 1);
+  for (SimpleAlgorithm algorithm : PoolUnderTest()) {
+    for (int threads : {1, 2, 8}) {
+      ExpectSameItemsets(
+          baseline, MustMine(algorithm, db, min_count, threads),
+          std::string(SimpleAlgorithmName(algorithm)) + " threads=" +
+              std::to_string(threads));
+    }
+  }
+}
+
+/// Rule-level agreement end to end through MineSimpleRules at mixed thread
+/// counts (support, confidence and both cardinalities exercised).
+TEST_P(MiningDifferentialTest, RulesAgreeAcrossPoolAndThreads) {
+  const TransactionDb db = NarrowQuestDb(GetParam() + 17);
+  auto baseline = MineSimpleRules(db, 0.08, 0.3, {1, -1}, {1, 1},
+                                  SimpleAlgorithm::kGidList);
+  ASSERT_TRUE(baseline.ok()) << baseline.status();
+  for (SimpleAlgorithm algorithm : PoolUnderTest()) {
+    for (int threads : {1, 8}) {
+      SimpleMinerOptions options;
+      options.num_threads = threads;
+      auto rules = MineSimpleRules(db, 0.08, 0.3, {1, -1}, {1, 1}, algorithm,
+                                   options);
+      ASSERT_TRUE(rules.ok()) << SimpleAlgorithmName(algorithm);
+      ASSERT_EQ(rules.value().size(), baseline.value().size())
+          << SimpleAlgorithmName(algorithm) << " threads=" << threads;
+      for (size_t i = 0; i < baseline.value().size(); ++i) {
+        EXPECT_EQ(rules.value()[i].body, baseline.value()[i].body);
+        EXPECT_EQ(rules.value()[i].head, baseline.value()[i].head);
+        EXPECT_EQ(rules.value()[i].group_count,
+                  baseline.value()[i].group_count);
+        EXPECT_EQ(rules.value()[i].body_group_count,
+                  baseline.value()[i].body_group_count);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(QuestSeeds, MiningDifferentialTest,
+                         ::testing::Values(11u, 42u, 137u, 901u),
+                         [](const ::testing::TestParamInfo<uint64_t>& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace minerule::mining

@@ -338,6 +338,44 @@ TEST(PartitionMinerTest, MorePartitionsThanTransactions) {
   EXPECT_EQ(itemsets.size(), 6u);
 }
 
+TEST(PartitionMinerTest, OversizedPartitionCountClampsToTransactions) {
+  // Regression: partition_count far above the transaction count must clamp
+  // to one transaction per slice (never an empty slice, whose threshold-1
+  // local pass would blow up the candidate set) and still agree with the
+  // reference miner — at every thread count.
+  TransactionDb db = RandomDb(31, 7, 6, 0.5);
+  ReferenceMiner reference;
+  auto expected = MustMine(&reference, db, 2);
+  for (int partition_count : {8, 1000}) {
+    for (int threads : {1, 4}) {
+      PartitionMiner miner(partition_count, threads);
+      SimpleMinerStats stats;
+      auto itemsets = MustMine(&miner, db, 2, -1, &stats);
+      EXPECT_EQ(stats.passes, 2) << partition_count;
+      ASSERT_EQ(itemsets.size(), expected.size())
+          << "partitions=" << partition_count << " threads=" << threads;
+      for (size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_EQ(itemsets[i].items, expected[i].items);
+        EXPECT_EQ(itemsets[i].group_count, expected[i].group_count);
+      }
+      // Phase 2 counted at most the candidates 7 one-transaction slices can
+      // propose; an unclamped slice count would not change correctness but
+      // this pins the clamp's candidate accounting.
+      ASSERT_EQ(stats.candidates_per_level.size(), 1u);
+      EXPECT_GE(stats.candidates_per_level[0],
+                static_cast<int64_t>(itemsets.size()));
+    }
+  }
+}
+
+TEST(PartitionMinerTest, SingleTransactionAndSingletonSlices) {
+  // One transaction, many partitions: clamps to one slice.
+  TransactionDb one = TransactionDb::FromTransactions({{1, 2, 3}}, 1);
+  PartitionMiner miner(16);
+  auto itemsets = MustMine(&miner, one, 1);
+  EXPECT_EQ(itemsets.size(), 7u);  // all non-empty subsets of {1,2,3}
+}
+
 TEST(SimpleMinerTest, EmptyDatabaseYieldsNothing) {
   TransactionDb db = TransactionDb::FromTransactions({}, 0);
   for (SimpleAlgorithm algorithm :

@@ -1,0 +1,170 @@
+// The shared worker pool under the parallel mining core: construction and
+// teardown, the ParallelFor chunking contract (deterministic boundaries,
+// caller participation), exception propagation, and reuse of one pool
+// across many submissions.
+
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+namespace minerule {
+namespace {
+
+TEST(ThreadPoolTest, ConstructionAndTeardown) {
+  for (int size : {1, 2, 8}) {
+    ThreadPool pool(size);
+    EXPECT_EQ(pool.size(), size);
+  }
+  // Non-positive sizes clamp to one worker instead of hanging teardown.
+  ThreadPool degenerate(0);
+  EXPECT_EQ(degenerate.size(), 1);
+}
+
+TEST(ThreadPoolTest, SubmitReturnsValues) {
+  ThreadPool pool(4);
+  auto doubled = pool.Submit([] { return 21 * 2; });
+  auto text = pool.Submit([] { return std::string("done"); });
+  EXPECT_EQ(doubled.get(), 42);
+  EXPECT_EQ(text.get(), "done");
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesExceptions) {
+  ThreadPool pool(2);
+  auto boom = pool.Submit([]() -> int { throw std::runtime_error("task"); });
+  EXPECT_THROW(boom.get(), std::runtime_error);
+  // The worker survives the exception and keeps serving tasks.
+  EXPECT_EQ(pool.Submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPoolTest, ReuseAcrossManySubmissions) {
+  ThreadPool pool(3);
+  std::atomic<int> sum{0};
+  std::vector<std::future<void>> futures;
+  for (int round = 0; round < 5; ++round) {
+    futures.clear();
+    for (int i = 0; i < 50; ++i) {
+      futures.push_back(pool.Submit([&sum] { sum.fetch_add(1); }));
+    }
+    for (auto& future : futures) future.get();
+  }
+  EXPECT_EQ(sum.load(), 250);
+}
+
+TEST(ThreadCountTest, ResolveAndHardware) {
+  EXPECT_GE(HardwareThreads(), 1);
+  EXPECT_EQ(ResolveThreadCount(0), HardwareThreads());
+  EXPECT_EQ(ResolveThreadCount(-3), HardwareThreads());
+  EXPECT_EQ(ResolveThreadCount(1), 1);
+  EXPECT_EQ(ResolveThreadCount(6), 6);
+}
+
+TEST(ParallelForTest, ChunkingIsDeterministic) {
+  EXPECT_EQ(ParallelChunks(0, 8), 0u);
+  EXPECT_EQ(ParallelChunks(1, 8), 1u);
+  EXPECT_EQ(ParallelChunks(100, 4), 4u);
+  EXPECT_EQ(ParallelChunks(3, 8), 3u);
+  EXPECT_EQ(ParallelChunks(100, 1), 1u);
+}
+
+TEST(ParallelForTest, EmptyRangeNeverInvokes) {
+  std::atomic<int> calls{0};
+  ParallelFor(0, 8, [&](size_t, size_t, size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelForTest, SingleElementRunsInline) {
+  std::atomic<int> calls{0};
+  ParallelFor(1, 8, [&](size_t chunk, size_t begin, size_t end) {
+    calls.fetch_add(1);
+    EXPECT_EQ(chunk, 0u);
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 1u);
+  });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ParallelForTest, ChunksCoverRangeExactlyOnce) {
+  for (int threads : {1, 2, 3, 8}) {
+    const size_t total = 1000;
+    std::vector<std::atomic<int>> seen(total);
+    ParallelFor(total, threads, [&](size_t, size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) seen[i].fetch_add(1);
+    });
+    for (size_t i = 0; i < total; ++i) {
+      ASSERT_EQ(seen[i].load(), 1) << "index " << i << " threads " << threads;
+    }
+  }
+}
+
+TEST(ParallelForTest, PerChunkAccumulatorsMergeDeterministically) {
+  const size_t total = 777;
+  std::vector<int64_t> values(total);
+  std::iota(values.begin(), values.end(), 1);
+  const int64_t expected = std::accumulate(values.begin(), values.end(),
+                                           static_cast<int64_t>(0));
+  for (int threads : {1, 2, 4, 16}) {
+    const size_t chunks = ParallelChunks(total, threads);
+    std::vector<int64_t> partial(chunks, 0);
+    ParallelFor(total, threads, [&](size_t chunk, size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) partial[chunk] += values[i];
+    });
+    int64_t sum = 0;
+    for (int64_t part : partial) sum += part;
+    EXPECT_EQ(sum, expected) << "threads " << threads;
+  }
+}
+
+TEST(ParallelForTest, WorkerExceptionPropagatesToCaller) {
+  EXPECT_THROW(
+      ParallelFor(100, 8,
+                  [&](size_t, size_t begin, size_t) {
+                    if (begin == 0) throw std::invalid_argument("chunk 0");
+                  }),
+      std::invalid_argument);
+  // The shared pool stays usable after a throwing loop.
+  std::atomic<int> calls{0};
+  ParallelFor(10, 4, [&](size_t, size_t, size_t) { calls.fetch_add(1); });
+  EXPECT_GE(calls.load(), 1);
+}
+
+TEST(ParallelForTest, NestedCallsDegradeToInlineInsteadOfDeadlocking) {
+  std::atomic<int> inner_calls{0};
+  // Outer chunks run on pool workers; each one issues a nested ParallelFor,
+  // which must execute inline (pool workers never wait on queued tasks).
+  ParallelFor(8, 8, [&](size_t, size_t, size_t) {
+    ParallelFor(4, 8, [&](size_t, size_t, size_t) { inner_calls.fetch_add(1); });
+  });
+  // Every outer chunk sees all 4 inner chunks exactly once, whether the
+  // nested loop ran inline (worker) or through the pool (caller thread).
+  EXPECT_EQ(inner_calls.load(), 8 * 4);
+}
+
+TEST(ParallelForTest, ConcurrentLoopsFromManyThreads) {
+  // Several non-pool threads hammer the shared pool at once; every loop
+  // must complete with full coverage.
+  std::vector<std::thread> drivers;
+  std::atomic<int64_t> grand_total{0};
+  for (int d = 0; d < 4; ++d) {
+    drivers.emplace_back([&] {
+      int64_t local = 0;
+      const size_t chunks = ParallelChunks(500, 8);
+      std::vector<int64_t> partial(chunks, 0);
+      ParallelFor(500, 8, [&](size_t chunk, size_t begin, size_t end) {
+        partial[chunk] += static_cast<int64_t>(end - begin);
+      });
+      for (int64_t part : partial) local += part;
+      grand_total.fetch_add(local);
+    });
+  }
+  for (std::thread& driver : drivers) driver.join();
+  EXPECT_EQ(grand_total.load(), 4 * 500);
+}
+
+}  // namespace
+}  // namespace minerule
