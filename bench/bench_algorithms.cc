@@ -9,6 +9,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/json.h"
 #include "datagen/quest_gen.h"
 #include "mining/simple_miner.h"
 
@@ -111,6 +116,74 @@ THREADS_BENCH(BM_PartitionThreads, SimpleAlgorithm::kPartition);
 THREADS_BENCH(BM_AprioriThreads, SimpleAlgorithm::kApriori);
 THREADS_BENCH(BM_DhpThreads, SimpleAlgorithm::kDhp);
 
+// --smoke: one run per pool member on a small Quest db, pass counters
+// (including the DHP filter sizes and Partition slice sizes) emitted as
+// JSON and validated.
+int RunSmoke() {
+  datagen::QuestParams params;
+  params.num_transactions = 300;
+  params.avg_transaction_size = 8;
+  params.avg_pattern_size = 3;
+  params.num_items = 100;
+  params.num_patterns = 20;
+  mining::TransactionDb db = datagen::GenerateQuestDb(params);
+  const int64_t min_count = mining::MinGroupCount(0.02, db.total_groups());
+
+  const SimpleAlgorithm algorithms[] = {
+      SimpleAlgorithm::kApriori,   SimpleAlgorithm::kAprioriTid,
+      SimpleAlgorithm::kGidList,   SimpleAlgorithm::kDhp,
+      SimpleAlgorithm::kPartition, SimpleAlgorithm::kSampling};
+
+  JsonWriter w;
+  w.BeginObject();
+  for (SimpleAlgorithm algorithm : algorithms) {
+    mining::SimpleMinerOptions options;
+    options.partition_count = 4;
+    options.sample_rate = 0.2;
+    auto miner = mining::CreateMiner(algorithm, options);
+    mining::SimpleMinerStats stats;
+    auto result = miner->Mine(db, min_count, -1, &stats);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s: %s\n", mining::SimpleAlgorithmName(algorithm),
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    w.Key(mining::SimpleAlgorithmName(algorithm)).BeginObject();
+    w.Key("itemsets").Int(static_cast<int64_t>(result.value().size()));
+    w.Key("passes").Int(stats.passes);
+    w.Key("candidates_per_level").BeginArray();
+    for (int64_t c : stats.candidates_per_level) w.Int(c);
+    w.EndArray();
+    w.Key("large_per_level").BeginArray();
+    for (int64_t c : stats.large_per_level) w.Int(c);
+    w.EndArray();
+    w.Key("dhp_unfiltered_pairs").Int(stats.dhp_unfiltered_pairs);
+    w.Key("dhp_filtered_pairs").Int(stats.dhp_filtered_pairs);
+    w.Key("partition_slice_sizes").BeginArray();
+    for (int64_t s : stats.partition_slice_sizes) w.Int(s);
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndObject();
+  const std::string json = w.str();
+  auto valid = ValidateJson(json);
+  if (!valid.ok()) {
+    std::fprintf(stderr, "smoke JSON invalid: %s\n",
+                 valid.ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\nSMOKE OK\n", json.c_str());
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) return RunSmoke();
+  }
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -9,7 +9,10 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstring>
+#include <string>
 
+#include "common/json.h"
 #include "datagen/retail_gen.h"
 #include "engine/data_mining_system.h"
 
@@ -79,6 +82,55 @@ BENCHMARK(BM_PipelineSimple)
     ->Arg(1600)
     ->Unit(benchmark::kMillisecond);
 
+// --smoke: one tiny run per statement class, print the full JSON trace and
+// check that it parses. CI runs this to validate the observability layer
+// end to end without benchmark noise.
+int RunSmoke() {
+  struct Case {
+    const char* label;
+    const char* statement;
+  };
+  const Case cases[] = {{"general", kGeneralStatement},
+                        {"simple", kSimpleStatement}};
+  for (const Case& c : cases) {
+    Catalog catalog;
+    mr::DataMiningSystem system(&catalog);
+    datagen::RetailParams params;
+    params.num_customers = 60;
+    params.num_items = 30;
+    auto gen = datagen::GenerateRetailTable(&catalog, "Purchase", params);
+    if (!gen.ok()) {
+      std::fprintf(stderr, "generation failed: %s\n",
+                   gen.status().ToString().c_str());
+      return 1;
+    }
+    auto stats = system.ExecuteMineRule(c.statement);
+    if (!stats.ok()) {
+      std::fprintf(stderr, "%s: %s\n", c.label,
+                   stats.status().ToString().c_str());
+      return 1;
+    }
+    const std::string json = stats.value().ToJson();
+    auto valid = ValidateJson(json);
+    if (!valid.ok()) {
+      std::fprintf(stderr, "%s: trace JSON invalid: %s\n", c.label,
+                   valid.ToString().c_str());
+      return 1;
+    }
+    std::printf("%s\n", json.c_str());
+  }
+  std::printf("SMOKE OK\n");
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) return RunSmoke();
+  }
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

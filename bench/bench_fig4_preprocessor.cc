@@ -8,8 +8,11 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstring>
 #include <iostream>
+#include <string>
 
+#include "common/json.h"
 #include "datagen/retail_gen.h"
 #include "engine/data_mining_system.h"
 #include "minerule/parser.h"
@@ -156,9 +159,73 @@ BENCHMARK(BM_PreprocessByDirectives)
     ->DenseRange(0, 5)
     ->Unit(benchmark::kMillisecond);
 
+// --smoke: run both preprocessing programs on a tiny table and emit the
+// per-query stats (including per-operator plan profiles) as JSON, then
+// check the output parses.
+int RunSmoke() {
+  struct Case {
+    const char* label;
+    const char* statement;
+  };
+  const Case cases[] = {{"simple", kSimple}, {"general", kGeneral}};
+  JsonWriter w;
+  w.BeginObject();
+  for (const Case& c : cases) {
+    Catalog catalog;
+    sql::SqlEngine engine(&catalog);
+    engine.set_collect_operator_stats(true);
+    datagen::RetailParams params;
+    params.num_customers = 50;
+    params.num_items = 30;
+    auto gen = datagen::GenerateRetailTable(&catalog, "Purchase", params);
+    if (!gen.ok()) {
+      std::fprintf(stderr, "generation failed: %s\n",
+                   gen.status().ToString().c_str());
+      return 1;
+    }
+    auto result = PreprocessOnce(&catalog, &engine, c.statement);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s: %s\n", c.label,
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    w.Key(c.label).BeginArray();
+    for (const mr::QueryStat& q : result.value().stats) {
+      w.BeginObject();
+      w.Key("id").String(q.id);
+      w.Key("micros").Int(q.micros);
+      w.Key("rows").Int(q.rows);
+      w.Key("operators").BeginArray();
+      for (const sql::OperatorProfile& op : q.operators) {
+        w.BeginObject();
+        w.Key("name").String(op.name);
+        w.Key("depth").Int(op.depth);
+        w.Key("rows").Int(op.rows);
+        w.EndObject();
+      }
+      w.EndArray();
+      w.EndObject();
+    }
+    w.EndArray();
+  }
+  w.EndObject();
+  const std::string json = w.str();
+  auto valid = ValidateJson(json);
+  if (!valid.ok()) {
+    std::fprintf(stderr, "smoke JSON invalid: %s\n",
+                 valid.ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\nSMOKE OK\n", json.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) return RunSmoke();
+  }
   PrintProgramTable("Figure 4a: simple-rule preprocessing program", kSimple);
   PrintProgramTable("Figure 4b: general-rule preprocessing program",
                     kGeneral);

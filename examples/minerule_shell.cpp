@@ -29,9 +29,11 @@ void PrintHelp() {
   std::cout <<
       "Statements (terminate with ';'):\n"
       "  SELECT / INSERT / CREATE / DROP / DELETE   plain SQL\n"
+      "  EXPLAIN [ANALYZE] SELECT ...               show (and time) the plan\n"
       "  MINE RULE ...                              the mining operator\n"
       "Dot commands:\n"
       "  .help              this text\n"
+      "  \\trace             toggle the JSON run trace after MINE RULE\n"
       "  .tables            list tables, views and sequences\n"
       "  .figure1           load the paper's Purchase table (Figure 1)\n"
       "  .quest N           load a Quest basket table 'Baskets' with N baskets\n"
@@ -47,12 +49,17 @@ void PrintHelp() {
 
 void HandleDotCommand(const std::string& line, Catalog* catalog,
                       mr::DataMiningSystem* system,
-                      mr::MiningOptions* options, bool* done) {
+                      mr::MiningOptions* options, bool* trace, bool* done) {
   std::istringstream in(line);
   std::string command;
   in >> command;
   if (command == ".quit" || command == ".exit") {
     *done = true;
+    return;
+  }
+  if (command == "\\trace" || command == ".trace") {
+    *trace = !*trace;
+    std::cout << "trace " << (*trace ? "on" : "off") << "\n";
     return;
   }
   if (command == ".help") {
@@ -172,7 +179,7 @@ void HandleDotCommand(const std::string& line, Catalog* catalog,
 }
 
 void ExecuteStatement(const std::string& text, mr::DataMiningSystem* system,
-                      const mr::MiningOptions& options) {
+                      const mr::MiningOptions& options, bool trace) {
   if (mr::IsMineRuleStatement(text)) {
     auto stats = system->ExecuteMineRule(text, options);
     if (!stats.ok()) {
@@ -191,6 +198,7 @@ void ExecuteStatement(const std::string& text, mr::DataMiningSystem* system,
         stats.value().postprocess_seconds * 1e3);
     auto rendered = system->RenderRules(stats.value().output.rules_table);
     if (rendered.ok()) std::cout << rendered.value();
+    if (trace) std::cout << stats.value().ToJson() << "\n";
     return;
   }
   auto result = system->ExecuteSql(text);
@@ -221,6 +229,7 @@ int main() {
                "(Meo, Psaila & Ceri, ICDE 1998). Type .help for help.\n";
 
   std::string buffer;
+  bool trace = false;
   bool done = false;
   while (!done) {
     std::cout << (buffer.empty() ? "minerule> " : "     ...> ") << std::flush;
@@ -228,8 +237,8 @@ int main() {
     if (!std::getline(std::cin, line)) break;
     const std::string trimmed{StripWhitespace(line)};
     if (buffer.empty() && trimmed.empty()) continue;
-    if (buffer.empty() && trimmed[0] == '.') {
-      HandleDotCommand(trimmed, &catalog, &system, &options, &done);
+    if (buffer.empty() && (trimmed[0] == '.' || trimmed[0] == '\\')) {
+      HandleDotCommand(trimmed, &catalog, &system, &options, &trace, &done);
       continue;
     }
     buffer += line;
@@ -238,7 +247,9 @@ int main() {
     if (semi == std::string::npos) continue;
     std::string statement{StripWhitespace(buffer.substr(0, semi))};
     buffer.clear();
-    if (!statement.empty()) ExecuteStatement(statement, &system, options);
+    if (!statement.empty()) {
+      ExecuteStatement(statement, &system, options, trace);
+    }
   }
   return 0;
 }

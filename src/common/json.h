@@ -1,0 +1,55 @@
+#ifndef MINERULE_COMMON_JSON_H_
+#define MINERULE_COMMON_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace minerule {
+
+/// Escapes a string for embedding inside a JSON string literal (quotes,
+/// backslashes, control characters).
+std::string JsonEscape(std::string_view s);
+
+/// A minimal streaming JSON writer used by the observability layer
+/// (MiningRunStats::ToJson, the bench --smoke emitters). Keys and values
+/// must be alternated correctly by the caller inside objects; commas and
+/// quoting are handled here. The writer never reorders or pretty-prints:
+/// output is deterministic given the call sequence.
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// Writes an object key; must be followed by exactly one value.
+  JsonWriter& Key(std::string_view name);
+
+  JsonWriter& String(std::string_view value);
+  JsonWriter& Int(int64_t value);
+  JsonWriter& Double(double value);
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void MaybeComma();
+
+  std::string out_;
+  /// Whether a comma is needed before the next element, per nesting level.
+  std::vector<bool> need_comma_{false};
+};
+
+/// Validating JSON parser (structure only, no DOM). Returns OK iff `text`
+/// is one complete JSON value. Used by the bench smoke checks to assert the
+/// emitted traces round-trip through a parser.
+Status ValidateJson(std::string_view text);
+
+}  // namespace minerule
+
+#endif  // MINERULE_COMMON_JSON_H_

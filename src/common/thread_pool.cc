@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 
 namespace minerule {
 
@@ -24,9 +25,11 @@ int ResolveThreadCount(int requested) {
 
 ThreadPool::ThreadPool(int num_threads) {
   const int count = std::max(1, num_threads);
+  counters_ = std::make_unique<WorkerCounters[]>(static_cast<size_t>(count));
   workers_.reserve(static_cast<size_t>(count));
   for (int i = 0; i < count; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back(
+        [this, i] { WorkerLoop(static_cast<size_t>(i)); });
   }
 }
 
@@ -41,8 +44,26 @@ ThreadPool::~ThreadPool() {
 
 bool ThreadPool::OnWorkerThread() { return t_on_pool_worker; }
 
-void ThreadPool::WorkerLoop() {
+ThreadPoolStats ThreadPool::Stats() const {
+  ThreadPoolStats stats;
+  const size_t count = workers_.size();
+  stats.per_worker_tasks.reserve(count);
+  stats.per_worker_busy_micros.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    const int64_t tasks = counters_[i].tasks_run.load(std::memory_order_relaxed);
+    const int64_t busy =
+        counters_[i].busy_micros.load(std::memory_order_relaxed);
+    stats.per_worker_tasks.push_back(tasks);
+    stats.per_worker_busy_micros.push_back(busy);
+    stats.tasks_run += tasks;
+    stats.busy_micros += busy;
+  }
+  return stats;
+}
+
+void ThreadPool::WorkerLoop(size_t worker_index) {
   t_on_pool_worker = true;
+  WorkerCounters& counters = counters_[worker_index];
   while (true) {
     std::function<void()> task;
     {
@@ -52,7 +73,13 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    const auto start = std::chrono::steady_clock::now();
     task();  // packaged_task: exceptions land in the future
+    const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+    counters.tasks_run.fetch_add(1, std::memory_order_relaxed);
+    counters.busy_micros.fetch_add(micros, std::memory_order_relaxed);
   }
 }
 

@@ -1,7 +1,9 @@
 #ifndef MINERULE_COMMON_THREAD_POOL_H_
 #define MINERULE_COMMON_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -12,6 +14,18 @@
 #include <vector>
 
 namespace minerule {
+
+/// Snapshot of pool-side utilization. Only work that actually ran on a
+/// worker thread is counted; ParallelFor chunks executed by the calling
+/// thread are intentionally excluded (this measures pool utilization, not
+/// total work). Take a snapshot before and after a region and subtract to
+/// attribute usage to it.
+struct ThreadPoolStats {
+  int64_t tasks_run = 0;
+  int64_t busy_micros = 0;
+  std::vector<int64_t> per_worker_tasks;
+  std::vector<int64_t> per_worker_busy_micros;
+};
 
 /// Number of hardware threads, never less than 1.
 int HardwareThreads();
@@ -55,13 +69,24 @@ class ThreadPool {
   /// True when called from one of this pool's worker threads.
   static bool OnWorkerThread();
 
+  /// Cumulative per-worker utilization since construction.
+  ThreadPoolStats Stats() const;
+
  private:
-  void WorkerLoop();
+  /// Per-worker counters, cache-line padded so workers never contend.
+  /// Relaxed atomics: readers only need eventually-consistent totals.
+  struct alignas(64) WorkerCounters {
+    std::atomic<int64_t> tasks_run{0};
+    std::atomic<int64_t> busy_micros{0};
+  };
+
+  void WorkerLoop(size_t worker_index);
 
   std::mutex mutex_;
   std::condition_variable wake_;
   std::deque<std::function<void()>> queue_;
   bool stopping_ = false;
+  std::unique_ptr<WorkerCounters[]> counters_;
   std::vector<std::thread> workers_;
 };
 

@@ -1,7 +1,10 @@
 #include "engine/data_mining_system.h"
 
+#include "common/json.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
+#include "sql/parser.h"
 
 namespace minerule::mr {
 
@@ -15,10 +18,42 @@ Result<int64_t> IntAt(const Row& row, size_t index) {
   return row[index].AsInteger();
 }
 
+/// Appends "name@epoch" entries for every base table reachable from
+/// `relation`, expanding views (and their subqueries) up to `depth` levels.
+/// Unresolvable names contribute epoch 0, which still changes the key when
+/// the object later appears.
+void AppendSourceEpochs(const Catalog& catalog, const std::string& relation,
+                        int depth, std::string* key) {
+  if (depth <= 0) return;
+  if (catalog.HasView(relation)) {
+    auto view = catalog.GetView(relation);
+    if (!view.ok()) return;
+    *key += "view:" + ToLower(relation) + ",";
+    auto select = sql::ParseSelectSql(view->select_sql);
+    if (!select.ok()) return;
+    // Walk the view's FROM list, including nested subqueries.
+    std::vector<const sql::SelectStmt*> pending{select->get()};
+    while (!pending.empty()) {
+      const sql::SelectStmt* stmt = pending.back();
+      pending.pop_back();
+      for (const sql::TableRef& ref : stmt->from) {
+        if (ref.kind == sql::TableRef::Kind::kSubquery) {
+          if (ref.subquery) pending.push_back(ref.subquery.get());
+        } else {
+          AppendSourceEpochs(catalog, ref.name, depth - 1, key);
+        }
+      }
+    }
+    return;
+  }
+  *key += ToLower(relation) + "@" +
+          std::to_string(catalog.TableVersion(relation)) + ",";
+}
+
 }  // namespace
 
 std::string DataMiningSystem::PreprocessCacheKey(
-    const MineRuleStatement& stmt) {
+    const MineRuleStatement& stmt) const {
   // Only the clauses that reach the generated SQL matter: body/head
   // schemas, FROM / source condition, grouping, clustering, the mining
   // condition, and the support threshold (it sets :mingroups). The
@@ -38,7 +73,126 @@ std::string DataMiningSystem::PreprocessCacheKey(
   key += "C:" + ToLower(Join(stmt.cluster_attrs, ",")) + ";";
   key += "CC:" + (stmt.cluster_cond ? stmt.cluster_cond->ToSql() : "") + ";";
   key += "S:" + std::to_string(stmt.min_support);
+  // Source data epochs: any DML on (or drop/recreate of) a source table
+  // changes its version and thus the key, so a stale cache entry can never
+  // be served. Views are expanded to the base tables they read.
+  key += ";V:";
+  for (const sql::TableRef& ref : stmt.from) {
+    AppendSourceEpochs(*catalog_, ref.name, /*depth=*/8, &key);
+  }
   return key;
+}
+
+namespace {
+
+void WriteIntArray(JsonWriter* w, const std::vector<int64_t>& values) {
+  w->BeginArray();
+  for (int64_t v : values) w->Int(v);
+  w->EndArray();
+}
+
+void WriteQueryStats(JsonWriter* w, const std::vector<QueryStat>& stats) {
+  w->BeginArray();
+  for (const QueryStat& q : stats) {
+    w->BeginObject();
+    w->Key("id").String(q.id);
+    w->Key("sql").String(q.sql);
+    w->Key("micros").Int(q.micros);
+    w->Key("rows").Int(q.rows);
+    w->Key("operators").BeginArray();
+    for (const sql::OperatorProfile& op : q.operators) {
+      w->BeginObject();
+      w->Key("name").String(op.name);
+      w->Key("detail").String(op.detail);
+      w->Key("depth").Int(op.depth);
+      w->Key("rows").Int(op.rows);
+      w->Key("micros").Int(op.micros);
+      w->Key("counters").BeginObject();
+      for (const auto& [key, value] : op.counters) w->Key(key).Int(value);
+      w->EndObject();
+      w->EndObject();
+    }
+    w->EndArray();
+    w->EndObject();
+  }
+  w->EndArray();
+}
+
+}  // namespace
+
+std::string MiningRunStats::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("directives").String(directives.ToString());
+  w.Key("total_groups").Int(total_groups);
+  w.Key("min_group_count").Int(min_group_count);
+  w.Key("preprocessing_reused").Bool(preprocessing_reused);
+
+  w.Key("phases").BeginObject();
+  w.Key("translate_seconds").Double(translate_seconds);
+  w.Key("preprocess_seconds").Double(preprocess_seconds);
+  w.Key("core_seconds").Double(core_seconds);
+  w.Key("postprocess_seconds").Double(postprocess_seconds);
+  w.Key("total_seconds").Double(TotalSeconds());
+  w.EndObject();
+
+  w.Key("preprocess_queries");
+  WriteQueryStats(&w, preprocess_queries);
+  w.Key("postprocess_queries");
+  WriteQueryStats(&w, postprocess_queries);
+
+  w.Key("core").BeginObject();
+  w.Key("used_general").Bool(core.used_general);
+  w.Key("algorithm").String(core.algorithm);
+  w.Key("rules_found").Int(core.rules_found);
+  if (core.used_general) {
+    w.Key("general").BeginObject();
+    w.Key("elementary_candidates").Int(core.general.elementary_candidates);
+    w.Key("elementary_rules").Int(core.general.elementary_rules);
+    w.Key("body_supports_computed").Int(core.general.body_supports_computed);
+    w.Key("cells_evaluated").Int(core.general.cells_evaluated);
+    w.Key("sets").BeginArray();
+    for (const auto& set : core.general.sets) {
+      w.BeginObject();
+      w.Key("body_size").Int(set.body_size);
+      w.Key("head_size").Int(set.head_size);
+      w.Key("candidates").Int(set.candidates);
+      w.Key("kept").Int(set.kept);
+      w.Key("from_body_extension").Bool(set.from_body_extension);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+  } else {
+    w.Key("simple").BeginObject();
+    w.Key("passes").Int(core.simple.passes);
+    w.Key("candidates_per_level");
+    WriteIntArray(&w, core.simple.candidates_per_level);
+    w.Key("large_per_level");
+    WriteIntArray(&w, core.simple.large_per_level);
+    w.Key("sampling_needed_full_pass")
+        .Bool(core.simple.sampling_needed_full_pass);
+    w.Key("dhp_unfiltered_pairs").Int(core.simple.dhp_unfiltered_pairs);
+    w.Key("dhp_filtered_pairs").Int(core.simple.dhp_filtered_pairs);
+    w.Key("partition_slice_sizes");
+    WriteIntArray(&w, core.simple.partition_slice_sizes);
+    w.EndObject();
+  }
+  w.EndObject();
+
+  w.Key("thread_pool").BeginObject();
+  w.Key("workers").Int(pool.workers);
+  w.Key("tasks_run").Int(pool.tasks_run);
+  w.Key("busy_micros").Int(pool.busy_micros);
+  w.Key("per_worker_busy_micros");
+  WriteIntArray(&w, pool.per_worker_busy_micros);
+  w.EndObject();
+
+  w.Key("trace");
+  trace.AppendJson(&w);
+
+  w.EndObject();
+  return w.str();
 }
 
 Result<mining::CodedSourceData> DataMiningSystem::FetchEncodedData(
@@ -161,6 +315,7 @@ Result<MiningRunStats> DataMiningSystem::ExecuteStatement(
   MR_ASSIGN_OR_RETURN(Translation translation, translator.Translate(stmt));
   stats.directives = translation.directives;
   stats.translate_seconds = phase.ElapsedSeconds();
+  stats.trace.Span("translate", phase.ElapsedMicros());
 
   // --- preprocessor ------------------------------------------------------
   phase.Restart();
@@ -182,9 +337,13 @@ Result<MiningRunStats> DataMiningSystem::ExecuteStatement(
   stats.min_group_count = preprocess->min_group_count;
   stats.preprocess_queries = preprocess->stats;
   stats.preprocess_seconds = phase.ElapsedSeconds();
+  stats.trace.Span("preprocess", phase.ElapsedMicros());
+  stats.trace.Counter("preprocess.reused", stats.preprocessing_reused ? 1 : 0);
+  stats.trace.Counter("preprocess.total_groups", stats.total_groups);
 
   // --- core operator -----------------------------------------------------
   phase.Restart();
+  const ThreadPoolStats pool_before = SharedThreadPool().Stats();
   mining::CoreDirectives core_directives;
   core_directives.general = !translation.directives.IsSimpleClass();
   core_directives.has_clusters = translation.directives.C;
@@ -207,6 +366,25 @@ Result<MiningRunStats> DataMiningSystem::ExecuteStatement(
                       stmt.min_confidence, stmt.body_card, stmt.head_card,
                       core_options, &stats.core));
   stats.core_seconds = phase.ElapsedSeconds();
+  stats.trace.Span("core", phase.ElapsedMicros());
+  stats.trace.Counter("core.rules_found", stats.core.rules_found);
+
+  // Attribute shared-pool usage to this run's core phase by delta. Other
+  // concurrent DataMiningSystem instances would pollute the delta; the
+  // usual single-system-per-thread setup makes it exact.
+  const ThreadPoolStats pool_after = SharedThreadPool().Stats();
+  stats.pool.workers = SharedThreadPool().size();
+  stats.pool.tasks_run = pool_after.tasks_run - pool_before.tasks_run;
+  stats.pool.busy_micros = pool_after.busy_micros - pool_before.busy_micros;
+  stats.pool.per_worker_busy_micros.resize(
+      pool_after.per_worker_busy_micros.size());
+  for (size_t i = 0; i < pool_after.per_worker_busy_micros.size(); ++i) {
+    stats.pool.per_worker_busy_micros[i] =
+        pool_after.per_worker_busy_micros[i] -
+        pool_before.per_worker_busy_micros[i];
+  }
+  stats.trace.Counter("pool.tasks_run", stats.pool.tasks_run);
+  stats.trace.Counter("pool.busy_micros", stats.pool.busy_micros);
 
   // --- postprocessor -----------------------------------------------------
   phase.Restart();
@@ -217,6 +395,7 @@ Result<MiningRunStats> DataMiningSystem::ExecuteStatement(
                         preprocess->program));
   stats.postprocess_queries = stats.output.stats;
   stats.postprocess_seconds = phase.ElapsedSeconds();
+  stats.trace.Span("postprocess", phase.ElapsedMicros());
 
   executed_[ToLower(stmt.output_table)] =
       RenderInfo{stmt.select_support, stmt.select_confidence};

@@ -7,6 +7,7 @@
 #include <string_view>
 
 #include "common/result.h"
+#include "common/trace.h"
 #include "minerule/parser.h"
 #include "minerule/translator.h"
 #include "mining/core_operator.h"
@@ -32,8 +33,9 @@ struct MiningOptions {
   /// §3: "the same preprocessing could be in common to the execution of
   /// several data mining queries, thus saving its cost". When true, a
   /// statement whose encoding-relevant clauses (and support threshold)
-  /// match the previous run reuses the encoded tables. The cache assumes
-  /// the source tables have not changed; call InvalidateCache() otherwise.
+  /// match the previous run reuses the encoded tables. Source-table DML is
+  /// detected automatically: each table's modification epoch is part of the
+  /// cache key, so a changed source forces fresh preprocessing.
   bool reuse_preprocessing = false;
 
   /// Keep the encoded tables in the catalog after the run (useful for
@@ -42,8 +44,19 @@ struct MiningOptions {
   bool keep_encoded_tables = true;
 };
 
+/// Shared-thread-pool utilization attributed to one run (snapshot delta
+/// around the core phase). Pool-side only: ParallelFor chunks executed by
+/// the calling thread are not counted.
+struct PoolUsage {
+  int workers = 0;
+  int64_t tasks_run = 0;
+  int64_t busy_micros = 0;
+  std::vector<int64_t> per_worker_busy_micros;
+};
+
 /// Per-run report: classification, phase timings (the Figure 3 process
-/// flow), per-query preprocessing stats (Figure 4), and core counters.
+/// flow), per-query preprocessing stats (Figure 4), core counters, pool
+/// utilization and the phase/counter trace.
 struct MiningRunStats {
   Directives directives;
   int64_t total_groups = 0;
@@ -63,7 +76,16 @@ struct MiningRunStats {
   std::vector<QueryStat> postprocess_queries;
   mining::CoreStats core;
 
+  PoolUsage pool;
+  TraceRecorder trace;
+
   PostprocessResult output;
+
+  /// Serializes the whole report (phases, per-query operator profiles,
+  /// per-pass mining counters, pool utilization, trace events) as one JSON
+  /// object — the machine-readable shape the benches emit. Schema is
+  /// documented in DESIGN.md §8.
+  std::string ToJson() const;
 };
 
 /// The kernel of the tightly-coupled architecture (Figure 3a): translator,
@@ -73,7 +95,11 @@ struct MiningRunStats {
 class DataMiningSystem {
  public:
   explicit DataMiningSystem(Catalog* catalog)
-      : catalog_(catalog), sql_engine_(catalog) {}
+      : catalog_(catalog), sql_engine_(catalog) {
+    // Per-operator row counts for every generated query (cheap; timing
+    // stays off unless EXPLAIN ANALYZE asks for it).
+    sql_engine_.set_collect_operator_stats(true);
+  }
 
   DataMiningSystem(const DataMiningSystem&) = delete;
   DataMiningSystem& operator=(const DataMiningSystem&) = delete;
@@ -96,7 +122,8 @@ class DataMiningSystem {
   /// Renders a previously mined output table in Figure 2.b notation.
   Result<std::string> RenderRules(const std::string& output_table);
 
-  /// Drops the preprocessing cache (call after modifying source tables).
+  /// Drops the preprocessing cache. Source-table DML is detected via table
+  /// epochs in the cache key; this remains for explicit resets.
   void InvalidateCache() { cache_key_.reset(); }
 
   sql::SqlEngine* sql_engine() { return &sql_engine_; }
@@ -104,8 +131,10 @@ class DataMiningSystem {
 
  private:
   /// Cache key: the statement with everything that does not influence the
-  /// generated preprocessing program masked out.
-  static std::string PreprocessCacheKey(const MineRuleStatement& stmt);
+  /// generated preprocessing program masked out, plus the modification
+  /// epochs of every source table (resolved through views) so that DML on a
+  /// source invalidates the cache automatically.
+  std::string PreprocessCacheKey(const MineRuleStatement& stmt) const;
 
   Result<mining::CodedSourceData> FetchEncodedData(
       const PreprocessProgram& program, const Directives& directives);

@@ -77,6 +77,7 @@ Result<std::vector<MinedRule>> RunCoreOperator(
                         stats != nullptr ? &stats->simple : nullptr));
     if (stats != nullptr) {
       stats->used_general = false;
+      stats->algorithm = SimpleAlgorithmName(options.algorithm);
       stats->rules_found = static_cast<int64_t>(rules.size());
     }
     return rules;
@@ -89,6 +90,7 @@ Result<std::vector<MinedRule>> RunCoreOperator(
                  stats != nullptr ? &stats->general : nullptr));
   if (stats != nullptr) {
     stats->used_general = true;
+    stats->algorithm = "general";
     stats->rules_found = static_cast<int64_t>(rules.size());
   }
   return rules;

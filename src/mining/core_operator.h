@@ -1,6 +1,7 @@
 #ifndef MINERULE_MINING_CORE_OPERATOR_H_
 #define MINERULE_MINING_CORE_OPERATOR_H_
 
+#include <string>
 #include <tuple>
 #include <vector>
 
@@ -64,6 +65,9 @@ struct CoreOptions {
 /// Counters surfaced to MiningRunStats.
 struct CoreStats {
   bool used_general = false;
+  /// Name of the miner that ran: a pool-member name ("gidlist", "dhp", ...)
+  /// or "general".
+  std::string algorithm;
   SimpleMinerStats simple;
   GeneralMinerStats general;
   int64_t rules_found = 0;

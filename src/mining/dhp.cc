@@ -80,7 +80,10 @@ Result<std::vector<FrequentItemset>> DhpMiner::Mine(
       }
     }
   }
-  (void)unfiltered_pairs;
+  if (stats != nullptr) {
+    stats->dhp_unfiltered_pairs = unfiltered_pairs;
+    stats->dhp_filtered_pairs = static_cast<int64_t>(pair_candidates.size());
+  }
   std::vector<int64_t> counts =
       CountCandidatesHorizontally(db, pair_candidates, num_threads_);
   std::vector<FrequentItemset> pairs;

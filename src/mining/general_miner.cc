@@ -402,6 +402,7 @@ Result<std::vector<MinedRule>> GeneralMiner::Mine(
     bool produced_any = false;
     for (Cell& cell : cells) {
       if (stats != nullptr) {
+        ++stats->cells_evaluated;
         stats->sets.push_back({cell.m, cell.n, cell.candidates,
                                static_cast<int64_t>(cell.result.size()),
                                cell.use_body});

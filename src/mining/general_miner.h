@@ -89,6 +89,11 @@ struct GeneralMinerStats {
   };
   std::vector<SetStat> sets;
   int64_t body_supports_computed = 0;
+
+  /// Lattice cells whose rule sets were actually computed. Cells the
+  /// level-wise walk never reached (both parents empty, or outside the
+  /// cardinality bounds) are the pruned complement.
+  int64_t cells_evaluated = 0;
 };
 
 /// The general core processing algorithm (§4.3.2): starting from the set of

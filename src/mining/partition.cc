@@ -93,6 +93,11 @@ Result<std::vector<FrequentItemset>> PartitionMiner::Mine(
     stats->candidates_per_level.assign(
         1, static_cast<int64_t>(candidates.size()));
     stats->large_per_level.assign(1, static_cast<int64_t>(result.size()));
+    stats->partition_slice_sizes.clear();
+    for (const auto& [begin, end] : bounds) {
+      stats->partition_slice_sizes.push_back(
+          static_cast<int64_t>(end - begin));
+    }
   }
   SortFrequentItemsets(&result);
   return result;

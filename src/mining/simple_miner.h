@@ -42,12 +42,21 @@ struct SimpleMinerOptions {
   int num_threads = 0;
 };
 
-/// Execution counters exposed for the benchmark harness.
+/// Execution counters exposed for the benchmark harness and the run trace.
 struct SimpleMinerStats {
   int passes = 0;                           // database passes performed
   std::vector<int64_t> candidates_per_level;
   std::vector<int64_t> large_per_level;
   bool sampling_needed_full_pass = false;   // Toivonen: a miss occurred
+
+  // DHP: size of pass-2 candidate space before / after the hash filter.
+  // The filter hit rate is 1 - filtered/unfiltered.
+  int64_t dhp_unfiltered_pairs = 0;
+  int64_t dhp_filtered_pairs = 0;
+
+  // Partition: transactions per slice (slice boundaries are group-count
+  // based, so sizes differ by at most one).
+  std::vector<int64_t> partition_slice_sizes;
 };
 
 /// Interface shared by all pool members. Mine() returns *all* itemsets with

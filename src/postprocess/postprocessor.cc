@@ -136,8 +136,9 @@ Result<PostprocessResult> Postprocessor::Run(
   for (const std::string& sql : decode_sql) {
     Stopwatch watch;
     MR_ASSIGN_OR_RETURN(sql::QueryResult query_result, engine_->Execute(sql));
-    result.stats.push_back(
-        {"POST", sql, watch.ElapsedMicros(), query_result.affected_rows});
+    result.stats.push_back({"POST", sql, watch.ElapsedMicros(),
+                            query_result.affected_rows,
+                            std::move(query_result.profile)});
   }
   return result;
 }

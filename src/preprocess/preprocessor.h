@@ -16,6 +16,11 @@ struct QueryStat {
   std::string sql;
   int64_t micros = 0;
   int64_t rows = 0;  // rows inserted / returned
+
+  /// Per-operator plan statistics (row counts; timing only under EXPLAIN
+  /// ANALYZE). Empty when the engine's collect_operator_stats flag is off
+  /// or the statement had no plan (DDL).
+  std::vector<sql::OperatorProfile> operators;
 };
 
 /// The outcome of the preprocessing phase: the encoded tables are in the

@@ -132,6 +132,11 @@ bool Catalog::HasRelation(const std::string& name) const {
   return HasTable(name) || HasView(name);
 }
 
+uint64_t Catalog::TableVersion(const std::string& name) const {
+  const auto it = tables_.find(Key(name));
+  return it == tables_.end() ? 0 : it->second->version();
+}
+
 std::vector<std::string> Catalog::TableNames() const {
   std::vector<std::string> names;
   names.reserve(tables_.size());

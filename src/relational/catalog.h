@@ -91,6 +91,11 @@ class Catalog {
   /// True if any object (table or view) with this name exists.
   bool HasRelation(const std::string& name) const;
 
+  /// Modification epoch of the named table, or 0 when absent. Epochs are
+  /// unique per mutation (see NextTableVersion), so cache keys built from
+  /// them also distinguish a dropped-and-recreated table.
+  uint64_t TableVersion(const std::string& name) const;
+
   /// Names of all tables, sorted.
   std::vector<std::string> TableNames() const;
   std::vector<std::string> ViewNames() const;

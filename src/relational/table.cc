@@ -1,9 +1,15 @@
 #include "relational/table.h"
 
 #include <algorithm>
+#include <atomic>
 #include <sstream>
 
 namespace minerule {
+
+uint64_t NextTableVersion() {
+  static std::atomic<uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
 
 Result<Value> CoerceValueToColumn(const Value& value, DataType type,
                                   const std::string& column_name) {
@@ -37,6 +43,7 @@ Status Table::Append(Row row) {
                                     schema_.column(i).name));
   }
   rows_.push_back(std::move(row));
+  version_ = NextTableVersion();
   return Status::OK();
 }
 

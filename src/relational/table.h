@@ -1,6 +1,7 @@
 #ifndef MINERULE_RELATIONAL_TABLE_H_
 #define MINERULE_RELATIONAL_TABLE_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -8,6 +9,11 @@
 #include "relational/schema.h"
 
 namespace minerule {
+
+/// Returns a process-unique, monotonically increasing version stamp. Every
+/// table mutation takes a fresh one, so "same name, same version" implies
+/// identical contents — even across a DROP + re-CREATE of the name.
+uint64_t NextTableVersion();
 
 /// An in-memory row-store relation. Tables are owned by the Catalog and
 /// referenced by shared_ptr so query results can outlive DDL.
@@ -22,19 +28,33 @@ class Table {
   const std::vector<Row>& rows() const { return rows_; }
   const Row& row(size_t i) const { return rows_[i]; }
 
+  /// Modification epoch; bumped by every mutation entry point. Consumers
+  /// (e.g. the preprocess cache) fold it into their keys to detect DML.
+  uint64_t version() const { return version_; }
+
   /// Appends after checking arity and per-column type compatibility
   /// (NULL fits any column; INTEGER widens into DOUBLE columns).
   Status Append(Row row);
 
   /// Appends without checks; used by operators whose output schema is
   /// correct by construction.
-  void AppendUnchecked(Row row) { rows_.push_back(std::move(row)); }
+  void AppendUnchecked(Row row) {
+    rows_.push_back(std::move(row));
+    version_ = NextTableVersion();
+  }
 
-  void Clear() { rows_.clear(); }
+  void Clear() {
+    rows_.clear();
+    version_ = NextTableVersion();
+  }
   void Reserve(size_t n) { rows_.reserve(n); }
 
   /// Direct row access for DML (DELETE rewrites the row vector in place).
-  std::vector<Row>& mutable_rows() { return rows_; }
+  /// Conservatively counts as a mutation.
+  std::vector<Row>& mutable_rows() {
+    version_ = NextTableVersion();
+    return rows_;
+  }
 
   /// Renders an aligned ASCII table (for examples and debugging).
   std::string ToDisplayString(size_t max_rows = 100) const;
@@ -43,6 +63,7 @@ class Table {
   std::string name_;
   Schema schema_;
   std::vector<Row> rows_;
+  uint64_t version_ = NextTableVersion();
 };
 
 /// Checks that `value` may be stored in a column of type `type`, coercing

@@ -9,6 +9,58 @@
 
 namespace minerule {
 
+namespace {
+
+/// Exact three-way compare of an int64 against a double. The obvious
+/// AsDouble() round-trip is lossy: doubles cannot represent every int64
+/// above 2^53, so e.g. 2^53 and 2^53+1 would compare equal and hash join /
+/// nested-loop join would disagree on such keys. NaN orders after every
+/// number (total order used by sort/group/join).
+int CompareIntDouble(int64_t i, double d) {
+  if (std::isnan(d)) return -1;
+  // Doubles at or beyond ±2^63 are outside int64 range (the negative bound
+  // -2^63 itself is exactly representable and in range).
+  if (d >= 9223372036854775808.0) return -1;
+  if (d < -9223372036854775808.0) return 1;
+  const int64_t truncated = static_cast<int64_t>(d);  // toward zero, in range
+  if (i < truncated) return -1;
+  if (i > truncated) return 1;
+  // Integer parts tie; the fractional part decides. Exact because any double
+  // with a nonzero fraction has |d| < 2^53.
+  const double frac = d - std::trunc(d);
+  if (frac > 0.0) return -1;
+  if (frac < 0.0) return 1;
+  return 0;
+}
+
+/// Three-way double compare under the same total order: NaN after all
+/// numbers, NaN equal to NaN.
+int CompareDoubles(double a, double b) {
+  if (a < b) return -1;
+  if (a > b) return 1;
+  if (a == b) return 0;
+  const bool a_nan = std::isnan(a);
+  if (a_nan && std::isnan(b)) return 0;
+  return a_nan ? 1 : -1;
+}
+
+/// Exact numeric comparison across INTEGER/DOUBLE operands.
+int CompareNumericValues(const Value& a, const Value& b) {
+  if (a.type() == DataType::kInteger) {
+    if (b.type() == DataType::kInteger) {
+      const int64_t x = a.AsInteger(), y = b.AsInteger();
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    return CompareIntDouble(a.AsInteger(), b.AsDouble());
+  }
+  if (b.type() == DataType::kInteger) {
+    return -CompareIntDouble(b.AsInteger(), a.AsDouble());
+  }
+  return CompareDoubles(a.AsDouble(), b.AsDouble());
+}
+
+}  // namespace
+
 const char* DataTypeName(DataType type) {
   switch (type) {
     case DataType::kNull:
@@ -85,12 +137,7 @@ Result<int> Value::SqlCompare(const Value& other) const {
     return Status::Internal("SqlCompare called with NULL operand");
   }
   if (is_numeric() && other.is_numeric()) {
-    if (a == DataType::kInteger && b == DataType::kInteger) {
-      const int64_t x = AsInteger(), y = other.AsInteger();
-      return x < y ? -1 : (x > y ? 1 : 0);
-    }
-    const double x = AsDouble(), y = other.AsDouble();
-    return x < y ? -1 : (x > y ? 1 : 0);
+    return CompareNumericValues(*this, other);
   }
   if (a != b) {
     return Status::TypeError(std::string("cannot compare ") +
@@ -141,7 +188,7 @@ bool Value::TotalLess(const Value& other) const {
       return !AsBoolean() && other.AsBoolean();
     case DataType::kInteger:
     case DataType::kDouble:
-      return AsDouble() < other.AsDouble();
+      return CompareNumericValues(*this, other) < 0;
     case DataType::kString:
       return AsString() < other.AsString();
     case DataType::kDate:
@@ -160,7 +207,7 @@ bool Value::TotalEquals(const Value& other) const {
       return AsBoolean() == other.AsBoolean();
     case DataType::kInteger:
     case DataType::kDouble:
-      return AsDouble() == other.AsDouble();
+      return CompareNumericValues(*this, other) == 0;
     case DataType::kString:
       return AsString() == other.AsString();
     case DataType::kDate:
@@ -176,11 +223,17 @@ size_t Value::Hash() const {
     case DataType::kBoolean:
       return AsBoolean() ? 0x85ebca6bu : 0xc2b2ae35u;
     case DataType::kInteger:
+      return std::hash<int64_t>{}(AsInteger());
     case DataType::kDouble: {
-      // Hash integers and integral doubles identically so that TotalEquals
-      // implies equal hashes across the two numeric types.
+      // Canonicalize integral doubles in int64 range to the int64 hash so
+      // TotalEquals implies equal hashes across the two numeric types
+      // (exactly — including above 2^53, where the old AsDouble() round-trip
+      // conflated distinct integers). -0.0 truncates to 0, matching +0.
       const double d = AsDouble();
-      if (d == 0.0) return 0x27d4eb2fu;  // normalize -0.0
+      if (d >= -9223372036854775808.0 && d < 9223372036854775808.0 &&
+          std::trunc(d) == d) {
+        return std::hash<int64_t>{}(static_cast<int64_t>(d));
+      }
       return std::hash<double>{}(d);
     }
     case DataType::kString:

@@ -25,7 +25,12 @@ Status AggAccumulator::Add(const Value& value) {
       }
       ++count_;
       if (value.type() == DataType::kInteger) {
-        int_sum_ += value.AsInteger();
+        // Signed overflow is UB; on overflow abandon the exact integer sum
+        // and fall back to the double accumulator (kept in parallel below).
+        if (all_integers_ &&
+            __builtin_add_overflow(int_sum_, value.AsInteger(), &int_sum_)) {
+          all_integers_ = false;
+        }
       } else {
         all_integers_ = false;
       }

@@ -336,6 +336,16 @@ struct UpdateStmt {
 };
 
 /// A single parsed SQL statement (tagged union by unique ownership).
+struct Statement;
+
+/// EXPLAIN [ANALYZE] <statement>. Without ANALYZE the target is only
+/// planned; with ANALYZE its plan is executed (side effects of INSERT /
+/// CREATE TABLE AS are *not* applied — only the inner SELECT runs).
+struct ExplainStmt {
+  bool analyze = false;
+  std::unique_ptr<Statement> target;
+};
+
 struct Statement {
   enum class Kind {
     kSelect,
@@ -346,6 +356,7 @@ struct Statement {
     kInsert,
     kDelete,
     kUpdate,
+    kExplain,
   };
   Kind kind;
   std::unique_ptr<SelectStmt> select;
@@ -356,6 +367,7 @@ struct Statement {
   std::unique_ptr<InsertStmt> insert;
   std::unique_ptr<DeleteStmt> del;
   std::unique_ptr<UpdateStmt> update;
+  std::unique_ptr<ExplainStmt> explain;
 };
 
 }  // namespace minerule::sql

@@ -57,6 +57,8 @@ Result<QueryResult> SqlEngine::ExecuteStatement(Statement* stmt) {
       return ExecuteDelete(stmt->del.get());
     case Statement::Kind::kUpdate:
       return ExecuteUpdate(stmt->update.get());
+    case Statement::Kind::kExplain:
+      return ExecuteExplain(stmt->explain.get());
   }
   return Status::Internal("unknown statement kind");
 }
@@ -70,6 +72,9 @@ Result<QueryResult> SqlEngine::ExecuteSelect(SelectStmt* stmt) {
   QueryResult result;
   result.schema = std::move(planned.out_schema);
   result.rows = std::move(rows);
+  if (collect_operator_stats_) {
+    result.profile = FlattenPlanProfile(planned.node.get());
+  }
 
   if (!stmt->into_host_var.empty()) {
     if (result.rows.size() != 1 || result.schema.num_columns() != 1) {
@@ -93,6 +98,9 @@ Result<QueryResult> SqlEngine::ExecuteCreateTable(CreateTableStmt* stmt) {
                         planner.Plan(stmt->as_select.get()));
     MR_ASSIGN_OR_RETURN(std::vector<Row> rows,
                         CollectRows(planned.node.get()));
+    if (collect_operator_stats_) {
+      result.profile = FlattenPlanProfile(planned.node.get());
+    }
     MR_ASSIGN_OR_RETURN(
         std::shared_ptr<Table> table,
         catalog_->CreateTable(stmt->name, planned.out_schema));
@@ -166,6 +174,7 @@ Result<QueryResult> SqlEngine::ExecuteInsert(InsertStmt* stmt) {
   }
 
   std::vector<Row> incoming;
+  std::vector<OperatorProfile> profile;
   if (stmt->select != nullptr) {
     ExecContext ctx{catalog_, &host_vars_};
     Planner planner(catalog_, &ctx);
@@ -177,6 +186,9 @@ Result<QueryResult> SqlEngine::ExecuteInsert(InsertStmt* stmt) {
           " columns, target expects " + std::to_string(positions.size()));
     }
     MR_ASSIGN_OR_RETURN(incoming, CollectRows(planned.node.get()));
+    if (collect_operator_stats_) {
+      profile = FlattenPlanProfile(planned.node.get());
+    }
   } else {
     ExecContext ctx{catalog_, &host_vars_};
     for (const std::vector<ExprPtr>& value_row : stmt->values_rows) {
@@ -207,6 +219,51 @@ Result<QueryResult> SqlEngine::ExecuteInsert(InsertStmt* stmt) {
   }
   QueryResult result;
   result.affected_rows = inserted;
+  result.profile = std::move(profile);
+  return result;
+}
+
+Result<QueryResult> SqlEngine::ExecuteExplain(ExplainStmt* stmt) {
+  // EXPLAIN plans (and under ANALYZE, runs) the SELECT at the heart of the
+  // target statement. Side effects are never applied: INSERT / CREATE TABLE
+  // AS only have their source query executed, and SELECT ... INTO does not
+  // assign its host variable.
+  SelectStmt* select = nullptr;
+  switch (stmt->target->kind) {
+    case Statement::Kind::kSelect:
+      select = stmt->target->select.get();
+      break;
+    case Statement::Kind::kInsert:
+      select = stmt->target->insert->select.get();
+      break;
+    case Statement::Kind::kCreateTable:
+      select = stmt->target->create_table->as_select.get();
+      break;
+    default:
+      break;
+  }
+  if (select == nullptr) {
+    return Status::SemanticError(
+        "EXPLAIN supports SELECT, INSERT ... SELECT and "
+        "CREATE TABLE ... AS SELECT");
+  }
+
+  ExecContext ctx{catalog_, &host_vars_};
+  Planner planner(catalog_, &ctx);
+  MR_ASSIGN_OR_RETURN(PlannedSelect planned, planner.Plan(select));
+  if (stmt->analyze) {
+    planned.node->EnableTimingTree(true);
+    MR_RETURN_IF_ERROR(CollectRows(planned.node.get()).status());
+  }
+
+  QueryResult result;
+  result.schema.AddColumn(Column{"QUERY PLAN", DataType::kString});
+  for (std::string& line : RenderPlan(planned.node.get(), stmt->analyze)) {
+    result.rows.push_back(Row{Value::String(std::move(line))});
+  }
+  if (stmt->analyze) {
+    result.profile = FlattenPlanProfile(planned.node.get());
+  }
   return result;
 }
 

@@ -8,6 +8,7 @@
 #include "common/result.h"
 #include "relational/catalog.h"
 #include "sql/expr_eval.h"
+#include "sql/operators.h"
 
 namespace minerule::sql {
 
@@ -17,6 +18,12 @@ struct QueryResult {
   Schema schema;
   std::vector<Row> rows;
   int64_t affected_rows = 0;
+
+  /// Per-operator execution statistics of the plan that produced this
+  /// result. Filled for planned statements (SELECT, INSERT ... SELECT,
+  /// CREATE TABLE AS) when the engine's collect_operator_stats flag is on,
+  /// and always for EXPLAIN ANALYZE.
+  std::vector<OperatorProfile> profile;
 
   /// Aligned ASCII rendering, for examples and debugging.
   std::string ToDisplayString(size_t max_rows = 100) const;
@@ -46,6 +53,12 @@ class SqlEngine {
   void SetHostVariable(const std::string& name, Value value);
   Result<Value> GetHostVariable(const std::string& name) const;
 
+  /// When on, planned statements fill QueryResult::profile with row counts
+  /// per operator (cheap: one increment per row; no timing). EXPLAIN
+  /// ANALYZE additionally enables per-operator timing for its own plan.
+  void set_collect_operator_stats(bool on) { collect_operator_stats_ = on; }
+  bool collect_operator_stats() const { return collect_operator_stats_; }
+
   Catalog* catalog() { return catalog_; }
 
  private:
@@ -58,9 +71,11 @@ class SqlEngine {
   Result<QueryResult> ExecuteInsert(struct InsertStmt* stmt);
   Result<QueryResult> ExecuteDelete(struct DeleteStmt* stmt);
   Result<QueryResult> ExecuteUpdate(struct UpdateStmt* stmt);
+  Result<QueryResult> ExecuteExplain(struct ExplainStmt* stmt);
 
   Catalog* catalog_;
   HostVarMap host_vars_;
+  bool collect_operator_stats_ = false;
 };
 
 }  // namespace minerule::sql

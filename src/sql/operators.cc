@@ -1,6 +1,7 @@
 #include "sql/operators.h"
 
 #include <algorithm>
+#include <cstdio>
 
 namespace minerule::sql {
 
@@ -16,6 +17,62 @@ Result<std::vector<Row>> CollectRows(ExecNode* node) {
   return rows;
 }
 
+namespace {
+
+void FlattenInto(ExecNode* node, int depth, std::vector<OperatorProfile>* out) {
+  OperatorProfile profile;
+  profile.name = node->name();
+  profile.detail = node->detail();
+  profile.depth = depth;
+  profile.rows = node->rows_out();
+  profile.micros = node->micros();
+  node->AppendExtraCounters(&profile.counters);
+  out->push_back(std::move(profile));
+  for (ExecNode* child : node->children()) {
+    FlattenInto(child, depth + 1, out);
+  }
+}
+
+/// Joins the ToSql() renderings of `exprs` with `sep`.
+std::string JoinExprs(const std::vector<ExprPtr>& exprs, const char* sep) {
+  std::string out;
+  for (const ExprPtr& e : exprs) {
+    if (!out.empty()) out += sep;
+    out += e->ToSql();
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<OperatorProfile> FlattenPlanProfile(ExecNode* root) {
+  std::vector<OperatorProfile> out;
+  FlattenInto(root, 0, &out);
+  return out;
+}
+
+std::vector<std::string> RenderPlan(ExecNode* root, bool analyze) {
+  std::vector<std::string> lines;
+  for (const OperatorProfile& op : FlattenPlanProfile(root)) {
+    std::string line(static_cast<size_t>(op.depth) * 2, ' ');
+    if (op.depth > 0) line += "-> ";
+    line += op.name;
+    if (!op.detail.empty()) line += " (" + op.detail + ")";
+    if (analyze) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), " rows=%lld time=%.3fms",
+                    static_cast<long long>(op.rows),
+                    static_cast<double>(op.micros) / 1000.0);
+      line += buf;
+      for (const auto& [key, value] : op.counters) {
+        line += " " + key + "=" + std::to_string(value);
+      }
+    }
+    lines.push_back(std::move(line));
+  }
+  return lines;
+}
+
 // ---------------------------------------------------------------------------
 // TableScanNode
 // ---------------------------------------------------------------------------
@@ -23,13 +80,15 @@ Result<std::vector<Row>> CollectRows(ExecNode* node) {
 TableScanNode::TableScanNode(std::shared_ptr<Table> table)
     : ExecNode(table->schema()), table_(std::move(table)) {}
 
-Status TableScanNode::Open() {
+std::string TableScanNode::detail() const { return table_->name(); }
+
+Status TableScanNode::OpenImpl() {
   pos_ = 0;
   snapshot_size_ = table_->num_rows();
   return Status::OK();
 }
 
-Result<bool> TableScanNode::Next(Row* out) {
+Result<bool> TableScanNode::NextImpl(Row* out) {
   if (pos_ >= snapshot_size_) return false;
   *out = table_->row(pos_++);
   return true;
@@ -42,12 +101,16 @@ Result<bool> TableScanNode::Next(Row* out) {
 RowsNode::RowsNode(Schema schema, std::vector<Row> rows)
     : ExecNode(std::move(schema)), rows_(std::move(rows)) {}
 
-Status RowsNode::Open() {
+std::string RowsNode::detail() const {
+  return std::to_string(rows_.size()) + " rows";
+}
+
+Status RowsNode::OpenImpl() {
   pos_ = 0;
   return Status::OK();
 }
 
-Result<bool> RowsNode::Next(Row* out) {
+Result<bool> RowsNode::NextImpl(Row* out) {
   if (pos_ >= rows_.size()) return false;
   *out = rows_[pos_++];
   return true;
@@ -63,9 +126,11 @@ FilterNode::FilterNode(ExecNodePtr child, ExprPtr predicate, ExecContext* ctx)
       predicate_(std::move(predicate)),
       ctx_(ctx) {}
 
-Status FilterNode::Open() { return child_->Open(); }
+std::string FilterNode::detail() const { return predicate_->ToSql(); }
 
-Result<bool> FilterNode::Next(Row* out) {
+Status FilterNode::OpenImpl() { return child_->Open(); }
+
+Result<bool> FilterNode::NextImpl(Row* out) {
   while (true) {
     MR_ASSIGN_OR_RETURN(bool more, child_->Next(out));
     if (!more) return false;
@@ -85,9 +150,11 @@ ProjectNode::ProjectNode(ExecNodePtr child, std::vector<ExprPtr> exprs,
       exprs_(std::move(exprs)),
       ctx_(ctx) {}
 
-Status ProjectNode::Open() { return child_->Open(); }
+std::string ProjectNode::detail() const { return JoinExprs(exprs_, ", "); }
 
-Result<bool> ProjectNode::Next(Row* out) {
+Status ProjectNode::OpenImpl() { return child_->Open(); }
+
+Result<bool> ProjectNode::NextImpl(Row* out) {
   Row input;
   MR_ASSIGN_OR_RETURN(bool more, child_->Next(&input));
   if (!more) return false;
@@ -131,7 +198,16 @@ NestedLoopJoinNode::NestedLoopJoinNode(ExecNodePtr left, ExecNodePtr right,
       predicate_(std::move(predicate)),
       ctx_(ctx) {}
 
-Status NestedLoopJoinNode::Open() {
+std::string NestedLoopJoinNode::detail() const {
+  return predicate_ != nullptr ? predicate_->ToSql() : "cross";
+}
+
+void NestedLoopJoinNode::AppendExtraCounters(
+    std::vector<std::pair<std::string, int64_t>>* out) const {
+  out->emplace_back("right_rows", static_cast<int64_t>(right_rows_.size()));
+}
+
+Status NestedLoopJoinNode::OpenImpl() {
   MR_RETURN_IF_ERROR(left_->Open());
   MR_ASSIGN_OR_RETURN(right_rows_, CollectRows(right_.get()));
   have_left_ = false;
@@ -139,7 +215,7 @@ Status NestedLoopJoinNode::Open() {
   return Status::OK();
 }
 
-Result<bool> NestedLoopJoinNode::Next(Row* out) {
+Result<bool> NestedLoopJoinNode::NextImpl(Row* out) {
   while (true) {
     if (!have_left_) {
       MR_ASSIGN_OR_RETURN(bool more, left_->Next(&current_left_));
@@ -177,6 +253,21 @@ HashJoinNode::HashJoinNode(ExecNodePtr left, ExecNodePtr right,
       residual_(std::move(residual)),
       ctx_(ctx) {}
 
+std::string HashJoinNode::detail() const {
+  std::string out;
+  for (size_t i = 0; i < left_keys_.size(); ++i) {
+    if (!out.empty()) out += " AND ";
+    out += left_keys_[i]->ToSql() + " = " + right_keys_[i]->ToSql();
+  }
+  return out;
+}
+
+void HashJoinNode::AppendExtraCounters(
+    std::vector<std::pair<std::string, int64_t>>* out) const {
+  out->emplace_back("build_rows", build_rows_);
+  out->emplace_back("buckets", static_cast<int64_t>(hash_table_.size()));
+}
+
 Result<bool> HashJoinNode::ComputeKey(const std::vector<ExprPtr>& exprs,
                                       const Row& row, Row* key) const {
   key->clear();
@@ -184,15 +275,18 @@ Result<bool> HashJoinNode::ComputeKey(const std::vector<ExprPtr>& exprs,
   for (const ExprPtr& e : exprs) {
     MR_ASSIGN_OR_RETURN(Value v, EvalExpr(*e, row, ctx_));
     if (v.is_null()) return false;  // NULL keys never join
-    // Normalize numerics so INTEGER 1 joins with DOUBLE 1.0 (hash/equality
-    // of Value already treat them alike).
+    // Key values go in as-is: Value::Hash/TotalEquals compare INTEGER and
+    // DOUBLE exactly (canonicalized hashes, exact int-vs-double compare),
+    // so INTEGER 1 meets DOUBLE 1.0 in the same bucket and this join agrees
+    // with NestedLoopJoin on mixed-type keys.
     key->push_back(std::move(v));
   }
   return true;
 }
 
-Status HashJoinNode::Open() {
+Status HashJoinNode::OpenImpl() {
   hash_table_.clear();
+  build_rows_ = 0;
   MR_RETURN_IF_ERROR(right_->Open());
   Row row;
   Row key;
@@ -202,6 +296,7 @@ Status HashJoinNode::Open() {
     MR_ASSIGN_OR_RETURN(bool valid, ComputeKey(right_keys_, row, &key));
     if (!valid) continue;
     hash_table_[key].push_back(std::move(row));
+    ++build_rows_;
   }
   MR_RETURN_IF_ERROR(left_->Open());
   current_bucket_ = nullptr;
@@ -209,7 +304,7 @@ Status HashJoinNode::Open() {
   return Status::OK();
 }
 
-Result<bool> HashJoinNode::Next(Row* out) {
+Result<bool> HashJoinNode::NextImpl(Row* out) {
   Row key;
   while (true) {
     if (current_bucket_ != nullptr) {
@@ -251,7 +346,19 @@ HashAggregateNode::HashAggregateNode(ExecNodePtr child,
       aggs_(std::move(aggs)),
       ctx_(ctx) {}
 
-Status HashAggregateNode::Open() {
+std::string HashAggregateNode::detail() const {
+  std::string out = "keys=" + std::to_string(group_exprs_.size()) +
+                    " aggs=" + std::to_string(aggs_.size());
+  if (!group_exprs_.empty()) out += " by " + JoinExprs(group_exprs_, ", ");
+  return out;
+}
+
+void HashAggregateNode::AppendExtraCounters(
+    std::vector<std::pair<std::string, int64_t>>* out) const {
+  out->emplace_back("groups", static_cast<int64_t>(results_.size()));
+}
+
+Status HashAggregateNode::OpenImpl() {
   results_.clear();
   pos_ = 0;
   MR_RETURN_IF_ERROR(child_->Open());
@@ -314,7 +421,7 @@ Status HashAggregateNode::Open() {
   return Status::OK();
 }
 
-Result<bool> HashAggregateNode::Next(Row* out) {
+Result<bool> HashAggregateNode::NextImpl(Row* out) {
   if (pos_ >= results_.size()) return false;
   *out = std::move(results_[pos_++]);
   return true;
@@ -327,12 +434,12 @@ Result<bool> HashAggregateNode::Next(Row* out) {
 DistinctNode::DistinctNode(ExecNodePtr child)
     : ExecNode(child->schema()), child_(std::move(child)) {}
 
-Status DistinctNode::Open() {
+Status DistinctNode::OpenImpl() {
   seen_.clear();
   return child_->Open();
 }
 
-Result<bool> DistinctNode::Next(Row* out) {
+Result<bool> DistinctNode::NextImpl(Row* out) {
   while (true) {
     MR_ASSIGN_OR_RETURN(bool more, child_->Next(out));
     if (!more) return false;
@@ -351,7 +458,17 @@ SortNode::SortNode(ExecNodePtr child, std::vector<SortKey> keys,
       keys_(std::move(keys)),
       ctx_(ctx) {}
 
-Status SortNode::Open() {
+std::string SortNode::detail() const {
+  std::string out;
+  for (const SortKey& sk : keys_) {
+    if (!out.empty()) out += ", ";
+    out += sk.expr->ToSql();
+    if (sk.descending) out += " DESC";
+  }
+  return out;
+}
+
+Status SortNode::OpenImpl() {
   pos_ = 0;
   MR_ASSIGN_OR_RETURN(rows_, CollectRows(child_.get()));
 
@@ -385,7 +502,7 @@ Status SortNode::Open() {
   return Status::OK();
 }
 
-Result<bool> SortNode::Next(Row* out) {
+Result<bool> SortNode::NextImpl(Row* out) {
   if (pos_ >= rows_.size()) return false;
   *out = std::move(rows_[pos_++]);
   return true;
@@ -398,12 +515,14 @@ Result<bool> SortNode::Next(Row* out) {
 LimitNode::LimitNode(ExecNodePtr child, int64_t limit)
     : ExecNode(child->schema()), child_(std::move(child)), limit_(limit) {}
 
-Status LimitNode::Open() {
+std::string LimitNode::detail() const { return std::to_string(limit_); }
+
+Status LimitNode::OpenImpl() {
   produced_ = 0;
   return child_->Open();
 }
 
-Result<bool> LimitNode::Next(Row* out) {
+Result<bool> LimitNode::NextImpl(Row* out) {
   if (produced_ >= limit_) return false;
   MR_ASSIGN_OR_RETURN(bool more, child_->Next(out));
   if (!more) return false;

@@ -2,11 +2,14 @@
 #define MINERULE_SQL_OPERATORS_H_
 
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
+#include "common/stopwatch.h"
 #include "relational/table.h"
 #include "sql/aggregates.h"
 #include "sql/ast.h"
@@ -14,9 +17,26 @@
 
 namespace minerule::sql {
 
+/// Execution statistics for one operator, snapshotted from an executed plan
+/// (EXPLAIN ANALYZE, preprocess query profiles).
+struct OperatorProfile {
+  std::string name;
+  std::string detail;
+  int depth = 0;       // position in the pre-order flattening of the plan
+  int64_t rows = 0;    // rows produced
+  int64_t micros = 0;  // inclusive wall time; 0 unless timing was enabled
+  std::vector<std::pair<std::string, int64_t>> counters;
+};
+
 /// Base class of the volcano-style (Open/Next) executor nodes. A node's
 /// output schema is fixed at construction; Next() produces one row at a
 /// time until it returns false.
+///
+/// The public Open/Next are non-virtual wrappers that count produced rows
+/// (always — a branch and an increment) and, when timing is enabled via
+/// EnableTimingTree, accumulate wall time. Timing is *inclusive*: a parent
+/// pulls from its children inside NextImpl, so child time is counted in the
+/// parent as well (like EXPLAIN ANALYZE's "actual time" in most engines).
 class ExecNode {
  public:
   explicit ExecNode(Schema schema) : schema_(std::move(schema)) {}
@@ -25,15 +45,64 @@ class ExecNode {
   ExecNode(const ExecNode&) = delete;
   ExecNode& operator=(const ExecNode&) = delete;
 
-  virtual Status Open() = 0;
+  Status Open() {
+    if (!timing_) return OpenImpl();
+    Stopwatch watch;
+    Status status = OpenImpl();
+    micros_ += watch.ElapsedMicros();
+    return status;
+  }
 
   /// Produces the next row into *out; returns false at end of stream.
-  virtual Result<bool> Next(Row* out) = 0;
+  Result<bool> Next(Row* out) {
+    if (!timing_) {
+      Result<bool> more = NextImpl(out);
+      if (more.ok() && *more) ++rows_out_;
+      return more;
+    }
+    Stopwatch watch;
+    Result<bool> more = NextImpl(out);
+    micros_ += watch.ElapsedMicros();
+    if (more.ok() && *more) ++rows_out_;
+    return more;
+  }
 
   const Schema& schema() const { return schema_; }
 
+  /// Operator name as shown in EXPLAIN (e.g. "HashJoin").
+  virtual const char* name() const = 0;
+
+  /// One-line operator argument (predicate, table name, key list, ...).
+  /// Deterministic: depends only on the plan, never on execution.
+  virtual std::string detail() const { return ""; }
+
+  /// Child operators in plan order (build/probe inputs, etc.).
+  virtual std::vector<ExecNode*> children() { return {}; }
+
+  /// Operator-specific counters (hash-table build size, ...), only
+  /// meaningful after execution.
+  virtual void AppendExtraCounters(
+      std::vector<std::pair<std::string, int64_t>>* /*out*/) const {}
+
+  int64_t rows_out() const { return rows_out_; }
+  int64_t micros() const { return micros_; }
+
+  /// Turns per-operator wall-time accounting on/off for this whole subtree.
+  void EnableTimingTree(bool enabled) {
+    timing_ = enabled;
+    for (ExecNode* child : children()) child->EnableTimingTree(enabled);
+  }
+
  protected:
+  virtual Status OpenImpl() = 0;
+  virtual Result<bool> NextImpl(Row* out) = 0;
+
   Schema schema_;
+
+ private:
+  bool timing_ = false;
+  int64_t rows_out_ = 0;
+  int64_t micros_ = 0;
 };
 
 using ExecNodePtr = std::unique_ptr<ExecNode>;
@@ -41,13 +110,26 @@ using ExecNodePtr = std::unique_ptr<ExecNode>;
 /// Drains a plan into a vector of rows.
 Result<std::vector<Row>> CollectRows(ExecNode* node);
 
+/// Pre-order flattening of the plan's statistics (root first, children at
+/// depth + 1). Call after execution for meaningful rows/micros.
+std::vector<OperatorProfile> FlattenPlanProfile(ExecNode* root);
+
+/// Renders the plan as indented text lines, one per operator. With
+/// `analyze` the lines append actual rows, time and extra counters; without
+/// it the output is fully deterministic (golden-testable).
+std::vector<std::string> RenderPlan(ExecNode* root, bool analyze);
+
 /// Full scan over a catalog table. The row count is snapshotted at Open()
 /// so `INSERT INTO t SELECT ... FROM t` terminates.
 class TableScanNode : public ExecNode {
  public:
   explicit TableScanNode(std::shared_ptr<Table> table);
-  Status Open() override;
-  Result<bool> Next(Row* out) override;
+  const char* name() const override { return "TableScan"; }
+  std::string detail() const override;
+
+ protected:
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Row* out) override;
 
  private:
   std::shared_ptr<Table> table_;
@@ -60,8 +142,12 @@ class TableScanNode : public ExecNode {
 class RowsNode : public ExecNode {
  public:
   RowsNode(Schema schema, std::vector<Row> rows);
-  Status Open() override;
-  Result<bool> Next(Row* out) override;
+  const char* name() const override { return "Rows"; }
+  std::string detail() const override;
+
+ protected:
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Row* out) override;
 
  private:
   std::vector<Row> rows_;
@@ -72,8 +158,13 @@ class RowsNode : public ExecNode {
 class FilterNode : public ExecNode {
  public:
   FilterNode(ExecNodePtr child, ExprPtr predicate, ExecContext* ctx);
-  Status Open() override;
-  Result<bool> Next(Row* out) override;
+  const char* name() const override { return "Filter"; }
+  std::string detail() const override;
+  std::vector<ExecNode*> children() override { return {child_.get()}; }
+
+ protected:
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Row* out) override;
 
  private:
   ExecNodePtr child_;
@@ -86,8 +177,13 @@ class ProjectNode : public ExecNode {
  public:
   ProjectNode(ExecNodePtr child, std::vector<ExprPtr> exprs, Schema out_schema,
               ExecContext* ctx);
-  Status Open() override;
-  Result<bool> Next(Row* out) override;
+  const char* name() const override { return "Project"; }
+  std::string detail() const override;
+  std::vector<ExecNode*> children() override { return {child_.get()}; }
+
+ protected:
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Row* out) override;
 
  private:
   ExecNodePtr child_;
@@ -101,8 +197,17 @@ class NestedLoopJoinNode : public ExecNode {
  public:
   NestedLoopJoinNode(ExecNodePtr left, ExecNodePtr right, ExprPtr predicate,
                      ExecContext* ctx);
-  Status Open() override;
-  Result<bool> Next(Row* out) override;
+  const char* name() const override { return "NestedLoopJoin"; }
+  std::string detail() const override;
+  std::vector<ExecNode*> children() override {
+    return {left_.get(), right_.get()};
+  }
+  void AppendExtraCounters(
+      std::vector<std::pair<std::string, int64_t>>* out) const override;
+
+ protected:
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Row* out) override;
 
  private:
   ExecNodePtr left_;
@@ -124,8 +229,17 @@ class HashJoinNode : public ExecNode {
   HashJoinNode(ExecNodePtr left, ExecNodePtr right,
                std::vector<ExprPtr> left_keys, std::vector<ExprPtr> right_keys,
                ExprPtr residual, ExecContext* ctx);
-  Status Open() override;
-  Result<bool> Next(Row* out) override;
+  const char* name() const override { return "HashJoin"; }
+  std::string detail() const override;
+  std::vector<ExecNode*> children() override {
+    return {left_.get(), right_.get()};
+  }
+  void AppendExtraCounters(
+      std::vector<std::pair<std::string, int64_t>>* out) const override;
+
+ protected:
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Row* out) override;
 
  private:
   Result<bool> ComputeKey(const std::vector<ExprPtr>& exprs, const Row& row,
@@ -138,6 +252,7 @@ class HashJoinNode : public ExecNode {
   ExprPtr residual_;  // may be null
   ExecContext* ctx_;
   std::unordered_map<Row, std::vector<Row>, RowHash, RowEq> hash_table_;
+  int64_t build_rows_ = 0;
   Row current_left_;
   const std::vector<Row>* current_bucket_ = nullptr;
   size_t bucket_pos_ = 0;
@@ -159,8 +274,15 @@ class HashAggregateNode : public ExecNode {
   HashAggregateNode(ExecNodePtr child, std::vector<ExprPtr> group_exprs,
                     std::vector<AggSpec> aggs, Schema out_schema,
                     ExecContext* ctx);
-  Status Open() override;
-  Result<bool> Next(Row* out) override;
+  const char* name() const override { return "HashAggregate"; }
+  std::string detail() const override;
+  std::vector<ExecNode*> children() override { return {child_.get()}; }
+  void AppendExtraCounters(
+      std::vector<std::pair<std::string, int64_t>>* out) const override;
+
+ protected:
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Row* out) override;
 
  private:
   ExecNodePtr child_;
@@ -175,8 +297,12 @@ class HashAggregateNode : public ExecNode {
 class DistinctNode : public ExecNode {
  public:
   explicit DistinctNode(ExecNodePtr child);
-  Status Open() override;
-  Result<bool> Next(Row* out) override;
+  const char* name() const override { return "Distinct"; }
+  std::vector<ExecNode*> children() override { return {child_.get()}; }
+
+ protected:
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Row* out) override;
 
  private:
   ExecNodePtr child_;
@@ -191,8 +317,13 @@ class SortNode : public ExecNode {
     bool descending = false;
   };
   SortNode(ExecNodePtr child, std::vector<SortKey> keys, ExecContext* ctx);
-  Status Open() override;
-  Result<bool> Next(Row* out) override;
+  const char* name() const override { return "Sort"; }
+  std::string detail() const override;
+  std::vector<ExecNode*> children() override { return {child_.get()}; }
+
+ protected:
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Row* out) override;
 
  private:
   ExecNodePtr child_;
@@ -206,8 +337,13 @@ class SortNode : public ExecNode {
 class LimitNode : public ExecNode {
  public:
   LimitNode(ExecNodePtr child, int64_t limit);
-  Status Open() override;
-  Result<bool> Next(Row* out) override;
+  const char* name() const override { return "Limit"; }
+  std::string detail() const override;
+  std::vector<ExecNode*> children() override { return {child_.get()}; }
+
+ protected:
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Row* out) override;
 
  private:
   ExecNodePtr child_;

@@ -135,8 +135,22 @@ Result<Statement> Parser::ParseOneStatement() {
   if (CheckKeyword("INSERT")) return ParseInsert();
   if (CheckKeyword("DELETE")) return ParseDelete();
   if (CheckKeyword("UPDATE")) return ParseUpdate();
+  if (MatchKeyword("EXPLAIN")) {
+    auto explain = std::make_unique<ExplainStmt>();
+    explain->analyze = MatchKeyword("ANALYZE");
+    MR_ASSIGN_OR_RETURN(Statement target, ParseOneStatement());
+    if (target.kind == Statement::Kind::kExplain) {
+      return ErrorHere("EXPLAIN cannot be nested");
+    }
+    explain->target = std::make_unique<Statement>(std::move(target));
+    Statement stmt;
+    stmt.kind = Statement::Kind::kExplain;
+    stmt.explain = std::move(explain);
+    return stmt;
+  }
   return ErrorHere(
-      "expected a statement (SELECT/CREATE/DROP/INSERT/UPDATE/DELETE)");
+      "expected a statement (SELECT/CREATE/DROP/INSERT/UPDATE/DELETE/"
+      "EXPLAIN)");
 }
 
 Result<std::unique_ptr<SelectStmt>> Parser::ParseSelect() {

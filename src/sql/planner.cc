@@ -351,6 +351,11 @@ Result<PlannedSelect> Planner::PlanImpl(SelectStmt* stmt, int depth) {
 
     // Aggregate node output: group keys, then aggregates.
     Schema agg_schema;
+    // The rewrite targets must own their nodes: RewriteMatches mutates the
+    // select-list and HAVING trees while later targets are still compared
+    // against them, so aliasing into those trees would leave dangling
+    // pointers once a shared subtree is replaced by a SlotRef.
+    std::vector<ExprPtr> target_storage;
     std::vector<const Expr*> targets;
     std::vector<int> slots;
     std::vector<DataType> types;
@@ -360,7 +365,8 @@ Result<PlannedSelect> Planner::PlanImpl(SelectStmt* stmt, int depth) {
       MR_ASSIGN_OR_RETURN(DataType type, InferExprType(*g));
       std::string name = DeriveColumnName(*g);
       agg_schema.AddColumn(Column(name, type));
-      targets.push_back(g.get());
+      target_storage.push_back(g->Clone());
+      targets.push_back(target_storage.back().get());
       slots.push_back(slot++);
       types.push_back(type);
       group_exprs.push_back(std::move(g));
@@ -369,7 +375,8 @@ Result<PlannedSelect> Planner::PlanImpl(SelectStmt* stmt, int depth) {
     for (const AggregateExpr* agg : unique_aggs) {
       MR_ASSIGN_OR_RETURN(DataType type, InferExprType(*agg));
       agg_schema.AddColumn(Column(agg->ToSql(), type));
-      targets.push_back(agg);
+      target_storage.push_back(agg->Clone());
+      targets.push_back(target_storage.back().get());
       slots.push_back(slot++);
       types.push_back(type);
       AggSpec spec;
@@ -379,8 +386,7 @@ Result<PlannedSelect> Planner::PlanImpl(SelectStmt* stmt, int depth) {
       agg_specs.push_back(std::move(spec));
     }
 
-    // Rewrite HAVING first (it may share subtrees with the select list but
-    // the trees are independent objects).
+    // Rewrite HAVING and the select list against the owned targets.
     if (stmt->having != nullptr) {
       RewriteMatches(&stmt->having, targets, slots, types);
       std::string offender;

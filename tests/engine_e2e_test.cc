@@ -348,8 +348,9 @@ TEST_F(EngineE2eTest, StaleCacheDetectableViaInvalidate) {
       "AS HEAD, SUPPORT, CONFIDENCE FROM Purchase GROUP BY tr "
       "EXTRACTING RULES WITH SUPPORT: 0.5, CONFIDENCE: 0.9";
   MiningRunStats first = MustMine(stmt, options);
-  // Mutate the source: without invalidation the cache would serve stale
-  // encodings (documented contract); with invalidation we re-encode.
+  // Source DML is detected automatically via table epochs in the cache key
+  // (tests/stale_cache_test.cc); InvalidateCache remains as an explicit
+  // reset and must also force re-encoding.
   MustQuery("DELETE FROM Purchase WHERE item = 'col_shirts'");
   system_.InvalidateCache();
   MiningRunStats second = MustMine(stmt, options);

@@ -139,5 +139,90 @@ TEST_P(SqlDifferentialTest, SubqueryEqualsInline) {
 INSTANTIATE_TEST_SUITE_P(Seeds, SqlDifferentialTest,
                          ::testing::Values(1u, 2u, 3u, 42u, 314159u));
 
+class MixedKeyJoinTest : public ::testing::Test {
+ protected:
+  MixedKeyJoinTest() : engine_(&catalog_) {}
+
+  std::multiset<std::string> Rows(const std::string& sql) {
+    auto result = engine_.Execute(sql);
+    EXPECT_TRUE(result.ok()) << sql << " -> " << result.status();
+    std::multiset<std::string> out;
+    if (!result.ok()) return out;
+    for (const Row& row : result.value().rows) {
+      std::string key;
+      for (const Value& v : row) {
+        key += v.ToString();
+        key += '|';
+      }
+      out.insert(std::move(key));
+    }
+    return out;
+  }
+
+  Catalog catalog_;
+  SqlEngine engine_;
+};
+
+// The hash join (Value::Hash + TotalEquals on the key tuple) and the nested
+// loop (SqlCompare through the expression evaluator) must agree on
+// INTEGER-vs-DOUBLE keys, including values where a double round trip loses
+// precision: 2^53 and 2^53 + 1 both cast to the same double, so a rounding
+// comparison would merge them while the exact comparison keeps them apart.
+TEST_F(MixedKeyJoinTest, HashJoinEqualsNestedLoopOnMixedNumericKeys) {
+  auto li = catalog_.CreateTable(
+      "LI", Schema({{"k", DataType::kInteger}, {"v", DataType::kInteger}}));
+  auto rd = catalog_.CreateTable(
+      "RD", Schema({{"k", DataType::kDouble}, {"w", DataType::kInteger}}));
+  ASSERT_TRUE(li.ok());
+  ASSERT_TRUE(rd.ok());
+
+  const int64_t two53 = int64_t{1} << 53;  // 9007199254740992
+  int v = 0;
+  for (int64_t k : {int64_t{0}, int64_t{1}, int64_t{-7}, two53, two53 + 1,
+                    two53 - 1, int64_t{1} << 62}) {
+    li.value()->AppendUnchecked({Value::Integer(k), Value::Integer(v++)});
+  }
+  int w = 100;
+  for (double k : {0.0, 1.0, 1.5, -7.0, static_cast<double>(two53),
+                   9.0e18, 0.25}) {
+    rd.value()->AppendUnchecked({Value::Double(k), Value::Integer(w++)});
+  }
+
+  auto hash = Rows("SELECT LI.v, RD.w FROM LI, RD WHERE LI.k = RD.k");
+  auto nested = Rows("SELECT LI.v, RD.w FROM LI, RD WHERE NOT (LI.k <> RD.k)");
+  EXPECT_EQ(hash, nested);
+  EXPECT_FALSE(hash.empty());
+
+  // 2^53 as a DOUBLE matches only INTEGER 2^53, not 2^53 + 1 (which rounds
+  // to the same double but is a different number).
+  auto exact = Rows(
+      "SELECT LI.v FROM LI, RD WHERE LI.k = RD.k AND RD.w = 104");
+  ASSERT_EQ(exact.size(), 1u);
+  EXPECT_EQ(*exact.begin(), "3|");  // v of the 2^53 row
+}
+
+TEST_F(MixedKeyJoinTest, RandomizedMixedKeys) {
+  auto li = catalog_.CreateTable(
+      "LI", Schema({{"k", DataType::kInteger}, {"v", DataType::kInteger}}));
+  auto rd = catalog_.CreateTable(
+      "RD", Schema({{"k", DataType::kDouble}, {"w", DataType::kInteger}}));
+  ASSERT_TRUE(li.ok());
+  ASSERT_TRUE(rd.ok());
+  Random rng(7u);
+  for (int i = 0; i < 60; ++i) {
+    li.value()->AppendUnchecked(
+        {Value::Integer(rng.NextInt(0, 10)), Value::Integer(i)});
+  }
+  for (int i = 0; i < 60; ++i) {
+    // Half the doubles are integral, half carry a .5 fraction.
+    const double k = rng.NextInt(0, 10) + (rng.NextBool(0.5) ? 0.5 : 0.0);
+    rd.value()->AppendUnchecked({Value::Double(k), Value::Integer(i)});
+  }
+  auto hash = Rows("SELECT LI.v, RD.w FROM LI, RD WHERE LI.k = RD.k");
+  auto nested = Rows("SELECT LI.v, RD.w FROM LI, RD WHERE NOT (LI.k <> RD.k)");
+  EXPECT_EQ(hash, nested);
+  EXPECT_FALSE(hash.empty());
+}
+
 }  // namespace
 }  // namespace minerule::sql

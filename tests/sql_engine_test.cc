@@ -399,6 +399,29 @@ TEST_F(SqlEngineTest, ScalarFunctions) {
   EXPECT_EQ(row[7].AsString(), "ell");
 }
 
+TEST_F(SqlEngineTest, SumNearInt64MaxFallsBackToDouble) {
+  MustExecute("CREATE TABLE big (a INTEGER)");
+  // Two addends that individually fit but whose sum exceeds INT64_MAX
+  // (9223372036854775807): the accumulator must detect the overflow and
+  // return the DOUBLE sum instead of wrapping (signed overflow is UB).
+  MustExecute(
+      "INSERT INTO big VALUES (9223372036854775806), "
+      "(9223372036854775806), (2)");
+  QueryResult r = MustExecute("SELECT SUM(a) FROM big");
+  ASSERT_EQ(r.rows.size(), 1u);
+  ASSERT_EQ(r.rows[0][0].type(), DataType::kDouble);
+  EXPECT_DOUBLE_EQ(r.rows[0][0].AsDouble(), 2.0 * 9223372036854775806.0 + 2);
+}
+
+TEST_F(SqlEngineTest, SumWithinInt64StaysInteger) {
+  MustExecute("CREATE TABLE big2 (a INTEGER)");
+  MustExecute("INSERT INTO big2 VALUES (9223372036854775806), (1)");
+  QueryResult r = MustExecute("SELECT SUM(a) FROM big2");
+  ASSERT_EQ(r.rows.size(), 1u);
+  ASSERT_EQ(r.rows[0][0].type(), DataType::kInteger);
+  EXPECT_EQ(r.rows[0][0].AsInteger(), 9223372036854775807);
+}
+
 TEST_F(SqlEngineTest, IntegerDoubleJoinCompatibility) {
   MustExecute("CREATE TABLE ti (k INTEGER)");
   MustExecute("CREATE TABLE td (k DOUBLE)");

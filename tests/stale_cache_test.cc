@@ -1,0 +1,111 @@
+// Regression tests for preprocessing reuse vs source-table DML: a MINE
+// RULE re-run with reuse_preprocessing must pick up inserts into the source
+// table (the cache key carries per-table modification epochs), while a
+// re-run with an untouched source still reuses the encoded tables.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "engine/data_mining_system.h"
+
+namespace minerule {
+namespace {
+
+const char* kStatement =
+    "MINE RULE Basket AS SELECT DISTINCT 1..n item AS BODY, 1..1 item AS "
+    "HEAD, SUPPORT, CONFIDENCE FROM Purchase GROUP BY tr "
+    "EXTRACTING RULES WITH SUPPORT: 0.4, CONFIDENCE: 0.5";
+
+class StaleCacheTest : public ::testing::Test {
+ protected:
+  StaleCacheTest() : system_(&catalog_) {
+    options_.reuse_preprocessing = true;
+    options_.keep_encoded_tables = true;
+  }
+
+  void MustSql(const std::string& sql) {
+    auto result = system_.ExecuteSql(sql);
+    ASSERT_TRUE(result.ok()) << sql << " -> " << result.status();
+  }
+
+  mr::MiningRunStats MustMine(const std::string& statement) {
+    auto stats = system_.ExecuteMineRule(statement, options_);
+    EXPECT_TRUE(stats.ok()) << stats.status();
+    return stats.ok() ? std::move(stats).value() : mr::MiningRunStats{};
+  }
+
+  void SetUpPurchase() {
+    MustSql("CREATE TABLE Purchase (tr INTEGER, item VARCHAR)");
+    MustSql(
+        "INSERT INTO Purchase VALUES "
+        "(1, 'a'), (1, 'b'), (2, 'a'), (2, 'b'), (3, 'a')");
+  }
+
+  Catalog catalog_;
+  mr::DataMiningSystem system_;
+  mr::MiningOptions options_;
+};
+
+TEST_F(StaleCacheTest, UnchangedSourceReusesPreprocessing) {
+  SetUpPurchase();
+  mr::MiningRunStats first = MustMine(kStatement);
+  EXPECT_FALSE(first.preprocessing_reused);
+  mr::MiningRunStats second = MustMine(kStatement);
+  EXPECT_TRUE(second.preprocessing_reused);
+  EXPECT_EQ(second.total_groups, first.total_groups);
+  EXPECT_EQ(second.output.num_rules, first.output.num_rules);
+}
+
+// The regression: an INSERT between two runs must invalidate the cached
+// encoding. Before the epoch-based cache key this reused the stale encoded
+// tables and returned the old rules.
+TEST_F(StaleCacheTest, InsertBetweenRunsInvalidatesCache) {
+  SetUpPurchase();
+  mr::MiningRunStats first = MustMine(kStatement);
+  EXPECT_EQ(first.total_groups, 3);
+
+  MustSql(
+      "INSERT INTO Purchase VALUES "
+      "(4, 'a'), (4, 'b'), (4, 'c'), (5, 'b'), (5, 'c'), (6, 'b'), (6, 'c')");
+  mr::MiningRunStats second = MustMine(kStatement);
+  EXPECT_FALSE(second.preprocessing_reused);
+  EXPECT_EQ(second.total_groups, 6);
+  // Item 'c' is frequent now (4 of 6 groups) and pairs {a,b} and {b,c}
+  // both clear the thresholds: the rule set grew.
+  EXPECT_GT(second.output.num_rules, first.output.num_rules);
+}
+
+TEST_F(StaleCacheTest, DeleteBetweenRunsInvalidatesCache) {
+  SetUpPurchase();
+  mr::MiningRunStats first = MustMine(kStatement);
+  EXPECT_EQ(first.total_groups, 3);
+  MustSql("DELETE FROM Purchase WHERE tr = 3");
+  mr::MiningRunStats second = MustMine(kStatement);
+  EXPECT_FALSE(second.preprocessing_reused);
+  EXPECT_EQ(second.total_groups, 2);
+}
+
+// DML behind a view: the cache key resolves views down to their base
+// tables, so the insert is still detected.
+TEST_F(StaleCacheTest, InsertBehindViewInvalidatesCache) {
+  SetUpPurchase();
+  MustSql("CREATE VIEW PurchaseView AS SELECT tr, item FROM Purchase");
+  const std::string statement =
+      "MINE RULE ViewRules AS SELECT DISTINCT 1..n item AS BODY, 1..1 item "
+      "AS HEAD, SUPPORT, CONFIDENCE FROM PurchaseView GROUP BY tr "
+      "EXTRACTING RULES WITH SUPPORT: 0.4, CONFIDENCE: 0.5";
+  mr::MiningRunStats first = MustMine(statement);
+  EXPECT_FALSE(first.preprocessing_reused);
+
+  mr::MiningRunStats reused = MustMine(statement);
+  EXPECT_TRUE(reused.preprocessing_reused);
+
+  MustSql("INSERT INTO Purchase VALUES (4, 'a'), (4, 'b')");
+  mr::MiningRunStats second = MustMine(statement);
+  EXPECT_FALSE(second.preprocessing_reused);
+  EXPECT_EQ(second.total_groups, 4);
+}
+
+}  // namespace
+}  // namespace minerule
