@@ -136,4 +136,53 @@ void ParallelFor(size_t total, int num_threads,
   if (error != nullptr) std::rethrow_exception(error);
 }
 
+size_t MorselCount(size_t total, size_t morsel_size) {
+  if (total == 0 || morsel_size == 0) return 0;
+  return (total + morsel_size - 1) / morsel_size;
+}
+
+void ParallelForMorsels(size_t total, size_t morsel_size, int num_threads,
+                        const std::function<void(size_t, size_t, size_t)>& fn) {
+  const size_t morsels = MorselCount(total, morsel_size);
+  if (morsels == 0) return;
+  auto run_morsel = [&](size_t m) {
+    fn(m, m * morsel_size, std::min(total, (m + 1) * morsel_size));
+  };
+  const size_t threads =
+      std::min(morsels, static_cast<size_t>(ResolveThreadCount(num_threads)));
+  if (threads == 1 || ThreadPool::OnWorkerThread()) {
+    for (size_t m = 0; m < morsels; ++m) run_morsel(m);
+    return;
+  }
+
+  // Dynamic morsel claiming, same scheme as ParallelFor but with many more
+  // work units than threads so that skewed morsels balance out.
+  std::atomic<size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::mutex error_mutex;
+  std::exception_ptr error;
+  auto drain = [&] {
+    for (size_t m = next.fetch_add(1); m < morsels; m = next.fetch_add(1)) {
+      if (failed.load(std::memory_order_relaxed)) return;
+      try {
+        run_morsel(m);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (error == nullptr) error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  ThreadPool& pool = SharedThreadPool();
+  const size_t helpers =
+      std::min(threads - 1, static_cast<size_t>(pool.size()));
+  std::vector<std::future<void>> futures;
+  futures.reserve(helpers);
+  for (size_t i = 0; i < helpers; ++i) futures.push_back(pool.Submit(drain));
+  drain();
+  for (std::future<void>& future : futures) future.get();
+  if (error != nullptr) std::rethrow_exception(error);
+}
+
 }  // namespace minerule

@@ -113,6 +113,24 @@ void ParallelFor(size_t total, int num_threads,
                  const std::function<void(size_t chunk, size_t begin,
                                           size_t end)>& fn);
 
+/// Number of fixed-size morsels [0, total) splits into: ceil(total /
+/// morsel_size). Like ParallelChunks this is a pure function of its
+/// arguments, so per-morsel result slots merged in morsel order are
+/// deterministic at any thread count.
+size_t MorselCount(size_t total, size_t morsel_size);
+
+/// Morsel-grained ParallelFor: runs fn(morsel, begin, end) for every
+/// fixed-size morsel of [0, total), with up to ResolveThreadCount(
+/// num_threads) threads (the caller included) claiming morsels off an
+/// atomic cursor. Unlike ParallelFor's one-chunk-per-thread split, the
+/// morsel boundaries do NOT depend on num_threads — only which thread runs
+/// a morsel is scheduling-dependent — so results keyed by morsel index are
+/// identical at every thread count. Degrades to inline execution from a
+/// pool worker, exactly like ParallelFor.
+void ParallelForMorsels(size_t total, size_t morsel_size, int num_threads,
+                        const std::function<void(size_t morsel, size_t begin,
+                                                 size_t end)>& fn);
+
 }  // namespace minerule
 
 #endif  // MINERULE_COMMON_THREAD_POOL_H_

@@ -127,6 +127,7 @@ std::string MiningRunStats::ToJson() const {
   w.Key("total_groups").Int(total_groups);
   w.Key("min_group_count").Int(min_group_count);
   w.Key("preprocessing_reused").Bool(preprocessing_reused);
+  w.Key("engine_threads").Int(engine_threads);
 
   w.Key("phases").BeginObject();
   w.Key("translate_seconds").Double(translate_seconds);
@@ -300,6 +301,12 @@ Result<MiningRunStats> DataMiningSystem::ExecuteMineRule(
 Result<MiningRunStats> DataMiningSystem::ExecuteStatement(
     const MineRuleStatement& stmt, const MiningOptions& options) {
   MiningRunStats stats;
+
+  // The SQL phases (preprocessor Q0..Q11, postprocessor) run morsel-parallel
+  // at the same width as the core operator; phases are sequential on the one
+  // shared pool, so this never oversubscribes.
+  sql_engine_.set_num_threads(options.num_threads);
+  stats.engine_threads = ResolveThreadCount(options.num_threads);
 
   // --- translator --------------------------------------------------------
   Stopwatch phase;

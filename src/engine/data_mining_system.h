@@ -63,6 +63,12 @@ struct MiningRunStats {
   int64_t min_group_count = 0;
   bool preprocessing_reused = false;
 
+  /// Resolved worker-thread count the SQL engine ran with (DESIGN.md §9):
+  /// MiningOptions::num_threads with <= 0 resolved to the hardware
+  /// concurrency. The pre/postprocessing queries used morsel-driven
+  /// parallelism at this width; 1 is the exact serial path.
+  int engine_threads = 1;
+
   double translate_seconds = 0;
   double preprocess_seconds = 0;
   double core_seconds = 0;

@@ -63,6 +63,55 @@ Status AggAccumulator::Add(const Value& value) {
   return Status::Internal("unhandled aggregate in Add");
 }
 
+bool AggAccumulator::MergeIsExact(AggFunc func) {
+  switch (func) {
+    case AggFunc::kCountStar:
+    case AggFunc::kCount:
+    case AggFunc::kMin:
+    case AggFunc::kMax:
+      return true;
+    case AggFunc::kSum:
+    case AggFunc::kAvg:
+      return false;
+  }
+  return false;
+}
+
+Status AggAccumulator::Merge(const AggAccumulator& other) {
+  if (!MergeIsExact(func_)) {
+    return Status::Internal("Merge called on an order-sensitive aggregate");
+  }
+  if (distinct_ && func_ != AggFunc::kCountStar) {
+    // Union keeps this accumulator's representative for values that compare
+    // equal across ranges (INTEGER 1 vs DOUBLE 1.0) — the earlier range's
+    // element, matching serial first-seen retention.
+    for (const Value& v : other.seen_) seen_.insert(v);
+    count_ = static_cast<int64_t>(seen_.size());
+  } else {
+    count_ += other.count_;
+  }
+  // `other` covers a later input range, so on SqlCompare ties the value
+  // already held here wins — exactly the serial "replace only on strict
+  // inequality" behaviour.
+  if (!other.min_.is_null()) {
+    if (min_.is_null()) {
+      min_ = other.min_;
+    } else {
+      MR_ASSIGN_OR_RETURN(int cmp, other.min_.SqlCompare(min_));
+      if (cmp < 0) min_ = other.min_;
+    }
+  }
+  if (!other.max_.is_null()) {
+    if (max_.is_null()) {
+      max_ = other.max_;
+    } else {
+      MR_ASSIGN_OR_RETURN(int cmp, other.max_.SqlCompare(max_));
+      if (cmp > 0) max_ = other.max_;
+    }
+  }
+  return Status::OK();
+}
+
 Result<Value> AggAccumulator::Finish() const {
   switch (func_) {
     case AggFunc::kCountStar:

@@ -22,6 +22,18 @@ class AggAccumulator {
   /// Produces the aggregate result for the rows fed so far.
   Result<Value> Finish() const;
 
+  /// True when splitting the input into contiguous ranges, accumulating
+  /// each range separately and folding the partials together in range order
+  /// yields bit-identical results to one serial accumulation. Holds for
+  /// COUNT/MIN/MAX (plain and DISTINCT); not for SUM/AVG, whose double
+  /// accumulator (and overflow fallback) is order-sensitive — those keep
+  /// the serial aggregation path (DESIGN.md §9).
+  static bool MergeIsExact(AggFunc func);
+
+  /// Folds `other` — a partial over an input range *after* this one's —
+  /// into this accumulator. Only valid when MergeIsExact(func).
+  Status Merge(const AggAccumulator& other);
+
  private:
   AggFunc func_;
   bool distinct_;

@@ -219,6 +219,47 @@ bool ContainsAggregate(const Expr& expr) {
   }
 }
 
+bool ContainsNextVal(const Expr& expr) {
+  switch (expr.kind) {
+    case ExprKind::kNextVal:
+      return true;
+    case ExprKind::kUnary:
+      return ContainsNextVal(*static_cast<const UnaryExpr&>(expr).operand);
+    case ExprKind::kBinary: {
+      const auto& b = static_cast<const BinaryExpr&>(expr);
+      return ContainsNextVal(*b.lhs) || ContainsNextVal(*b.rhs);
+    }
+    case ExprKind::kBetween: {
+      const auto& b = static_cast<const BetweenExpr&>(expr);
+      return ContainsNextVal(*b.operand) || ContainsNextVal(*b.low) ||
+             ContainsNextVal(*b.high);
+    }
+    case ExprKind::kInList: {
+      const auto& in = static_cast<const InListExpr&>(expr);
+      if (ContainsNextVal(*in.operand)) return true;
+      for (const ExprPtr& e : in.list) {
+        if (ContainsNextVal(*e)) return true;
+      }
+      return false;
+    }
+    case ExprKind::kIsNull:
+      return ContainsNextVal(*static_cast<const IsNullExpr&>(expr).operand);
+    case ExprKind::kFunction: {
+      const auto& f = static_cast<const FunctionExpr&>(expr);
+      for (const ExprPtr& e : f.args) {
+        if (ContainsNextVal(*e)) return true;
+      }
+      return false;
+    }
+    case ExprKind::kAggregate: {
+      const auto& agg = static_cast<const AggregateExpr&>(expr);
+      return agg.arg != nullptr && ContainsNextVal(*agg.arg);
+    }
+    default:
+      return false;
+  }
+}
+
 void CollectAggregates(Expr* expr, std::vector<AggregateExpr*>* out) {
   switch (expr->kind) {
     case ExprKind::kAggregate:

@@ -64,6 +64,11 @@ bool ExprBindableIn(const Expr& expr, const BindScope& scope);
 /// True iff the tree contains at least one AggregateExpr node.
 bool ContainsAggregate(const Expr& expr);
 
+/// True iff the tree contains a <seq>.NEXTVAL node. NEXTVAL mutates catalog
+/// state and its results depend on evaluation order, so any operator whose
+/// expressions contain one must stay on the serial execution path.
+bool ContainsNextVal(const Expr& expr);
+
 /// Collects pointers to every AggregateExpr in the tree, outermost first.
 void CollectAggregates(Expr* expr, std::vector<AggregateExpr*>* out);
 

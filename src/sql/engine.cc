@@ -64,10 +64,11 @@ Result<QueryResult> SqlEngine::ExecuteStatement(Statement* stmt) {
 }
 
 Result<QueryResult> SqlEngine::ExecuteSelect(SelectStmt* stmt) {
-  ExecContext ctx{catalog_, &host_vars_};
+  ExecContext ctx{catalog_, &host_vars_, num_threads_};
   Planner planner(catalog_, &ctx);
   MR_ASSIGN_OR_RETURN(PlannedSelect planned, planner.Plan(stmt));
-  MR_ASSIGN_OR_RETURN(std::vector<Row> rows, CollectRows(planned.node.get()));
+  MR_ASSIGN_OR_RETURN(std::vector<Row> rows,
+                      CollectRowsParallel(planned.node.get(), num_threads_));
 
   QueryResult result;
   result.schema = std::move(planned.out_schema);
@@ -92,12 +93,12 @@ Result<QueryResult> SqlEngine::ExecuteSelect(SelectStmt* stmt) {
 Result<QueryResult> SqlEngine::ExecuteCreateTable(CreateTableStmt* stmt) {
   QueryResult result;
   if (stmt->as_select != nullptr) {
-    ExecContext ctx{catalog_, &host_vars_};
+    ExecContext ctx{catalog_, &host_vars_, num_threads_};
     Planner planner(catalog_, &ctx);
     MR_ASSIGN_OR_RETURN(PlannedSelect planned,
                         planner.Plan(stmt->as_select.get()));
     MR_ASSIGN_OR_RETURN(std::vector<Row> rows,
-                        CollectRows(planned.node.get()));
+                        CollectRowsParallel(planned.node.get(), num_threads_));
     if (collect_operator_stats_) {
       result.profile = FlattenPlanProfile(planned.node.get());
     }
@@ -176,7 +177,7 @@ Result<QueryResult> SqlEngine::ExecuteInsert(InsertStmt* stmt) {
   std::vector<Row> incoming;
   std::vector<OperatorProfile> profile;
   if (stmt->select != nullptr) {
-    ExecContext ctx{catalog_, &host_vars_};
+    ExecContext ctx{catalog_, &host_vars_, num_threads_};
     Planner planner(catalog_, &ctx);
     MR_ASSIGN_OR_RETURN(PlannedSelect planned, planner.Plan(stmt->select.get()));
     if (planned.out_schema.num_columns() != positions.size()) {
@@ -185,7 +186,8 @@ Result<QueryResult> SqlEngine::ExecuteInsert(InsertStmt* stmt) {
           std::to_string(planned.out_schema.num_columns()) +
           " columns, target expects " + std::to_string(positions.size()));
     }
-    MR_ASSIGN_OR_RETURN(incoming, CollectRows(planned.node.get()));
+    MR_ASSIGN_OR_RETURN(incoming,
+                        CollectRowsParallel(planned.node.get(), num_threads_));
     if (collect_operator_stats_) {
       profile = FlattenPlanProfile(planned.node.get());
     }
@@ -248,12 +250,13 @@ Result<QueryResult> SqlEngine::ExecuteExplain(ExplainStmt* stmt) {
         "CREATE TABLE ... AS SELECT");
   }
 
-  ExecContext ctx{catalog_, &host_vars_};
+  ExecContext ctx{catalog_, &host_vars_, num_threads_};
   Planner planner(catalog_, &ctx);
   MR_ASSIGN_OR_RETURN(PlannedSelect planned, planner.Plan(select));
   if (stmt->analyze) {
     planned.node->EnableTimingTree(true);
-    MR_RETURN_IF_ERROR(CollectRows(planned.node.get()).status());
+    MR_RETURN_IF_ERROR(
+        CollectRowsParallel(planned.node.get(), num_threads_).status());
   }
 
   QueryResult result;

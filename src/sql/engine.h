@@ -59,6 +59,13 @@ class SqlEngine {
   void set_collect_operator_stats(bool on) { collect_operator_stats_ = on; }
   bool collect_operator_stats() const { return collect_operator_stats_; }
 
+  /// Worker threads for morsel-driven query execution (DESIGN.md §9).
+  /// 1 (the default) is the exact serial path; <= 0 means hardware
+  /// concurrency. Results are bit-identical at every setting — the plan
+  /// shape never depends on it, only how operators execute.
+  void set_num_threads(int num_threads) { num_threads_ = num_threads; }
+  int num_threads() const { return num_threads_; }
+
   Catalog* catalog() { return catalog_; }
 
  private:
@@ -76,6 +83,7 @@ class SqlEngine {
   Catalog* catalog_;
   HostVarMap host_vars_;
   bool collect_operator_stats_ = false;
+  int num_threads_ = 1;
 };
 
 }  // namespace minerule::sql

@@ -19,6 +19,11 @@ using HostVarMap = std::map<std::string, Value>;
 struct ExecContext {
   Catalog* catalog = nullptr;     // for <seq>.NEXTVAL
   HostVarMap* host_vars = nullptr;
+
+  /// Worker threads for morsel-driven execution (DESIGN.md §9): <= 0 means
+  /// hardware concurrency, 1 is the exact serial path. Operators read this
+  /// at Open(); the plan shape never depends on it.
+  int num_threads = 1;
 };
 
 /// Evaluates a *bound* expression against `row`. SQL three-valued logic:

@@ -3,21 +3,64 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "common/thread_pool.h"
+#include "sql/binder.h"
+
 namespace minerule::sql {
 
-Result<std::vector<Row>> CollectRows(ExecNode* node) {
-  MR_RETURN_IF_ERROR(node->Open());
-  std::vector<Row> rows;
+namespace {
+
+/// Workers a morsel loop over `total` input rows actually uses: the thread
+/// knob resolved against hardware, clamped by the number of morsels.
+int MorselWorkers(size_t total, int num_threads) {
+  const size_t morsels = MorselCount(total, kMorselRows);
+  return static_cast<int>(std::min(
+      morsels, static_cast<size_t>(ResolveThreadCount(num_threads))));
+}
+
+/// Returns the first non-OK status in index order (the serial pass would
+/// have failed on exactly that morsel first, and within a morsel rows are
+/// processed sequentially, so the error message matches the serial one).
+Status FirstError(const std::vector<Status>& statuses) {
+  for (const Status& status : statuses) {
+    if (!status.ok()) return status;
+  }
+  return Status::OK();
+}
+
+/// Drains an already-opened node into *out. When the node supports morsels
+/// and num_threads != 1, workers claim fixed-size morsels and the per-morsel
+/// outputs are concatenated in morsel order — bit-identical to the serial
+/// drain. Appends to *out.
+Status DrainOpenedNode(ExecNode* node, int num_threads,
+                       std::vector<Row>* out) {
+  if (num_threads != 1 && node->SupportsMorsels()) {
+    const size_t total = node->MorselInputRows();
+    const size_t morsels = MorselCount(total, kMorselRows);
+    std::vector<std::vector<Row>> slots(morsels);
+    std::vector<Status> statuses(morsels, Status::OK());
+    ParallelForMorsels(total, kMorselRows, num_threads,
+                       [&](size_t m, size_t begin, size_t end) {
+                         statuses[m] = node->RunMorsel(begin, end, &slots[m]);
+                       });
+    MR_RETURN_IF_ERROR(FirstError(statuses));
+    node->RecordParallelWorkers(MorselWorkers(total, num_threads));
+    size_t produced = 0;
+    for (const std::vector<Row>& slot : slots) produced += slot.size();
+    out->reserve(out->size() + produced);
+    for (std::vector<Row>& slot : slots) {
+      for (Row& row : slot) out->push_back(std::move(row));
+    }
+    return Status::OK();
+  }
   Row row;
   while (true) {
     MR_ASSIGN_OR_RETURN(bool more, node->Next(&row));
     if (!more) break;
-    rows.push_back(std::move(row));
+    out->push_back(std::move(row));
   }
-  return rows;
+  return Status::OK();
 }
-
-namespace {
 
 void FlattenInto(ExecNode* node, int depth, std::vector<OperatorProfile>* out) {
   OperatorProfile profile;
@@ -27,6 +70,10 @@ void FlattenInto(ExecNode* node, int depth, std::vector<OperatorProfile>* out) {
   profile.rows = node->rows_out();
   profile.micros = node->micros();
   node->AppendExtraCounters(&profile.counters);
+  if (node->parallel_morsels() > 0) {
+    profile.counters.emplace_back("workers", node->parallel_workers());
+    profile.counters.emplace_back("morsels", node->parallel_morsels());
+  }
   out->push_back(std::move(profile));
   for (ExecNode* child : node->children()) {
     FlattenInto(child, depth + 1, out);
@@ -43,7 +90,34 @@ std::string JoinExprs(const std::vector<ExprPtr>& exprs, const char* sep) {
   return out;
 }
 
+/// True iff none of `exprs` contains a NEXTVAL node (null entries allowed).
+bool ExprsNextValFree(const std::vector<ExprPtr>& exprs) {
+  for (const ExprPtr& e : exprs) {
+    if (e != nullptr && ContainsNextVal(*e)) return false;
+  }
+  return true;
+}
+
 }  // namespace
+
+Result<std::vector<Row>> CollectRows(ExecNode* node) {
+  MR_RETURN_IF_ERROR(node->Open());
+  std::vector<Row> rows;
+  Row row;
+  while (true) {
+    MR_ASSIGN_OR_RETURN(bool more, node->Next(&row));
+    if (!more) break;
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+Result<std::vector<Row>> CollectRowsParallel(ExecNode* node, int num_threads) {
+  MR_RETURN_IF_ERROR(node->Open());
+  std::vector<Row> rows;
+  MR_RETURN_IF_ERROR(DrainOpenedNode(node, num_threads, &rows));
+  return rows;
+}
 
 std::vector<OperatorProfile> FlattenPlanProfile(ExecNode* root) {
   std::vector<OperatorProfile> out;
@@ -82,6 +156,10 @@ TableScanNode::TableScanNode(std::shared_ptr<Table> table)
 
 std::string TableScanNode::detail() const { return table_->name(); }
 
+int64_t TableScanNode::EstimatedRowCount() const {
+  return static_cast<int64_t>(table_->num_rows());
+}
+
 Status TableScanNode::OpenImpl() {
   pos_ = 0;
   snapshot_size_ = table_->num_rows();
@@ -92,6 +170,13 @@ Result<bool> TableScanNode::NextImpl(Row* out) {
   if (pos_ >= snapshot_size_) return false;
   *out = table_->row(pos_++);
   return true;
+}
+
+Status TableScanNode::EvaluateMorselImpl(size_t begin, size_t end,
+                                         std::vector<Row>* out) {
+  out->reserve(out->size() + (end - begin));
+  for (size_t i = begin; i < end; ++i) out->push_back(table_->row(i));
+  return Status::OK();
 }
 
 // ---------------------------------------------------------------------------
@@ -116,6 +201,13 @@ Result<bool> RowsNode::NextImpl(Row* out) {
   return true;
 }
 
+Status RowsNode::EvaluateMorselImpl(size_t begin, size_t end,
+                                    std::vector<Row>* out) {
+  out->reserve(out->size() + (end - begin));
+  for (size_t i = begin; i < end; ++i) out->push_back(rows_[i]);
+  return Status::OK();
+}
+
 // ---------------------------------------------------------------------------
 // FilterNode
 // ---------------------------------------------------------------------------
@@ -124,7 +216,8 @@ FilterNode::FilterNode(ExecNodePtr child, ExprPtr predicate, ExecContext* ctx)
     : ExecNode(child->schema()),
       child_(std::move(child)),
       predicate_(std::move(predicate)),
-      ctx_(ctx) {}
+      ctx_(ctx),
+      pure_(!ContainsNextVal(*predicate_)) {}
 
 std::string FilterNode::detail() const { return predicate_->ToSql(); }
 
@@ -139,6 +232,17 @@ Result<bool> FilterNode::NextImpl(Row* out) {
   }
 }
 
+Status FilterNode::EvaluateMorselImpl(size_t begin, size_t end,
+                                      std::vector<Row>* out) {
+  std::vector<Row> input;
+  MR_RETURN_IF_ERROR(child_->RunMorsel(begin, end, &input));
+  for (Row& row : input) {
+    MR_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*predicate_, row, ctx_));
+    if (pass) out->push_back(std::move(row));
+  }
+  return Status::OK();
+}
+
 // ---------------------------------------------------------------------------
 // ProjectNode
 // ---------------------------------------------------------------------------
@@ -148,7 +252,8 @@ ProjectNode::ProjectNode(ExecNodePtr child, std::vector<ExprPtr> exprs,
     : ExecNode(std::move(out_schema)),
       child_(std::move(child)),
       exprs_(std::move(exprs)),
-      ctx_(ctx) {}
+      ctx_(ctx),
+      pure_(ExprsNextValFree(exprs_)) {}
 
 std::string ProjectNode::detail() const { return JoinExprs(exprs_, ", "); }
 
@@ -165,6 +270,23 @@ Result<bool> ProjectNode::NextImpl(Row* out) {
     out->push_back(std::move(v));
   }
   return true;
+}
+
+Status ProjectNode::EvaluateMorselImpl(size_t begin, size_t end,
+                                       std::vector<Row>* out) {
+  std::vector<Row> input;
+  MR_RETURN_IF_ERROR(child_->RunMorsel(begin, end, &input));
+  out->reserve(out->size() + input.size());
+  for (const Row& row : input) {
+    Row projected;
+    projected.reserve(exprs_.size());
+    for (const ExprPtr& e : exprs_) {
+      MR_ASSIGN_OR_RETURN(Value v, EvalExpr(*e, row, ctx_));
+      projected.push_back(std::move(v));
+    }
+    out->push_back(std::move(projected));
+  }
+  return Status::OK();
 }
 
 // ---------------------------------------------------------------------------
@@ -196,7 +318,8 @@ NestedLoopJoinNode::NestedLoopJoinNode(ExecNodePtr left, ExecNodePtr right,
       left_(std::move(left)),
       right_(std::move(right)),
       predicate_(std::move(predicate)),
-      ctx_(ctx) {}
+      ctx_(ctx),
+      pure_(predicate_ == nullptr || !ContainsNextVal(*predicate_)) {}
 
 std::string NestedLoopJoinNode::detail() const {
   return predicate_ != nullptr ? predicate_->ToSql() : "cross";
@@ -209,7 +332,10 @@ void NestedLoopJoinNode::AppendExtraCounters(
 
 Status NestedLoopJoinNode::OpenImpl() {
   MR_RETURN_IF_ERROR(left_->Open());
-  MR_ASSIGN_OR_RETURN(right_rows_, CollectRows(right_.get()));
+  MR_RETURN_IF_ERROR(right_->Open());
+  right_rows_.clear();
+  MR_RETURN_IF_ERROR(
+      DrainOpenedNode(right_.get(), ctx_->num_threads, &right_rows_));
   have_left_ = false;
   right_pos_ = 0;
   return Status::OK();
@@ -251,7 +377,10 @@ HashJoinNode::HashJoinNode(ExecNodePtr left, ExecNodePtr right,
       left_keys_(std::move(left_keys)),
       right_keys_(std::move(right_keys)),
       residual_(std::move(residual)),
-      ctx_(ctx) {}
+      ctx_(ctx) {
+  pure_ = ExprsNextValFree(left_keys_) && ExprsNextValFree(right_keys_) &&
+          (residual_ == nullptr || !ContainsNextVal(*residual_));
+}
 
 std::string HashJoinNode::detail() const {
   std::string out;
@@ -265,7 +394,15 @@ std::string HashJoinNode::detail() const {
 void HashJoinNode::AppendExtraCounters(
     std::vector<std::pair<std::string, int64_t>>* out) const {
   out->emplace_back("build_rows", build_rows_);
-  out->emplace_back("buckets", static_cast<int64_t>(hash_table_.size()));
+  int64_t buckets = static_cast<int64_t>(hash_table_.size());
+  for (const JoinTable& partition : partitions_) {
+    buckets += static_cast<int64_t>(partition.size());
+  }
+  out->emplace_back("buckets", buckets);
+  if (parallel_) {
+    out->emplace_back("partitions", static_cast<int64_t>(partitions_.size()));
+  }
+  if (probe_skipped_) out->emplace_back("probe_skipped", 1);
 }
 
 Result<bool> HashJoinNode::ComputeKey(const std::vector<ExprPtr>& exprs,
@@ -284,24 +421,129 @@ Result<bool> HashJoinNode::ComputeKey(const std::vector<ExprPtr>& exprs,
   return true;
 }
 
+const std::vector<Row>* HashJoinNode::FindBucket(const Row& key) const {
+  const JoinTable& table =
+      parallel_ ? partitions_[RowHash{}(key) % partitions_.size()]
+                : hash_table_;
+  auto it = table.find(key);
+  return it == table.end() ? nullptr : &it->second;
+}
+
+Status HashJoinNode::BuildParallel(int num_threads) {
+  // Materialize the build side (morsel-parallel when its subtree allows),
+  // then evaluate all build keys in parallel and scatter the rows into
+  // fixed-fanout partition tables — one task per partition, each scanning
+  // the build rows in index order, so every bucket holds its rows in the
+  // serial insertion order.
+  std::vector<Row> build;
+  const int64_t estimate = right_->EstimatedRowCount();
+  if (estimate > 0) build.reserve(static_cast<size_t>(estimate));
+  MR_RETURN_IF_ERROR(DrainOpenedNode(right_.get(), num_threads, &build));
+
+  const size_t total = build.size();
+  std::vector<Row> keys(total);
+  std::vector<uint8_t> valid(total, 0);
+  std::vector<size_t> partition_of(total, 0);
+  {
+    const size_t morsels = MorselCount(total, kMorselRows);
+    std::vector<Status> statuses(morsels, Status::OK());
+    ParallelForMorsels(
+        total, kMorselRows, num_threads,
+        [&](size_t m, size_t begin, size_t end) {
+          for (size_t i = begin; i < end; ++i) {
+            Result<bool> ok = ComputeKey(right_keys_, build[i], &keys[i]);
+            if (!ok.ok()) {
+              statuses[m] = ok.status();
+              return;
+            }
+            if (*ok) {
+              valid[i] = 1;
+              partition_of[i] = RowHash{}(keys[i]) % kJoinPartitions;
+            }
+          }
+        });
+    MR_RETURN_IF_ERROR(FirstError(statuses));
+  }
+
+  partitions_.assign(kJoinPartitions, JoinTable());
+  const size_t reserve_hint =
+      (estimate > 0 ? static_cast<size_t>(estimate) : total) /
+          kJoinPartitions +
+      1;
+  ParallelFor(kJoinPartitions, num_threads,
+              [&](size_t, size_t begin, size_t end) {
+                for (size_t p = begin; p < end; ++p) {
+                  JoinTable& table = partitions_[p];
+                  table.reserve(reserve_hint);
+                  for (size_t i = 0; i < total; ++i) {
+                    if (valid[i] && partition_of[i] == p) {
+                      // Each row belongs to exactly one partition, so the
+                      // move is owned by this task alone.
+                      table[std::move(keys[i])].push_back(
+                          std::move(build[i]));
+                    }
+                  }
+                }
+              });
+  for (size_t i = 0; i < total; ++i) build_rows_ += valid[i] ? 1 : 0;
+  return Status::OK();
+}
+
 Status HashJoinNode::OpenImpl() {
   hash_table_.clear();
+  partitions_.clear();
+  left_rows_.clear();
+  left_pos_ = 0;
   build_rows_ = 0;
+  probe_skipped_ = false;
+  const int num_threads = ctx_->num_threads;
+  parallel_ = pure_ && num_threads != 1;
+
   MR_RETURN_IF_ERROR(right_->Open());
-  Row row;
-  Row key;
-  while (true) {
-    MR_ASSIGN_OR_RETURN(bool more, right_->Next(&row));
-    if (!more) break;
-    MR_ASSIGN_OR_RETURN(bool valid, ComputeKey(right_keys_, row, &key));
-    if (!valid) continue;
-    hash_table_[key].push_back(std::move(row));
-    ++build_rows_;
+  if (parallel_) {
+    MR_RETURN_IF_ERROR(BuildParallel(num_threads));
+  } else {
+    const int64_t estimate = right_->EstimatedRowCount();
+    if (estimate > 0) hash_table_.reserve(static_cast<size_t>(estimate));
+    Row row;
+    Row key;
+    while (true) {
+      MR_ASSIGN_OR_RETURN(bool more, right_->Next(&row));
+      if (!more) break;
+      MR_ASSIGN_OR_RETURN(bool valid, ComputeKey(right_keys_, row, &key));
+      if (!valid) continue;
+      hash_table_[key].push_back(std::move(row));
+      ++build_rows_;
+    }
   }
+
+  // An empty build side joins nothing: skip the probe-side scan entirely
+  // when that subtree has no observable side effects to preserve.
+  if (build_rows_ == 0 && left_->SideEffectFree()) {
+    probe_skipped_ = true;
+    current_bucket_ = nullptr;
+    bucket_pos_ = 0;
+    return Status::OK();
+  }
+
   MR_RETURN_IF_ERROR(left_->Open());
+  if (parallel_) {
+    MR_RETURN_IF_ERROR(
+        DrainOpenedNode(left_.get(), num_threads, &left_rows_));
+  }
   current_bucket_ = nullptr;
   bucket_pos_ = 0;
   return Status::OK();
+}
+
+Result<bool> HashJoinNode::PullLeft(Row* out) {
+  if (probe_skipped_) return false;
+  if (parallel_) {
+    if (left_pos_ >= left_rows_.size()) return false;
+    *out = left_rows_[left_pos_++];
+    return true;
+  }
+  return left_->Next(out);
 }
 
 Result<bool> HashJoinNode::NextImpl(Row* out) {
@@ -321,20 +563,54 @@ Result<bool> HashJoinNode::NextImpl(Row* out) {
       }
       current_bucket_ = nullptr;
     }
-    MR_ASSIGN_OR_RETURN(bool more, left_->Next(&current_left_));
+    MR_ASSIGN_OR_RETURN(bool more, PullLeft(&current_left_));
     if (!more) return false;
     MR_ASSIGN_OR_RETURN(bool valid, ComputeKey(left_keys_, current_left_, &key));
     if (!valid) continue;
-    auto it = hash_table_.find(key);
-    if (it == hash_table_.end()) continue;
-    current_bucket_ = &it->second;
+    current_bucket_ = FindBucket(key);
     bucket_pos_ = 0;
+    if (current_bucket_ == nullptr) continue;
   }
+}
+
+Status HashJoinNode::ProbeRow(const Row& left_row, Row* key,
+                              std::vector<Row>* out) {
+  MR_ASSIGN_OR_RETURN(bool valid, ComputeKey(left_keys_, left_row, key));
+  if (!valid) return Status::OK();
+  const std::vector<Row>* bucket = FindBucket(*key);
+  if (bucket == nullptr) return Status::OK();
+  for (const Row& right_row : *bucket) {
+    Row joined = ConcatRows(left_row, right_row);
+    if (residual_ != nullptr) {
+      MR_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*residual_, joined, ctx_));
+      if (!pass) continue;
+    }
+    out->push_back(std::move(joined));
+  }
+  return Status::OK();
+}
+
+Status HashJoinNode::EvaluateMorselImpl(size_t begin, size_t end,
+                                        std::vector<Row>* out) {
+  Row key;
+  for (size_t i = begin; i < end; ++i) {
+    MR_RETURN_IF_ERROR(ProbeRow(left_rows_[i], &key, out));
+  }
+  return Status::OK();
 }
 
 // ---------------------------------------------------------------------------
 // HashAggregateNode
 // ---------------------------------------------------------------------------
+
+/// Group state: key -> accumulators, keys kept in first-seen order for
+/// deterministic output. Used both for the serial pass and as the per-morsel
+/// local table of the parallel pass.
+struct HashAggregateNode::GroupTable {
+  std::unordered_map<Row, size_t, RowHash, RowEq> index;
+  std::vector<Row> keys;
+  std::vector<std::vector<AggAccumulator>> states;
+};
 
 HashAggregateNode::HashAggregateNode(ExecNodePtr child,
                                      std::vector<ExprPtr> group_exprs,
@@ -344,7 +620,14 @@ HashAggregateNode::HashAggregateNode(ExecNodePtr child,
       child_(std::move(child)),
       group_exprs_(std::move(group_exprs)),
       aggs_(std::move(aggs)),
-      ctx_(ctx) {}
+      ctx_(ctx) {
+  pure_ = ExprsNextValFree(group_exprs_);
+  merge_exact_ = true;
+  for (const AggSpec& spec : aggs_) {
+    if (spec.arg != nullptr && ContainsNextVal(*spec.arg)) pure_ = false;
+    if (!AggAccumulator::MergeIsExact(spec.func)) merge_exact_ = false;
+  }
+}
 
 std::string HashAggregateNode::detail() const {
   std::string out = "keys=" + std::to_string(group_exprs_.size()) +
@@ -358,26 +641,16 @@ void HashAggregateNode::AppendExtraCounters(
   out->emplace_back("groups", static_cast<int64_t>(results_.size()));
 }
 
-Status HashAggregateNode::OpenImpl() {
-  results_.clear();
-  pos_ = 0;
-  MR_RETURN_IF_ERROR(child_->Open());
+std::vector<AggAccumulator> HashAggregateNode::MakeAccumulators() const {
+  std::vector<AggAccumulator> accs;
+  accs.reserve(aggs_.size());
+  for (const AggSpec& spec : aggs_) {
+    accs.emplace_back(spec.func, spec.distinct);
+  }
+  return accs;
+}
 
-  // Group state: key -> accumulators. Keys kept in first-seen order for
-  // deterministic output.
-  std::unordered_map<Row, size_t, RowHash, RowEq> index;
-  std::vector<Row> keys;
-  std::vector<std::vector<AggAccumulator>> states;
-
-  auto make_accumulators = [&]() {
-    std::vector<AggAccumulator> accs;
-    accs.reserve(aggs_.size());
-    for (const AggSpec& spec : aggs_) {
-      accs.emplace_back(spec.func, spec.distinct);
-    }
-    return accs;
-  };
-
+Status HashAggregateNode::AggregateSerial(GroupTable* groups) {
   Row row;
   while (true) {
     MR_ASSIGN_OR_RETURN(bool more, child_->Next(&row));
@@ -388,12 +661,12 @@ Status HashAggregateNode::OpenImpl() {
       MR_ASSIGN_OR_RETURN(Value v, EvalExpr(*e, row, ctx_));
       key.push_back(std::move(v));
     }
-    auto [it, inserted] = index.try_emplace(key, keys.size());
+    auto [it, inserted] = groups->index.try_emplace(key, groups->keys.size());
     if (inserted) {
-      keys.push_back(std::move(key));
-      states.push_back(make_accumulators());
+      groups->keys.push_back(std::move(key));
+      groups->states.push_back(MakeAccumulators());
     }
-    std::vector<AggAccumulator>& accs = states[it->second];
+    std::vector<AggAccumulator>& accs = groups->states[it->second];
     for (size_t i = 0; i < aggs_.size(); ++i) {
       Value arg;  // NULL placeholder for COUNT(*)
       if (aggs_[i].arg != nullptr) {
@@ -402,17 +675,114 @@ Status HashAggregateNode::OpenImpl() {
       MR_RETURN_IF_ERROR(accs[i].Add(arg));
     }
   }
+  return Status::OK();
+}
 
-  // Global aggregate over empty input still yields one row.
-  if (group_exprs_.empty() && keys.empty()) {
-    keys.emplace_back();
-    states.push_back(make_accumulators());
+Status HashAggregateNode::AggregateParallel(int num_threads,
+                                            GroupTable* groups) {
+  const size_t total = child_->MorselInputRows();
+  const size_t morsels = MorselCount(total, kMorselRows);
+  std::vector<GroupTable> locals(morsels);
+  std::vector<Status> statuses(morsels, Status::OK());
+
+  ParallelForMorsels(
+      total, kMorselRows, num_threads,
+      [&](size_t m, size_t begin, size_t end) {
+        GroupTable& local = locals[m];
+        std::vector<Row> input;
+        Status status = child_->RunMorsel(begin, end, &input);
+        if (!status.ok()) {
+          statuses[m] = status;
+          return;
+        }
+        for (const Row& row : input) {
+          Row key;
+          key.reserve(group_exprs_.size());
+          for (const ExprPtr& e : group_exprs_) {
+            Result<Value> v = EvalExpr(*e, row, ctx_);
+            if (!v.ok()) {
+              statuses[m] = v.status();
+              return;
+            }
+            key.push_back(std::move(*v));
+          }
+          auto [it, inserted] = local.index.try_emplace(key, local.keys.size());
+          if (inserted) {
+            local.keys.push_back(std::move(key));
+            local.states.push_back(MakeAccumulators());
+          }
+          std::vector<AggAccumulator>& accs = local.states[it->second];
+          for (size_t i = 0; i < aggs_.size(); ++i) {
+            Value arg;  // NULL placeholder for COUNT(*)
+            if (aggs_[i].arg != nullptr) {
+              Result<Value> v = EvalExpr(*aggs_[i].arg, row, ctx_);
+              if (!v.ok()) {
+                statuses[m] = v.status();
+                return;
+              }
+              arg = std::move(*v);
+            }
+            Status add = accs[i].Add(arg);
+            if (!add.ok()) {
+              statuses[m] = add;
+              return;
+            }
+          }
+        }
+      });
+  MR_RETURN_IF_ERROR(FirstError(statuses));
+  child_->RecordParallelWorkers(MorselWorkers(total, num_threads));
+  NoteWorkers(MorselWorkers(total, num_threads));
+  NoteDrivenMorsels(static_cast<int64_t>(morsels));
+
+  // Fold the local tables together in ascending morsel order. A group's
+  // global position is (first morsel containing it, local index there) —
+  // morsels are contiguous input ranges, so that is exactly the group's
+  // first occurrence in input order, and the fold order matches the serial
+  // first-seen emission order bit for bit.
+  for (GroupTable& local : locals) {
+    for (size_t j = 0; j < local.keys.size(); ++j) {
+      auto [it, inserted] =
+          groups->index.try_emplace(local.keys[j], groups->keys.size());
+      if (inserted) {
+        groups->keys.push_back(std::move(local.keys[j]));
+        groups->states.push_back(std::move(local.states[j]));
+      } else {
+        std::vector<AggAccumulator>& accs = groups->states[it->second];
+        for (size_t i = 0; i < aggs_.size(); ++i) {
+          MR_RETURN_IF_ERROR(accs[i].Merge(local.states[j][i]));
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status HashAggregateNode::OpenImpl() {
+  results_.clear();
+  pos_ = 0;
+  MR_RETURN_IF_ERROR(child_->Open());
+
+  GroupTable groups;
+  const int num_threads = ctx_->num_threads;
+  const bool parallel = num_threads != 1 && pure_ && merge_exact_ &&
+                        child_->SupportsMorsels();
+  if (parallel) {
+    MR_RETURN_IF_ERROR(AggregateParallel(num_threads, &groups));
+  } else {
+    MR_RETURN_IF_ERROR(AggregateSerial(&groups));
   }
 
-  results_.reserve(keys.size());
-  for (size_t g = 0; g < keys.size(); ++g) {
-    Row out = std::move(keys[g]);
-    for (const AggAccumulator& acc : states[g]) {
+  // Global aggregate over empty input still yields one row.
+  if (group_exprs_.empty() && groups.keys.empty()) {
+    groups.keys.emplace_back();
+    groups.states.push_back(MakeAccumulators());
+  }
+
+  results_.reserve(groups.keys.size());
+  for (size_t g = 0; g < groups.keys.size(); ++g) {
+    Row out = std::move(groups.keys[g]);
+    for (const AggAccumulator& acc : groups.states[g]) {
       MR_ASSIGN_OR_RETURN(Value v, acc.Finish());
       out.push_back(std::move(v));
     }
@@ -431,15 +801,63 @@ Result<bool> HashAggregateNode::NextImpl(Row* out) {
 // DistinctNode
 // ---------------------------------------------------------------------------
 
-DistinctNode::DistinctNode(ExecNodePtr child)
-    : ExecNode(child->schema()), child_(std::move(child)) {}
+DistinctNode::DistinctNode(ExecNodePtr child, ExecContext* ctx)
+    : ExecNode(child->schema()), child_(std::move(child)), ctx_(ctx) {}
 
 Status DistinctNode::OpenImpl() {
   seen_.clear();
-  return child_->Open();
+  results_.clear();
+  pos_ = 0;
+  materialized_ = false;
+  MR_RETURN_IF_ERROR(child_->Open());
+
+  const int num_threads = ctx_->num_threads;
+  if (num_threads == 1 || !child_->SupportsMorsels()) return Status::OK();
+
+  // Parallel: deduplicate each child morsel locally (keeping local first-
+  // seen order), then fold the survivors through the global seen-set in
+  // morsel order — a row survives iff no equal row precedes it in input
+  // order, exactly the streaming emission order.
+  materialized_ = true;
+  const size_t total = child_->MorselInputRows();
+  const size_t morsels = MorselCount(total, kMorselRows);
+  std::vector<std::vector<Row>> locals(morsels);
+  std::vector<Status> statuses(morsels, Status::OK());
+  ParallelForMorsels(
+      total, kMorselRows, num_threads,
+      [&](size_t m, size_t begin, size_t end) {
+        std::vector<Row> input;
+        Status status = child_->RunMorsel(begin, end, &input);
+        if (!status.ok()) {
+          statuses[m] = status;
+          return;
+        }
+        std::unordered_set<Row, RowHash, RowEq> local_seen;
+        for (Row& row : input) {
+          if (local_seen.insert(row).second) {
+            locals[m].push_back(std::move(row));
+          }
+        }
+      });
+  MR_RETURN_IF_ERROR(FirstError(statuses));
+  child_->RecordParallelWorkers(MorselWorkers(total, num_threads));
+  NoteWorkers(MorselWorkers(total, num_threads));
+  NoteDrivenMorsels(static_cast<int64_t>(morsels));
+
+  for (std::vector<Row>& local : locals) {
+    for (Row& row : local) {
+      if (seen_.insert(row).second) results_.push_back(std::move(row));
+    }
+  }
+  return Status::OK();
 }
 
 Result<bool> DistinctNode::NextImpl(Row* out) {
+  if (materialized_) {
+    if (pos_ >= results_.size()) return false;
+    *out = std::move(results_[pos_++]);
+    return true;
+  }
   while (true) {
     MR_ASSIGN_OR_RETURN(bool more, child_->Next(out));
     if (!more) return false;
@@ -456,7 +874,12 @@ SortNode::SortNode(ExecNodePtr child, std::vector<SortKey> keys,
     : ExecNode(child->schema()),
       child_(std::move(child)),
       keys_(std::move(keys)),
-      ctx_(ctx) {}
+      ctx_(ctx) {
+  pure_ = true;
+  for (const SortKey& sk : keys_) {
+    if (ContainsNextVal(*sk.expr)) pure_ = false;
+  }
+}
 
 std::string SortNode::detail() const {
   std::string out;
@@ -470,19 +893,39 @@ std::string SortNode::detail() const {
 
 Status SortNode::OpenImpl() {
   pos_ = 0;
-  MR_ASSIGN_OR_RETURN(rows_, CollectRows(child_.get()));
+  rows_.clear();
+  MR_RETURN_IF_ERROR(child_->Open());
+  const int num_threads = ctx_->num_threads;
+  MR_RETURN_IF_ERROR(DrainOpenedNode(child_.get(), num_threads, &rows_));
 
-  // Precompute sort keys; stable sort keeps input order among ties.
-  std::vector<std::pair<Row, size_t>> keyed;
-  keyed.reserve(rows_.size());
-  for (size_t i = 0; i < rows_.size(); ++i) {
-    Row key;
-    key.reserve(keys_.size());
-    for (const SortKey& sk : keys_) {
-      MR_ASSIGN_OR_RETURN(Value v, EvalExpr(*sk.expr, rows_[i], ctx_));
-      key.push_back(std::move(v));
+  // Precompute sort keys — morsel-parallel into a pre-sized vector when the
+  // keys are pure; stable sort keeps input order among ties, so the output
+  // depends only on the input order, not on the parallelism.
+  std::vector<std::pair<Row, size_t>> keyed(rows_.size());
+  auto compute_range = [&](size_t begin, size_t end) -> Status {
+    for (size_t i = begin; i < end; ++i) {
+      Row key;
+      key.reserve(keys_.size());
+      for (const SortKey& sk : keys_) {
+        MR_ASSIGN_OR_RETURN(Value v, EvalExpr(*sk.expr, rows_[i], ctx_));
+        key.push_back(std::move(v));
+      }
+      keyed[i] = {std::move(key), i};
     }
-    keyed.emplace_back(std::move(key), i);
+    return Status::OK();
+  };
+  if (num_threads != 1 && pure_) {
+    const size_t morsels = MorselCount(rows_.size(), kMorselRows);
+    std::vector<Status> statuses(morsels, Status::OK());
+    ParallelForMorsels(rows_.size(), kMorselRows, num_threads,
+                       [&](size_t m, size_t begin, size_t end) {
+                         statuses[m] = compute_range(begin, end);
+                       });
+    MR_RETURN_IF_ERROR(FirstError(statuses));
+    NoteWorkers(MorselWorkers(rows_.size(), num_threads));
+    NoteDrivenMorsels(static_cast<int64_t>(morsels));
+  } else {
+    MR_RETURN_IF_ERROR(compute_range(0, rows_.size()));
   }
   std::stable_sort(keyed.begin(), keyed.end(),
                    [this](const auto& a, const auto& b) {

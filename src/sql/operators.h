@@ -1,6 +1,7 @@
 #ifndef MINERULE_SQL_OPERATORS_H_
 #define MINERULE_SQL_OPERATORS_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -16,6 +17,16 @@
 #include "sql/expr_eval.h"
 
 namespace minerule::sql {
+
+/// Rows per morsel for morsel-driven parallel execution (DESIGN.md §9).
+/// Morsel boundaries are a pure function of the input size, never of the
+/// thread count, so per-morsel results merged in morsel order are
+/// bit-identical at any parallelism.
+inline constexpr size_t kMorselRows = 1024;
+
+/// Partition fanout of the parallel hash-join build (DESIGN.md §9). Fixed so
+/// the partition assignment of a key never depends on the thread count.
+inline constexpr size_t kJoinPartitions = 16;
 
 /// Execution statistics for one operator, snapshotted from an executed plan
 /// (EXPLAIN ANALYZE, preprocess query profiles).
@@ -37,6 +48,15 @@ struct OperatorProfile {
 /// EnableTimingTree, accumulate wall time. Timing is *inclusive*: a parent
 /// pulls from its children inside NextImpl, so child time is counted in the
 /// parent as well (like EXPLAIN ANALYZE's "actual time" in most engines).
+///
+/// Morsel protocol (DESIGN.md §9): nodes that can evaluate disjoint input
+/// ranges independently report SupportsMorsels() and serve RunMorsel(begin,
+/// end) calls from concurrent workers. A driver (CollectRowsParallel or a
+/// pipeline-breaking parent) claims morsels over [0, MorselInputRows()) and
+/// concatenates the per-morsel outputs in morsel order, which reproduces the
+/// serial row order exactly. A plan is driven either through Next() or
+/// through RunMorsel(), never both at once. The row/time counters are
+/// relaxed atomics so concurrent morsels on a fused chain stay race-free.
 class ExecNode {
  public:
   explicit ExecNode(Schema schema) : schema_(std::move(schema)) {}
@@ -49,7 +69,7 @@ class ExecNode {
     if (!timing_) return OpenImpl();
     Stopwatch watch;
     Status status = OpenImpl();
-    micros_ += watch.ElapsedMicros();
+    micros_.fetch_add(watch.ElapsedMicros(), std::memory_order_relaxed);
     return status;
   }
 
@@ -57,15 +77,59 @@ class ExecNode {
   Result<bool> Next(Row* out) {
     if (!timing_) {
       Result<bool> more = NextImpl(out);
-      if (more.ok() && *more) ++rows_out_;
+      if (more.ok() && *more) rows_out_.fetch_add(1, std::memory_order_relaxed);
       return more;
     }
     Stopwatch watch;
     Result<bool> more = NextImpl(out);
-    micros_ += watch.ElapsedMicros();
-    if (more.ok() && *more) ++rows_out_;
+    micros_.fetch_add(watch.ElapsedMicros(), std::memory_order_relaxed);
+    if (more.ok() && *more) rows_out_.fetch_add(1, std::memory_order_relaxed);
     return more;
   }
+
+  /// True when this node can serve RunMorsel calls. Only meaningful after
+  /// Open() (a HashJoin, for instance, decides at Open whether it
+  /// materialized its probe side). Implies the served subtree is free of
+  /// side-effecting expressions (NEXTVAL).
+  virtual bool SupportsMorsels() const { return false; }
+
+  /// Number of input rows morsel ranges are defined over; valid after
+  /// Open(). RunMorsel may emit fewer or more rows than the range covers
+  /// (filters drop, joins multiply).
+  virtual size_t MorselInputRows() const { return 0; }
+
+  /// Evaluates input range [begin, end) and appends the resulting rows to
+  /// *out. Safe to call concurrently for disjoint ranges after Open().
+  /// Counts rows/time like Next() (relaxed atomics) and tallies the morsel.
+  Status RunMorsel(size_t begin, size_t end, std::vector<Row>* out) {
+    const size_t before = out->size();
+    if (!timing_) {
+      Status status = EvaluateMorselImpl(begin, end, out);
+      if (status.ok()) CountMorsel(static_cast<int64_t>(out->size() - before));
+      return status;
+    }
+    Stopwatch watch;
+    Status status = EvaluateMorselImpl(begin, end, out);
+    micros_.fetch_add(watch.ElapsedMicros(), std::memory_order_relaxed);
+    if (status.ok()) CountMorsel(static_cast<int64_t>(out->size() - before));
+    return status;
+  }
+
+  /// True when executing this subtree has no observable side effects — no
+  /// NEXTVAL anywhere in its expressions. Plan-static (valid before Open).
+  /// Lets a hash join skip its probe side entirely when the build side is
+  /// empty. Conservative default: assume side effects.
+  virtual bool SideEffectFree() const { return false; }
+
+  /// Estimated number of output rows before execution, for sizing hash
+  /// tables; -1 when unknown. Leaf scans know their size exactly; filters
+  /// and projections forward the child's estimate as an upper bound.
+  virtual int64_t EstimatedRowCount() const { return -1; }
+
+  /// Records the number of workers that drove this node in parallel (max
+  /// over recordings). Nodes that delegate morsels to a child (Filter,
+  /// Project) forward the recording down the fused chain.
+  virtual void RecordParallelWorkers(int workers) { NoteWorkers(workers); }
 
   const Schema& schema() const { return schema_; }
 
@@ -84,8 +148,18 @@ class ExecNode {
   virtual void AppendExtraCounters(
       std::vector<std::pair<std::string, int64_t>>* /*out*/) const {}
 
-  int64_t rows_out() const { return rows_out_; }
-  int64_t micros() const { return micros_; }
+  int64_t rows_out() const { return rows_out_.load(std::memory_order_relaxed); }
+  int64_t micros() const { return micros_.load(std::memory_order_relaxed); }
+
+  /// Morsels this node evaluated (via RunMorsel) or drove over its input
+  /// (pipeline breakers aggregating child morsels); 0 on the serial path.
+  int64_t parallel_morsels() const {
+    return morsels_.load(std::memory_order_relaxed);
+  }
+  /// Max worker count recorded for this node; 0 on the serial path.
+  int parallel_workers() const {
+    return workers_.load(std::memory_order_relaxed);
+  }
 
   /// Turns per-operator wall-time accounting on/off for this whole subtree.
   void EnableTimingTree(bool enabled) {
@@ -97,18 +171,55 @@ class ExecNode {
   virtual Status OpenImpl() = 0;
   virtual Result<bool> NextImpl(Row* out) = 0;
 
+  /// Morsel evaluation body; only reached when SupportsMorsels() is true.
+  virtual Status EvaluateMorselImpl(size_t /*begin*/, size_t /*end*/,
+                                    std::vector<Row>* /*out*/) {
+    return Status::Internal(std::string(name()) +
+                            " does not support morsel evaluation");
+  }
+
+  /// Max-updates the recorded worker count (relaxed CAS loop).
+  void NoteWorkers(int workers) {
+    int seen = workers_.load(std::memory_order_relaxed);
+    while (workers > seen &&
+           !workers_.compare_exchange_weak(seen, workers,
+                                           std::memory_order_relaxed)) {
+    }
+  }
+
+  /// For pipeline breakers that drive their child by morsels internally:
+  /// tallies the morsels processed on this node's own counter.
+  void NoteDrivenMorsels(int64_t morsels) {
+    morsels_.fetch_add(morsels, std::memory_order_relaxed);
+  }
+
   Schema schema_;
 
  private:
+  void CountMorsel(int64_t rows_added) {
+    rows_out_.fetch_add(rows_added, std::memory_order_relaxed);
+    morsels_.fetch_add(1, std::memory_order_relaxed);
+  }
+
   bool timing_ = false;
-  int64_t rows_out_ = 0;
-  int64_t micros_ = 0;
+  std::atomic<int64_t> rows_out_{0};
+  std::atomic<int64_t> micros_{0};
+  std::atomic<int64_t> morsels_{0};
+  std::atomic<int> workers_{0};
 };
 
 using ExecNodePtr = std::unique_ptr<ExecNode>;
 
 /// Drains a plan into a vector of rows.
 Result<std::vector<Row>> CollectRows(ExecNode* node);
+
+/// Drains a plan into a vector of rows, claiming fixed-size morsels with up
+/// to `num_threads` workers when the (opened) root supports morsels, and
+/// falling back to the serial drain otherwise. The per-morsel outputs are
+/// concatenated in morsel order, so the result is bit-identical to
+/// CollectRows at every thread count. num_threads == 1 is exactly the
+/// serial path; <= 0 means hardware concurrency.
+Result<std::vector<Row>> CollectRowsParallel(ExecNode* node, int num_threads);
 
 /// Pre-order flattening of the plan's statistics (root first, children at
 /// depth + 1). Call after execution for meaningful rows/micros.
@@ -126,10 +237,16 @@ class TableScanNode : public ExecNode {
   explicit TableScanNode(std::shared_ptr<Table> table);
   const char* name() const override { return "TableScan"; }
   std::string detail() const override;
+  bool SupportsMorsels() const override { return true; }
+  size_t MorselInputRows() const override { return snapshot_size_; }
+  bool SideEffectFree() const override { return true; }
+  int64_t EstimatedRowCount() const override;
 
  protected:
   Status OpenImpl() override;
   Result<bool> NextImpl(Row* out) override;
+  Status EvaluateMorselImpl(size_t begin, size_t end,
+                            std::vector<Row>* out) override;
 
  private:
   std::shared_ptr<Table> table_;
@@ -144,35 +261,63 @@ class RowsNode : public ExecNode {
   RowsNode(Schema schema, std::vector<Row> rows);
   const char* name() const override { return "Rows"; }
   std::string detail() const override;
+  bool SupportsMorsels() const override { return true; }
+  size_t MorselInputRows() const override { return rows_.size(); }
+  bool SideEffectFree() const override { return true; }
+  int64_t EstimatedRowCount() const override {
+    return static_cast<int64_t>(rows_.size());
+  }
 
  protected:
   Status OpenImpl() override;
   Result<bool> NextImpl(Row* out) override;
+  Status EvaluateMorselImpl(size_t begin, size_t end,
+                            std::vector<Row>* out) override;
 
  private:
   std::vector<Row> rows_;
   size_t pos_ = 0;
 };
 
-/// WHERE / HAVING filter.
+/// WHERE / HAVING filter. Fuses with a morsel-capable child: a morsel is
+/// evaluated by pulling the child's range and filtering it in place, so
+/// scan+filter run in the same worker without materialization in between.
 class FilterNode : public ExecNode {
  public:
   FilterNode(ExecNodePtr child, ExprPtr predicate, ExecContext* ctx);
   const char* name() const override { return "Filter"; }
   std::string detail() const override;
   std::vector<ExecNode*> children() override { return {child_.get()}; }
+  bool SupportsMorsels() const override {
+    return pure_ && child_->SupportsMorsels();
+  }
+  size_t MorselInputRows() const override { return child_->MorselInputRows(); }
+  bool SideEffectFree() const override {
+    return pure_ && child_->SideEffectFree();
+  }
+  int64_t EstimatedRowCount() const override {
+    return child_->EstimatedRowCount();  // upper bound (filter only drops)
+  }
+  void RecordParallelWorkers(int workers) override {
+    NoteWorkers(workers);
+    child_->RecordParallelWorkers(workers);
+  }
 
  protected:
   Status OpenImpl() override;
   Result<bool> NextImpl(Row* out) override;
+  Status EvaluateMorselImpl(size_t begin, size_t end,
+                            std::vector<Row>* out) override;
 
  private:
   ExecNodePtr child_;
   ExprPtr predicate_;
   ExecContext* ctx_;
+  bool pure_ = false;  // predicate free of NEXTVAL
 };
 
-/// SELECT-list projection (expressions already bound / rewritten).
+/// SELECT-list projection (expressions already bound / rewritten). Fuses
+/// with a morsel-capable child like FilterNode.
 class ProjectNode : public ExecNode {
  public:
   ProjectNode(ExecNodePtr child, std::vector<ExprPtr> exprs, Schema out_schema,
@@ -180,15 +325,32 @@ class ProjectNode : public ExecNode {
   const char* name() const override { return "Project"; }
   std::string detail() const override;
   std::vector<ExecNode*> children() override { return {child_.get()}; }
+  bool SupportsMorsels() const override {
+    return pure_ && child_->SupportsMorsels();
+  }
+  size_t MorselInputRows() const override { return child_->MorselInputRows(); }
+  bool SideEffectFree() const override {
+    return pure_ && child_->SideEffectFree();
+  }
+  int64_t EstimatedRowCount() const override {
+    return child_->EstimatedRowCount();  // exact: projection is 1:1
+  }
+  void RecordParallelWorkers(int workers) override {
+    NoteWorkers(workers);
+    child_->RecordParallelWorkers(workers);
+  }
 
  protected:
   Status OpenImpl() override;
   Result<bool> NextImpl(Row* out) override;
+  Status EvaluateMorselImpl(size_t begin, size_t end,
+                            std::vector<Row>* out) override;
 
  private:
   ExecNodePtr child_;
   std::vector<ExprPtr> exprs_;
   ExecContext* ctx_;
+  bool pure_ = false;  // all projections free of NEXTVAL
 };
 
 /// Nested-loop join with optional residual predicate evaluated over the
@@ -202,6 +364,9 @@ class NestedLoopJoinNode : public ExecNode {
   std::vector<ExecNode*> children() override {
     return {left_.get(), right_.get()};
   }
+  bool SideEffectFree() const override {
+    return pure_ && left_->SideEffectFree() && right_->SideEffectFree();
+  }
   void AppendExtraCounters(
       std::vector<std::pair<std::string, int64_t>>* out) const override;
 
@@ -214,6 +379,7 @@ class NestedLoopJoinNode : public ExecNode {
   ExecNodePtr right_;
   ExprPtr predicate_;  // may be null (cross join)
   ExecContext* ctx_;
+  bool pure_ = false;
   std::vector<Row> right_rows_;
   Row current_left_;
   bool have_left_ = false;
@@ -224,6 +390,16 @@ class NestedLoopJoinNode : public ExecNode {
 /// `right_keys`, probes with `left_keys`. A residual predicate (the
 /// non-equi part of the join condition) filters matches. SQL semantics:
 /// NULL keys never match.
+///
+/// Parallel mode (ctx->num_threads != 1, expressions NEXTVAL-free): the
+/// build side is materialized and split into kJoinPartitions per-partition
+/// hash tables built concurrently (one task per partition, each scanning
+/// the build rows in index order so bucket contents match the serial
+/// insertion order); the probe side is materialized and this node becomes a
+/// morsel source — each morsel probes a row range of the probe side, so a
+/// fused parent (or CollectRowsParallel) parallelizes the probe. An empty
+/// build side skips the probe-side scan entirely when that subtree is
+/// side-effect free.
 class HashJoinNode : public ExecNode {
  public:
   HashJoinNode(ExecNodePtr left, ExecNodePtr right,
@@ -234,16 +410,29 @@ class HashJoinNode : public ExecNode {
   std::vector<ExecNode*> children() override {
     return {left_.get(), right_.get()};
   }
+  bool SupportsMorsels() const override { return parallel_; }
+  size_t MorselInputRows() const override { return left_rows_.size(); }
+  bool SideEffectFree() const override {
+    return pure_ && left_->SideEffectFree() && right_->SideEffectFree();
+  }
   void AppendExtraCounters(
       std::vector<std::pair<std::string, int64_t>>* out) const override;
 
  protected:
   Status OpenImpl() override;
   Result<bool> NextImpl(Row* out) override;
+  Status EvaluateMorselImpl(size_t begin, size_t end,
+                            std::vector<Row>* out) override;
 
  private:
+  using JoinTable = std::unordered_map<Row, std::vector<Row>, RowHash, RowEq>;
+
   Result<bool> ComputeKey(const std::vector<ExprPtr>& exprs, const Row& row,
                           Row* key) const;
+  const std::vector<Row>* FindBucket(const Row& key) const;
+  Status BuildParallel(int num_threads);
+  Result<bool> PullLeft(Row* out);
+  Status ProbeRow(const Row& left_row, Row* key, std::vector<Row>* out);
 
   ExecNodePtr left_;
   ExecNodePtr right_;
@@ -251,7 +440,13 @@ class HashJoinNode : public ExecNode {
   std::vector<ExprPtr> right_keys_;
   ExprPtr residual_;  // may be null
   ExecContext* ctx_;
-  std::unordered_map<Row, std::vector<Row>, RowHash, RowEq> hash_table_;
+  bool pure_ = false;      // keys + residual free of NEXTVAL
+  bool parallel_ = false;  // decided at Open()
+  bool probe_skipped_ = false;
+  JoinTable hash_table_;               // serial mode
+  std::vector<JoinTable> partitions_;  // parallel mode, size kJoinPartitions
+  std::vector<Row> left_rows_;         // parallel mode: materialized probe side
+  size_t left_pos_ = 0;
   int64_t build_rows_ = 0;
   Row current_left_;
   const std::vector<Row>* current_bucket_ = nullptr;
@@ -269,6 +464,15 @@ struct AggSpec {
 /// aggregate results, matching the slot rewriting done by the planner.
 /// With no group expressions it emits exactly one row (global aggregate),
 /// even over empty input.
+///
+/// Parallel mode (ctx->num_threads != 1, morsel-capable child, expressions
+/// NEXTVAL-free, and every aggregate merge-exact per
+/// AggAccumulator::MergeIsExact): workers aggregate child morsels into
+/// thread-local tables which are then folded together in ascending morsel
+/// order — a group's position is its (first morsel, first local index),
+/// i.e. its global first occurrence, so the emission order and every
+/// accumulator value are bit-identical to the serial pass. SUM/AVG are
+/// order-sensitive and keep the serial path.
 class HashAggregateNode : public ExecNode {
  public:
   HashAggregateNode(ExecNodePtr child, std::vector<ExprPtr> group_exprs,
@@ -277,6 +481,9 @@ class HashAggregateNode : public ExecNode {
   const char* name() const override { return "HashAggregate"; }
   std::string detail() const override;
   std::vector<ExecNode*> children() override { return {child_.get()}; }
+  bool SideEffectFree() const override {
+    return pure_ && child_->SideEffectFree();
+  }
   void AppendExtraCounters(
       std::vector<std::pair<std::string, int64_t>>* out) const override;
 
@@ -285,20 +492,32 @@ class HashAggregateNode : public ExecNode {
   Result<bool> NextImpl(Row* out) override;
 
  private:
+  struct GroupTable;  // local to operators.cc
+
+  std::vector<AggAccumulator> MakeAccumulators() const;
+  Status AggregateSerial(GroupTable* groups);
+  Status AggregateParallel(int num_threads, GroupTable* groups);
+
   ExecNodePtr child_;
   std::vector<ExprPtr> group_exprs_;
   std::vector<AggSpec> aggs_;
   ExecContext* ctx_;
+  bool pure_ = false;        // group + agg expressions free of NEXTVAL
+  bool merge_exact_ = false; // every aggregate is exactly mergeable
   std::vector<Row> results_;
   size_t pos_ = 0;
 };
 
-/// Streaming hash-based DISTINCT.
+/// Hash-based DISTINCT. Serial mode streams (emit on first sight); parallel
+/// mode (ctx->num_threads != 1, morsel-capable child) deduplicates child
+/// morsels locally and folds the survivors in morsel order through a global
+/// seen-set, reproducing the serial first-seen emission order exactly.
 class DistinctNode : public ExecNode {
  public:
-  explicit DistinctNode(ExecNodePtr child);
+  DistinctNode(ExecNodePtr child, ExecContext* ctx);
   const char* name() const override { return "Distinct"; }
   std::vector<ExecNode*> children() override { return {child_.get()}; }
+  bool SideEffectFree() const override { return child_->SideEffectFree(); }
 
  protected:
   Status OpenImpl() override;
@@ -306,10 +525,18 @@ class DistinctNode : public ExecNode {
 
  private:
   ExecNodePtr child_;
+  ExecContext* ctx_;
   std::unordered_set<Row, RowHash, RowEq> seen_;
+  bool materialized_ = false;  // parallel mode: results_ holds the output
+  std::vector<Row> results_;
+  size_t pos_ = 0;
 };
 
 /// ORDER BY: materializes and sorts at Open() using the total value order.
+/// std::stable_sort keeps input order among ties, so the output is a
+/// deterministic function of the input order alone. In parallel mode the
+/// input is materialized morsel-parallel and the sort keys are computed
+/// morsel-parallel into a pre-sized vector; the sort itself stays serial.
 class SortNode : public ExecNode {
  public:
   struct SortKey {
@@ -320,6 +547,9 @@ class SortNode : public ExecNode {
   const char* name() const override { return "Sort"; }
   std::string detail() const override;
   std::vector<ExecNode*> children() override { return {child_.get()}; }
+  bool SideEffectFree() const override {
+    return pure_ && child_->SideEffectFree();
+  }
 
  protected:
   Status OpenImpl() override;
@@ -329,17 +559,20 @@ class SortNode : public ExecNode {
   ExecNodePtr child_;
   std::vector<SortKey> keys_;
   ExecContext* ctx_;
+  bool pure_ = false;  // sort keys free of NEXTVAL
   std::vector<Row> rows_;
   size_t pos_ = 0;
 };
 
-/// LIMIT n.
+/// LIMIT n. Stays serial: stopping early is the whole point, so driving the
+/// child by morsels would evaluate rows the serial path never touches.
 class LimitNode : public ExecNode {
  public:
   LimitNode(ExecNodePtr child, int64_t limit);
   const char* name() const override { return "Limit"; }
   std::string detail() const override;
   std::vector<ExecNode*> children() override { return {child_.get()}; }
+  bool SideEffectFree() const override { return child_->SideEffectFree(); }
 
  protected:
   Status OpenImpl() override;

@@ -525,7 +525,7 @@ Result<PlannedSelect> Planner::PlanImpl(SelectStmt* stmt, int depth) {
                                        ctx_);
 
   if (stmt->distinct) {
-    node = std::make_unique<DistinctNode>(std::move(node));
+    node = std::make_unique<DistinctNode>(std::move(node), ctx_);
   }
 
   if (!sort_keys.empty()) {
