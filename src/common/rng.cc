@@ -1,0 +1,29 @@
+#include "common/rng.h"
+
+namespace minerule {
+
+namespace {
+
+/// SplitMix64 finalizer (also used by Random's seeding); full-avalanche, so
+/// nearby (root, purpose, index) keys land on unrelated seeds.
+uint64_t Mix(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+uint64_t DeriveStreamSeed(uint64_t root_seed, std::string_view purpose,
+                          uint64_t index) {
+  // FNV-1a over the label, seeded with the root.
+  uint64_t h = 0xcbf29ce484222325ULL ^ Mix(root_seed);
+  for (char c : purpose) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  h ^= Mix(index + 0x9e3779b97f4a7c15ULL);
+  return Mix(h);
+}
+
+}  // namespace minerule

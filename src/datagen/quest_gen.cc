@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "common/random.h"
+#include "common/rng.h"
 
 namespace minerule::datagen {
 
@@ -59,8 +59,14 @@ std::vector<Pattern> BuildPatterns(const QuestParams& params, Random* rng) {
 
 std::vector<mining::Itemset> GenerateQuestTransactions(
     const QuestParams& params) {
-  Random rng(params.seed);
-  std::vector<Pattern> patterns = BuildPatterns(params, &rng);
+  // Purpose-split streams (common/rng.h): the pattern table and the
+  // transaction draws come from independent streams, so the transaction
+  // sequence depends on the pattern *table*, never on how many random draws
+  // building it consumed.
+  StreamRng streams(params.seed);
+  Random pattern_rng = streams.Stream("quest/patterns");
+  Random rng = streams.Stream("quest/transactions");
+  std::vector<Pattern> patterns = BuildPatterns(params, &pattern_rng);
 
   // Cumulative weights for pattern selection.
   std::vector<double> cumulative;

@@ -5,7 +5,7 @@
 #include <string>
 #include <vector>
 
-#include "common/random.h"
+#include "common/rng.h"
 #include "relational/date.h"
 
 namespace minerule::datagen {
@@ -26,7 +26,11 @@ Result<std::shared_ptr<Table>> GenerateRetailTable(
                       catalog->CreateTable(name, schema));
   MR_ASSIGN_OR_RETURN(int32_t start_day, date::Parse(params.start_date));
 
-  Random rng(params.seed);
+  // Purpose-split streams (common/rng.h): the item universe and each
+  // customer's history draw from independent streams, so growing
+  // num_customers appends customers without reshuffling existing ones.
+  StreamRng streams(params.seed);
+  Random item_rng = streams.Stream("retail/items");
 
   // Item universe: stable names and prices. The first `expensive_fraction`
   // of items cost 100..500, the rest 5..95.
@@ -39,19 +43,20 @@ Result<std::shared_ptr<Table>> GenerateRetailTable(
     const bool expensive = i < num_expensive;
     item_names[i] = (expensive ? "gear_" : "accessory_") + std::to_string(i);
     item_prices[i] = expensive
-                         ? 100.0 + static_cast<double>(rng.NextBounded(401))
-                         : 5.0 + static_cast<double>(rng.NextBounded(91));
+                         ? 100.0 + static_cast<double>(item_rng.NextBounded(401))
+                         : 5.0 + static_cast<double>(item_rng.NextBounded(91));
   }
   // Fixed follow-up map: each expensive item has a matching cheap item that
   // tends to be bought on a later visit (the temporal pattern).
   std::vector<int64_t> follow_up(num_expensive);
   for (int64_t i = 0; i < num_expensive; ++i) {
     follow_up[i] =
-        num_expensive + rng.NextBounded(params.num_items - num_expensive);
+        num_expensive + item_rng.NextBounded(params.num_items - num_expensive);
   }
 
   int64_t next_tr = 1;
   for (int64_t c = 0; c < params.num_customers; ++c) {
+    Random rng = streams.Stream("retail/customer", static_cast<uint64_t>(c));
     const std::string customer = "cust" + std::to_string(c + 1);
     const int visits =
         std::max(1, rng.NextPoisson(params.visits_per_customer - 1) + 1);
@@ -72,8 +77,11 @@ Result<std::shared_ptr<Table>> GenerateRetailTable(
         if (rng.NextBool(params.follow_up_probability)) bought.insert(item);
       }
       pending_follow_ups.clear();
+      // The basket is a set, so it can never hold more than the item
+      // universe; an unclamped Poisson draw would spin forever.
       const int count =
-          std::max(1, rng.NextPoisson(params.items_per_visit - 1) + 1);
+          std::min(static_cast<int>(params.num_items),
+                   std::max(1, rng.NextPoisson(params.items_per_visit - 1) + 1));
       while (static_cast<int>(bought.size()) < count) {
         const int64_t item = rng.NextBounded(params.num_items);
         bought.insert(item);

@@ -1,0 +1,245 @@
+#include "fuzz/harness.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "engine/data_mining_system.h"
+#include "fuzz/statement_gen.h"
+#include "minerule/parser.h"
+#include "minerule/translator.h"
+
+namespace minerule::fuzz {
+
+namespace {
+
+constexpr char kDirectiveLetters[] = "HWMGCKFR";
+
+uint64_t Fnv1a(uint64_t h, std::string_view bytes) {
+  for (char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+WorkloadSpec RandomSpec(StreamRng* case_rng) {
+  Random rng = case_rng->Stream("workload");
+  WorkloadSpec spec;
+  const uint64_t shape = rng.NextBounded(10);
+  spec.shape = shape < 3   ? WorkloadShape::kPaperExample
+               : shape < 7 ? WorkloadShape::kQuest
+                           : WorkloadShape::kRetail;
+  spec.num_groups = 4 + static_cast<int64_t>(rng.NextBounded(20));
+  spec.num_items = 4 + static_cast<int64_t>(rng.NextBounded(7));
+  spec.null_fraction = rng.NextBool(0.3) ? 0.2 : 0.0;
+  spec.dup_fraction = rng.NextBool(0.3) ? 0.3 : 0.0;
+  spec.empty_groups = rng.NextBool(0.3) ? 1 + rng.NextBounded(2) : 0;
+  spec.seed = case_rng->Stream("workload-seed").NextUint64();
+  return spec;
+}
+
+/// Post-translate failures a mutant may legitimately hit at runtime
+/// (data-dependent typing); everything else after a translator accept is an
+/// accept/reject disagreement.
+bool TolerableRuntimeReject(StatusCode code) {
+  return code == StatusCode::kTypeError || code == StatusCode::kExecutionError;
+}
+
+}  // namespace
+
+bool FuzzReport::AllDirectiveBitsCovered() const {
+  for (char bit : std::string(kDirectiveLetters)) {
+    auto set = directive_set.find(bit);
+    auto unset = directive_unset.find(bit);
+    if (set == directive_set.end() || set->second == 0) return false;
+    if (unset == directive_unset.end() || unset->second == 0) return false;
+  }
+  return true;
+}
+
+std::string FuzzReport::Summary() const {
+  std::ostringstream out;
+  out << "cases=" << cases_run << " executed=" << statements_executed
+      << " rejected=" << statements_rejected << " mutants=" << mutants_run
+      << " (rejected " << mutants_rejected << ")\n";
+  out << "directive coverage (set/unset among executed):";
+  for (char bit : std::string(kDirectiveLetters)) {
+    auto set = directive_set.find(bit);
+    auto unset = directive_unset.find(bit);
+    out << ' ' << bit << '=' << (set == directive_set.end() ? 0 : set->second)
+        << '/' << (unset == directive_unset.end() ? 0 : unset->second);
+  }
+  out << "\nroutes:";
+  for (const auto& [route, count] : route_counts) {
+    out << ' ' << route << '=' << count;
+  }
+  out << "\nfailures=" << failures.size();
+  for (const FailureRecord& failure : failures) {
+    out << "\n  [" << failure.check << "] "
+        << (failure.repro_path.empty() ? "" : failure.repro_path + " ")
+        << failure.detail.substr(0, 160);
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "0x%016llx",
+                static_cast<unsigned long long>(digest));
+  out << "\ndigest=" << buf;
+  return out.str();
+}
+
+Result<FuzzReport> RunFuzz(const FuzzOptions& options) {
+  FuzzReport report;
+  uint64_t digest = 0xcbf29ce484222325ULL;
+  StreamRng root(options.seed);
+
+  for (int case_index = 0; case_index < options.cases; ++case_index) {
+    if (static_cast<int>(report.failures.size()) >= options.max_failures) {
+      break;
+    }
+    StreamRng case_rng = root.Split("case", static_cast<uint64_t>(case_index));
+    const WorkloadSpec spec = RandomSpec(&case_rng);
+    Random stmt_rng = case_rng.Stream("statement");
+    const GeneratedStatement generated =
+        GenerateStatement(ProfileFor(spec), &stmt_rng);
+    ++report.cases_run;
+    if (options.verbose) {
+      std::fprintf(stderr, "[fuzz] case %d workload %s\n%s\n", case_index,
+                   spec.Serialize().c_str(), generated.text.c_str());
+    }
+
+    MR_ASSIGN_OR_RETURN(CaseOutcome outcome,
+                        RunCase(spec, generated.text, options.oracle));
+    digest = Fnv1a(digest, "case " + std::to_string(case_index));
+    digest = Fnv1a(digest,
+                   outcome.executed ? outcome.baseline_dump
+                                    : outcome.reject_reason);
+
+    auto record_failure = [&](const std::string& check,
+                              const std::string& detail,
+                              const std::string& statement) {
+      FailureRecord record;
+      record.repro = {spec, statement};
+      record.check = check;
+      record.detail = detail;
+      if (options.minimize_failures) {
+        Result<MinimizeResult> minimized =
+            MinimizeCase(record.repro, options.oracle);
+        if (minimized.ok()) record.repro = minimized->minimized;
+      }
+      if (!options.repro_dir.empty()) {
+        const std::string path = options.repro_dir + "/fuzz_" + check + "_" +
+                                 std::to_string(case_index) + ".repro";
+        if (WriteReproFile(path, record.repro, check + "\n" + detail).ok()) {
+          record.repro_path = path;
+        }
+      }
+      report.failures.push_back(std::move(record));
+    };
+
+    // A generated statement is valid by construction: any reject is a
+    // generator/translator disagreement worth surfacing.
+    if (!outcome.executed) {
+      ++report.statements_rejected;
+      record_failure("generated-rejected",
+                     outcome.reject_stage + ": " + outcome.reject_reason,
+                     generated.text);
+    } else {
+      ++report.statements_executed;
+      if (outcome.directives != generated.expected.ToString()) {
+        record_failure("directive-mismatch",
+                       "generator expected " + generated.expected.ToString() +
+                           ", translator classified " + outcome.directives,
+                       generated.text);
+      }
+      for (size_t i = 0; i < outcome.directives.size() && i < 8; ++i) {
+        const char letter = kDirectiveLetters[i];
+        if (outcome.directives[i] == letter) {
+          ++report.directive_set[letter];
+        } else {
+          ++report.directive_unset[letter];
+        }
+      }
+      for (const std::string& route : outcome.routes) {
+        ++report.route_counts[route];
+      }
+      for (const OracleFailure& failure : outcome.failures) {
+        record_failure(failure.check, failure.detail, generated.text);
+      }
+    }
+
+    // Near-miss mutants: must be rejected cleanly or executed cleanly;
+    // the translator is the last gate allowed to say no.
+    if (options.mutants_per_case > 0) {
+      Random mutant_rng = case_rng.Stream("mutants");
+      Catalog catalog;
+      MR_RETURN_IF_ERROR(BuildWorkload(&catalog, spec).status());
+      for (const std::string& mutant :
+           MutateStatement(generated.text, &mutant_rng,
+                           options.mutants_per_case)) {
+        ++report.mutants_run;
+        digest = Fnv1a(digest, mutant);
+        Result<mr::MineRuleStatement> parsed = mr::ParseMineRule(mutant);
+        if (!parsed.ok()) {
+          ++report.mutants_rejected;
+          digest = Fnv1a(digest, parsed.status().ToString());
+          continue;
+        }
+        mr::Translator translator(&catalog);
+        Result<mr::Translation> translation = translator.Translate(*parsed);
+        if (!translation.ok()) {
+          ++report.mutants_rejected;
+          digest = Fnv1a(digest, translation.status().ToString());
+          continue;
+        }
+        mr::DataMiningSystem system(&catalog);
+        mr::MiningOptions exec_options;
+        exec_options.num_threads = 1;
+        Result<mr::MiningRunStats> stats =
+            system.ExecuteStatement(*parsed, exec_options);
+        if (stats.ok()) {
+          digest = Fnv1a(digest, "mutant-ok");
+          continue;
+        }
+        digest = Fnv1a(digest, stats.status().ToString());
+        if (TolerableRuntimeReject(stats.status().code())) {
+          ++report.mutants_rejected;
+          continue;
+        }
+        record_failure("accept-reject-disagreement",
+                       "translator accepted but execution failed with " +
+                           stats.status().ToString(),
+                       mutant);
+      }
+    }
+  }
+  report.digest = digest;
+  return report;
+}
+
+Result<FuzzCase> ReadReproFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open repro file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return FuzzCase::Parse(buffer.str());
+}
+
+Status WriteReproFile(const std::string& path, const FuzzCase& repro,
+                      const std::string& comment) {
+  std::ofstream out(path);
+  if (!out) return Status::InvalidArgument("cannot write repro file: " + path);
+  out << repro.Serialize(comment);
+  return out ? Status::OK()
+             : Status::InvalidArgument("short write: " + path);
+}
+
+Result<CaseOutcome> ReplayReproFile(const std::string& path,
+                                    const OracleOptions& options) {
+  MR_ASSIGN_OR_RETURN(FuzzCase repro, ReadReproFile(path));
+  return RunCase(repro.spec, repro.statement, options);
+}
+
+}  // namespace minerule::fuzz

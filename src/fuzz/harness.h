@@ -1,0 +1,77 @@
+#ifndef MINERULE_FUZZ_HARNESS_H_
+#define MINERULE_FUZZ_HARNESS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "fuzz/minimizer.h"
+#include "fuzz/oracle.h"
+
+namespace minerule::fuzz {
+
+struct FuzzOptions {
+  uint64_t seed = 1;
+  int cases = 100;
+  /// Near-miss mutants probed per generated statement (parser/translator
+  /// robustness + accept/reject agreement).
+  int mutants_per_case = 3;
+  OracleOptions oracle;
+  /// When non-empty, every failing case is written here as a repro file
+  /// (minimized first when `minimize_failures` is set).
+  std::string repro_dir;
+  bool minimize_failures = true;
+  /// Stop fuzzing after this many failing cases.
+  int max_failures = 16;
+  bool verbose = false;
+};
+
+struct FailureRecord {
+  FuzzCase repro;
+  std::string check;
+  std::string detail;
+  std::string repro_path;  // where the repro file landed, if written
+};
+
+struct FuzzReport {
+  int cases_run = 0;
+  int statements_executed = 0;
+  int statements_rejected = 0;
+  int mutants_run = 0;
+  int mutants_rejected = 0;
+  /// Executed-statement count per directive bit, set and unset — the CI
+  /// smoke asserts every bit was seen both ways.
+  std::map<char, int> directive_set;
+  std::map<char, int> directive_unset;
+  /// How often each oracle route ran.
+  std::map<std::string, int> route_counts;
+  std::vector<FailureRecord> failures;
+  /// FNV-1a over every case's baseline output (or reject reason): two runs
+  /// with the same seed and options produce the same digest, bit for bit.
+  uint64_t digest = 0;
+
+  bool AllDirectiveBitsCovered() const;
+  std::string Summary() const;
+};
+
+/// Runs the full fuzz loop: seeded workload + statement generation, the
+/// differential oracle on every valid statement, near-miss mutants through
+/// parse/translate/execute, failure minimization and repro emission.
+Result<FuzzReport> RunFuzz(const FuzzOptions& options);
+
+/// Replays one repro file; returns the oracle outcome.
+Result<CaseOutcome> ReplayReproFile(const std::string& path,
+                                    const OracleOptions& options);
+
+/// Reads + parses a repro file.
+Result<FuzzCase> ReadReproFile(const std::string& path);
+
+/// Writes `repro` (with a comment header) to `path`.
+Status WriteReproFile(const std::string& path, const FuzzCase& repro,
+                      const std::string& comment);
+
+}  // namespace minerule::fuzz
+
+#endif  // MINERULE_FUZZ_HARNESS_H_

@@ -1,0 +1,227 @@
+#include "fuzz/minimizer.h"
+
+#include <algorithm>
+#include <functional>
+#include <vector>
+
+#include "common/string_util.h"
+#include "minerule/parser.h"
+
+namespace minerule::fuzz {
+
+namespace {
+
+std::string OneLine(const std::string& statement) {
+  std::string out = statement;
+  std::replace(out.begin(), out.end(), '\n', ' ');
+  return out;
+}
+
+/// Does `outcome` still exhibit a failure of the targeted kind? An empty
+/// target accepts any failure.
+bool StillFails(const CaseOutcome& outcome, const std::string& target) {
+  for (const OracleFailure& failure : outcome.failures) {
+    if (target.empty() || failure.check == target) return true;
+  }
+  return false;
+}
+
+/// Statement simplification candidates: each re-parses the current text,
+/// drops or simplifies one construct, and re-renders. Parsing fresh per
+/// candidate sidesteps MineRuleStatement being move-only.
+std::vector<std::string> StatementCandidates(const std::string& statement) {
+  std::vector<std::string> out;
+  auto variant =
+      [&](const std::function<bool(mr::MineRuleStatement&)>& mutate) {
+        Result<mr::MineRuleStatement> parsed = mr::ParseMineRule(statement);
+        if (!parsed.ok()) return;
+        if (!mutate(*parsed)) return;
+        std::string text = parsed->ToString();
+        if (text != statement) out.push_back(std::move(text));
+      };
+  variant([](mr::MineRuleStatement& s) {
+    if (s.mining_cond == nullptr) return false;
+    s.mining_cond = nullptr;
+    return true;
+  });
+  variant([](mr::MineRuleStatement& s) {
+    if (s.source_cond == nullptr) return false;
+    s.source_cond = nullptr;
+    return true;
+  });
+  variant([](mr::MineRuleStatement& s) {
+    if (s.group_cond == nullptr) return false;
+    s.group_cond = nullptr;
+    return true;
+  });
+  variant([](mr::MineRuleStatement& s) {
+    if (s.cluster_cond == nullptr) return false;
+    s.cluster_cond = nullptr;
+    return true;
+  });
+  variant([](mr::MineRuleStatement& s) {
+    if (s.cluster_attrs.empty()) return false;
+    s.cluster_attrs.clear();
+    s.cluster_cond = nullptr;
+    return true;
+  });
+  variant([](mr::MineRuleStatement& s) {
+    if (s.body_schema.size() <= 1) return false;
+    s.body_schema.resize(1);
+    return true;
+  });
+  variant([](mr::MineRuleStatement& s) {
+    if (s.head_schema.size() <= 1) return false;
+    s.head_schema.resize(1);
+    return true;
+  });
+  variant([](mr::MineRuleStatement& s) {
+    if (s.group_attrs.size() <= 1) return false;
+    s.group_attrs.resize(1);
+    return true;
+  });
+  variant([](mr::MineRuleStatement& s) {
+    if (s.body_card.min == 1 && s.body_card.max == -1) return false;
+    s.body_card = {1, -1};
+    return true;
+  });
+  variant([](mr::MineRuleStatement& s) {
+    if (s.head_card.min == 1 && s.head_card.max == 1) return false;
+    s.head_card = {1, 1};
+    return true;
+  });
+  variant([](mr::MineRuleStatement& s) {
+    if (s.head_schema == s.body_schema) return false;
+    s.head_schema = s.body_schema;
+    return true;
+  });
+  variant([](mr::MineRuleStatement& s) {
+    if (!s.select_support && !s.select_confidence) return false;
+    s.select_support = false;
+    s.select_confidence = false;
+    return true;
+  });
+  return out;
+}
+
+std::vector<WorkloadSpec> WorkloadCandidates(const WorkloadSpec& spec) {
+  std::vector<WorkloadSpec> out;
+  auto push = [&](WorkloadSpec candidate) {
+    if (candidate.Serialize() != spec.Serialize()) {
+      out.push_back(std::move(candidate));
+    }
+  };
+  WorkloadSpec half = spec;
+  half.num_groups = std::max<int64_t>(1, spec.num_groups / 2);
+  push(half);
+  WorkloadSpec fewer = spec;
+  fewer.num_items = std::max<int64_t>(2, spec.num_items / 2);
+  push(fewer);
+  WorkloadSpec plain = spec;
+  plain.null_fraction = 0;
+  push(plain);
+  plain = spec;
+  plain.dup_fraction = 0;
+  push(plain);
+  plain = spec;
+  plain.empty_groups = 0;
+  push(plain);
+  if (spec.shape != WorkloadShape::kPaperExample) {
+    WorkloadSpec paper = spec;
+    paper.shape = WorkloadShape::kPaperExample;
+    push(paper);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string FuzzCase::Serialize(const std::string& comment) const {
+  std::string out = "# minerule fuzz repro\n";
+  if (!comment.empty()) {
+    for (const std::string& line : Split(comment, '\n')) {
+      out += "# " + line + "\n";
+    }
+  }
+  out += "workload: " + spec.Serialize() + "\n";
+  out += "statement: " + OneLine(statement) + "\n";
+  return out;
+}
+
+Result<FuzzCase> FuzzCase::Parse(std::string_view text) {
+  FuzzCase out;
+  bool have_workload = false, have_statement = false;
+  for (const std::string& raw : Split(std::string(text), '\n')) {
+    const std::string line(StripWhitespace(raw));
+    if (line.empty() || line[0] == '#') continue;
+    if (StartsWithIgnoreCase(line, "workload:")) {
+      MR_ASSIGN_OR_RETURN(out.spec,
+                          WorkloadSpec::Parse(StripWhitespace(line.substr(9))));
+      have_workload = true;
+    } else if (StartsWithIgnoreCase(line, "statement:")) {
+      out.statement = StripWhitespace(line.substr(10));
+      have_statement = true;
+    } else {
+      return Status::InvalidArgument("unrecognized repro line: " + line);
+    }
+  }
+  if (!have_workload || !have_statement) {
+    return Status::InvalidArgument(
+        "repro needs both a workload: and a statement: line");
+  }
+  return out;
+}
+
+Result<MinimizeResult> MinimizeCase(const FuzzCase& failing,
+                                    const OracleOptions& options,
+                                    int max_steps) {
+  MinimizeResult result;
+  MR_ASSIGN_OR_RETURN(CaseOutcome outcome,
+                      RunCase(failing.spec, failing.statement, options));
+  if (outcome.failures.empty()) {
+    return Status::InvalidArgument(
+        "case does not fail under the given oracle options; nothing to "
+        "minimize");
+  }
+  result.check = outcome.failures[0].check;
+  result.minimized = failing;
+
+  bool improved = true;
+  while (improved && result.steps_tried < max_steps) {
+    improved = false;
+    // Workload shrinks first: a smaller dataset makes every subsequent
+    // statement probe cheaper.
+    for (const WorkloadSpec& candidate :
+         WorkloadCandidates(result.minimized.spec)) {
+      if (result.steps_tried >= max_steps) break;
+      ++result.steps_tried;
+      MR_ASSIGN_OR_RETURN(
+          CaseOutcome probe,
+          RunCase(candidate, result.minimized.statement, options));
+      if (StillFails(probe, result.check)) {
+        result.minimized.spec = candidate;
+        ++result.steps_accepted;
+        improved = true;
+        break;
+      }
+    }
+    if (improved) continue;
+    for (const std::string& candidate :
+         StatementCandidates(result.minimized.statement)) {
+      if (result.steps_tried >= max_steps) break;
+      ++result.steps_tried;
+      MR_ASSIGN_OR_RETURN(
+          CaseOutcome probe,
+          RunCase(result.minimized.spec, candidate, options));
+      if (StillFails(probe, result.check)) {
+        result.minimized.statement = candidate;
+        ++result.steps_accepted;
+        improved = true;
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace minerule::fuzz

@@ -1,0 +1,46 @@
+#ifndef MINERULE_FUZZ_MINIMIZER_H_
+#define MINERULE_FUZZ_MINIMIZER_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "fuzz/oracle.h"
+#include "fuzz/workload_gen.h"
+
+namespace minerule::fuzz {
+
+/// One replayable fuzz case: a seeded workload plus a statement. Serializes
+/// to the line-based repro format checked into tests/fuzz_corpus/:
+///
+///   # free-form comment lines
+///   workload: shape=quest;groups=8;items=8;null=0;dup=0;empty=0;seed=42
+///   statement: MINE RULE FuzzOut AS SELECT DISTINCT ...
+///
+struct FuzzCase {
+  WorkloadSpec spec;
+  std::string statement;
+
+  std::string Serialize(const std::string& comment = "") const;
+  static Result<FuzzCase> Parse(std::string_view text);
+};
+
+struct MinimizeResult {
+  FuzzCase minimized;
+  std::string check;  // the failure check the minimization preserved
+  int steps_tried = 0;
+  int steps_accepted = 0;
+};
+
+/// Greedily shrinks a failing case while the oracle keeps reporting a
+/// failure with the same check name: first the workload (fewer groups and
+/// items, perturbations off, simpler shape), then the statement (optional
+/// clauses dropped, attribute lists and cardinalities simplified). Returns
+/// an error if `failing` does not actually fail under `options`.
+Result<MinimizeResult> MinimizeCase(const FuzzCase& failing,
+                                    const OracleOptions& options,
+                                    int max_steps = 200);
+
+}  // namespace minerule::fuzz
+
+#endif  // MINERULE_FUZZ_MINIMIZER_H_

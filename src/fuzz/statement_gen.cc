@@ -1,0 +1,374 @@
+#include "fuzz/statement_gen.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace minerule::fuzz {
+
+namespace {
+
+template <typename T>
+const T& Pick(const std::vector<T>& options, Random* rng) {
+  return options[rng->NextBounded(options.size())];
+}
+
+bool Contains(const std::vector<std::string>& v, const std::string& s) {
+  return std::find(v.begin(), v.end(), s) != v.end();
+}
+
+/// Body/head cardinalities, biased toward the common shapes.
+std::string PickBodyCard(Random* rng) {
+  const uint64_t r = rng->NextBounded(100);
+  if (r < 30) return "1..1";
+  if (r < 50) return "1..2";
+  if (r < 85) return "1..n";
+  if (r < 95) return "2..2";
+  return "2..n";
+}
+
+std::string PickHeadCard(Random* rng) {
+  const uint64_t r = rng->NextBounded(100);
+  if (r < 60) return "1..1";
+  if (r < 75) return "1..2";
+  return "1..n";
+}
+
+/// A literal comparison on one BODY/HEAD-qualified attribute.
+std::string RoleLiteralCond(const std::string& role, const std::string& attr,
+                            Random* rng) {
+  if (attr == "item") {
+    return role + ".item <> '" +
+           Pick<std::string>({"ghost_item", "jackets", "item_1", "gear_0"},
+                             rng) +
+           "'";
+  }
+  if (attr == "qty") {
+    return role + ".qty " + Pick<std::string>({">= 1", "<= 2", "< 3"}, rng);
+  }
+  if (attr == "price") {
+    return role + ".price " +
+           Pick<std::string>({">= 10", "< 500", "<= 9999"}, rng);
+  }
+  // String-typed fallbacks (customer).
+  return role + "." + attr + " <> 'nobody'";
+}
+
+std::string MakeMiningCond(const std::vector<std::string>& body,
+                           const std::vector<std::string>& head,
+                           Random* rng) {
+  std::vector<std::string> candidates;
+  for (const std::string& attr : body) {
+    if (Contains(head, attr)) {
+      candidates.push_back("BODY." + attr + " <> HEAD." + attr);
+      if (attr != "item") {
+        candidates.push_back("BODY." + attr + " <= HEAD." + attr);
+      }
+    }
+  }
+  candidates.push_back(RoleLiteralCond("BODY", body[0], rng));
+  candidates.push_back(RoleLiteralCond("HEAD", head[0], rng));
+  std::string cond = Pick(candidates, rng);
+  if (rng->NextBool(0.2)) {
+    cond += " AND " + RoleLiteralCond("BODY", body[0], rng);
+  }
+  return cond;
+}
+
+std::string MakeSourceCond(Random* rng) {
+  const std::vector<std::string> templates = {
+      "price < " + Pick<std::string>({"150", "250", "400", "1000"}, rng),
+      "qty BETWEEN 1 AND " + Pick<std::string>({"2", "3"}, rng),
+      "item <> 'ghost_item'",
+      "customer IN ('cust1', 'cust2', 'cust3')",
+      "price < 300 OR qty >= 2",
+      "price IS NOT NULL",
+      "tr < 9000",
+  };
+  std::string cond = Pick(templates, rng);
+  if (rng->NextBool(0.2)) {
+    cond += " AND " + Pick(templates, rng);
+  }
+  return cond;
+}
+
+std::string MakeGroupCond(const std::vector<std::string>& group_attrs,
+                          bool with_aggregates, Random* rng) {
+  if (with_aggregates) {
+    return Pick<std::string>(
+        {"COUNT(*) >= " + Pick<std::string>({"1", "2", "3"}, rng),
+         "SUM(qty) >= " + Pick<std::string>({"2", "4"}, rng),
+         "MIN(qty) <= 2", "COUNT(item) >= 2"},
+        rng);
+  }
+  const std::string& attr = Pick(group_attrs, rng);
+  if (attr == "customer") {
+    return Pick<std::string>({"customer <> 'ghost1'", "customer < 'cust9'"},
+                             rng);
+  }
+  return Pick<std::string>({"tr < 9000", "tr >= 1"}, rng);
+}
+
+std::string MakeClusterCond(bool with_aggregates, Random* rng) {
+  const std::string base = Pick<std::string>(
+      {"BODY.date < HEAD.date", "BODY.date <= HEAD.date",
+       "BODY.date <> HEAD.date"},
+      rng);
+  if (!with_aggregates) return base;
+  return Pick<std::string>(
+      {base + " AND SUM(BODY.qty) >= 1",
+       base + " AND COUNT(BODY.date) >= 1", "SUM(BODY.qty) >= 1"},
+      rng);
+}
+
+}  // namespace
+
+GeneratedStatement GenerateStatement(const DatasetProfile& profile,
+                                     Random* rng) {
+  GeneratedStatement out;
+  mr::Directives& d = out.expected;
+  d.C = rng->NextBool(0.35);
+  d.K = d.C && rng->NextBool(0.55);
+  d.F = d.K && rng->NextBool(0.45);
+  d.G = rng->NextBool(0.45);
+  d.R = d.G && rng->NextBool(0.5);
+  d.H = rng->NextBool(0.3);
+  d.W = rng->NextBool(0.45);
+  d.M = rng->NextBool(0.35);
+
+  // Grouping: customer (common), tr, or both.
+  std::vector<std::string> group_attrs;
+  {
+    const uint64_t r = rng->NextBounded(10);
+    if (r < 7) {
+      group_attrs = {"customer"};
+    } else if (r < 9) {
+      group_attrs = {"tr"};
+    } else {
+      group_attrs = {"customer", "tr"};
+    }
+  }
+
+  // Body/head attribute sets, disjoint from group and cluster attributes.
+  std::vector<std::string> body, head;
+  if (!d.H) {
+    body = {rng->NextBool(0.75) ? "item" : "qty"};
+    head = body;
+  } else {
+    struct Option {
+      std::vector<std::string> body, head;
+    };
+    std::vector<Option> options = {
+        {{"item"}, {"qty"}},        {{"qty"}, {"item"}},
+        {{"item"}, {"item", "qty"}}, {{"item", "qty"}, {"item"}},
+        {{"item"}, {"price"}},
+    };
+    if (!Contains(group_attrs, "customer")) {
+      options.push_back({{"item"}, {"customer"}});
+    }
+    const Option& pick = options[rng->NextBounded(options.size())];
+    body = pick.body;
+    head = pick.head;
+  }
+
+  std::string text = "MINE RULE FuzzOut AS\nSELECT DISTINCT ";
+  text += PickBodyCard(rng) + " " + Join(body, ", ") + " AS BODY, ";
+  text += PickHeadCard(rng) + " " + Join(head, ", ") + " AS HEAD";
+  if (rng->NextBool(0.7)) text += ", SUPPORT";
+  if (rng->NextBool(0.7)) text += ", CONFIDENCE";
+  text += "\n";
+  if (d.M) text += "WHERE " + MakeMiningCond(body, head, rng) + "\n";
+  text += "FROM " + profile.table + "\n";
+  if (d.W) text += "WHERE " + MakeSourceCond(rng) + "\n";
+  text += "GROUP BY " + Join(group_attrs, ", ");
+  if (d.G) text += " HAVING " + MakeGroupCond(group_attrs, d.R, rng);
+  text += "\n";
+  if (d.C) {
+    text += "CLUSTER BY date";
+    if (d.K) text += " HAVING " + MakeClusterCond(d.F, rng);
+    text += "\n";
+  }
+  text += "EXTRACTING RULES WITH SUPPORT: ";
+  text += Pick<std::string>({"0.01", "0.05", "0.1", "0.15", "0.2", "0.3"},
+                            rng);
+  text += ", CONFIDENCE: ";
+  text += Pick<std::string>({"0.05", "0.1", "0.2", "0.3", "0.5", "0.7"}, rng);
+  out.text = std::move(text);
+  return out;
+}
+
+namespace {
+
+std::vector<std::string> Tokenize(const std::string& text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char c : text) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      if (!current.empty()) tokens.push_back(std::move(current));
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  if (!current.empty()) tokens.push_back(current);
+  return tokens;
+}
+
+bool LooksNumeric(const std::string& token) {
+  return !token.empty() &&
+         (std::isdigit(static_cast<unsigned char>(token[0])) ||
+          (token.size() > 1 && token[0] == '-' &&
+           std::isdigit(static_cast<unsigned char>(token[1]))));
+}
+
+bool LooksIdentifier(const std::string& token) {
+  if (token.empty() || !std::isalpha(static_cast<unsigned char>(token[0]))) {
+    return false;
+  }
+  for (char c : token) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Duplicates the attribute right before ` AS BODY` / ` AS HEAD`, or the
+/// first GROUP BY attribute — the classic "accepted by the translator,
+/// explodes in generated DDL" shape.
+std::string DuplicateListAttr(const std::string& text, Random* rng) {
+  if (rng->NextBool(0.5)) {
+    const char* marker = rng->NextBool(0.5) ? " AS BODY" : " AS HEAD";
+    const size_t pos = text.find(marker);
+    if (pos != std::string::npos) {
+      size_t start = text.rfind(' ', pos - 1);
+      if (start != std::string::npos) {
+        const std::string attr = text.substr(start + 1, pos - start - 1);
+        if (LooksIdentifier(attr)) {
+          return text.substr(0, pos) + ", " + attr + text.substr(pos);
+        }
+      }
+    }
+  }
+  const size_t pos = text.find("GROUP BY ");
+  if (pos != std::string::npos) {
+    size_t end = pos + 9;
+    while (end < text.size() &&
+           (std::isalnum(static_cast<unsigned char>(text[end])) ||
+            text[end] == '_')) {
+      ++end;
+    }
+    const std::string attr = text.substr(pos + 9, end - pos - 9);
+    if (LooksIdentifier(attr)) {
+      return text.substr(0, end) + ", " + attr + text.substr(end);
+    }
+  }
+  return text;
+}
+
+}  // namespace
+
+std::vector<std::string> MutateStatement(const std::string& text, Random* rng,
+                                         int count) {
+  std::vector<std::string> mutants;
+  mutants.reserve(count);
+  for (int m = 0; m < count; ++m) {
+    std::vector<std::string> tokens = Tokenize(text);
+    if (tokens.size() < 4) break;
+    std::string mutant;
+    switch (rng->NextBounded(10)) {
+      case 0:  // drop a token
+        tokens.erase(tokens.begin() + rng->NextBounded(tokens.size()));
+        mutant = Join(tokens, " ");
+        break;
+      case 1:  // duplicate a token
+      {
+        const size_t i = rng->NextBounded(tokens.size());
+        tokens.insert(tokens.begin() + i, tokens[i]);
+        mutant = Join(tokens, " ");
+        break;
+      }
+      case 2:  // swap adjacent tokens
+      {
+        const size_t i = rng->NextBounded(tokens.size() - 1);
+        std::swap(tokens[i], tokens[i + 1]);
+        mutant = Join(tokens, " ");
+        break;
+      }
+      case 3:  // corrupt a numeric token (bad fractions, overflow, junk)
+      {
+        std::vector<size_t> numeric;
+        for (size_t i = 0; i < tokens.size(); ++i) {
+          if (LooksNumeric(tokens[i])) numeric.push_back(i);
+        }
+        if (numeric.empty()) continue;
+        tokens[numeric[rng->NextBounded(numeric.size())]] =
+            Pick<std::string>({"1.5", "-0.2", "abc", "1e309", "00..1"}, rng);
+        mutant = Join(tokens, " ");
+        break;
+      }
+      case 4:  // break a cardinality (max < min, or min < 1)
+      {
+        std::vector<size_t> cards;
+        for (size_t i = 0; i < tokens.size(); ++i) {
+          if (tokens[i].find("..") != std::string::npos) cards.push_back(i);
+        }
+        if (cards.empty()) continue;
+        tokens[cards[rng->NextBounded(cards.size())]] =
+            Pick<std::string>({"3..2", "0..1", "1..0", "..2", "1.."}, rng);
+        mutant = Join(tokens, " ");
+        break;
+      }
+      case 5:  // unknown attribute
+      {
+        std::vector<size_t> idents;
+        for (size_t i = 1; i < tokens.size(); ++i) {
+          if (LooksIdentifier(tokens[i])) idents.push_back(i);
+        }
+        if (idents.empty()) continue;
+        tokens[idents[rng->NextBounded(idents.size())]] = "no_such_attr";
+        mutant = Join(tokens, " ");
+        break;
+      }
+      case 6:  // insert a stray keyword or punctuation
+      {
+        const std::string stray = Pick<std::string>(
+            {"FROM", "HAVING", "GROUP", "SELECT", "WHERE", ",", "(", ")"},
+            rng);
+        tokens.insert(tokens.begin() + rng->NextBounded(tokens.size() + 1),
+                      stray);
+        mutant = Join(tokens, " ");
+        break;
+      }
+      case 7:  // truncate
+      {
+        const size_t keep = 2 + rng->NextBounded(tokens.size() - 2);
+        tokens.resize(keep);
+        mutant = Join(tokens, " ");
+        break;
+      }
+      case 8:  // duplicate an attribute inside a list
+        mutant = DuplicateListAttr(text, rng);
+        if (mutant == text) continue;
+        break;
+      case 9:  // remove one paren or comma character
+      {
+        std::vector<size_t> punct;
+        for (size_t i = 0; i < text.size(); ++i) {
+          if (text[i] == '(' || text[i] == ')' || text[i] == ',') {
+            punct.push_back(i);
+          }
+        }
+        if (punct.empty()) continue;
+        mutant = text;
+        mutant.erase(punct[rng->NextBounded(punct.size())], 1);
+        break;
+      }
+    }
+    if (!mutant.empty()) mutants.push_back(std::move(mutant));
+  }
+  return mutants;
+}
+
+}  // namespace minerule::fuzz

@@ -1,0 +1,40 @@
+#ifndef MINERULE_FUZZ_STATEMENT_GEN_H_
+#define MINERULE_FUZZ_STATEMENT_GEN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "fuzz/workload_gen.h"
+#include "minerule/ast.h"
+
+namespace minerule::fuzz {
+
+/// One generated MINE RULE statement plus the directive bits the generator
+/// meant to set. The oracle cross-checks `expected` against what the
+/// translator actually classifies.
+struct GeneratedStatement {
+  std::string text;
+  mr::Directives expected;
+};
+
+/// Emits a random but grammatically and semantically valid MINE RULE
+/// statement against the workload's table. Coverage: every one of the eight
+/// directive bits (H, W, M, G, C, K, F, R) is independently set with
+/// non-trivial probability, respecting the implications K => C, F => K and
+/// R => G.
+GeneratedStatement GenerateStatement(const DatasetProfile& profile,
+                                     Random* rng);
+
+/// Grammar-aware near-miss mutator: token-level edits of a valid statement
+/// that mostly produce invalid statements (missing keywords, reversed
+/// cardinalities, out-of-range fractions, unknown or duplicated
+/// attributes, unbalanced parens, truncations). Each mutant must be
+/// *rejected or executed cleanly* — a crash, or a translator accept that
+/// later dies inside the pipeline, is a bug.
+std::vector<std::string> MutateStatement(const std::string& text, Random* rng,
+                                         int count);
+
+}  // namespace minerule::fuzz
+
+#endif  // MINERULE_FUZZ_STATEMENT_GEN_H_

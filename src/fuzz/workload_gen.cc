@@ -1,0 +1,226 @@
+#include "fuzz/workload_gen.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "datagen/paper_example.h"
+#include "datagen/quest_gen.h"
+#include "datagen/retail_gen.h"
+#include "relational/date.h"
+
+namespace minerule::fuzz {
+
+namespace {
+
+std::string FormatFraction(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+/// The unified schema every shape materializes. `one` is a constant-1
+/// column reserved for the metamorphic cluster oracles (CLUSTER BY one must
+/// behave like no clustering at all).
+Schema UnifiedSchema() {
+  return Schema({{"tr", DataType::kInteger},
+                 {"customer", DataType::kString},
+                 {"item", DataType::kString},
+                 {"date", DataType::kDate},
+                 {"price", DataType::kDouble},
+                 {"qty", DataType::kInteger},
+                 {"one", DataType::kInteger}});
+}
+
+}  // namespace
+
+const char* WorkloadShapeName(WorkloadShape shape) {
+  switch (shape) {
+    case WorkloadShape::kPaperExample:
+      return "paper";
+    case WorkloadShape::kQuest:
+      return "quest";
+    case WorkloadShape::kRetail:
+      return "retail";
+  }
+  return "paper";
+}
+
+Result<WorkloadShape> WorkloadShapeFromName(std::string_view name) {
+  if (name == "paper") return WorkloadShape::kPaperExample;
+  if (name == "quest") return WorkloadShape::kQuest;
+  if (name == "retail") return WorkloadShape::kRetail;
+  return Status::InvalidArgument("unknown workload shape: " +
+                                 std::string(name));
+}
+
+std::string WorkloadSpec::Serialize() const {
+  std::string out = "shape=";
+  out += WorkloadShapeName(shape);
+  out += ";groups=" + std::to_string(num_groups);
+  out += ";items=" + std::to_string(num_items);
+  out += ";null=" + FormatFraction(null_fraction);
+  out += ";dup=" + FormatFraction(dup_fraction);
+  out += ";empty=" + std::to_string(empty_groups);
+  out += ";seed=" + std::to_string(seed);
+  return out;
+}
+
+Result<WorkloadSpec> WorkloadSpec::Parse(std::string_view text) {
+  WorkloadSpec spec;
+  for (const std::string& field : Split(std::string(text), ';')) {
+    if (field.empty()) continue;
+    const size_t eq = field.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("workload field without '=': " + field);
+    }
+    const std::string key(StripWhitespace(field.substr(0, eq)));
+    const std::string value(StripWhitespace(field.substr(eq + 1)));
+    try {
+      if (key == "shape") {
+        MR_ASSIGN_OR_RETURN(spec.shape, WorkloadShapeFromName(value));
+      } else if (key == "groups") {
+        spec.num_groups = std::stoll(value);
+      } else if (key == "items") {
+        spec.num_items = std::stoll(value);
+      } else if (key == "null") {
+        spec.null_fraction = std::stod(value);
+      } else if (key == "dup") {
+        spec.dup_fraction = std::stod(value);
+      } else if (key == "empty") {
+        spec.empty_groups = std::stoll(value);
+      } else if (key == "seed") {
+        spec.seed = std::stoull(value);
+      } else {
+        return Status::InvalidArgument("unknown workload field: " + key);
+      }
+    } catch (const std::exception&) {
+      return Status::InvalidArgument("bad workload value: " + field);
+    }
+  }
+  if (spec.num_groups < 1 || spec.num_groups > 512 || spec.num_items < 2 ||
+      spec.num_items > 64 || spec.null_fraction < 0 ||
+      spec.null_fraction > 1 || spec.dup_fraction < 0 ||
+      spec.dup_fraction > 1 || spec.empty_groups < 0 ||
+      spec.empty_groups > 64) {
+    return Status::InvalidArgument("workload spec out of range: " +
+                                   std::string(text));
+  }
+  return spec;
+}
+
+DatasetProfile ProfileFor(const WorkloadSpec& spec) {
+  DatasetProfile profile;
+  profile.table = "FuzzSource";
+  profile.item_attrs = {"item", "qty"};
+  profile.group_attrs = {"customer", "tr"};
+  profile.cluster_attrs = {"date"};
+  profile.numeric_attrs = {"price", "qty"};
+  profile.may_have_nulls = spec.null_fraction > 0;
+  return profile;
+}
+
+Result<DatasetProfile> BuildWorkload(Catalog* catalog,
+                                     const WorkloadSpec& spec) {
+  const DatasetProfile profile = ProfileFor(spec);
+  MR_ASSIGN_OR_RETURN(std::shared_ptr<Table> table,
+                      catalog->CreateTable(profile.table, UnifiedSchema()));
+  MR_ASSIGN_OR_RETURN(int32_t base_day, date::Parse("1995-12-17"));
+
+  // Base rows land in `rows` first so perturbations apply uniformly.
+  std::vector<Row> rows;
+  switch (spec.shape) {
+    case WorkloadShape::kPaperExample: {
+      Catalog scratch;
+      MR_ASSIGN_OR_RETURN(std::shared_ptr<Table> purchase,
+                          datagen::MakePaperPurchaseTable(&scratch));
+      for (const Row& row : purchase->rows()) {
+        Row copy = row;
+        copy.push_back(Value::Integer(1));
+        rows.push_back(std::move(copy));
+      }
+      break;
+    }
+    case WorkloadShape::kQuest: {
+      datagen::QuestParams params;
+      params.num_transactions = spec.num_groups;
+      params.num_items = spec.num_items;
+      params.avg_transaction_size = 3.0;
+      params.avg_pattern_size = 2.0;
+      params.num_patterns = std::max<int64_t>(2, spec.num_items / 2);
+      params.seed = DeriveStreamSeed(spec.seed, "fuzz/quest");
+      std::vector<mining::Itemset> txns =
+          datagen::GenerateQuestTransactions(params);
+      // Fold transactions onto a handful of customers so GROUP BY customer
+      // and GROUP BY tr give genuinely different groupings.
+      const int64_t customers = std::max<int64_t>(2, spec.num_groups / 3);
+      for (size_t t = 0; t < txns.size(); ++t) {
+        const int64_t tr = static_cast<int64_t>(t) + 1;
+        const int64_t cust = 1 + static_cast<int64_t>(t) % customers;
+        for (mining::ItemId item : txns[t]) {
+          rows.push_back({Value::Integer(tr),
+                          Value::String("cust" + std::to_string(cust)),
+                          Value::String("item_" + std::to_string(item)),
+                          Value::Date(base_day + static_cast<int32_t>(t % 7)),
+                          Value::Double(10.0 * static_cast<double>(item)),
+                          Value::Integer(1 + static_cast<int64_t>(item) % 3),
+                          Value::Integer(1)});
+        }
+      }
+      break;
+    }
+    case WorkloadShape::kRetail: {
+      datagen::RetailParams params;
+      params.num_customers = spec.num_groups;
+      params.num_items = std::max<int64_t>(2, spec.num_items);
+      params.visits_per_customer = 3.0;
+      params.items_per_visit = 3.0;
+      params.seed = DeriveStreamSeed(spec.seed, "fuzz/retail");
+      Catalog scratch;
+      MR_ASSIGN_OR_RETURN(
+          std::shared_ptr<Table> retail,
+          datagen::GenerateRetailTable(&scratch, "Retail", params));
+      for (const Row& row : retail->rows()) {
+        Row copy = row;
+        copy.push_back(Value::Integer(1));
+        rows.push_back(std::move(copy));
+      }
+      break;
+    }
+  }
+
+  // Ghost groups: whole groups that a `price < 1000` source condition
+  // erases, leaving empty/valid-group edge cases for the encoder.
+  for (int64_t g = 0; g < spec.empty_groups; ++g) {
+    rows.push_back({Value::Integer(9000 + g),
+                    Value::String("ghost" + std::to_string(g + 1)),
+                    Value::String("ghost_item"),
+                    Value::Date(base_day + static_cast<int32_t>(g % 5)),
+                    Value::Double(9999.0), Value::Integer(1),
+                    Value::Integer(1)});
+  }
+
+  // Perturbations draw from their own streams so toggling one knob never
+  // reshuffles the others.
+  StreamRng streams(spec.seed);
+  Random null_rng = streams.Stream("fuzz/nulls");
+  Random dup_rng = streams.Stream("fuzz/dups");
+  const int price_col = UnifiedSchema().FindColumn("price");
+  for (Row& row : rows) {
+    if (spec.null_fraction > 0 && null_rng.NextBool(spec.null_fraction)) {
+      row[price_col] = Value::Null();
+    }
+  }
+  std::vector<Row> dups;
+  for (const Row& row : rows) {
+    if (spec.dup_fraction > 0 && dup_rng.NextBool(spec.dup_fraction)) {
+      dups.push_back(row);
+    }
+  }
+  for (Row& row : rows) table->AppendUnchecked(std::move(row));
+  for (Row& row : dups) table->AppendUnchecked(std::move(row));
+  return profile;
+}
+
+}  // namespace minerule::fuzz

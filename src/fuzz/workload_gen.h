@@ -1,0 +1,63 @@
+#ifndef MINERULE_FUZZ_WORKLOAD_GEN_H_
+#define MINERULE_FUZZ_WORKLOAD_GEN_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/catalog.h"
+
+namespace minerule::fuzz {
+
+/// Dataset families the fuzzer draws from, each layered on src/datagen/.
+enum class WorkloadShape {
+  kPaperExample,  // the Figure 1 Purchase table, 8 fixed rows
+  kQuest,         // Quest synthetic market baskets
+  kRetail,        // retail visits with temporal follow-up patterns
+};
+
+const char* WorkloadShapeName(WorkloadShape shape);
+Result<WorkloadShape> WorkloadShapeFromName(std::string_view name);
+
+/// A fully seeded description of one fuzz dataset. Serializes to a single
+/// `key=value;...` line so failing cases replay from a text file.
+struct WorkloadSpec {
+  WorkloadShape shape = WorkloadShape::kPaperExample;
+  int64_t num_groups = 6;   // customers (retail) / transactions (quest)
+  int64_t num_items = 8;    // item-domain size (kept small: the reference
+                            // oracle enumerates up to ~18 items)
+  double null_fraction = 0.0;  // chance the price column of a row is NULL
+  double dup_fraction = 0.0;   // chance a row is appended twice
+  int64_t empty_groups = 0;    // extra high-price "ghost" groups that
+                               // typical source conditions filter out whole
+  uint64_t seed = 1;
+
+  std::string Serialize() const;
+  static Result<WorkloadSpec> Parse(std::string_view text);
+};
+
+/// What the statement generator needs to know about a workload's table.
+/// All shapes materialize the same Purchase-like schema, so the profile is
+/// static per spec and available without building the table.
+struct DatasetProfile {
+  std::string table;
+  std::vector<std::string> item_attrs;     // small-domain body/head choices
+  std::vector<std::string> group_attrs;    // GROUP BY candidates
+  std::vector<std::string> cluster_attrs;  // CLUSTER BY candidates
+  std::vector<std::string> numeric_attrs;  // condition/aggregate material
+  bool may_have_nulls = false;             // price column may be NULL
+};
+
+DatasetProfile ProfileFor(const WorkloadSpec& spec);
+
+/// Materializes the workload into `catalog` (table name from ProfileFor).
+/// Fully deterministic in spec.seed; raising dup_fraction only appends
+/// duplicate rows (the base row sequence is unchanged), which is what the
+/// duplicate-invariance oracle relies on.
+Result<DatasetProfile> BuildWorkload(Catalog* catalog,
+                                     const WorkloadSpec& spec);
+
+}  // namespace minerule::fuzz
+
+#endif  // MINERULE_FUZZ_WORKLOAD_GEN_H_

@@ -137,6 +137,70 @@ Result<std::string> RoleNeutralAggregateSql(const AggregateExpr& agg) {
   return out;
 }
 
+/// Scalar functions the SQL binder can resolve. The expression grammar
+/// parses any identifier followed by parens as a function call, so a typo
+/// like "WHERE IN ('a','b')" reaches the translator as IN(...); reject it
+/// here instead of deep inside preprocessing.
+bool IsKnownScalarFunction(const std::string& name) {
+  static const char* kKnown[] = {"UPPER", "LOWER", "SUBSTR", "LENGTH",
+                                 "YEAR",  "MONTH", "DAY",    "ABS",
+                                 "ROUND"};
+  for (const char* known : kKnown) {
+    if (EqualsIgnoreCase(name, known)) return true;
+  }
+  return false;
+}
+
+Status CheckScalarFunctions(const Expr& expr, const char* what) {
+  switch (expr.kind) {
+    case ExprKind::kFunction: {
+      const auto& f = static_cast<const sql::FunctionExpr&>(expr);
+      if (!IsKnownScalarFunction(f.name)) {
+        return Status::SemanticError("unknown function '" + f.name + "' in " +
+                                     what);
+      }
+      for (const sql::ExprPtr& e : f.args) {
+        MR_RETURN_IF_ERROR(CheckScalarFunctions(*e, what));
+      }
+      return Status::OK();
+    }
+    case ExprKind::kAggregate: {
+      const auto& agg = static_cast<const AggregateExpr&>(expr);
+      if (agg.arg != nullptr) {
+        return CheckScalarFunctions(*agg.arg, what);
+      }
+      return Status::OK();
+    }
+    case ExprKind::kUnary:
+      return CheckScalarFunctions(
+          *static_cast<const sql::UnaryExpr&>(expr).operand, what);
+    case ExprKind::kBinary: {
+      const auto& b = static_cast<const sql::BinaryExpr&>(expr);
+      MR_RETURN_IF_ERROR(CheckScalarFunctions(*b.lhs, what));
+      return CheckScalarFunctions(*b.rhs, what);
+    }
+    case ExprKind::kBetween: {
+      const auto& b = static_cast<const sql::BetweenExpr&>(expr);
+      MR_RETURN_IF_ERROR(CheckScalarFunctions(*b.operand, what));
+      MR_RETURN_IF_ERROR(CheckScalarFunctions(*b.low, what));
+      return CheckScalarFunctions(*b.high, what);
+    }
+    case ExprKind::kInList: {
+      const auto& in = static_cast<const sql::InListExpr&>(expr);
+      MR_RETURN_IF_ERROR(CheckScalarFunctions(*in.operand, what));
+      for (const sql::ExprPtr& e : in.list) {
+        MR_RETURN_IF_ERROR(CheckScalarFunctions(*e, what));
+      }
+      return Status::OK();
+    }
+    case ExprKind::kIsNull:
+      return CheckScalarFunctions(
+          *static_cast<const sql::IsNullExpr&>(expr).operand, what);
+    default:
+      return Status::OK();
+  }
+}
+
 }  // namespace
 
 Result<Translation> Translator::Translate(const MineRuleStatement& stmt) const {
@@ -184,11 +248,18 @@ Result<Translation> Translator::Translate(const MineRuleStatement& stmt) const {
     if (attrs.empty()) {
       return Status::SemanticError(std::string(what) + " list is empty");
     }
-    for (const std::string& attr : attrs) {
+    for (size_t i = 0; i < attrs.size(); ++i) {
+      const std::string& attr = attrs[i];
       if (!schema.HasColumn(attr)) {
         return Status::SemanticError(std::string(what) + " attribute '" +
                                      attr + "' not found in source schema (" +
                                      schema.ToString() + ")");
+      }
+      for (size_t j = 0; j < i; ++j) {
+        if (attrs[j] == attr) {
+          return Status::SemanticError(std::string(what) + " attribute '" +
+                                       attr + "' listed more than once");
+        }
       }
     }
     return Status::OK();
@@ -222,6 +293,24 @@ Result<Translation> Translator::Translate(const MineRuleStatement& stmt) const {
           "head schema attribute '" + attr +
           "' collides with grouping/clustering attributes");
     }
+  }
+
+  // --- check 3: only binder-known scalar functions in any condition ----
+  if (stmt.source_cond != nullptr) {
+    MR_RETURN_IF_ERROR(
+        CheckScalarFunctions(*stmt.source_cond, "source condition"));
+  }
+  if (stmt.mining_cond != nullptr) {
+    MR_RETURN_IF_ERROR(
+        CheckScalarFunctions(*stmt.mining_cond, "mining condition"));
+  }
+  if (stmt.group_cond != nullptr) {
+    MR_RETURN_IF_ERROR(
+        CheckScalarFunctions(*stmt.group_cond, "group condition"));
+  }
+  if (stmt.cluster_cond != nullptr) {
+    MR_RETURN_IF_ERROR(
+        CheckScalarFunctions(*stmt.cluster_cond, "cluster condition"));
   }
 
   // --- check 3a: group condition refs ----------------------------------

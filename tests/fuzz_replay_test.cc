@@ -1,0 +1,275 @@
+// Replays the checked-in fuzz corpus through the differential oracle and
+// pins the fuzz harness's determinism guarantees. Runs under `ctest -L fuzz`;
+// the fast tier excludes it with `ctest -LE fuzz`.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "fuzz/harness.h"
+#include "minerule/parser.h"
+#include "minerule/translator.h"
+#include "preprocess/query_gen.h"
+#include "relational/catalog.h"
+
+namespace minerule::fuzz {
+namespace {
+
+std::vector<std::string> CorpusFiles() {
+  std::vector<std::string> files;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(FUZZ_CORPUS_DIR)) {
+    if (entry.path().extension() == ".repro") {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(FuzzCorpusTest, CorpusIsNonTrivial) {
+  EXPECT_GE(CorpusFiles().size(), 10u);
+}
+
+TEST(FuzzCorpusTest, EveryCaseReplaysWithoutOracleFailures) {
+  OracleOptions options;
+  for (const std::string& file : CorpusFiles()) {
+    SCOPED_TRACE(file);
+    Result<CaseOutcome> outcome = ReplayReproFile(file, options);
+    ASSERT_TRUE(outcome.ok()) << outcome.status();
+    for (const OracleFailure& failure : outcome->failures) {
+      ADD_FAILURE() << "[" << failure.check << "] " << failure.detail;
+    }
+  }
+}
+
+TEST(FuzzCorpusTest, CorpusCoversEveryDirectiveBit) {
+  // Union of the directive strings of all executed corpus cases must set
+  // every bit at least once.
+  OracleOptions options;
+  std::set<char> seen;
+  for (const std::string& file : CorpusFiles()) {
+    Result<CaseOutcome> outcome = ReplayReproFile(file, options);
+    ASSERT_TRUE(outcome.ok()) << outcome.status();
+    if (!outcome->executed) continue;
+    for (char c : outcome->directives) {
+      if (c != '-') seen.insert(c);
+    }
+  }
+  for (char bit : std::string("HWMGCKFR")) {
+    EXPECT_TRUE(seen.count(bit)) << "no corpus case sets directive " << bit;
+  }
+}
+
+TEST(FuzzCorpusTest, RegressionRejectsStayAtTranslateTime) {
+  // These cases used to be accepted by the translator and then crash deep
+  // inside preprocessing; the fix front-loads the reject.
+  OracleOptions options;
+  for (const char* name :
+       {"regress_duplicate_group_attr.repro", "regress_unknown_function.repro"}) {
+    SCOPED_TRACE(name);
+    Result<CaseOutcome> outcome = ReplayReproFile(
+        std::string(FUZZ_CORPUS_DIR) + "/" + name, options);
+    ASSERT_TRUE(outcome.ok()) << outcome.status();
+    EXPECT_FALSE(outcome->executed);
+    EXPECT_EQ(outcome->reject_stage, "translate");
+  }
+}
+
+TEST(FuzzCorpusTest, DecoupledRouteIsExercised) {
+  OracleOptions options;
+  Result<CaseOutcome> outcome = ReplayReproFile(
+      std::string(FUZZ_CORPUS_DIR) + "/simple_decoupled.repro", options);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_NE(std::find(outcome->routes.begin(), outcome->routes.end(),
+                      "decoupled"),
+            outcome->routes.end());
+  EXPECT_NE(std::find(outcome->routes.begin(), outcome->routes.end(),
+                      "reference"),
+            outcome->routes.end());
+}
+
+TEST(FuzzRunTest, SameSeedSameDigestAcrossRunsAndThreadCounts) {
+  FuzzOptions options;
+  options.seed = 11;
+  options.cases = 12;
+  options.mutants_per_case = 2;
+  Result<FuzzReport> first = RunFuzz(options);
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_TRUE(first->failures.empty());
+
+  Result<FuzzReport> second = RunFuzz(options);
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_EQ(first->digest, second->digest);
+
+  options.oracle.threads = 8;
+  Result<FuzzReport> threaded = RunFuzz(options);
+  ASSERT_TRUE(threaded.ok()) << threaded.status();
+  EXPECT_EQ(first->digest, threaded->digest);
+}
+
+TEST(FuzzRunTest, ReproFilesRoundTrip) {
+  FuzzCase repro;
+  repro.spec.shape = WorkloadShape::kRetail;
+  repro.spec.num_groups = 7;
+  repro.spec.num_items = 5;
+  repro.spec.null_fraction = 0.25;
+  repro.spec.dup_fraction = 0;
+  repro.spec.empty_groups = 2;
+  repro.spec.seed = 987654321;
+  repro.statement = "MINE RULE R AS SELECT DISTINCT 1..n item AS BODY, 1..1 "
+                    "item AS HEAD FROM FuzzSource GROUP BY customer "
+                    "EXTRACTING RULES WITH SUPPORT: 0.1, CONFIDENCE: 0.2";
+  Result<FuzzCase> parsed = FuzzCase::Parse(repro.Serialize("why it failed"));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->spec.Serialize(), repro.spec.Serialize());
+  EXPECT_EQ(parsed->statement, repro.statement);
+}
+
+// ---------------------------------------------------------------------------
+// Directive sweep: each directive bit must flip the preprocessing program's
+// query pool exactly as Appendix A / §4.2.2 prescribe.
+// ---------------------------------------------------------------------------
+
+class DirectiveSweepTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    WorkloadSpec spec;  // defaults: paper shape
+    ASSERT_TRUE(BuildWorkload(&catalog_, spec).ok());
+  }
+
+  std::multiset<std::string> QueryIds(const std::string& text) {
+    Result<mr::MineRuleStatement> stmt = mr::ParseMineRule(text);
+    EXPECT_TRUE(stmt.ok()) << stmt.status();
+    mr::Translator translator(&catalog_);
+    Result<mr::Translation> translation = translator.Translate(stmt.value());
+    EXPECT_TRUE(translation.ok()) << translation.status();
+    Result<mr::PreprocessProgram> program =
+        mr::GeneratePreprocessProgram(stmt.value(), translation.value());
+    EXPECT_TRUE(program.ok()) << program.status();
+    std::multiset<std::string> ids;
+    if (program.ok()) {
+      for (const mr::GeneratedQuery& q : program->queries) ids.insert(q.id);
+    }
+    return ids;
+  }
+
+  static std::set<std::string> Distinct(const std::multiset<std::string>& m) {
+    return {m.begin(), m.end()};
+  }
+
+  Catalog catalog_;
+};
+
+constexpr char kPrefix[] =
+    "MINE RULE FuzzOut AS SELECT DISTINCT 1..n item AS BODY, 1..1 ";
+
+TEST_F(DirectiveSweepTest, QueryPoolPerDirective) {
+  struct Case {
+    const char* name;
+    std::string text;
+    std::set<std::string> expect;
+  };
+  const std::string tail =
+      " EXTRACTING RULES WITH SUPPORT: 0.1, CONFIDENCE: 0.2";
+  const std::vector<Case> cases = {
+      {"simple",
+       kPrefix + std::string("item AS HEAD FROM FuzzSource GROUP BY customer") +
+           tail,
+       {"Q1", "Q2", "Q3", "Q4"}},
+      {"W adds Q0",
+       kPrefix +
+           std::string("item AS HEAD FROM FuzzSource WHERE price < 300 "
+                       "GROUP BY customer") +
+           tail,
+       {"Q0", "Q1", "Q2", "Q3", "Q4"}},
+      {"G keeps the simple pool",
+       kPrefix +
+           std::string("item AS HEAD FROM FuzzSource GROUP BY customer "
+                       "HAVING customer <> 'ghost1'") +
+           tail,
+       {"Q1", "Q2", "Q3", "Q4"}},
+      {"R keeps the simple pool",
+       kPrefix +
+           std::string("item AS HEAD FROM FuzzSource GROUP BY customer "
+                       "HAVING COUNT(*) >= 2") +
+           tail,
+       {"Q1", "Q2", "Q3", "Q4"}},
+      {"H goes general: Q5 + role-tagged coding, no Q4",
+       kPrefix + std::string("qty AS HEAD FROM FuzzSource GROUP BY customer") +
+           tail,
+       {"Q1", "Q2", "Q3", "Q5", "Q4b", "Q11"}},
+      {"M without C: rule materialization Q8..Q10",
+       kPrefix +
+           std::string("item AS HEAD WHERE BODY.item <> HEAD.item FROM "
+                       "FuzzSource GROUP BY customer") +
+           tail,
+       {"Q1", "Q2", "Q3", "Q4b", "Q8", "Q9", "Q10", "Q11"}},
+      {"C without K: cluster encoding Q6 only",
+       kPrefix +
+           std::string("item AS HEAD FROM FuzzSource GROUP BY customer "
+                       "CLUSTER BY date") +
+           tail,
+       {"Q1", "Q2", "Q3", "Q6", "Q4b", "Q11"}},
+      {"K adds the cluster-couples Q7",
+       kPrefix +
+           std::string("item AS HEAD FROM FuzzSource GROUP BY customer "
+                       "CLUSTER BY date HAVING BODY.date < HEAD.date") +
+           tail,
+       {"Q1", "Q2", "Q3", "Q6", "Q7", "Q4b", "Q11"}},
+      {"F keeps the K pool (aggregates land inside Q6/Q7)",
+       kPrefix +
+           std::string("item AS HEAD FROM FuzzSource GROUP BY customer "
+                       "CLUSTER BY date HAVING BODY.date < HEAD.date AND "
+                       "SUM(BODY.qty) >= 1") +
+           tail,
+       {"Q1", "Q2", "Q3", "Q6", "Q7", "Q4b", "Q11"}},
+      {"full W+M+C+K",
+       kPrefix +
+           std::string("item AS HEAD WHERE BODY.item <> HEAD.item FROM "
+                       "FuzzSource WHERE price < 300 GROUP BY customer "
+                       "CLUSTER BY date HAVING BODY.date < HEAD.date") +
+           tail,
+       {"Q0", "Q1", "Q2", "Q3", "Q6", "Q7", "Q4b", "Q8", "Q9", "Q10", "Q11"}},
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.name);
+    EXPECT_EQ(Distinct(QueryIds(c.text)), c.expect);
+  }
+}
+
+TEST_F(DirectiveSweepTest, AggregateClusterConditionPrecomputesInQ6) {
+  // F: the SUM lands as a precomputed per-cluster column in Q6, and Q7
+  // references the precomputed column instead of a raw aggregate call.
+  Result<mr::MineRuleStatement> stmt = mr::ParseMineRule(
+      kPrefix +
+      std::string("item AS HEAD FROM FuzzSource GROUP BY customer CLUSTER "
+                  "BY date HAVING BODY.date < HEAD.date AND SUM(BODY.qty) "
+                  ">= 1 EXTRACTING RULES WITH SUPPORT: 0.1, CONFIDENCE: "
+                  "0.2"));
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  mr::Translator translator(&catalog_);
+  Result<mr::Translation> translation = translator.Translate(stmt.value());
+  ASSERT_TRUE(translation.ok()) << translation.status();
+  Result<mr::PreprocessProgram> program =
+      mr::GeneratePreprocessProgram(stmt.value(), translation.value());
+  ASSERT_TRUE(program.ok()) << program.status();
+  bool q6_has_agg = false, q7_has_raw_agg = false;
+  for (const mr::GeneratedQuery& q : program->queries) {
+    if (q.id == "Q6" && q.sql.find("SUM(qty)") != std::string::npos) {
+      q6_has_agg = true;
+    }
+    if (q.id == "Q7" && q.sql.find("SUM(") != std::string::npos) {
+      q7_has_raw_agg = true;
+    }
+  }
+  EXPECT_TRUE(q6_has_agg);
+  EXPECT_FALSE(q7_has_raw_agg);
+}
+
+}  // namespace
+}  // namespace minerule::fuzz

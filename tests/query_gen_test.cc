@@ -202,6 +202,73 @@ TEST_F(QueryGenTest, GroupHavingJoinsValidGroupsInQ3) {
   EXPECT_NE(q3[0].find("ValidGroups AS V"), std::string::npos) << q3[0];
 }
 
+TEST_F(QueryGenTest, AggregateGroupHavingLandsInQ2NotQ1) {
+  // R: the aggregate HAVING filters ValidGroupsView (Q2); Q1's totg still
+  // counts every distinct group BEFORE the HAVING, per Appendix A.
+  PreprocessProgram program = MustGenerate(
+      "MINE RULE R AS SELECT DISTINCT item AS BODY, item AS HEAD FROM "
+      "Purchase GROUP BY customer HAVING SUM(qty) >= 2 "
+      "EXTRACTING RULES WITH SUPPORT: 0.2, CONFIDENCE: 0.3");
+  auto q1 = QueriesWithId(program, "Q1");
+  ASSERT_EQ(q1.size(), 1u);
+  EXPECT_EQ(q1[0],
+            "SELECT COUNT(*) INTO :totg FROM (SELECT DISTINCT customer FROM "
+            "Purchase)");
+  auto q2 = QueriesWithId(program, "Q2");
+  ASSERT_EQ(q2.size(), 2u);
+  EXPECT_EQ(q2[0],
+            "CREATE VIEW ValidGroupsView AS (SELECT customer FROM Purchase "
+            "GROUP BY customer HAVING (SUM(qty) >= 2))");
+}
+
+TEST_F(QueryGenTest, MiningCondWithoutClusteringOmitsCids) {
+  // M without C: InputRules carries no cluster columns and Q8 joins only
+  // the role tables on Gid (no ClusterCouples).
+  PreprocessProgram program = MustGenerate(
+      "MINE RULE R AS SELECT DISTINCT item AS BODY, item AS HEAD "
+      "WHERE BODY.price >= 100 AND HEAD.price < 100 FROM Purchase "
+      "GROUP BY customer EXTRACTING RULES WITH SUPPORT: 0.2, "
+      "CONFIDENCE: 0.3");
+  EXPECT_TRUE(QueriesWithId(program, "Q6").empty());
+  EXPECT_TRUE(QueriesWithId(program, "Q7").empty());
+  auto q8 = QueriesWithId(program, "Q8");
+  ASSERT_EQ(q8.size(), 1u);
+  EXPECT_EQ(q8[0],
+            "INSERT INTO InputRules (SELECT DISTINCT S1.Gid, S1.Bid, S2.Hid "
+            "FROM MiningSourceB AS S1, MiningSourceH_View AS S2 WHERE "
+            "S1.Gid = S2.Gid AND S1.Bid <> S2.Hid AND ((S1.price >= 100) "
+            "AND (S2.price < 100)))");
+  auto q11 = QueriesWithId(program, "Q11");
+  ASSERT_EQ(q11.size(), 1u);
+  EXPECT_EQ(q11[0],
+            "CREATE VIEW CodedSourceB AS (SELECT DISTINCT Gid, Bid FROM "
+            "MiningSourceB)");
+  EXPECT_TRUE(program.cluster_couples.empty());
+}
+
+TEST_F(QueryGenTest, ClusterByWithoutConditionEncodesButSkipsCouples) {
+  // C without K: clusters are encoded (Q6) and Cid threads through the
+  // coded views, but no ClusterCouples table is produced.
+  PreprocessProgram program = MustGenerate(
+      "MINE RULE R AS SELECT DISTINCT item AS BODY, item AS HEAD FROM "
+      "Purchase GROUP BY customer CLUSTER BY date "
+      "EXTRACTING RULES WITH SUPPORT: 0.2, CONFIDENCE: 0.3");
+  auto q6 = QueriesWithId(program, "Q6");
+  ASSERT_EQ(q6.size(), 2u);
+  EXPECT_EQ(q6[0],
+            "CREATE VIEW ClustersView AS (SELECT V.Gid AS Gid, S.date FROM "
+            "Purchase AS S, ValidGroups AS V WHERE S.customer = V.customer "
+            "GROUP BY V.Gid, S.date)");
+  EXPECT_TRUE(QueriesWithId(program, "Q7").empty());
+  EXPECT_TRUE(QueriesWithId(program, "Q8").empty());
+  auto q11 = QueriesWithId(program, "Q11");
+  ASSERT_EQ(q11.size(), 1u);
+  EXPECT_EQ(q11[0],
+            "CREATE VIEW CodedSourceB AS (SELECT DISTINCT Gid, Cid, Bid "
+            "FROM MiningSourceB)");
+  EXPECT_TRUE(program.cluster_couples.empty());
+}
+
 TEST_F(QueryGenTest, ClusterAggregatesPrecomputedInQ6) {
   PreprocessProgram program = MustGenerate(
       "MINE RULE R AS SELECT DISTINCT item AS BODY, item AS HEAD FROM "

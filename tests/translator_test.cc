@@ -199,6 +199,67 @@ TEST_F(TranslatorTest, RejectsAggregateInMiningCond) {
             StatusCode::kSemanticError);
 }
 
+TEST_F(TranslatorTest, RejectsDuplicateGroupingAttribute) {
+  // Found by fuzzing (DuplicateListAttr mutation): "GROUP BY customer,
+  // customer" used to pass translation and then fail deep inside
+  // preprocessing with "duplicate column name 'customer' in table
+  // ValidGroups".
+  EXPECT_EQ(TranslateError(Simple("GROUP BY customer, customer")).code(),
+            StatusCode::kSemanticError);
+}
+
+TEST_F(TranslatorTest, RejectsDuplicateBodyAttribute) {
+  // Same fuzz finding for the rule schemas: a repeated body/head attribute
+  // used to surface as "duplicate column name ... in DistinctGroupsInBody".
+  EXPECT_EQ(TranslateError(
+                "MINE RULE R AS SELECT DISTINCT item, item AS BODY, item AS "
+                "HEAD FROM Purchase GROUP BY customer EXTRACTING RULES WITH "
+                "SUPPORT: 0.1, CONFIDENCE: 0.2")
+                .code(),
+            StatusCode::kSemanticError);
+}
+
+TEST_F(TranslatorTest, RejectsDuplicateHeadAttribute) {
+  EXPECT_EQ(TranslateError(
+                "MINE RULE R AS SELECT DISTINCT item AS BODY, item, item AS "
+                "HEAD FROM Purchase GROUP BY customer EXTRACTING RULES WITH "
+                "SUPPORT: 0.1, CONFIDENCE: 0.2")
+                .code(),
+            StatusCode::kSemanticError);
+}
+
+TEST_F(TranslatorTest, RejectsDuplicateClusterAttribute) {
+  EXPECT_EQ(TranslateError(
+                Simple("GROUP BY customer CLUSTER BY date, date"))
+                .code(),
+            StatusCode::kSemanticError);
+}
+
+TEST_F(TranslatorTest, RejectsUnknownFunctionInSourceCond) {
+  // Found by fuzzing: dropping the operand from "customer IN (...)" leaves
+  // "IN ('a', 'b')", which the expression grammar parses as a call to a
+  // function named IN. The translator used to accept it and execution then
+  // failed with "unknown function: IN" deep inside preprocessing.
+  EXPECT_EQ(TranslateError(
+                "MINE RULE R AS SELECT DISTINCT item AS BODY, item AS HEAD "
+                "FROM Purchase WHERE IN ('a', 'b') GROUP BY customer "
+                "EXTRACTING RULES WITH SUPPORT: 0.1, CONFIDENCE: 0.2")
+                .code(),
+            StatusCode::kSemanticError);
+}
+
+TEST_F(TranslatorTest, RejectsUnknownFunctionInGroupCond) {
+  // Same fuzz finding, different clause: "customer ('a')" parses as a call
+  // to CUSTOMER(...).
+  EXPECT_EQ(TranslateError(Simple("GROUP BY customer HAVING customer ('a')"))
+                .code(),
+            StatusCode::kSemanticError);
+}
+
+TEST_F(TranslatorTest, AcceptsKnownScalarFunctions) {
+  MustTranslate(Simple("WHERE LENGTH(item) > 2 GROUP BY customer"));
+}
+
 TEST_F(TranslatorTest, RejectsDuplicateAttributeAcrossTables) {
   Schema schema({{"item", DataType::kString}});
   ASSERT_TRUE(catalog_.CreateTable("Other", schema).ok());
