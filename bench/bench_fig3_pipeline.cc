@@ -13,6 +13,7 @@
 #include <string>
 
 #include "common/json.h"
+#include "common/trace.h"
 #include "datagen/retail_gen.h"
 #include "engine/data_mining_system.h"
 
@@ -123,14 +124,66 @@ int RunSmoke() {
   return 0;
 }
 
+// Writes the span tracer's Chrome trace to `path` and self-checks it: the
+// JSON must parse and every pipeline stage must have recorded at least one
+// span. Prints "TRACE OK" on success (CI greps for it).
+int WriteAndCheckTrace(const std::string& path) {
+  Status written = GlobalTracer().WriteChromeTraceFile(path);
+  if (!written.ok()) {
+    std::fprintf(stderr, "trace write failed: %s\n",
+                 written.ToString().c_str());
+    return 1;
+  }
+  Status valid = ValidateJson(GlobalTracer().ChromeTraceJson());
+  if (!valid.ok()) {
+    std::fprintf(stderr, "chrome trace invalid: %s\n",
+                 valid.ToString().c_str());
+    return 1;
+  }
+  const char* stages[] = {"translate", "preprocess", "core", "postprocess"};
+  const std::vector<SpanEvent> spans = GlobalTracer().Snapshot();
+  for (const char* stage : stages) {
+    bool found = false;
+    for (const SpanEvent& span : spans) {
+      if (span.name.rfind(stage, 0) == 0) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      std::fprintf(stderr, "no span for stage %s\n", stage);
+      return 1;
+    }
+  }
+  std::printf("TRACE OK %s (%zu spans)\n", path.c_str(), spans.size());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string trace_out;
+  int kept = 1;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) return RunSmoke();
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+      trace_out = argv[i] + 12;
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  if (!trace_out.empty()) GlobalTracer().Enable(true);
+  if (smoke) {
+    int rc = RunSmoke();
+    if (rc == 0 && !trace_out.empty()) rc = WriteAndCheckTrace(trace_out);
+    return rc;
   }
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
   ::benchmark::Shutdown();
+  if (!trace_out.empty()) return WriteAndCheckTrace(trace_out);
   return 0;
 }

@@ -13,7 +13,9 @@
 #include <sstream>
 #include <string>
 
+#include "common/metrics.h"
 #include "common/string_util.h"
+#include "common/trace.h"
 #include "datagen/paper_example.h"
 #include "datagen/quest_gen.h"
 #include "datagen/retail_gen.h"
@@ -34,6 +36,8 @@ void PrintHelp() {
       "Dot commands:\n"
       "  .help              this text\n"
       "  \\trace             toggle the JSON run trace after MINE RULE\n"
+      "  \\trace FILE        record spans; write Chrome trace JSON on exit\n"
+      "  \\metrics           print the process-wide metrics registry\n"
       "  .tables            list tables, views and sequences\n"
       "  .figure1           load the paper's Purchase table (Figure 1)\n"
       "  .quest N           load a Quest basket table 'Baskets' with N baskets\n"
@@ -49,7 +53,8 @@ void PrintHelp() {
 
 void HandleDotCommand(const std::string& line, Catalog* catalog,
                       mr::DataMiningSystem* system,
-                      mr::MiningOptions* options, bool* trace, bool* done) {
+                      mr::MiningOptions* options, bool* trace,
+                      std::string* trace_out, bool* done) {
   std::istringstream in(line);
   std::string command;
   in >> command;
@@ -58,8 +63,22 @@ void HandleDotCommand(const std::string& line, Catalog* catalog,
     return;
   }
   if (command == "\\trace" || command == ".trace") {
+    std::string path;
+    in >> path;
+    if (!path.empty()) {
+      // With an argument, turn on span recording and remember where to
+      // write the Chrome trace when the shell exits.
+      *trace_out = path;
+      GlobalTracer().Enable(true);
+      std::cout << "span recording on; will write " << path << " on exit\n";
+      return;
+    }
     *trace = !*trace;
     std::cout << "trace " << (*trace ? "on" : "off") << "\n";
+    return;
+  }
+  if (command == "\\metrics" || command == ".metrics") {
+    std::cout << MetricsRegistry::Format(GlobalMetrics().Snapshot());
     return;
   }
   if (command == ".help") {
@@ -230,6 +249,7 @@ int main() {
 
   std::string buffer;
   bool trace = false;
+  std::string trace_out;
   bool done = false;
   while (!done) {
     std::cout << (buffer.empty() ? "minerule> " : "     ...> ") << std::flush;
@@ -238,7 +258,8 @@ int main() {
     const std::string trimmed{StripWhitespace(line)};
     if (buffer.empty() && trimmed.empty()) continue;
     if (buffer.empty() && (trimmed[0] == '.' || trimmed[0] == '\\')) {
-      HandleDotCommand(trimmed, &catalog, &system, &options, &trace, &done);
+      HandleDotCommand(trimmed, &catalog, &system, &options, &trace,
+                       &trace_out, &done);
       continue;
     }
     buffer += line;
@@ -250,6 +271,11 @@ int main() {
     if (!statement.empty()) {
       ExecuteStatement(statement, &system, options, trace);
     }
+  }
+  if (!trace_out.empty()) {
+    Status status = GlobalTracer().WriteChromeTraceFile(trace_out);
+    std::cout << (status.ok() ? "wrote " + trace_out : status.ToString())
+              << "\n";
   }
   return 0;
 }

@@ -1,0 +1,219 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+
+#include "common/json.h"
+
+namespace minerule {
+
+size_t MetricThreadStripe() {
+  // Sequential per-thread slot, wrapped onto the stripe count. Stable for
+  // the thread's lifetime, so a thread always hits the same shard.
+  static std::atomic<size_t> next{0};
+  thread_local const size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricStripes;
+  return slot;
+}
+
+Histogram::Histogram(std::vector<int64_t> bounds) : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  for (Shard& shard : shards_) {
+    shard.counts = std::vector<std::atomic<int64_t>>(bounds_.size() + 1);
+  }
+}
+
+void Histogram::Observe(int64_t value) {
+  Shard& shard = shards_[MetricThreadStripe()];
+  const size_t bucket =
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin();
+  shard.counts[bucket].fetch_add(1, std::memory_order_relaxed);
+  shard.sum.fetch_add(value, std::memory_order_relaxed);
+  int64_t seen = shard.min.load(std::memory_order_relaxed);
+  while (value < seen && !shard.min.compare_exchange_weak(
+                             seen, value, std::memory_order_relaxed)) {
+  }
+  seen = shard.max.load(std::memory_order_relaxed);
+  while (value > seen && !shard.max.compare_exchange_weak(
+                             seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Snapshot Histogram::Snap() const {
+  Snapshot snap;
+  snap.bounds = bounds_;
+  snap.counts.assign(bounds_.size() + 1, 0);
+  int64_t min = INT64_MAX;
+  int64_t max = INT64_MIN;
+  for (const Shard& shard : shards_) {
+    for (size_t i = 0; i < shard.counts.size(); ++i) {
+      snap.counts[i] += shard.counts[i].load(std::memory_order_relaxed);
+    }
+    snap.sum += shard.sum.load(std::memory_order_relaxed);
+    min = std::min(min, shard.min.load(std::memory_order_relaxed));
+    max = std::max(max, shard.max.load(std::memory_order_relaxed));
+  }
+  for (int64_t c : snap.counts) snap.count += c;
+  snap.min = snap.count == 0 ? 0 : min;
+  snap.max = snap.count == 0 ? 0 : max;
+  return snap;
+}
+
+double Histogram::Snapshot::Percentile(double q) const {
+  if (count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count);
+  int64_t cumulative = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const int64_t next = cumulative + counts[i];
+    if (static_cast<double>(next) >= target) {
+      // Bucket i covers (lower, upper]; interpolate within it. The real
+      // observed extrema tighten the edge buckets.
+      double lower = i == 0 ? static_cast<double>(min)
+                            : static_cast<double>(bounds[i - 1]);
+      double upper = i < bounds.size() ? static_cast<double>(bounds[i])
+                                       : static_cast<double>(max);
+      lower = std::max(lower, static_cast<double>(min));
+      upper = std::min(upper, static_cast<double>(max));
+      if (upper <= lower) return upper;
+      const double fraction =
+          (target - static_cast<double>(cumulative)) / counts[i];
+      return lower + fraction * (upper - lower);
+    }
+    cumulative = next;
+  }
+  return static_cast<double>(max);
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return &counters_[name];
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return &gauges_[name];
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<int64_t> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // try_emplace constructs the histogram in place (atomics are immovable).
+  return &histograms_.try_emplace(name, std::move(bounds)).first->second;
+}
+
+std::vector<MetricSample> MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<MetricSample> samples;
+  samples.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [name, counter] : counters_) {
+    MetricSample s;
+    s.name = name;
+    s.kind = "counter";
+    s.value = static_cast<double>(counter.Value());
+    s.sum = s.value;
+    samples.push_back(std::move(s));
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    MetricSample s;
+    s.name = name;
+    s.kind = "gauge";
+    s.value = static_cast<double>(gauge.Value());
+    s.sum = static_cast<double>(gauge.Max());
+    samples.push_back(std::move(s));
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    const Histogram::Snapshot snap = histogram.Snap();
+    MetricSample s;
+    s.name = name;
+    s.kind = "histogram";
+    s.value = snap.Mean();
+    s.count = snap.count;
+    s.sum = static_cast<double>(snap.sum);
+    s.p50 = snap.Percentile(0.50);
+    s.p95 = snap.Percentile(0.95);
+    s.p99 = snap.Percentile(0.99);
+    samples.push_back(std::move(s));
+  }
+  std::sort(samples.begin(), samples.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              return a.name < b.name;
+            });
+  return samples;
+}
+
+std::string MetricsRegistry::Format(const std::vector<MetricSample>& samples) {
+  size_t width = 4;
+  for (const MetricSample& s : samples) width = std::max(width, s.name.size());
+  std::string out;
+  char line[256];
+  for (const MetricSample& s : samples) {
+    if (s.kind == "histogram") {
+      std::snprintf(line, sizeof(line),
+                    "%-*s  histogram  count=%lld mean=%.1f p50=%.1f "
+                    "p95=%.1f p99=%.1f\n",
+                    static_cast<int>(width), s.name.c_str(),
+                    static_cast<long long>(s.count), s.value, s.p50, s.p95,
+                    s.p99);
+    } else if (s.kind == "gauge") {
+      std::snprintf(line, sizeof(line), "%-*s  gauge      %.0f (peak %.0f)\n",
+                    static_cast<int>(width), s.name.c_str(), s.value, s.sum);
+    } else {
+      std::snprintf(line, sizeof(line), "%-*s  counter    %.0f\n",
+                    static_cast<int>(width), s.name.c_str(), s.value);
+    }
+    out += line;
+  }
+  if (samples.empty()) out = "(no metrics recorded)\n";
+  return out;
+}
+
+void MetricsRegistry::AppendJson(const std::vector<MetricSample>& samples,
+                                 JsonWriter* writer) {
+  writer->BeginArray();
+  for (const MetricSample& s : samples) {
+    writer->BeginObject();
+    writer->Key("name").String(s.name);
+    writer->Key("kind").String(s.kind);
+    writer->Key("value").Double(s.value);
+    if (s.kind == "histogram") {
+      writer->Key("count").Int(s.count);
+      writer->Key("sum").Double(s.sum);
+      writer->Key("p50").Double(s.p50);
+      writer->Key("p95").Double(s.p95);
+      writer->Key("p99").Double(s.p99);
+    } else if (s.kind == "gauge") {
+      writer->Key("peak").Double(s.sum);
+    }
+    writer->EndObject();
+  }
+  writer->EndArray();
+}
+
+void MetricsRegistry::ResetForTesting() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+MetricsRegistry& GlobalMetrics() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+std::vector<int64_t> LatencyBucketsMicros() {
+  std::vector<int64_t> bounds;
+  for (int64_t decade = 10; decade <= 10'000'000; decade *= 10) {
+    bounds.push_back(decade);
+    bounds.push_back(decade * 2);
+    bounds.push_back(decade * 5);
+  }
+  return bounds;
+}
+
+}  // namespace minerule

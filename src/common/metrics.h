@@ -1,0 +1,186 @@
+#ifndef MINERULE_COMMON_METRICS_H_
+#define MINERULE_COMMON_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace minerule {
+
+class JsonWriter;
+
+/// Naming convention (DESIGN.md §11): `stage.component.name`, e.g.
+/// `engine.runs`, `sql.join.build_peak_bytes`, `core.partition.slices`.
+///
+/// The registry hands out stable handle pointers; hot paths cache the handle
+/// (typically in a function-local static) and never touch the registry map
+/// again. All mutation is lock-free: counters and histograms are striped
+/// across cache-line-padded atomic shards indexed by a per-thread slot, so
+/// concurrent workers do not contend; a snapshot merges the shards.
+inline constexpr size_t kMetricStripes = 16;
+
+/// Returns a small per-thread stripe index in [0, kMetricStripes).
+size_t MetricThreadStripe();
+
+/// Monotonic counter, striped per thread; merged on snapshot.
+class Counter {
+ public:
+  void Add(int64_t delta) {
+    shards_[MetricThreadStripe()].value.fetch_add(delta,
+                                                  std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+
+  int64_t Value() const {
+    int64_t total = 0;
+    for (const Shard& shard : shards_) {
+      total += shard.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<int64_t> value{0};
+  };
+  std::array<Shard, kMetricStripes> shards_;
+};
+
+/// Point-in-time gauge with last-set and running-max semantics. Peak-bytes
+/// accounting uses UpdateMax so concurrent operators keep the high-water
+/// mark without locks.
+class Gauge {
+ public:
+  void Set(int64_t value) {
+    value_.store(value, std::memory_order_relaxed);
+    UpdateMax(value);
+  }
+
+  /// Raises the gauge (and its peak) to at least `value`.
+  void UpdateMax(int64_t value) {
+    int64_t seen = max_.load(std::memory_order_relaxed);
+    while (value > seen && !max_.compare_exchange_weak(
+                               seen, value, std::memory_order_relaxed)) {
+    }
+    seen = value_.load(std::memory_order_relaxed);
+    while (value > seen && !value_.compare_exchange_weak(
+                               seen, value, std::memory_order_relaxed)) {
+    }
+  }
+
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  int64_t Max() const { return max_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+  std::atomic<int64_t> max_{0};
+};
+
+/// Fixed-bucket histogram: bucket i counts observations <= bounds[i], with
+/// one implicit overflow bucket above the last bound. Counts are striped
+/// like Counter; sum/min/max are tracked so means and bucket-interpolated
+/// percentiles come out of a snapshot.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<int64_t> bounds);
+
+  void Observe(int64_t value);
+
+  const std::vector<int64_t>& bounds() const { return bounds_; }
+
+  struct Snapshot {
+    std::vector<int64_t> bounds;   // upper bound per finite bucket
+    std::vector<int64_t> counts;   // bounds.size() + 1 (overflow last)
+    int64_t count = 0;
+    int64_t sum = 0;
+    int64_t min = 0;  // 0 when count == 0
+    int64_t max = 0;
+
+    double Mean() const {
+      return count == 0 ? 0.0 : static_cast<double>(sum) / count;
+    }
+    /// Linear interpolation inside the covering bucket; q in [0, 1].
+    /// The overflow bucket reports its lower bound (no upper edge).
+    double Percentile(double q) const;
+  };
+  Snapshot Snap() const;
+
+ private:
+  struct alignas(64) Shard {
+    // One slot per finite bucket plus overflow; sized at construction.
+    std::vector<std::atomic<int64_t>> counts;
+    std::atomic<int64_t> sum{0};
+    std::atomic<int64_t> min{INT64_MAX};
+    std::atomic<int64_t> max{INT64_MIN};
+  };
+
+  std::vector<int64_t> bounds_;
+  std::array<Shard, kMetricStripes> shards_;
+};
+
+/// One merged metric in a registry snapshot, ready for display or for the
+/// mr_metrics system table.
+struct MetricSample {
+  std::string name;
+  std::string kind;  // "counter" | "gauge" | "histogram"
+  double value = 0;  // counter total, gauge value, histogram mean
+  int64_t count = 0; // observations (histograms), else 0
+  double sum = 0;    // histogram sum; gauge peak; counter total
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+};
+
+/// Named metric registry. Get* registers on first use (mutex-guarded) and
+/// returns a stable pointer; snapshots are sorted by name and therefore
+/// deterministic for a fixed set of touched metrics.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  /// Registers with the given bounds on first use; later calls return the
+  /// existing histogram regardless of `bounds`.
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<int64_t> bounds);
+
+  std::vector<MetricSample> Snapshot() const;
+
+  /// Human-readable aligned table of a snapshot (the shell's \metrics).
+  static std::string Format(const std::vector<MetricSample>& samples);
+
+  /// Serializes a snapshot as a JSON array (fuzz --metrics, benches).
+  static void AppendJson(const std::vector<MetricSample>& samples,
+                         JsonWriter* writer);
+
+  /// Drops every registered metric. Tests only: outstanding handles are
+  /// invalidated, so no concurrent mutator may be running.
+  void ResetForTesting();
+
+ private:
+  mutable std::mutex mutex_;
+  // std::map: stable node addresses, deterministic (sorted) iteration.
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+/// The process-wide registry every component reports into (the source of
+/// the mr_metrics system table). Intentionally leaked, like the shared
+/// thread pool, so worker threads can touch it during teardown.
+MetricsRegistry& GlobalMetrics();
+
+/// Default bucket bounds for microsecond-scale latency histograms:
+/// 1,2,5-spaced from 10us to 10s.
+std::vector<int64_t> LatencyBucketsMicros();
+
+}  // namespace minerule
+
+#endif  // MINERULE_COMMON_METRICS_H_

@@ -4,6 +4,9 @@
 #include <atomic>
 #include <chrono>
 
+#include "common/metrics.h"
+#include "common/trace.h"
+
 namespace minerule {
 
 namespace {
@@ -63,6 +66,14 @@ ThreadPoolStats ThreadPool::Stats() const {
 
 void ThreadPool::WorkerLoop(size_t worker_index) {
   t_on_pool_worker = true;
+  // Name the worker for trace exports so spans recorded from pool tasks
+  // carry their real thread attribution in Perfetto.
+  GlobalTracer().SetCurrentThreadName(
+      "pool-worker-" + std::to_string(worker_index),
+      /*preferred_tid=*/100 + static_cast<int>(worker_index));
+  Counter* tasks_counter = GlobalMetrics().GetCounter("pool.tasks_run");
+  Histogram* task_micros = GlobalMetrics().GetHistogram(
+      "pool.task_micros", LatencyBucketsMicros());
   WorkerCounters& counters = counters_[worker_index];
   while (true) {
     std::function<void()> task;
@@ -74,12 +85,17 @@ void ThreadPool::WorkerLoop(size_t worker_index) {
       queue_.pop_front();
     }
     const auto start = std::chrono::steady_clock::now();
-    task();  // packaged_task: exceptions land in the future
+    {
+      ScopedSpan span("pool.task", "pool");
+      task();  // packaged_task: exceptions land in the future
+    }
     const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
                             std::chrono::steady_clock::now() - start)
                             .count();
     counters.tasks_run.fetch_add(1, std::memory_order_relaxed);
     counters.busy_micros.fetch_add(micros, std::memory_order_relaxed);
+    tasks_counter->Increment();
+    task_micros->Observe(micros);
   }
 }
 

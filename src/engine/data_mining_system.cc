@@ -1,10 +1,15 @@
 #include "engine/data_mining_system.h"
 
+#include <algorithm>
+#include <optional>
+
 #include "common/json.h"
+#include "common/metrics.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "sql/parser.h"
+#include "sql/system_tables.h"
 
 namespace minerule::mr {
 
@@ -48,6 +53,39 @@ void AppendSourceEpochs(const Catalog& catalog, const std::string& relation,
   }
   *key += ToLower(relation) + "@" +
           std::to_string(catalog.TableVersion(relation)) + ",";
+}
+
+/// Sums the est_bytes operator counters of each query and returns the
+/// largest per-query total — the queries run sequentially, so their buffer
+/// peaks do not stack.
+int64_t MaxQueryOperatorBytes(const std::vector<QueryStat>& stats) {
+  int64_t max_bytes = 0;
+  for (const QueryStat& q : stats) {
+    int64_t total = 0;
+    for (const sql::OperatorProfile& op : q.operators) {
+      for (const auto& [key, value] : op.counters) {
+        if (key == "est_bytes") total += value;
+      }
+    }
+    max_bytes = std::max(max_bytes, total);
+  }
+  return max_bytes;
+}
+
+/// Converts one phase's QueryStats into mr_query_profile records.
+void AppendQueryRecords(const std::vector<QueryStat>& stats,
+                        const char* phase,
+                        std::vector<sql::QueryProfileRecord>* out) {
+  for (const QueryStat& q : stats) {
+    sql::QueryProfileRecord record;
+    record.query_id = q.id;
+    record.phase = phase;
+    record.sql = q.sql;
+    record.rows = q.rows;
+    record.micros = q.micros;
+    record.operators = q.operators;
+    out->push_back(std::move(record));
+  }
 }
 
 }  // namespace
@@ -124,10 +162,12 @@ std::string MiningRunStats::ToJson() const {
   JsonWriter w;
   w.BeginObject();
   w.Key("directives").String(directives.ToString());
+  w.Key("run_id").Int(run_id);
   w.Key("total_groups").Int(total_groups);
   w.Key("min_group_count").Int(min_group_count);
   w.Key("preprocessing_reused").Bool(preprocessing_reused);
   w.Key("engine_threads").Int(engine_threads);
+  w.Key("peak_bytes").Int(peak_bytes);
 
   w.Key("phases").BeginObject();
   w.Key("translate_seconds").Double(translate_seconds);
@@ -300,7 +340,59 @@ Result<MiningRunStats> DataMiningSystem::ExecuteMineRule(
 
 Result<MiningRunStats> DataMiningSystem::ExecuteStatement(
     const MineRuleStatement& stmt, const MiningOptions& options) {
+  // The wrapper records every execution — success or failure — as one row
+  // of the mr_runs system table and feeds the engine.* metrics, so the
+  // telemetry is queryable through the same SQL engine that ran the
+  // pipeline (DESIGN.md §11).
+  Stopwatch total;
+  Result<MiningRunStats> result = ExecuteStatementImpl(stmt, options);
+  const int64_t total_micros = total.ElapsedMicros();
+
+  sql::RunRecord run;
+  run.statement = stmt.ToString();
+  run.threads = ResolveThreadCount(options.num_threads);
+  run.total_micros = total_micros;
+  if (result.ok()) {
+    MiningRunStats& stats = *result;
+    run.rules = stats.core.rules_found;
+    run.peak_bytes = stats.peak_bytes;
+    run.reused_preprocess = stats.preprocessing_reused;
+    AppendQueryRecords(stats.preprocess_queries, "preprocess", &run.queries);
+    AppendQueryRecords(stats.postprocess_queries, "postprocess", &run.queries);
+  } else {
+    run.status = result.status().ToString();
+  }
+
+  static Counter* runs = GlobalMetrics().GetCounter("engine.runs");
+  static Counter* failed = GlobalMetrics().GetCounter("engine.failed_runs");
+  static Counter* rules_found =
+      GlobalMetrics().GetCounter("engine.rules_found");
+  static Histogram* run_micros = GlobalMetrics().GetHistogram(
+      "engine.run_micros", LatencyBucketsMicros());
+  runs->Increment();
+  run_micros->Observe(total_micros);
+  if (result.ok()) {
+    rules_found->Add(result->core.rules_found);
+    GlobalMetrics().GetGauge("engine.peak_bytes")->UpdateMax(
+        result->peak_bytes);
+  } else {
+    failed->Increment();
+  }
+
+  const int64_t run_id = sql::GlobalObservability().RecordRun(std::move(run));
+  if (result.ok()) result->run_id = run_id;
+  return result;
+}
+
+Result<MiningRunStats> DataMiningSystem::ExecuteStatementImpl(
+    const MineRuleStatement& stmt, const MiningOptions& options) {
   MiningRunStats stats;
+
+  // Stage spans for the Chrome trace export; each phase below re-emplaces
+  // the span, closing the previous stage at that instant. Inert (one
+  // relaxed atomic load each) unless --trace-out enabled the tracer.
+  GlobalTracer().SetCurrentThreadName("main");
+  std::optional<ScopedSpan> stage_span;
 
   // The SQL phases (preprocessor Q0..Q11, postprocessor) run morsel-parallel
   // at the same width as the core operator; phases are sequential on the one
@@ -309,6 +401,7 @@ Result<MiningRunStats> DataMiningSystem::ExecuteStatement(
   stats.engine_threads = ResolveThreadCount(options.num_threads);
 
   // --- translator --------------------------------------------------------
+  stage_span.emplace("translate", "phase");
   Stopwatch phase;
   Translator translator(
       catalog_, [this](const std::string& view) -> Result<Schema> {
@@ -325,6 +418,7 @@ Result<MiningRunStats> DataMiningSystem::ExecuteStatement(
   stats.trace.Span("translate", phase.ElapsedMicros());
 
   // --- preprocessor ------------------------------------------------------
+  stage_span.emplace("preprocess", "phase");
   phase.Restart();
   const std::string cache_key = PreprocessCacheKey(stmt);
   PreprocessResult* preprocess = nullptr;
@@ -349,6 +443,7 @@ Result<MiningRunStats> DataMiningSystem::ExecuteStatement(
   stats.trace.Counter("preprocess.total_groups", stats.total_groups);
 
   // --- core operator -----------------------------------------------------
+  stage_span.emplace("core", "phase");
   phase.Restart();
   const ThreadPoolStats pool_before = SharedThreadPool().Stats();
   mining::CoreDirectives core_directives;
@@ -362,6 +457,18 @@ Result<MiningRunStats> DataMiningSystem::ExecuteStatement(
       mining::CodedSourceData data,
       FetchEncodedData(preprocess->program, translation.directives));
   data.total_groups = preprocess->total_groups;
+
+  // Coded-table cache footprint (the in-memory copy handed to the miners).
+  const int64_t coded_bytes = static_cast<int64_t>(
+      data.simple_pairs.size() *
+          sizeof(decltype(data.simple_pairs)::value_type) +
+      data.body_rows.size() * sizeof(decltype(data.body_rows)::value_type) +
+      data.head_rows.size() * sizeof(decltype(data.head_rows)::value_type) +
+      data.cluster_couples.size() *
+          sizeof(decltype(data.cluster_couples)::value_type) +
+      data.input_rules.size() *
+          sizeof(decltype(data.input_rules)::value_type));
+  GlobalMetrics().GetGauge("engine.coded_cache_bytes")->UpdateMax(coded_bytes);
 
   mining::CoreOptions core_options;
   core_options.algorithm = options.algorithm;
@@ -394,6 +501,7 @@ Result<MiningRunStats> DataMiningSystem::ExecuteStatement(
   stats.trace.Counter("pool.busy_micros", stats.pool.busy_micros);
 
   // --- postprocessor -----------------------------------------------------
+  stage_span.emplace("postprocess", "phase");
   phase.Restart();
   Postprocessor postprocessor(&sql_engine_);
   MR_ASSIGN_OR_RETURN(
@@ -403,6 +511,13 @@ Result<MiningRunStats> DataMiningSystem::ExecuteStatement(
   stats.postprocess_queries = stats.output.stats;
   stats.postprocess_seconds = phase.ElapsedSeconds();
   stats.trace.Span("postprocess", phase.ElapsedMicros());
+
+  // Peak working-set estimate: the coded cache is alive for the whole core
+  // phase; generated queries run one at a time, so only the widest query's
+  // operator buffers add on top.
+  stats.peak_bytes =
+      coded_bytes + std::max(MaxQueryOperatorBytes(stats.preprocess_queries),
+                             MaxQueryOperatorBytes(stats.postprocess_queries));
 
   executed_[ToLower(stmt.output_table)] =
       RenderInfo{stmt.select_support, stmt.select_confidence};

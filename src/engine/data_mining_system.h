@@ -63,6 +63,15 @@ struct MiningRunStats {
   int64_t min_group_count = 0;
   bool preprocessing_reused = false;
 
+  /// Id of this run's row in the mr_runs system table (DESIGN.md §11);
+  /// assigned by the process-wide ObservabilityRegistry, 1-based.
+  int64_t run_id = 0;
+
+  /// Estimated peak working-set bytes: coded-table cache plus the largest
+  /// per-query operator buffer total (join builds, aggregate tables, sort
+  /// buffers) across the generated queries.
+  int64_t peak_bytes = 0;
+
   /// Resolved worker-thread count the SQL engine ran with (DESIGN.md §9):
   /// MiningOptions::num_threads with <= 0 resolved to the hardware
   /// concurrency. The pre/postprocessing queries used morsel-driven
@@ -112,6 +121,8 @@ class DataMiningSystem {
 
   /// Executes a MINE RULE statement end to end. On success the output
   /// tables <out>, <out>_Bodies and <out>_Heads exist in the catalog.
+  /// Every execution — successful or not — is appended to the mr_runs
+  /// system table (DESIGN.md §11).
   Result<MiningRunStats> ExecuteMineRule(std::string_view text,
                                          const MiningOptions& options = {});
 
@@ -144,6 +155,11 @@ class DataMiningSystem {
 
   Result<mining::CodedSourceData> FetchEncodedData(
       const PreprocessProgram& program, const Directives& directives);
+
+  /// The pipeline proper; ExecuteStatement wraps it to record the run into
+  /// the observability registry on both the success and the error path.
+  Result<MiningRunStats> ExecuteStatementImpl(const MineRuleStatement& stmt,
+                                              const MiningOptions& options);
 
   Catalog* catalog_;
   sql::SqlEngine sql_engine_;

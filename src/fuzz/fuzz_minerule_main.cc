@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "fuzz/harness.h"
 
 namespace {
@@ -33,6 +34,7 @@ int Usage() {
       "usage: fuzz_minerule [--seed=N] [--cases=N] [--threads=N]\n"
       "                     [--mutants=N] [--max-failures=N]\n"
       "                     [--repro-dir=DIR] [--no-minimize] [--verbose]\n"
+      "                     [--metrics]\n"
       "                     [--no-reference] [--no-decoupled]\n"
       "                     [--no-metamorphic] [--no-alt-algorithm]\n"
       "                     [--no-dup-invariance]\n"
@@ -176,6 +178,8 @@ int main(int argc, char** argv) {
       options.oracle.run_alternate_algorithm = false;
     } else if (std::strcmp(arg, "--no-dup-invariance") == 0) {
       options.oracle.run_duplicate_invariance = false;
+    } else if (std::strcmp(arg, "--metrics") == 0) {
+      options.print_metrics = true;
     } else if (std::strcmp(arg, "--verbose") == 0) {
       options.verbose = true;
     } else {
@@ -195,6 +199,12 @@ int main(int argc, char** argv) {
     return 2;
   }
   std::printf("%s\n", report->Summary().c_str());
+  if (options.print_metrics) {
+    std::printf("-- metrics --\n%s",
+                minerule::MetricsRegistry::Format(
+                    minerule::GlobalMetrics().Snapshot())
+                    .c_str());
+  }
   if (!report->AllDirectiveBitsCovered() && options.cases >= 50) {
     std::printf("WARNING: not every directive bit was covered both ways\n");
   }

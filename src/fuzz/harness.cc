@@ -9,6 +9,7 @@
 #include "common/string_util.h"
 #include "engine/data_mining_system.h"
 #include "fuzz/statement_gen.h"
+#include "sql/system_tables.h"
 #include "minerule/parser.h"
 #include "minerule/translator.h"
 
@@ -99,6 +100,10 @@ Result<FuzzReport> RunFuzz(const FuzzOptions& options) {
     if (static_cast<int>(report.failures.size()) >= options.max_failures) {
       break;
     }
+    // Every oracle route appends to the process-wide run history; dropping
+    // it per case keeps a long fuzz run's memory bounded without touching
+    // the metrics registry (whose totals --metrics reports at the end).
+    sql::GlobalObservability().ResetForTesting();
     StreamRng case_rng = root.Split("case", static_cast<uint64_t>(case_index));
     const WorkloadSpec spec = RandomSpec(&case_rng);
     Random stmt_rng = case_rng.Stream("statement");

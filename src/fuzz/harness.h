@@ -26,6 +26,8 @@ struct FuzzOptions {
   /// Stop fuzzing after this many failing cases.
   int max_failures = 16;
   bool verbose = false;
+  /// Print the process-wide metrics registry after the run (--metrics).
+  bool print_metrics = false;
 };
 
 struct FailureRecord {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <map>
 #include <memory>
 #include <optional>
@@ -10,6 +11,8 @@
 
 #include "common/rng.h"
 #include "common/string_util.h"
+#include "common/trace.h"
+#include "sql/system_tables.h"
 #include "decoupled/decoupled_miner.h"
 #include "engine/data_mining_system.h"
 #include "minerule/parser.h"
@@ -345,6 +348,10 @@ struct PipelineRun {
   int64_t num_rules = 0;
   int64_t total_groups = 0;
   mr::Directives directives;
+  /// Observability invariant inputs (DESIGN.md §11): how many mr_runs rows
+  /// this execution appended and how many phase-category spans it traced.
+  int64_t runs_recorded = 0;
+  int64_t phase_spans = 0;
 };
 
 std::string DumpTable(Catalog* catalog, const std::string& name) {
@@ -376,8 +383,22 @@ Result<PipelineRun> RunPipeline(const WorkloadSpec& spec,
   run.catalog = std::make_unique<Catalog>();
   MR_RETURN_IF_ERROR(BuildWorkload(run.catalog.get(), spec).status());
   mr::DataMiningSystem system(run.catalog.get());
+  // Trace the run so the oracle can check the observability invariants:
+  // exactly one mr_runs row per execution, and a phase-span structure that
+  // does not depend on the thread count.
+  SpanTracer& tracer = GlobalTracer();
+  const bool tracing_was_on = tracer.enabled();
+  tracer.Clear();
+  tracer.Enable(true);
+  const int64_t runs_before = sql::GlobalObservability().run_count();
   Result<mr::MiningRunStats> stats =
       system.ExecuteMineRule(statement, options);
+  tracer.Enable(tracing_was_on);
+  run.runs_recorded = sql::GlobalObservability().run_count() - runs_before;
+  for (const SpanEvent& event : tracer.Snapshot()) {
+    if (std::strcmp(event.category, "phase") == 0) ++run.phase_spans;
+  }
+  tracer.Clear();
   if (!stats.ok()) {
     run.error = stats.status().ToString();
     return run;
@@ -667,6 +688,13 @@ Result<CaseOutcome> RunCase(const WorkloadSpec& spec,
   baseline_options.num_threads = 1;
   MR_ASSIGN_OR_RETURN(PipelineRun baseline,
                       RunPipeline(spec, statement, baseline_options));
+  // Observability invariant: every execution — rejected ones included —
+  // appends exactly one row to the run history.
+  if (baseline.runs_recorded != 1) {
+    fail("observability-run-record",
+         "expected exactly one mr_runs row per execution, got " +
+             std::to_string(baseline.runs_recorded));
+  }
   if (!baseline.ok) {
     outcome.reject_stage = "execute";
     outcome.reject_reason = baseline.error;
@@ -678,6 +706,14 @@ Result<CaseOutcome> RunCase(const WorkloadSpec& spec,
   outcome.baseline_dump = baseline.dump;
   outcome.routes.push_back("pipeline@1");
   const mr::Directives d = baseline.directives;
+
+  // Observability invariant: a successful pipeline traces one span per
+  // stage — translate, preprocess, core, postprocess.
+  if (baseline.phase_spans != 4) {
+    fail("observability-phase-spans",
+         "expected 4 phase spans, got " +
+             std::to_string(baseline.phase_spans));
+  }
 
   // Invariants of the baseline output.
   {
@@ -779,6 +815,18 @@ Result<CaseOutcome> RunCase(const WorkloadSpec& spec,
            "output differs at threads=" + std::to_string(options.threads) +
                "\n--- threads=1 ---\n" + Truncate(baseline.dump) +
                "\n--- threads=N ---\n" + Truncate(run.dump));
+    } else if (run.phase_spans != baseline.phase_spans) {
+      // The span structure is part of the determinism contract: the same
+      // four stages happen no matter how many workers run inside them.
+      fail("observability-span-stability",
+           "phase span count changed with the thread count: " +
+               std::to_string(baseline.phase_spans) + " at threads=1 vs " +
+               std::to_string(run.phase_spans) + " at threads=" +
+               std::to_string(options.threads));
+    } else if (run.runs_recorded != 1) {
+      fail("observability-run-record",
+           "threaded execution appended " +
+               std::to_string(run.runs_recorded) + " mr_runs rows");
     }
   }
 

@@ -3,6 +3,7 @@
 #include <unordered_map>
 
 #include "common/thread_pool.h"
+#include "common/trace.h"
 
 namespace minerule::mining {
 
@@ -110,6 +111,8 @@ Result<std::vector<FrequentItemset>> AprioriMiner::Mine(
   }
 
   while (!level.empty()) {
+    ScopedSpan pass_span("core.apriori.pass", "core",
+                         static_cast<int64_t>(level[0].items.size()));
     result.insert(result.end(), level.begin(), level.end());
     if (max_size >= 0 &&
         static_cast<int64_t>(level[0].items.size()) >= max_size) {

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <map>
 
+#include "common/metrics.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "mining/gid_list.h"
 #include "mining/simple_miner.h"
 
@@ -355,6 +357,8 @@ Result<std::vector<MinedRule>> GeneralMiner::Mine(
     RuleSet result;
   };
   for (int level = 3;; ++level) {
+    ScopedSpan level_span("core.general.level", "core", level);
+    GlobalMetrics().GetCounter("core.general.levels")->Increment();
     std::vector<Cell> cells;
     for (int m = 1; m < level; ++m) {
       const int n = level - m;

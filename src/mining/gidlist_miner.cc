@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "common/trace.h"
+
 namespace minerule::mining {
 
 Result<std::vector<FrequentItemset>> GidListMiner::Mine(
@@ -29,6 +31,8 @@ Result<std::vector<FrequentItemset>> GidListMiner::Mine(
 
   std::vector<FrequentItemset> result;
   while (!level.empty()) {
+    ScopedSpan level_span("core.gidlist.level", "core",
+                          static_cast<int64_t>(level[0].items.size()));
     for (const Entry& e : level) {
       result.push_back({e.items, static_cast<int64_t>(e.gids.size())});
     }

@@ -3,7 +3,9 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "common/metrics.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "mining/gidlist_miner.h"
 
 namespace minerule::mining {
@@ -20,6 +22,9 @@ Result<std::vector<FrequentItemset>> PartitionMiner::Mine(
   // empty slice makes every itemset "locally large" at threshold 1 there.
   const size_t parts =
       std::min<size_t>(static_cast<size_t>(partition_count_), n);
+  GlobalMetrics()
+      .GetCounter("core.partition.slices")
+      ->Add(static_cast<int64_t>(parts));
 
   // Deterministic slice boundaries: slice p covers [p*n/parts,
   // (p+1)*n/parts), each nonempty because parts <= n.
@@ -39,6 +44,8 @@ Result<std::vector<FrequentItemset>> PartitionMiner::Mine(
   ParallelFor(parts, num_threads_, [&](size_t, size_t begin, size_t end) {
     GidListMiner local_miner;
     for (size_t p = begin; p < end; ++p) {
+      ScopedSpan slice_span("core.partition.slice", "core",
+                            static_cast<int64_t>(p));
       TransactionDb slice = db.Slice(bounds[p].first, bounds[p].second);
       const size_t slice_size = bounds[p].second - bounds[p].first;
       const double scaled = static_cast<double>(min_group_count) *

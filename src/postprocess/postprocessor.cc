@@ -5,6 +5,7 @@
 
 #include "common/stopwatch.h"
 #include "common/string_util.h"
+#include "common/trace.h"
 
 namespace minerule::mr {
 
@@ -133,10 +134,13 @@ Result<PostprocessResult> Postprocessor::Run(
           AttrList(stmt.head_schema) + " FROM OutputHeads, " + hset +
           " WHERE OutputHeads.Hid = " + hset + "." + hset_key + ")",
   };
-  for (const std::string& sql : decode_sql) {
+  for (size_t i = 0; i < decode_sql.size(); ++i) {
+    const std::string& sql = decode_sql[i];
+    const std::string id = "POST" + std::to_string(i);
+    ScopedSpan span("postprocess." + id, "query");
     Stopwatch watch;
     MR_ASSIGN_OR_RETURN(sql::QueryResult query_result, engine_->Execute(sql));
-    result.stats.push_back({"POST", sql, watch.ElapsedMicros(),
+    result.stats.push_back({id, sql, watch.ElapsedMicros(),
                             query_result.affected_rows,
                             std::move(query_result.profile)});
   }

@@ -1,6 +1,7 @@
 #include "preprocess/preprocessor.h"
 
 #include "common/stopwatch.h"
+#include "common/trace.h"
 #include "mining/simple_miner.h"
 
 namespace minerule::mr {
@@ -20,6 +21,7 @@ Result<PreprocessResult> Preprocessor::RunProgram(PreprocessProgram program,
     MR_RETURN_IF_ERROR(engine_->Execute(q.sql).status());
   }
   for (const GeneratedQuery& q : program.setup) {
+    ScopedSpan span("preprocess." + q.id, "query");
     Stopwatch watch;
     MR_ASSIGN_OR_RETURN(sql::QueryResult setup_result,
                         engine_->Execute(q.sql));
@@ -27,6 +29,7 @@ Result<PreprocessResult> Preprocessor::RunProgram(PreprocessProgram program,
         {q.id, q.sql, watch.ElapsedMicros(), 0, std::move(setup_result.profile)});
   }
   for (const GeneratedQuery& q : program.queries) {
+    ScopedSpan span("preprocess." + q.id, "query");
     Stopwatch watch;
     MR_ASSIGN_OR_RETURN(sql::QueryResult query_result,
                         engine_->Execute(q.sql));

@@ -3,12 +3,37 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "sql/binder.h"
 
 namespace minerule::sql {
 
 namespace {
+
+/// Estimated in-memory footprint of one materialized row: the inline Value
+/// storage plus string heap payloads. Used with a sampled row for the
+/// rows-times-width working-set estimates (DESIGN.md §11).
+int64_t EstimateRowBytes(const Row& row) {
+  int64_t bytes = static_cast<int64_t>(sizeof(Row));
+  for (const Value& v : row) {
+    bytes += static_cast<int64_t>(sizeof(Value));
+    if (v.type() == DataType::kString) {
+      bytes += static_cast<int64_t>(v.AsString().size());
+    }
+  }
+  return bytes;
+}
+
+/// rows * width(sample); 0 for an empty buffer. Also raises the named
+/// process-wide peak gauge so memory spikes survive into mr_metrics.
+int64_t AccountBufferBytes(const char* gauge, const std::vector<Row>& rows) {
+  if (rows.empty()) return 0;
+  const int64_t bytes =
+      static_cast<int64_t>(rows.size()) * EstimateRowBytes(rows.front());
+  GlobalMetrics().GetGauge(gauge)->UpdateMax(bytes);
+  return bytes;
+}
 
 /// Workers a morsel loop over `total` input rows actually uses: the thread
 /// knob resolved against hardware, clamped by the number of morsels.
@@ -399,6 +424,7 @@ void HashJoinNode::AppendExtraCounters(
     buckets += static_cast<int64_t>(partition.size());
   }
   out->emplace_back("buckets", buckets);
+  out->emplace_back("est_bytes", build_bytes_);
   if (parallel_) {
     out->emplace_back("partitions", static_cast<int64_t>(partitions_.size()));
   }
@@ -515,6 +541,26 @@ Status HashJoinNode::OpenImpl() {
       hash_table_[key].push_back(std::move(row));
       ++build_rows_;
     }
+  }
+
+  // Estimated build-side working set: build rows times a sampled row width.
+  build_bytes_ = 0;
+  const Row* sample = nullptr;
+  if (!hash_table_.empty()) {
+    sample = &hash_table_.begin()->second.front();
+  } else {
+    for (const JoinTable& partition : partitions_) {
+      if (!partition.empty()) {
+        sample = &partition.begin()->second.front();
+        break;
+      }
+    }
+  }
+  if (sample != nullptr) {
+    build_bytes_ = build_rows_ * EstimateRowBytes(*sample);
+    GlobalMetrics()
+        .GetGauge("sql.join.build_peak_bytes")
+        ->UpdateMax(build_bytes_);
   }
 
   // An empty build side joins nothing: skip the probe-side scan entirely
@@ -639,6 +685,7 @@ std::string HashAggregateNode::detail() const {
 void HashAggregateNode::AppendExtraCounters(
     std::vector<std::pair<std::string, int64_t>>* out) const {
   out->emplace_back("groups", static_cast<int64_t>(results_.size()));
+  out->emplace_back("est_bytes", table_bytes_);
 }
 
 std::vector<AggAccumulator> HashAggregateNode::MakeAccumulators() const {
@@ -788,6 +835,7 @@ Status HashAggregateNode::OpenImpl() {
     }
     results_.push_back(std::move(out));
   }
+  table_bytes_ = AccountBufferBytes("sql.aggregate.table_peak_bytes", results_);
   return Status::OK();
 }
 
@@ -942,7 +990,13 @@ Status SortNode::OpenImpl() {
   sorted.reserve(rows_.size());
   for (const auto& [key, idx] : keyed) sorted.push_back(std::move(rows_[idx]));
   rows_ = std::move(sorted);
+  buffer_bytes_ = AccountBufferBytes("sql.sort.buffer_peak_bytes", rows_);
   return Status::OK();
+}
+
+void SortNode::AppendExtraCounters(
+    std::vector<std::pair<std::string, int64_t>>* out) const {
+  out->emplace_back("est_bytes", buffer_bytes_);
 }
 
 Result<bool> SortNode::NextImpl(Row* out) {

@@ -279,6 +279,21 @@ class RowsNode : public ExecNode {
   size_t pos_ = 0;
 };
 
+/// Scan over a system table (mr_runs, mr_metrics, ...) materialized from
+/// the process-wide observability registries at plan time (DESIGN.md §11).
+/// Execution-wise a RowsNode; it only reports itself distinctly in EXPLAIN.
+class SystemScanNode : public RowsNode {
+ public:
+  SystemScanNode(std::string table, Schema schema, std::vector<Row> rows)
+      : RowsNode(std::move(schema), std::move(rows)),
+        table_(std::move(table)) {}
+  const char* name() const override { return "SystemScan"; }
+  std::string detail() const override { return table_; }
+
+ private:
+  std::string table_;
+};
+
 /// WHERE / HAVING filter. Fuses with a morsel-capable child: a morsel is
 /// evaluated by pulling the child's range and filtering it in place, so
 /// scan+filter run in the same worker without materialization in between.
@@ -448,6 +463,7 @@ class HashJoinNode : public ExecNode {
   std::vector<Row> left_rows_;         // parallel mode: materialized probe side
   size_t left_pos_ = 0;
   int64_t build_rows_ = 0;
+  int64_t build_bytes_ = 0;  // estimated build working set (rows x width)
   Row current_left_;
   const std::vector<Row>* current_bucket_ = nullptr;
   size_t bucket_pos_ = 0;
@@ -505,6 +521,7 @@ class HashAggregateNode : public ExecNode {
   bool pure_ = false;        // group + agg expressions free of NEXTVAL
   bool merge_exact_ = false; // every aggregate is exactly mergeable
   std::vector<Row> results_;
+  int64_t table_bytes_ = 0;  // estimated result-table working set
   size_t pos_ = 0;
 };
 
@@ -550,6 +567,8 @@ class SortNode : public ExecNode {
   bool SideEffectFree() const override {
     return pure_ && child_->SideEffectFree();
   }
+  void AppendExtraCounters(
+      std::vector<std::pair<std::string, int64_t>>* out) const override;
 
  protected:
   Status OpenImpl() override;
@@ -561,6 +580,7 @@ class SortNode : public ExecNode {
   ExecContext* ctx_;
   bool pure_ = false;  // sort keys free of NEXTVAL
   std::vector<Row> rows_;
+  int64_t buffer_bytes_ = 0;  // estimated sort-buffer working set
   size_t pos_ = 0;
 };
 

@@ -4,6 +4,7 @@
 
 #include "common/string_util.h"
 #include "sql/parser.h"
+#include "sql/system_tables.h"
 
 namespace minerule::sql {
 
@@ -174,6 +175,21 @@ Result<std::pair<ExecNodePtr, BindScope>> Planner::PlanTableRef(TableRef* ref,
       scope.Add(ref->alias, col.name, col.type);
     }
     return std::make_pair(std::move(sub.node), std::move(scope));
+  }
+  // System tables (DESIGN.md §11) resolve last, so a user table or view of
+  // the same name shadows them. Materialized at plan time: the scan sees a
+  // consistent snapshot of the registries for the whole query.
+  if (IsSystemTable(ref->name)) {
+    MR_ASSIGN_OR_RETURN(auto materialized, MaterializeSystemTable(ref->name));
+    BindScope scope;
+    for (const Column& col : materialized.first.columns()) {
+      scope.Add(ref->alias, col.name, col.type);
+    }
+    return std::make_pair(
+        ExecNodePtr(std::make_unique<SystemScanNode>(
+            ToLower(ref->name), std::move(materialized.first),
+            std::move(materialized.second))),
+        std::move(scope));
   }
   return Status::NotFound("relation not found: " + ref->name);
 }

@@ -1,0 +1,226 @@
+#include "sql/system_tables.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/metrics.h"
+#include "common/string_util.h"
+#include "common/trace.h"
+
+namespace minerule::sql {
+
+namespace {
+
+/// Looks up a named extra counter on an operator profile (est_bytes,
+/// workers, ...); 0 when the operator did not report it.
+int64_t CounterOr0(const OperatorProfile& op, const std::string& name) {
+  for (const auto& [key, value] : op.counters) {
+    if (key == name) return value;
+  }
+  return 0;
+}
+
+Schema RunsSchema() {
+  return Schema({{"run_id", DataType::kInteger},
+                 {"statement", DataType::kString},
+                 {"status", DataType::kString},
+                 {"threads", DataType::kInteger},
+                 {"total_micros", DataType::kInteger},
+                 {"rules", DataType::kInteger},
+                 {"peak_bytes", DataType::kInteger},
+                 {"reused_preprocess", DataType::kBoolean}});
+}
+
+Schema QueryProfileSchema() {
+  return Schema({{"run_id", DataType::kInteger},
+                 {"query_id", DataType::kString},
+                 {"phase", DataType::kString},
+                 {"sql", DataType::kString},
+                 {"rows", DataType::kInteger},
+                 {"micros", DataType::kInteger},
+                 {"operators", DataType::kInteger}});
+}
+
+Schema OperatorStatsSchema() {
+  return Schema({{"run_id", DataType::kInteger},
+                 {"query_id", DataType::kString},
+                 {"op", DataType::kString},
+                 {"detail", DataType::kString},
+                 {"depth", DataType::kInteger},
+                 {"rows", DataType::kInteger},
+                 {"micros", DataType::kInteger},
+                 {"est_bytes", DataType::kInteger},
+                 {"workers", DataType::kInteger}});
+}
+
+Schema MetricsSchema() {
+  return Schema({{"name", DataType::kString},
+                 {"kind", DataType::kString},
+                 {"value", DataType::kDouble},
+                 {"count", DataType::kInteger},
+                 {"sum", DataType::kDouble},
+                 {"p50", DataType::kDouble},
+                 {"p95", DataType::kDouble},
+                 {"p99", DataType::kDouble}});
+}
+
+Schema TraceSpansSchema() {
+  return Schema({{"tid", DataType::kInteger},
+                 {"thread", DataType::kString},
+                 {"name", DataType::kString},
+                 {"category", DataType::kString},
+                 {"start_micros", DataType::kInteger},
+                 {"duration_micros", DataType::kInteger}});
+}
+
+std::vector<Row> RunsRows(const std::vector<RunRecord>& runs) {
+  std::vector<Row> rows;
+  rows.reserve(runs.size());
+  for (const RunRecord& run : runs) {
+    rows.push_back({Value::Integer(run.run_id), Value::String(run.statement),
+                    Value::String(run.status), Value::Integer(run.threads),
+                    Value::Integer(run.total_micros),
+                    Value::Integer(run.rules), Value::Integer(run.peak_bytes),
+                    Value::Boolean(run.reused_preprocess)});
+  }
+  return rows;
+}
+
+std::vector<Row> QueryProfileRows(const std::vector<RunRecord>& runs) {
+  std::vector<Row> rows;
+  for (const RunRecord& run : runs) {
+    for (const QueryProfileRecord& q : run.queries) {
+      rows.push_back({Value::Integer(run.run_id), Value::String(q.query_id),
+                      Value::String(q.phase), Value::String(q.sql),
+                      Value::Integer(q.rows), Value::Integer(q.micros),
+                      Value::Integer(static_cast<int64_t>(q.operators.size()))});
+    }
+  }
+  return rows;
+}
+
+std::vector<Row> OperatorStatsRows(const std::vector<RunRecord>& runs) {
+  std::vector<Row> rows;
+  for (const RunRecord& run : runs) {
+    for (const QueryProfileRecord& q : run.queries) {
+      for (const OperatorProfile& op : q.operators) {
+        rows.push_back({Value::Integer(run.run_id), Value::String(q.query_id),
+                        Value::String(op.name), Value::String(op.detail),
+                        Value::Integer(op.depth), Value::Integer(op.rows),
+                        Value::Integer(op.micros),
+                        Value::Integer(CounterOr0(op, "est_bytes")),
+                        Value::Integer(CounterOr0(op, "workers"))});
+      }
+    }
+  }
+  return rows;
+}
+
+std::vector<Row> MetricsRows() {
+  std::vector<Row> rows;
+  for (const MetricSample& s : GlobalMetrics().Snapshot()) {
+    rows.push_back({Value::String(s.name), Value::String(s.kind),
+                    Value::Double(s.value), Value::Integer(s.count),
+                    Value::Double(s.sum), Value::Double(s.p50),
+                    Value::Double(s.p95), Value::Double(s.p99)});
+  }
+  return rows;
+}
+
+std::vector<Row> TraceSpansRows() {
+  SpanTracer& tracer = GlobalTracer();
+  std::map<int, std::string> names;
+  for (const auto& [tid, name] : tracer.Threads()) names[tid] = name;
+  std::vector<Row> rows;
+  for (const SpanEvent& span : tracer.Snapshot()) {
+    auto it = names.find(span.tid);
+    rows.push_back(
+        {Value::Integer(span.tid),
+         Value::String(it == names.end() ? std::string() : it->second),
+         Value::String(span.name), Value::String(span.category),
+         Value::Integer(span.start_micros),
+         Value::Integer(span.duration_micros)});
+  }
+  return rows;
+}
+
+}  // namespace
+
+int64_t ObservabilityRegistry::RecordRun(RunRecord run) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  run.run_id = static_cast<int64_t>(runs_.size()) + 1;
+  runs_.push_back(std::move(run));
+  return runs_.back().run_id;
+}
+
+std::vector<RunRecord> ObservabilityRegistry::Runs() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return runs_;
+}
+
+int64_t ObservabilityRegistry::run_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int64_t>(runs_.size());
+}
+
+int64_t ObservabilityRegistry::LatestRunId() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return runs_.empty() ? 0 : runs_.back().run_id;
+}
+
+void ObservabilityRegistry::ResetForTesting() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  runs_.clear();
+}
+
+ObservabilityRegistry& GlobalObservability() {
+  static ObservabilityRegistry* registry = new ObservabilityRegistry();
+  return *registry;
+}
+
+const std::vector<std::string>& SystemTableNames() {
+  static const std::vector<std::string>* names = new std::vector<std::string>{
+      "mr_runs", "mr_query_profile", "mr_operator_stats", "mr_metrics",
+      "mr_trace_spans"};
+  return *names;
+}
+
+bool IsSystemTable(const std::string& name) {
+  const std::string lower = ToLower(name);
+  const auto& names = SystemTableNames();
+  return std::find(names.begin(), names.end(), lower) != names.end();
+}
+
+Result<Schema> SystemTableSchema(const std::string& name) {
+  const std::string lower = ToLower(name);
+  if (lower == "mr_runs") return RunsSchema();
+  if (lower == "mr_query_profile") return QueryProfileSchema();
+  if (lower == "mr_operator_stats") return OperatorStatsSchema();
+  if (lower == "mr_metrics") return MetricsSchema();
+  if (lower == "mr_trace_spans") return TraceSpansSchema();
+  return Status::NotFound("not a system table: " + name);
+}
+
+Result<std::pair<Schema, std::vector<Row>>> MaterializeSystemTable(
+    const std::string& name) {
+  MR_ASSIGN_OR_RETURN(Schema schema, SystemTableSchema(name));
+  const std::string lower = ToLower(name);
+  std::vector<Row> rows;
+  if (lower == "mr_metrics") {
+    rows = MetricsRows();
+  } else if (lower == "mr_trace_spans") {
+    rows = TraceSpansRows();
+  } else {
+    const std::vector<RunRecord> runs = GlobalObservability().Runs();
+    if (lower == "mr_runs") {
+      rows = RunsRows(runs);
+    } else if (lower == "mr_query_profile") {
+      rows = QueryProfileRows(runs);
+    } else {
+      rows = OperatorStatsRows(runs);
+    }
+  }
+  return std::make_pair(std::move(schema), std::move(rows));
+}
+
+}  // namespace minerule::sql

@@ -1,12 +1,18 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <set>
+#include <thread>
 
+#include "common/json.h"
+#include "common/metrics.h"
 #include "common/random.h"
 #include "common/result.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/string_util.h"
+#include "common/trace.h"
 
 namespace minerule {
 namespace {
@@ -179,6 +185,163 @@ TEST(StreamRngTest, KnownSeedsStablePlatformIndependent) {
   EXPECT_NE(DeriveStreamSeed(0, "a"), DeriveStreamSeed(0, "b"));
   const uint64_t pinned = DeriveStreamSeed(715, "quest/patterns");
   EXPECT_EQ(pinned, DeriveStreamSeed(715, "quest/patterns", 0));
+}
+
+// JSON has no NaN/Inf literals; the writer must normalize them to null so
+// exported traces always round-trip through a parser.
+TEST(JsonWriterTest, NanAndInfBecomeNull) {
+  JsonWriter writer;
+  writer.BeginArray()
+      .Double(std::numeric_limits<double>::quiet_NaN())
+      .Double(std::numeric_limits<double>::infinity())
+      .Double(-std::numeric_limits<double>::infinity())
+      .Double(1.5)
+      .EndArray();
+  EXPECT_EQ(writer.str(), "[null,null,null,1.5]");
+  EXPECT_TRUE(ValidateJson(writer.str()).ok());
+}
+
+TEST(MetricsTest, CounterStripesMergeOnValue) {
+  Counter counter;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < 1000; ++i) counter.Increment();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter.Value(), 8000);
+}
+
+TEST(MetricsTest, GaugeTracksValueAndPeak) {
+  Gauge gauge;
+  gauge.Set(10);
+  gauge.UpdateMax(25);
+  gauge.UpdateMax(5);  // below the peak: no effect
+  EXPECT_EQ(gauge.Value(), 25);
+  EXPECT_EQ(gauge.Max(), 25);
+  gauge.Set(3);  // Set lowers the value but never the peak
+  EXPECT_EQ(gauge.Value(), 3);
+  EXPECT_EQ(gauge.Max(), 25);
+}
+
+TEST(MetricsTest, HistogramPercentilesInterpolate) {
+  Histogram histogram({10, 20, 40});
+  // 10 observations spread over the first two buckets: 5 in (0, 10],
+  // 5 in (10, 20].
+  for (int64_t v : {2, 4, 6, 8, 10, 12, 14, 16, 18, 20}) {
+    histogram.Observe(v);
+  }
+  Histogram::Snapshot snap = histogram.Snap();
+  EXPECT_EQ(snap.count, 10);
+  EXPECT_EQ(snap.sum, 110);
+  EXPECT_EQ(snap.min, 2);
+  EXPECT_EQ(snap.max, 20);
+  EXPECT_DOUBLE_EQ(snap.Mean(), 11.0);
+  // p50 falls on the boundary between the two buckets; interpolation keeps
+  // it within the first bucket's upper edge.
+  EXPECT_GE(snap.Percentile(0.5), 5.0);
+  EXPECT_LE(snap.Percentile(0.5), 12.0);
+  // p100 is clamped to the observed max, p0 to the observed min.
+  EXPECT_LE(snap.Percentile(1.0), 20.0);
+  EXPECT_GE(snap.Percentile(0.0), 0.0);
+  // Percentiles are monotone in q.
+  EXPECT_LE(snap.Percentile(0.5), snap.Percentile(0.95));
+  EXPECT_LE(snap.Percentile(0.95), snap.Percentile(0.99));
+}
+
+TEST(MetricsTest, HistogramOverflowBucketCountsAboveLastBound) {
+  Histogram histogram({10});
+  histogram.Observe(5);
+  histogram.Observe(1000);
+  Histogram::Snapshot snap = histogram.Snap();
+  ASSERT_EQ(snap.counts.size(), 2u);
+  EXPECT_EQ(snap.counts[0], 1);
+  EXPECT_EQ(snap.counts[1], 1);
+  EXPECT_EQ(snap.max, 1000);
+}
+
+TEST(MetricsTest, RegistrySnapshotSortedAndStable) {
+  MetricsRegistry registry;
+  registry.GetCounter("zeta.counter")->Add(3);
+  registry.GetGauge("alpha.gauge")->Set(7);
+  registry.GetHistogram("mid.histogram", {10, 100})->Observe(42);
+  // Handles are stable: a second Get returns the same object.
+  EXPECT_EQ(registry.GetCounter("zeta.counter"),
+            registry.GetCounter("zeta.counter"));
+
+  std::vector<MetricSample> samples = registry.Snapshot();
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_EQ(samples[0].name, "alpha.gauge");
+  EXPECT_EQ(samples[0].kind, "gauge");
+  EXPECT_EQ(samples[1].name, "mid.histogram");
+  EXPECT_EQ(samples[1].kind, "histogram");
+  EXPECT_EQ(samples[1].count, 1);
+  EXPECT_EQ(samples[2].name, "zeta.counter");
+  EXPECT_DOUBLE_EQ(samples[2].value, 3.0);
+
+  const std::string table = MetricsRegistry::Format(samples);
+  for (const char* name : {"alpha.gauge", "mid.histogram", "zeta.counter"}) {
+    EXPECT_NE(table.find(name), std::string::npos) << table;
+  }
+
+  JsonWriter writer;
+  MetricsRegistry::AppendJson(samples, &writer);
+  EXPECT_TRUE(ValidateJson(writer.str()).ok()) << writer.str();
+}
+
+TEST(SpanTracerTest, RecordsInTidOrderAndExportsChromeJson) {
+  SpanTracer tracer;
+  tracer.Enable(true);
+  tracer.SetCurrentThreadName("unit-main");
+  tracer.Record("phase.one", "phase", 10, 5);
+  tracer.Record("phase.two", "phase", 20, 3);
+  std::thread worker([&tracer] {
+    tracer.SetCurrentThreadName("unit-worker", /*preferred_tid=*/100);
+    tracer.Record("pool.task", "pool", 12, 2);
+  });
+  worker.join();
+
+  std::vector<SpanEvent> spans = tracer.Snapshot();
+  ASSERT_EQ(spans.size(), 3u);
+  // tid order first, record order within a thread.
+  EXPECT_EQ(spans[0].name, "phase.one");
+  EXPECT_EQ(spans[1].name, "phase.two");
+  EXPECT_EQ(spans[2].name, "pool.task");
+  EXPECT_EQ(spans[2].tid, 100);
+
+  auto threads = tracer.Threads();
+  ASSERT_EQ(threads.size(), 2u);
+  EXPECT_EQ(threads[0].second, "unit-main");
+  EXPECT_EQ(threads[1].second, "unit-worker");
+
+  const std::string json = tracer.ChromeTraceJson();
+  EXPECT_TRUE(ValidateJson(json).ok()) << json;
+  for (const char* needle :
+       {"\"traceEvents\"", "thread_name", "unit-worker", "\"ph\":\"X\"",
+        "phase.one"}) {
+    EXPECT_NE(json.find(needle), std::string::npos) << needle;
+  }
+
+  tracer.Clear();
+  EXPECT_TRUE(tracer.Snapshot().empty());
+  EXPECT_EQ(tracer.Threads().size(), 2u);  // registrations survive Clear
+}
+
+TEST(SpanTracerTest, ScopedSpanInertWhenDisabled) {
+  SpanTracer& tracer = GlobalTracer();
+  const bool was_enabled = tracer.enabled();
+  tracer.Enable(false);
+  const size_t before = tracer.Snapshot().size();
+  { ScopedSpan span("unit.disabled", "test"); }
+  EXPECT_EQ(tracer.Snapshot().size(), before);
+
+  tracer.Enable(true);
+  { ScopedSpan span("unit.enabled", "test", /*index=*/7); }
+  std::vector<SpanEvent> spans = tracer.Snapshot();
+  ASSERT_EQ(spans.size(), before + 1);
+  EXPECT_EQ(spans.back().name, "unit.enabled.7");
+  tracer.Enable(was_enabled);
 }
 
 }  // namespace
