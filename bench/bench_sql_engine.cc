@@ -2,9 +2,21 @@
 // the building blocks every generated Q0..Q11 program decomposes into.
 // The architecture assumes these are "effectively and efficiently evaluated
 // by the SQL server itself" (§3); this binary quantifies that for our
-// server.
+// server, on both the volcano row path and the columnar vectorized path
+// (DESIGN.md §12): benchmark arg 1 is the vectorized knob (0 = row, 1 =
+// vectorized).
+//
+//   bench_sql_engine                # full Google-benchmark sweep
+//   bench_sql_engine --smoke        # CI gate: row vs vectorized differential
+//                                   # + timing check, JSON report, "SMOKE OK"
 
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "common/random.h"
 #include "relational/catalog.h"
@@ -47,6 +59,7 @@ class EngineFixture : public benchmark::Fixture {
   void SetUp(const benchmark::State& state) override {
     catalog_ = std::make_unique<Catalog>();
     engine_ = std::make_unique<sql::SqlEngine>(catalog_.get());
+    engine_->set_vectorized(state.range(1) == 1);
     FillTables(catalog_.get(), state.range(0));
   }
   void TearDown(const benchmark::State&) override {
@@ -73,20 +86,24 @@ class EngineFixture : public benchmark::Fixture {
   std::unique_ptr<sql::SqlEngine> engine_;
 };
 
+// {rows} x {row path, vectorized path}.
+const std::vector<std::vector<int64_t>> kRowsByEngine = {{10000, 100000},
+                                                         {0, 1}};
+// Shapes with no vectorized specialization: row path only.
+const std::vector<std::vector<int64_t>> kRowsRowOnly = {{10000, 100000}, {0}};
+
 BENCHMARK_DEFINE_F(EngineFixture, Scan)(benchmark::State& state) {
   Run(state, "SELECT id, val FROM facts");
 }
 BENCHMARK_REGISTER_F(EngineFixture, Scan)
-    ->Arg(10000)
-    ->Arg(100000)
+    ->ArgsProduct(kRowsByEngine)
     ->Unit(benchmark::kMillisecond);
 
 BENCHMARK_DEFINE_F(EngineFixture, Filter)(benchmark::State& state) {
   Run(state, "SELECT id FROM facts WHERE val > 90.0");
 }
 BENCHMARK_REGISTER_F(EngineFixture, Filter)
-    ->Arg(10000)
-    ->Arg(100000)
+    ->ArgsProduct(kRowsByEngine)
     ->Unit(benchmark::kMillisecond);
 
 BENCHMARK_DEFINE_F(EngineFixture, HashJoin)(benchmark::State& state) {
@@ -94,8 +111,7 @@ BENCHMARK_DEFINE_F(EngineFixture, HashJoin)(benchmark::State& state) {
       "SELECT f.id, d.name FROM facts f, dims d WHERE f.grp = d.grp");
 }
 BENCHMARK_REGISTER_F(EngineFixture, HashJoin)
-    ->Arg(10000)
-    ->Arg(100000)
+    ->ArgsProduct(kRowsByEngine)
     ->Unit(benchmark::kMillisecond);
 
 BENCHMARK_DEFINE_F(EngineFixture, GroupByAggregate)(benchmark::State& state) {
@@ -104,32 +120,39 @@ BENCHMARK_DEFINE_F(EngineFixture, GroupByAggregate)(benchmark::State& state) {
       "HAVING COUNT(*) > 5");
 }
 BENCHMARK_REGISTER_F(EngineFixture, GroupByAggregate)
-    ->Arg(10000)
-    ->Arg(100000)
+    ->ArgsProduct(kRowsByEngine)
+    ->Unit(benchmark::kMillisecond);
+
+// The Q-pool shape: int-keyed join feeding an int-keyed aggregation, the
+// skeleton of the preprocessor's Q4/Q7-style programs.
+BENCHMARK_DEFINE_F(EngineFixture, JoinThenGroupBy)(benchmark::State& state) {
+  Run(state,
+      "SELECT d.grp, COUNT(*), SUM(f.val) FROM facts f, dims d "
+      "WHERE f.grp = d.grp GROUP BY d.grp");
+}
+BENCHMARK_REGISTER_F(EngineFixture, JoinThenGroupBy)
+    ->ArgsProduct(kRowsByEngine)
     ->Unit(benchmark::kMillisecond);
 
 BENCHMARK_DEFINE_F(EngineFixture, CountDistinct)(benchmark::State& state) {
   Run(state, "SELECT COUNT(DISTINCT grp) FROM facts");
 }
 BENCHMARK_REGISTER_F(EngineFixture, CountDistinct)
-    ->Arg(10000)
-    ->Arg(100000)
+    ->ArgsProduct(kRowsRowOnly)
     ->Unit(benchmark::kMillisecond);
 
 BENCHMARK_DEFINE_F(EngineFixture, Distinct)(benchmark::State& state) {
   Run(state, "SELECT DISTINCT tag FROM facts");
 }
 BENCHMARK_REGISTER_F(EngineFixture, Distinct)
-    ->Arg(10000)
-    ->Arg(100000)
+    ->ArgsProduct(kRowsRowOnly)
     ->Unit(benchmark::kMillisecond);
 
 BENCHMARK_DEFINE_F(EngineFixture, Sort)(benchmark::State& state) {
   Run(state, "SELECT id FROM facts ORDER BY val DESC LIMIT 100");
 }
 BENCHMARK_REGISTER_F(EngineFixture, Sort)
-    ->Arg(10000)
-    ->Arg(100000)
+    ->ArgsProduct(kRowsRowOnly)
     ->Unit(benchmark::kMillisecond);
 
 BENCHMARK_DEFINE_F(EngineFixture, InsertSelect)(benchmark::State& state) {
@@ -148,8 +171,7 @@ BENCHMARK_DEFINE_F(EngineFixture, InsertSelect)(benchmark::State& state) {
   state.counters["inserted"] = static_cast<double>(inserted);
 }
 BENCHMARK_REGISTER_F(EngineFixture, InsertSelect)
-    ->Arg(10000)
-    ->Arg(100000)
+    ->ArgsProduct(kRowsRowOnly)
     ->Unit(benchmark::kMillisecond);
 
 void BM_ParseOnly(benchmark::State& state) {
@@ -163,6 +185,112 @@ void BM_ParseOnly(benchmark::State& state) {
 }
 BENCHMARK(BM_ParseOnly);
 
+// ---------------------------------------------------------------------------
+// --smoke: the CI gate (DESIGN.md §12). Runs the int-keyed hot paths on both
+// engines, requires byte-identical results, and requires the vectorized path
+// to be no slower than the row path on the checked shapes (small tolerance
+// for shared-runner noise) with a real improvement on at least one Q-pool
+// shape. Prints one JSON object per query and a final SMOKE OK / SMOKE FAIL.
+
+struct SmokeQuery {
+  const char* name;
+  const char* sql;
+  bool checked;  // participates in the timing gate
+};
+
+std::string RenderResult(const sql::QueryResult& result) {
+  std::string out;
+  for (const Row& row : result.rows) {
+    for (const Value& v : row) {
+      out += v.ToString();
+      out += '|';
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+int RunSmoke() {
+  constexpr int64_t kRows = 20000;
+  constexpr int kReps = 5;
+  constexpr double kTolerance = 1.10;
+  Catalog catalog;
+  sql::SqlEngine engine(&catalog);
+  FillTables(&catalog, kRows);
+
+  const SmokeQuery queries[] = {
+      {"filter_double", "SELECT id FROM facts WHERE val > 90.0", false},
+      {"filter_int", "SELECT id FROM facts WHERE grp >= 1000", false},
+      {"hash_join_int", "SELECT f.id, d.name FROM facts f, dims d "
+                        "WHERE f.grp = d.grp", true},
+      {"group_by_int", "SELECT grp, COUNT(*), SUM(val), MIN(val), MAX(val) "
+                       "FROM facts GROUP BY grp", true},
+      {"join_then_group", "SELECT d.grp, COUNT(*), SUM(f.val) FROM facts f, "
+                          "dims d WHERE f.grp = d.grp GROUP BY d.grp", true},
+  };
+
+  bool ok = true;
+  int improved = 0;
+  std::printf("[\n");
+  for (size_t qi = 0; qi < sizeof(queries) / sizeof(queries[0]); ++qi) {
+    const SmokeQuery& q = queries[qi];
+    double best_ms[2] = {1e300, 1e300};
+    std::string dump[2];
+    for (int vec = 0; vec < 2; ++vec) {
+      engine.set_vectorized(vec == 1);
+      for (int rep = 0; rep < kReps; ++rep) {
+        auto start = std::chrono::steady_clock::now();
+        auto result = engine.Execute(q.sql);
+        auto stop = std::chrono::steady_clock::now();
+        if (!result.ok()) {
+          std::printf("]\nSMOKE FAIL %s (%s): %s\n", q.name,
+                      vec ? "vectorized" : "row",
+                      result.status().ToString().c_str());
+          return 1;
+        }
+        double ms = std::chrono::duration<double, std::milli>(stop - start)
+                        .count();
+        if (ms < best_ms[vec]) best_ms[vec] = ms;
+        if (rep == 0) dump[vec] = RenderResult(result.value());
+      }
+    }
+    if (dump[0] != dump[1]) {
+      std::printf("]\nSMOKE FAIL %s: vectorized result differs from row\n",
+                  q.name);
+      return 1;
+    }
+    const double speedup = best_ms[0] / best_ms[1];
+    const bool pass = !q.checked || best_ms[1] <= best_ms[0] * kTolerance;
+    std::printf("  {\"query\": \"%s\", \"row_ms\": %.3f, \"vec_ms\": %.3f, "
+                "\"speedup\": %.2f, \"checked\": %s, \"pass\": %s}%s\n",
+                q.name, best_ms[0], best_ms[1], speedup,
+                q.checked ? "true" : "false", pass ? "true" : "false",
+                qi + 1 < sizeof(queries) / sizeof(queries[0]) ? "," : "");
+    if (!pass) ok = false;
+    if (q.checked && speedup > 1.0) ++improved;
+  }
+  std::printf("]\n");
+  if (ok && improved == 0) {
+    std::printf("SMOKE FAIL: no checked query improved over the row path\n");
+    return 1;
+  }
+  if (!ok) {
+    std::printf("SMOKE FAIL: vectorized slower than row path\n");
+    return 1;
+  }
+  std::printf("SMOKE OK\n");
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) return RunSmoke();
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -398,6 +398,7 @@ Result<MiningRunStats> DataMiningSystem::ExecuteStatementImpl(
   // at the same width as the core operator; phases are sequential on the one
   // shared pool, so this never oversubscribes.
   sql_engine_.set_num_threads(options.num_threads);
+  sql_engine_.set_vectorized(options.vectorized_sql);
   stats.engine_threads = ResolveThreadCount(options.num_threads);
 
   // --- translator --------------------------------------------------------

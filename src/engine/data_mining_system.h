@@ -30,6 +30,11 @@ struct MiningOptions {
   /// mined rules are bit-identical at every setting.
   int num_threads = 0;
 
+  /// Columnar-batch execution for the generated SQL (DESIGN.md §12). The
+  /// mined rules are bit-identical either way; only the SQL engine's
+  /// execution strategy changes.
+  bool vectorized_sql = false;
+
   /// §3: "the same preprocessing could be in common to the execution of
   /// several data mining queries, thus saving its cost". When true, a
   /// statement whose encoding-relevant clauses (and support threshold)

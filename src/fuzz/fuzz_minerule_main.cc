@@ -37,7 +37,7 @@ int Usage() {
       "                     [--metrics]\n"
       "                     [--no-reference] [--no-decoupled]\n"
       "                     [--no-metamorphic] [--no-alt-algorithm]\n"
-      "                     [--no-dup-invariance]\n"
+      "                     [--no-dup-invariance] [--no-vectorized]\n"
       "       fuzz_minerule --replay=FILE_OR_DIR [--threads=N] ...\n"
       "       fuzz_minerule --minimize=FILE [--out=FILE] ...\n");
   return 2;
@@ -178,6 +178,8 @@ int main(int argc, char** argv) {
       options.oracle.run_alternate_algorithm = false;
     } else if (std::strcmp(arg, "--no-dup-invariance") == 0) {
       options.oracle.run_duplicate_invariance = false;
+    } else if (std::strcmp(arg, "--no-vectorized") == 0) {
+      options.oracle.run_vectorized = false;
     } else if (std::strcmp(arg, "--metrics") == 0) {
       options.print_metrics = true;
     } else if (std::strcmp(arg, "--verbose") == 0) {

@@ -17,6 +17,10 @@ struct OracleOptions {
   bool run_metamorphic = true;
   bool run_alternate_algorithm = true;
   bool run_duplicate_invariance = true;
+  /// Re-runs the pipeline with the vectorized SQL engine (DESIGN.md §12) at
+  /// 1 and `threads` workers; the catalog dump must match the row-engine
+  /// baseline byte for byte.
+  bool run_vectorized = true;
 };
 
 struct OracleFailure {

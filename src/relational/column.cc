@@ -1,0 +1,244 @@
+#include "relational/column.h"
+
+#include <mutex>
+#include <unordered_map>
+
+#include "common/metrics.h"
+#include "relational/table.h"
+
+namespace minerule {
+
+namespace {
+
+/// Dictionary codes are uint16, so a column may hold at most this many
+/// distinct strings before falling back to the generic encoding.
+constexpr size_t kMaxDictEntries = 1 << 16;
+
+/// The int64 payload of a value whose type matches an int64-encoded column
+/// exactly (INTEGER / DATE / BOOLEAN).
+int64_t Int64PayloadOf(const Value& v, DataType declared) {
+  switch (declared) {
+    case DataType::kInteger:
+      return v.AsInteger();
+    case DataType::kDate:
+      return v.AsDate();
+    case DataType::kBoolean:
+      return v.AsBoolean() ? 1 : 0;
+    default:
+      return 0;
+  }
+}
+
+}  // namespace
+
+const char* ColumnEncodingName(ColumnEncoding encoding) {
+  switch (encoding) {
+    case ColumnEncoding::kInt64:
+      return "int64";
+    case ColumnEncoding::kDouble:
+      return "double";
+    case ColumnEncoding::kDict:
+      return "dict";
+    case ColumnEncoding::kGeneric:
+      return "generic";
+  }
+  return "?";
+}
+
+ColumnVector ColumnVector::Encode(DataType declared,
+                                  const std::vector<Row>& rows, size_t col) {
+  ColumnVector out;
+  out.declared_ = declared;
+  out.nulls_.Reset(rows.size());
+
+  auto fall_back_to_generic = [&] {
+    out.encoding_ = ColumnEncoding::kGeneric;
+    out.ints_.clear();
+    out.doubles_.clear();
+    out.codes_.clear();
+    out.dict_.clear();
+    out.nulls_.Reset(rows.size());
+    out.generic_.reserve(rows.size());
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const Value& v = rows[i][col];
+      if (v.is_null()) out.nulls_.SetNull(i);
+      out.generic_.push_back(v);
+    }
+  };
+
+  switch (declared) {
+    case DataType::kInteger:
+    case DataType::kDate:
+    case DataType::kBoolean: {
+      out.encoding_ = ColumnEncoding::kInt64;
+      out.ints_.reserve(rows.size());
+      for (size_t i = 0; i < rows.size(); ++i) {
+        const Value& v = rows[i][col];
+        if (v.is_null()) {
+          out.nulls_.SetNull(i);
+          out.ints_.push_back(0);
+          continue;
+        }
+        if (v.type() != declared) {
+          fall_back_to_generic();
+          return out;
+        }
+        out.ints_.push_back(Int64PayloadOf(v, declared));
+      }
+      return out;
+    }
+    case DataType::kDouble: {
+      out.encoding_ = ColumnEncoding::kDouble;
+      out.doubles_.reserve(rows.size());
+      for (size_t i = 0; i < rows.size(); ++i) {
+        const Value& v = rows[i][col];
+        if (v.is_null()) {
+          out.nulls_.SetNull(i);
+          out.doubles_.push_back(0.0);
+          continue;
+        }
+        if (v.type() != DataType::kDouble) {
+          fall_back_to_generic();
+          return out;
+        }
+        out.doubles_.push_back(v.AsDouble());
+      }
+      return out;
+    }
+    case DataType::kString: {
+      out.encoding_ = ColumnEncoding::kDict;
+      out.codes_.reserve(rows.size());
+      std::unordered_map<std::string, uint16_t> interned;
+      for (size_t i = 0; i < rows.size(); ++i) {
+        const Value& v = rows[i][col];
+        if (v.is_null()) {
+          out.nulls_.SetNull(i);
+          out.codes_.push_back(0);
+          continue;
+        }
+        if (v.type() != DataType::kString) {
+          fall_back_to_generic();
+          return out;
+        }
+        auto [it, inserted] =
+            interned.try_emplace(v.AsString(), out.dict_.size());
+        if (inserted) {
+          if (out.dict_.size() >= kMaxDictEntries) {
+            fall_back_to_generic();
+            return out;
+          }
+          out.dict_.push_back(v.AsString());
+        }
+        out.codes_.push_back(it->second);
+      }
+      return out;
+    }
+    default:
+      // Columns with no usable declared type (e.g. NULL-typed subquery
+      // outputs) stay generic.
+      fall_back_to_generic();
+      return out;
+  }
+}
+
+Value ColumnVector::GetValue(size_t i) const {
+  if (nulls_.IsNull(i)) return Value::Null();
+  switch (encoding_) {
+    case ColumnEncoding::kInt64:
+      switch (declared_) {
+        case DataType::kInteger:
+          return Value::Integer(ints_[i]);
+        case DataType::kDate:
+          return Value::Date(static_cast<int32_t>(ints_[i]));
+        case DataType::kBoolean:
+          return Value::Boolean(ints_[i] != 0);
+        default:
+          return Value::Null();
+      }
+    case ColumnEncoding::kDouble:
+      return Value::Double(doubles_[i]);
+    case ColumnEncoding::kDict:
+      return Value::String(dict_[codes_[i]]);
+    case ColumnEncoding::kGeneric:
+      return generic_[i];
+  }
+  return Value::Null();
+}
+
+int64_t ColumnVector::ByteSize() const {
+  int64_t bytes = nulls_.ByteSize();
+  bytes += static_cast<int64_t>(ints_.size() * sizeof(int64_t));
+  bytes += static_cast<int64_t>(doubles_.size() * sizeof(double));
+  bytes += static_cast<int64_t>(codes_.size() * sizeof(uint16_t));
+  for (const std::string& s : dict_) {
+    bytes += static_cast<int64_t>(sizeof(std::string) + s.size());
+  }
+  for (const Value& v : generic_) {
+    bytes += static_cast<int64_t>(sizeof(Value));
+    if (v.type() == DataType::kString) {
+      bytes += static_cast<int64_t>(v.AsString().size());
+    }
+  }
+  return bytes;
+}
+
+std::shared_ptr<const ColumnarTable> ColumnarTable::FromRows(
+    const Schema& schema, const std::vector<Row>& rows) {
+  auto out = std::make_shared<ColumnarTable>();
+  out->schema = schema;
+  out->num_rows = rows.size();
+  out->columns.reserve(schema.num_columns());
+  for (size_t c = 0; c < schema.num_columns(); ++c) {
+    out->columns.push_back(
+        ColumnVector::Encode(schema.column(c).type, rows, c));
+  }
+  return out;
+}
+
+void ColumnarTable::MaterializeRow(size_t i, Row* out) const {
+  out->clear();
+  out->reserve(columns.size());
+  for (const ColumnVector& col : columns) {
+    out->push_back(col.GetValue(i));
+  }
+}
+
+int64_t ColumnarTable::ByteSize() const {
+  int64_t bytes = 0;
+  for (const ColumnVector& col : columns) bytes += col.ByteSize();
+  return bytes;
+}
+
+/// Per-table cache of the columnar image, keyed by the table's mutation
+/// version: any DML invalidates, repeated scans of an unchanged table share
+/// one image. Lives behind a shared_ptr member so Table stays copyable.
+class ColumnarCache {
+ public:
+  std::shared_ptr<const ColumnarTable> Get(const Table& table) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (cached_ != nullptr && cached_version_ == table.version()) {
+      return cached_;
+    }
+    cached_ = ColumnarTable::FromRows(table.schema(), table.rows());
+    cached_version_ = table.version();
+    GlobalMetrics()
+        .GetGauge("relational.columnar_peak_bytes")
+        ->UpdateMax(cached_->ByteSize());
+    return cached_;
+  }
+
+ private:
+  std::mutex mu_;
+  uint64_t cached_version_ = 0;
+  std::shared_ptr<const ColumnarTable> cached_;
+};
+
+std::shared_ptr<ColumnarCache> MakeColumnarCache() {
+  return std::make_shared<ColumnarCache>();
+}
+
+std::shared_ptr<const ColumnarTable> Table::Columnar() const {
+  return columnar_cache_->Get(*this);
+}
+
+}  // namespace minerule

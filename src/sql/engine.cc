@@ -64,7 +64,7 @@ Result<QueryResult> SqlEngine::ExecuteStatement(Statement* stmt) {
 }
 
 Result<QueryResult> SqlEngine::ExecuteSelect(SelectStmt* stmt) {
-  ExecContext ctx{catalog_, &host_vars_, num_threads_};
+  ExecContext ctx{catalog_, &host_vars_, num_threads_, vectorized_};
   Planner planner(catalog_, &ctx);
   MR_ASSIGN_OR_RETURN(PlannedSelect planned, planner.Plan(stmt));
   MR_ASSIGN_OR_RETURN(std::vector<Row> rows,
@@ -93,7 +93,7 @@ Result<QueryResult> SqlEngine::ExecuteSelect(SelectStmt* stmt) {
 Result<QueryResult> SqlEngine::ExecuteCreateTable(CreateTableStmt* stmt) {
   QueryResult result;
   if (stmt->as_select != nullptr) {
-    ExecContext ctx{catalog_, &host_vars_, num_threads_};
+    ExecContext ctx{catalog_, &host_vars_, num_threads_, vectorized_};
     Planner planner(catalog_, &ctx);
     MR_ASSIGN_OR_RETURN(PlannedSelect planned,
                         planner.Plan(stmt->as_select.get()));
@@ -177,7 +177,7 @@ Result<QueryResult> SqlEngine::ExecuteInsert(InsertStmt* stmt) {
   std::vector<Row> incoming;
   std::vector<OperatorProfile> profile;
   if (stmt->select != nullptr) {
-    ExecContext ctx{catalog_, &host_vars_, num_threads_};
+    ExecContext ctx{catalog_, &host_vars_, num_threads_, vectorized_};
     Planner planner(catalog_, &ctx);
     MR_ASSIGN_OR_RETURN(PlannedSelect planned, planner.Plan(stmt->select.get()));
     if (planned.out_schema.num_columns() != positions.size()) {
@@ -250,7 +250,7 @@ Result<QueryResult> SqlEngine::ExecuteExplain(ExplainStmt* stmt) {
         "CREATE TABLE ... AS SELECT");
   }
 
-  ExecContext ctx{catalog_, &host_vars_, num_threads_};
+  ExecContext ctx{catalog_, &host_vars_, num_threads_, vectorized_};
   Planner planner(catalog_, &ctx);
   MR_ASSIGN_OR_RETURN(PlannedSelect planned, planner.Plan(select));
   if (stmt->analyze) {

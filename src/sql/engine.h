@@ -66,6 +66,13 @@ class SqlEngine {
   void set_num_threads(int num_threads) { num_threads_ = num_threads; }
   int num_threads() const { return num_threads_; }
 
+  /// Columnar-batch execution (DESIGN.md §12). When on, the planner swaps
+  /// eligible operators (scan, scan-fused filter, int-keyed hash join,
+  /// int-keyed group-by) for their vectorized counterparts. Off by default;
+  /// results are bit-identical either way — the differential tests pin this.
+  void set_vectorized(bool on) { vectorized_ = on; }
+  bool vectorized() const { return vectorized_; }
+
   Catalog* catalog() { return catalog_; }
 
  private:
@@ -84,6 +91,7 @@ class SqlEngine {
   HostVarMap host_vars_;
   bool collect_operator_stats_ = false;
   int num_threads_ = 1;
+  bool vectorized_ = false;
 };
 
 }  // namespace minerule::sql

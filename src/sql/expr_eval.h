@@ -24,6 +24,11 @@ struct ExecContext {
   /// hardware concurrency, 1 is the exact serial path. Operators read this
   /// at Open(); the plan shape never depends on it.
   int num_threads = 1;
+
+  /// When true the planner substitutes vectorized (columnar-batch) operators
+  /// for eligible plan nodes (DESIGN.md §12). Results are bit-identical to
+  /// the row-at-a-time path; only the execution strategy changes.
+  bool vectorized = false;
 };
 
 /// Evaluates a *bound* expression against `row`. SQL three-valued logic:

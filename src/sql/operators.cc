@@ -9,8 +9,6 @@
 
 namespace minerule::sql {
 
-namespace {
-
 /// Estimated in-memory footprint of one materialized row: the inline Value
 /// storage plus string heap payloads. Used with a sampled row for the
 /// rows-times-width working-set estimates (DESIGN.md §11).
@@ -35,6 +33,8 @@ int64_t AccountBufferBytes(const char* gauge, const std::vector<Row>& rows) {
   return bytes;
 }
 
+namespace {
+
 /// Workers a morsel loop over `total` input rows actually uses: the thread
 /// knob resolved against hardware, clamped by the number of morsels.
 int MorselWorkers(size_t total, int num_threads) {
@@ -53,10 +53,8 @@ Status FirstError(const std::vector<Status>& statuses) {
   return Status::OK();
 }
 
-/// Drains an already-opened node into *out. When the node supports morsels
-/// and num_threads != 1, workers claim fixed-size morsels and the per-morsel
-/// outputs are concatenated in morsel order — bit-identical to the serial
-/// drain. Appends to *out.
+}  // namespace
+
 Status DrainOpenedNode(ExecNode* node, int num_threads,
                        std::vector<Row>* out) {
   if (num_threads != 1 && node->SupportsMorsels()) {
@@ -86,6 +84,8 @@ Status DrainOpenedNode(ExecNode* node, int num_threads,
   }
   return Status::OK();
 }
+
+namespace {
 
 void FlattenInto(ExecNode* node, int depth, std::vector<OperatorProfile>* out) {
   OperatorProfile profile;

@@ -178,6 +178,13 @@ class ExecNode {
                             " does not support morsel evaluation");
   }
 
+  /// For vectorized parents that consume this node's columnar storage
+  /// directly (bypassing Next/RunMorsel): accounts the consumed rows so
+  /// EXPLAIN ANALYZE and mr_operator_stats stay truthful for the shim.
+  void CountBypassedRows(int64_t rows) {
+    rows_out_.fetch_add(rows, std::memory_order_relaxed);
+  }
+
   /// Max-updates the recorded worker count (relaxed CAS loop).
   void NoteWorkers(int workers) {
     int seen = workers_.load(std::memory_order_relaxed);
@@ -209,6 +216,21 @@ class ExecNode {
 };
 
 using ExecNodePtr = std::unique_ptr<ExecNode>;
+
+/// Estimated in-memory footprint of one materialized row: the inline Value
+/// storage plus string heap payloads. Used with a sampled row for the
+/// rows-times-width working-set estimates (DESIGN.md §11).
+int64_t EstimateRowBytes(const Row& row);
+
+/// rows * width(sample); 0 for an empty buffer. Also raises the named
+/// process-wide peak gauge so memory spikes survive into mr_metrics.
+int64_t AccountBufferBytes(const char* gauge, const std::vector<Row>& rows);
+
+/// Drains an already-opened node into *out. When the node supports morsels
+/// and num_threads != 1, workers claim fixed-size morsels and the per-morsel
+/// outputs are concatenated in morsel order — bit-identical to the serial
+/// drain. Appends to *out.
+Status DrainOpenedNode(ExecNode* node, int num_threads, std::vector<Row>* out);
 
 /// Drains a plan into a vector of rows.
 Result<std::vector<Row>> CollectRows(ExecNode* node);

@@ -5,6 +5,7 @@
 #include "common/string_util.h"
 #include "sql/parser.h"
 #include "sql/system_tables.h"
+#include "sql/vectorized.h"
 
 namespace minerule::sql {
 
@@ -161,9 +162,8 @@ Result<std::pair<ExecNodePtr, BindScope>> Planner::PlanTableRef(TableRef* ref,
     for (const Column& col : table->schema().columns()) {
       scope.Add(ref->alias, col.name, col.type);
     }
-    return std::make_pair(
-        ExecNodePtr(std::make_unique<TableScanNode>(std::move(table))),
-        std::move(scope));
+    return std::make_pair(MakeScanNode(std::move(table), ctx_),
+                          std::move(scope));
   }
   if (catalog_->HasView(ref->name)) {
     MR_ASSIGN_OR_RETURN(ViewDef view, catalog_->GetView(ref->name));
@@ -239,8 +239,7 @@ Result<std::pair<ExecNodePtr, BindScope>> Planner::PlanFromWhere(
       }
     }
     if (ExprPtr pred = AndTogether(std::move(ready))) {
-      current = std::make_unique<FilterNode>(std::move(current),
-                                             std::move(pred), ctx_);
+      current = MakeFilterNode(std::move(current), std::move(pred), ctx_);
     }
     return Status::OK();
   };
@@ -282,9 +281,9 @@ Result<std::pair<ExecNodePtr, BindScope>> Planner::PlanFromWhere(
     }
 
     if (!left_keys.empty()) {
-      current = std::make_unique<HashJoinNode>(
-          std::move(current), std::move(nodes[i]), std::move(left_keys),
-          std::move(right_keys), nullptr, ctx_);
+      current = MakeHashJoinNode(std::move(current), std::move(nodes[i]),
+                                 std::move(left_keys), std::move(right_keys),
+                                 nullptr, ctx_);
     } else {
       current = std::make_unique<NestedLoopJoinNode>(
           std::move(current), std::move(nodes[i]), nullptr, ctx_);
@@ -420,9 +419,8 @@ Result<PlannedSelect> Planner::PlanImpl(SelectStmt* stmt, int depth) {
       }
     }
 
-    node = std::make_unique<HashAggregateNode>(
-        std::move(node), std::move(group_exprs), std::move(agg_specs),
-        agg_schema, ctx_);
+    node = MakeHashAggregateNode(std::move(node), std::move(group_exprs),
+                                 std::move(agg_specs), agg_schema, ctx_);
     if (stmt->having != nullptr) {
       node = std::make_unique<FilterNode>(std::move(node),
                                           std::move(stmt->having), ctx_);
