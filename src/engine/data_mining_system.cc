@@ -399,6 +399,9 @@ Result<MiningRunStats> DataMiningSystem::ExecuteStatementImpl(
   // shared pool, so this never oversubscribes.
   sql_engine_.set_num_threads(options.num_threads);
   sql_engine_.set_vectorized(options.vectorized_sql);
+  if (options.memory_limit != MiningOptions::kMemoryLimitInherit) {
+    sql_engine_.set_memory_limit(options.memory_limit);
+  }
   stats.engine_threads = ResolveThreadCount(options.num_threads);
 
   // --- translator --------------------------------------------------------

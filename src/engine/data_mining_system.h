@@ -1,6 +1,8 @@
 #ifndef MINERULE_ENGINE_DATA_MINING_SYSTEM_H_
 #define MINERULE_ENGINE_DATA_MINING_SYSTEM_H_
 
+#include <cstdint>
+#include <limits>
 #include <map>
 #include <optional>
 #include <string>
@@ -34,6 +36,17 @@ struct MiningOptions {
   /// mined rules are bit-identical either way; only the SQL engine's
   /// execution strategy changes.
   bool vectorized_sql = false;
+
+  /// Memory budget in bytes for the SQL engine's operator working sets
+  /// (DESIGN.md §13): >= 0 makes the buffering operators spill to disk past
+  /// the budget (0 spills everything), < 0 disables the budget. The mined
+  /// rules are bit-identical at every setting. kMemoryLimitInherit (the
+  /// default) leaves the engine's own setting alone — which the engine
+  /// seeds from the MINERULE_MEMORY_LIMIT environment variable — so the
+  /// option only overrides when explicitly set.
+  static constexpr int64_t kMemoryLimitInherit =
+      std::numeric_limits<int64_t>::min();
+  int64_t memory_limit = kMemoryLimitInherit;
 
   /// §3: "the same preprocessing could be in common to the execution of
   /// several data mining queries, thus saving its cost". When true, a

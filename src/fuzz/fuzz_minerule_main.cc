@@ -38,6 +38,7 @@ int Usage() {
       "                     [--no-reference] [--no-decoupled]\n"
       "                     [--no-metamorphic] [--no-alt-algorithm]\n"
       "                     [--no-dup-invariance] [--no-vectorized]\n"
+      "                     [--no-memory-budget] [--memory-budget=BYTES]\n"
       "       fuzz_minerule --replay=FILE_OR_DIR [--threads=N] ...\n"
       "       fuzz_minerule --minimize=FILE [--out=FILE] ...\n");
   return 2;
@@ -180,6 +181,10 @@ int main(int argc, char** argv) {
       options.oracle.run_duplicate_invariance = false;
     } else if (std::strcmp(arg, "--no-vectorized") == 0) {
       options.oracle.run_vectorized = false;
+    } else if (std::strcmp(arg, "--no-memory-budget") == 0) {
+      options.oracle.run_memory_budget = false;
+    } else if (ParseFlag(arg, "--memory-budget", &value)) {
+      options.oracle.memory_budget_bytes = std::atoll(value.c_str());
     } else if (std::strcmp(arg, "--metrics") == 0) {
       options.print_metrics = true;
     } else if (std::strcmp(arg, "--verbose") == 0) {

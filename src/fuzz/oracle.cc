@@ -856,6 +856,35 @@ Result<CaseOutcome> RunCase(const WorkloadSpec& spec,
     }
   }
 
+  // Route: identical bytes under a tiny memory budget (DESIGN.md §13) —
+  // every buffering operator in the generated queries spills to disk —
+  // serial and at the sweep width.
+  if (options.run_memory_budget) {
+    std::vector<int> widths = {1};
+    if (options.threads > 1) widths.push_back(options.threads);
+    for (int threads : widths) {
+      mr::MiningOptions budget_options = baseline_options;
+      budget_options.memory_limit = options.memory_budget_bytes;
+      budget_options.num_threads = threads;
+      MR_ASSIGN_OR_RETURN(PipelineRun run,
+                          RunPipeline(spec, statement, budget_options));
+      const std::string label =
+          threads == 1 ? "memory-budget"
+                       : "memory-budget@" + std::to_string(threads);
+      outcome.routes.push_back(label);
+      if (!run.ok) {
+        fail("spill-agreement",
+             label + " failed where the in-memory engine succeeded: " +
+                 run.error);
+      } else if (run.dump != baseline.dump) {
+        fail("spill-agreement",
+             label + " differs from the in-memory baseline\n--- memory ---\n" +
+                 Truncate(baseline.dump) + "\n--- spilled ---\n" +
+                 Truncate(run.dump));
+      }
+    }
+  }
+
   // Route: identical bytes from a rotated pool algorithm (simple class).
   if (options.run_alternate_algorithm && d.IsSimpleClass()) {
     const mining::SimpleAlgorithm pool[] = {

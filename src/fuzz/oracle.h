@@ -21,6 +21,12 @@ struct OracleOptions {
   /// 1 and `threads` workers; the catalog dump must match the row-engine
   /// baseline byte for byte.
   bool run_vectorized = true;
+  /// Re-runs the pipeline with a tiny SQL memory budget (DESIGN.md §13) so
+  /// every buffering operator spills to disk, at 1 and `threads` workers;
+  /// the catalog dump must match the in-memory baseline byte for byte.
+  bool run_memory_budget = true;
+  /// The budget the memory-budget route applies, in bytes.
+  int64_t memory_budget_bytes = 1024;
 };
 
 struct OracleFailure {

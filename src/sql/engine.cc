@@ -1,11 +1,29 @@
 #include "sql/engine.h"
 
+#include <cerrno>
+#include <cstdlib>
+
 #include "common/string_util.h"
 #include "sql/ast.h"
 #include "sql/parser.h"
 #include "sql/planner.h"
 
 namespace minerule::sql {
+
+SqlEngine::SqlEngine(Catalog* catalog) : catalog_(catalog) {
+  // MINERULE_MEMORY_LIMIT (bytes) seeds the operator memory budget so whole
+  // test suites and benchmarks can be rerun under a tiny budget — forcing
+  // the spill paths of DESIGN.md §13 — without touching their code. An
+  // unparsable value is ignored (budget stays off).
+  if (const char* env = std::getenv("MINERULE_MEMORY_LIMIT")) {
+    char* end = nullptr;
+    errno = 0;
+    const long long parsed = std::strtoll(env, &end, 10);
+    if (end != env && *end == '\0' && errno == 0) {
+      memory_limit_ = static_cast<int64_t>(parsed);
+    }
+  }
+}
 
 std::string QueryResult::ToDisplayString(size_t max_rows) const {
   Table tmp("result", schema);
@@ -64,7 +82,8 @@ Result<QueryResult> SqlEngine::ExecuteStatement(Statement* stmt) {
 }
 
 Result<QueryResult> SqlEngine::ExecuteSelect(SelectStmt* stmt) {
-  ExecContext ctx{catalog_, &host_vars_, num_threads_, vectorized_};
+  ExecContext ctx{catalog_,    &host_vars_,   num_threads_,
+                  vectorized_, memory_limit_, spill_dir_};
   Planner planner(catalog_, &ctx);
   MR_ASSIGN_OR_RETURN(PlannedSelect planned, planner.Plan(stmt));
   MR_ASSIGN_OR_RETURN(std::vector<Row> rows,
@@ -93,7 +112,8 @@ Result<QueryResult> SqlEngine::ExecuteSelect(SelectStmt* stmt) {
 Result<QueryResult> SqlEngine::ExecuteCreateTable(CreateTableStmt* stmt) {
   QueryResult result;
   if (stmt->as_select != nullptr) {
-    ExecContext ctx{catalog_, &host_vars_, num_threads_, vectorized_};
+    ExecContext ctx{catalog_,    &host_vars_,   num_threads_,
+                  vectorized_, memory_limit_, spill_dir_};
     Planner planner(catalog_, &ctx);
     MR_ASSIGN_OR_RETURN(PlannedSelect planned,
                         planner.Plan(stmt->as_select.get()));
@@ -177,7 +197,8 @@ Result<QueryResult> SqlEngine::ExecuteInsert(InsertStmt* stmt) {
   std::vector<Row> incoming;
   std::vector<OperatorProfile> profile;
   if (stmt->select != nullptr) {
-    ExecContext ctx{catalog_, &host_vars_, num_threads_, vectorized_};
+    ExecContext ctx{catalog_,    &host_vars_,   num_threads_,
+                  vectorized_, memory_limit_, spill_dir_};
     Planner planner(catalog_, &ctx);
     MR_ASSIGN_OR_RETURN(PlannedSelect planned, planner.Plan(stmt->select.get()));
     if (planned.out_schema.num_columns() != positions.size()) {
@@ -250,7 +271,8 @@ Result<QueryResult> SqlEngine::ExecuteExplain(ExplainStmt* stmt) {
         "CREATE TABLE ... AS SELECT");
   }
 
-  ExecContext ctx{catalog_, &host_vars_, num_threads_, vectorized_};
+  ExecContext ctx{catalog_,    &host_vars_,   num_threads_,
+                  vectorized_, memory_limit_, spill_dir_};
   Planner planner(catalog_, &ctx);
   MR_ASSIGN_OR_RETURN(PlannedSelect planned, planner.Plan(select));
   if (stmt->analyze) {

@@ -3,6 +3,7 @@
 
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
@@ -39,7 +40,7 @@ struct QueryResult {
 /// preprocessor sets :mingroups this way, as in Appendix A's Q3).
 class SqlEngine {
  public:
-  explicit SqlEngine(Catalog* catalog) : catalog_(catalog) {}
+  explicit SqlEngine(Catalog* catalog);
 
   SqlEngine(const SqlEngine&) = delete;
   SqlEngine& operator=(const SqlEngine&) = delete;
@@ -73,6 +74,23 @@ class SqlEngine {
   void set_vectorized(bool on) { vectorized_ = on; }
   bool vectorized() const { return vectorized_; }
 
+  /// Memory budget in bytes for operator working sets (DESIGN.md §13).
+  /// < 0 (the default) disables the budget; >= 0 makes the buffering
+  /// operators — hash-join build, aggregation, sort — spill to disk once
+  /// their accounted working set exceeds it (0 spills everything). Results
+  /// are bit-identical to unbudgeted execution at every thread count. The
+  /// constructor seeds this from the MINERULE_MEMORY_LIMIT environment
+  /// variable when it is set, so whole test suites can be rerun under a
+  /// tiny budget without touching their code.
+  void set_memory_limit(int64_t bytes) { memory_limit_ = bytes; }
+  int64_t memory_limit() const { return memory_limit_; }
+
+  /// Directory for spill files; empty (the default) means $TMPDIR or /tmp.
+  /// Spill files are created with mkstemp and unlinked immediately, so they
+  /// never outlive the process even on a crash.
+  void set_spill_dir(std::string dir) { spill_dir_ = std::move(dir); }
+  const std::string& spill_dir() const { return spill_dir_; }
+
   Catalog* catalog() { return catalog_; }
 
  private:
@@ -92,6 +110,8 @@ class SqlEngine {
   bool collect_operator_stats_ = false;
   int num_threads_ = 1;
   bool vectorized_ = false;
+  int64_t memory_limit_ = -1;  // < 0 disables the budget
+  std::string spill_dir_;      // empty means $TMPDIR or /tmp
 };
 
 }  // namespace minerule::sql

@@ -29,6 +29,20 @@ struct ExecContext {
   /// for eligible plan nodes (DESIGN.md §12). Results are bit-identical to
   /// the row-at-a-time path; only the execution strategy changes.
   bool vectorized = false;
+
+  /// Memory budget in bytes for operator working sets (DESIGN.md §13).
+  /// < 0 (the default) disables the budget entirely. >= 0 makes the
+  /// buffering operators — hash-join build, aggregation, sort — run their
+  /// budgeted serial paths and spill to disk once their accounted working
+  /// set exceeds the budget (0 therefore spills everything). Results are
+  /// bit-identical to unbudgeted execution at every thread count; the
+  /// budget governs working sets, not the delivered result set.
+  int64_t memory_limit = -1;
+
+  /// Directory for spill files; empty means $TMPDIR (or /tmp). Spill files
+  /// are created with mkstemp and unlinked immediately, so they never
+  /// outlive the process even on a crash.
+  std::string spill_dir;
 };
 
 /// Evaluates a *bound* expression against `row`. SQL three-valued logic:

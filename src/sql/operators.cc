@@ -6,11 +6,13 @@
 #include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "sql/binder.h"
+#include "sql/operators_spill_state.h"
+#include "sql/spill.h"
 
 namespace minerule::sql {
 
 /// Estimated in-memory footprint of one materialized row: the inline Value
-/// storage plus string heap payloads. Used with a sampled row for the
+/// storage plus string heap payloads. Used with sampled rows for the
 /// rows-times-width working-set estimates (DESIGN.md §11).
 int64_t EstimateRowBytes(const Row& row) {
   int64_t bytes = static_cast<int64_t>(sizeof(Row));
@@ -23,13 +25,25 @@ int64_t EstimateRowBytes(const Row& row) {
   return bytes;
 }
 
-/// rows * width(sample); 0 for an empty buffer. Also raises the named
-/// process-wide peak gauge so memory spikes survive into mr_metrics.
-int64_t AccountBufferBytes(const char* gauge, const std::vector<Row>& rows) {
+/// rows times the mean width of up to 64 evenly spaced sample rows. One
+/// sampled row is not enough: variable-width (string-bearing) buffers can
+/// be misestimated by orders of magnitude when the first row happens to be
+/// atypically narrow or wide.
+int64_t SampledRowsBytes(const std::vector<Row>& rows) {
   if (rows.empty()) return 0;
-  const int64_t bytes =
-      static_cast<int64_t>(rows.size()) * EstimateRowBytes(rows.front());
-  GlobalMetrics().GetGauge(gauge)->UpdateMax(bytes);
+  const size_t n = rows.size();
+  const size_t samples = n < 64 ? n : 64;
+  int64_t width_sum = 0;
+  for (size_t s = 0; s < samples; ++s) {
+    width_sum += EstimateRowBytes(rows[s * n / samples]);
+  }
+  return static_cast<int64_t>(n) *
+         (width_sum / static_cast<int64_t>(samples));
+}
+
+int64_t AccountBufferBytes(const char* gauge, const std::vector<Row>& rows) {
+  const int64_t bytes = SampledRowsBytes(rows);
+  if (bytes > 0) GlobalMetrics().GetGauge(gauge)->UpdateMax(bytes);
   return bytes;
 }
 
@@ -55,8 +69,8 @@ Status FirstError(const std::vector<Status>& statuses) {
 
 }  // namespace
 
-Status DrainOpenedNode(ExecNode* node, int num_threads,
-                       std::vector<Row>* out) {
+Status DrainOpenedNode(ExecNode* node, int num_threads, std::vector<Row>* out,
+                       MemoryAccountant* accountant) {
   if (num_threads != 1 && node->SupportsMorsels()) {
     const size_t total = node->MorselInputRows();
     const size_t morsels = MorselCount(total, kMorselRows);
@@ -72,6 +86,14 @@ Status DrainOpenedNode(ExecNode* node, int num_threads,
     for (const std::vector<Row>& slot : slots) produced += slot.size();
     out->reserve(out->size() + produced);
     for (std::vector<Row>& slot : slots) {
+      if (accountant != nullptr) {
+        // Account each morsel slot as it lands in the buffer (the
+        // accountant is not thread-safe, so per-slot here rather than
+        // inside the workers).
+        for (const Row& row : slot) {
+          accountant->AddBytes(EstimateRowBytes(row));
+        }
+      }
       for (Row& row : slot) out->push_back(std::move(row));
     }
     return Status::OK();
@@ -80,6 +102,7 @@ Status DrainOpenedNode(ExecNode* node, int num_threads,
   while (true) {
     MR_ASSIGN_OR_RETURN(bool more, node->Next(&row));
     if (!more) break;
+    if (accountant != nullptr) accountant->AddBytes(EstimateRowBytes(row));
     out->push_back(std::move(row));
   }
   return Status::OK();
@@ -429,6 +452,10 @@ void HashJoinNode::AppendExtraCounters(
     out->emplace_back("partitions", static_cast<int64_t>(partitions_.size()));
   }
   if (probe_skipped_) out->emplace_back("probe_skipped", 1);
+  if (spill_bytes_ > 0) {
+    out->emplace_back("spill_bytes", spill_bytes_);
+    out->emplace_back("spill_partitions", spill_partitions_);
+  }
 }
 
 Result<bool> HashJoinNode::ComputeKey(const std::vector<ExprPtr>& exprs,
@@ -465,6 +492,8 @@ Status HashJoinNode::BuildParallel(int num_threads) {
   const int64_t estimate = right_->EstimatedRowCount();
   if (estimate > 0) build.reserve(static_cast<size_t>(estimate));
   MR_RETURN_IF_ERROR(DrainOpenedNode(right_.get(), num_threads, &build));
+  build_consumed_rows_ = static_cast<int64_t>(build.size());
+  build_consumed_bytes_ = SampledRowsBytes(build);
 
   const size_t total = build.size();
   std::vector<Row> keys(total);
@@ -521,11 +550,23 @@ Status HashJoinNode::OpenImpl() {
   left_rows_.clear();
   left_pos_ = 0;
   build_rows_ = 0;
+  build_consumed_rows_ = 0;
+  build_consumed_bytes_ = 0;
+  spill_bytes_ = 0;
+  spill_partitions_ = 0;
+  spill_.reset();
   probe_skipped_ = false;
   const int num_threads = ctx_->num_threads;
-  parallel_ = pure_ && num_threads != 1;
+  const bool budget = ctx_->memory_limit >= 0 && pure_;
+  // Under a budget the join runs its budgeted serial path: the working set
+  // is bounded by spilling, and serial execution makes the result trivially
+  // thread-count invariant. Impure plans (NEXTVAL in keys or residual)
+  // keep the in-memory serial path — re-ordering their evaluation on disk
+  // would change observable side effects.
+  parallel_ = pure_ && num_threads != 1 && ctx_->memory_limit < 0;
 
   MR_RETURN_IF_ERROR(right_->Open());
+  if (budget) return OpenBudget();
   if (parallel_) {
     MR_RETURN_IF_ERROR(BuildParallel(num_threads));
   } else {
@@ -533,31 +574,56 @@ Status HashJoinNode::OpenImpl() {
     if (estimate > 0) hash_table_.reserve(static_cast<size_t>(estimate));
     Row row;
     Row key;
+    int consumed_samples = 0;
+    int64_t consumed_width = 0;
     while (true) {
       MR_ASSIGN_OR_RETURN(bool more, right_->Next(&row));
       if (!more) break;
+      ++build_consumed_rows_;
+      if (consumed_samples < 64) {
+        consumed_width += EstimateRowBytes(row);
+        ++consumed_samples;
+      }
       MR_ASSIGN_OR_RETURN(bool valid, ComputeKey(right_keys_, row, &key));
       if (!valid) continue;
       hash_table_[key].push_back(std::move(row));
       ++build_rows_;
     }
-  }
-
-  // Estimated build-side working set: build rows times a sampled row width.
-  build_bytes_ = 0;
-  const Row* sample = nullptr;
-  if (!hash_table_.empty()) {
-    sample = &hash_table_.begin()->second.front();
-  } else {
-    for (const JoinTable& partition : partitions_) {
-      if (!partition.empty()) {
-        sample = &partition.begin()->second.front();
-        break;
-      }
+    if (consumed_samples > 0) {
+      build_consumed_bytes_ =
+          build_consumed_rows_ * (consumed_width / consumed_samples);
     }
   }
-  if (sample != nullptr) {
-    build_bytes_ = build_rows_ * EstimateRowBytes(*sample);
+
+  // Estimated build-side working set: kept rows times the mean width of up
+  // to 64 rows sampled across the table (a single sample misestimates
+  // variable-width data). When every consumed row had a NULL key nothing
+  // was kept, but the build input was still materialized and hashed —
+  // report the consumed-row estimate rather than 0.
+  build_bytes_ = 0;
+  if (build_rows_ > 0) {
+    const int64_t stride = (build_rows_ + 63) / 64;
+    int64_t seen = 0;
+    int64_t sampled = 0;
+    int64_t width_sum = 0;
+    auto sample_table = [&](const JoinTable& table) {
+      for (const auto& [key_row, bucket] : table) {
+        for (const Row& r : bucket) {
+          if (seen % stride == 0) {
+            width_sum += EstimateRowBytes(r);
+            ++sampled;
+          }
+          ++seen;
+        }
+      }
+    };
+    sample_table(hash_table_);
+    for (const JoinTable& partition : partitions_) sample_table(partition);
+    if (sampled > 0) build_bytes_ = build_rows_ * (width_sum / sampled);
+  } else if (build_consumed_rows_ > 0) {
+    build_bytes_ = build_consumed_bytes_;
+  }
+  if (build_bytes_ > 0) {
     GlobalMetrics()
         .GetGauge("sql.join.build_peak_bytes")
         ->UpdateMax(build_bytes_);
@@ -593,6 +659,7 @@ Result<bool> HashJoinNode::PullLeft(Row* out) {
 }
 
 Result<bool> HashJoinNode::NextImpl(Row* out) {
+  if (spill_ != nullptr) return NextSpill(out);
   Row key;
   while (true) {
     if (current_bucket_ != nullptr) {
@@ -686,6 +753,10 @@ void HashAggregateNode::AppendExtraCounters(
     std::vector<std::pair<std::string, int64_t>>* out) const {
   out->emplace_back("groups", static_cast<int64_t>(results_.size()));
   out->emplace_back("est_bytes", table_bytes_);
+  if (spill_bytes_ > 0) {
+    out->emplace_back("spill_bytes", spill_bytes_);
+    out->emplace_back("spill_partitions", spill_partitions_);
+  }
 }
 
 std::vector<AggAccumulator> HashAggregateNode::MakeAccumulators() const {
@@ -697,7 +768,8 @@ std::vector<AggAccumulator> HashAggregateNode::MakeAccumulators() const {
   return accs;
 }
 
-Status HashAggregateNode::AggregateSerial(GroupTable* groups) {
+Status HashAggregateNode::AggregateSerial(GroupTable* groups,
+                                          MemoryAccountant* accountant) {
   Row row;
   while (true) {
     MR_ASSIGN_OR_RETURN(bool more, child_->Next(&row));
@@ -710,6 +782,13 @@ Status HashAggregateNode::AggregateSerial(GroupTable* groups) {
     }
     auto [it, inserted] = groups->index.try_emplace(key, groups->keys.size());
     if (inserted) {
+      // Account the table as it grows, not just once it is complete: a
+      // query killed mid-aggregation still shows its spike in the gauge.
+      if (accountant != nullptr) {
+        accountant->AddBytes(
+            EstimateRowBytes(key) +
+            static_cast<int64_t>(aggs_.size() * sizeof(AggAccumulator)));
+      }
       groups->keys.push_back(std::move(key));
       groups->states.push_back(MakeAccumulators());
     }
@@ -808,7 +887,10 @@ Status HashAggregateNode::AggregateParallel(int num_threads,
 Status HashAggregateNode::OpenImpl() {
   results_.clear();
   pos_ = 0;
+  spill_bytes_ = 0;
+  spill_partitions_ = 0;
   MR_RETURN_IF_ERROR(child_->Open());
+  if (ctx_->memory_limit >= 0 && pure_) return OpenBudget();
 
   GroupTable groups;
   const int num_threads = ctx_->num_threads;
@@ -817,7 +899,9 @@ Status HashAggregateNode::OpenImpl() {
   if (parallel) {
     MR_RETURN_IF_ERROR(AggregateParallel(num_threads, &groups));
   } else {
-    MR_RETURN_IF_ERROR(AggregateSerial(&groups));
+    MemoryAccountant accountant("sql.aggregate.table_peak_bytes",
+                                /*limit=*/-1);
+    MR_RETURN_IF_ERROR(AggregateSerial(&groups, &accountant));
   }
 
   // Global aggregate over empty input still yields one row.
@@ -939,12 +1023,29 @@ std::string SortNode::detail() const {
   return out;
 }
 
+bool SortNode::KeyLess(const Row& a, const Row& b) const {
+  for (size_t k = 0; k < keys_.size(); ++k) {
+    const Value& va = a[k];
+    const Value& vb = b[k];
+    if (va.TotalEquals(vb)) continue;
+    const bool less = va.TotalLess(vb);
+    return keys_[k].descending ? !less : less;
+  }
+  return false;
+}
+
 Status SortNode::OpenImpl() {
   pos_ = 0;
   rows_.clear();
+  spill_bytes_ = 0;
+  spill_partitions_ = 0;
+  external_.reset();
   MR_RETURN_IF_ERROR(child_->Open());
+  if (ctx_->memory_limit >= 0 && pure_) return OpenBudget();
   const int num_threads = ctx_->num_threads;
-  MR_RETURN_IF_ERROR(DrainOpenedNode(child_.get(), num_threads, &rows_));
+  MemoryAccountant accountant("sql.sort.buffer_peak_bytes", /*limit=*/-1);
+  MR_RETURN_IF_ERROR(
+      DrainOpenedNode(child_.get(), num_threads, &rows_, &accountant));
 
   // Precompute sort keys — morsel-parallel into a pre-sized vector when the
   // keys are pure; stable sort keeps input order among ties, so the output
@@ -975,31 +1076,44 @@ Status SortNode::OpenImpl() {
   } else {
     MR_RETURN_IF_ERROR(compute_range(0, rows_.size()));
   }
+  // The transient key vector is part of the sort's working set — for wide
+  // keys over narrow rows it can dominate — so account it alongside the
+  // row buffer while both are alive.
+  if (!keyed.empty()) {
+    const size_t n = keyed.size();
+    const size_t samples = n < 64 ? n : 64;
+    int64_t width_sum = 0;
+    for (size_t s = 0; s < samples; ++s) {
+      width_sum += EstimateRowBytes(keyed[s * n / samples].first) +
+                   static_cast<int64_t>(sizeof(size_t));
+    }
+    accountant.AddBytes(static_cast<int64_t>(n) *
+                        (width_sum / static_cast<int64_t>(samples)));
+  }
+  accountant.Publish();
+  buffer_bytes_ = accountant.bytes();
   std::stable_sort(keyed.begin(), keyed.end(),
                    [this](const auto& a, const auto& b) {
-                     for (size_t k = 0; k < keys_.size(); ++k) {
-                       const Value& va = a.first[k];
-                       const Value& vb = b.first[k];
-                       if (va.TotalEquals(vb)) continue;
-                       const bool less = va.TotalLess(vb);
-                       return keys_[k].descending ? !less : less;
-                     }
-                     return false;
+                     return KeyLess(a.first, b.first);
                    });
   std::vector<Row> sorted;
   sorted.reserve(rows_.size());
   for (const auto& [key, idx] : keyed) sorted.push_back(std::move(rows_[idx]));
   rows_ = std::move(sorted);
-  buffer_bytes_ = AccountBufferBytes("sql.sort.buffer_peak_bytes", rows_);
   return Status::OK();
 }
 
 void SortNode::AppendExtraCounters(
     std::vector<std::pair<std::string, int64_t>>* out) const {
   out->emplace_back("est_bytes", buffer_bytes_);
+  if (spill_bytes_ > 0) {
+    out->emplace_back("spill_bytes", spill_bytes_);
+    out->emplace_back("spill_partitions", spill_partitions_);
+  }
 }
 
 Result<bool> SortNode::NextImpl(Row* out) {
+  if (external_ != nullptr) return NextExternal(out);
   if (pos_ >= rows_.size()) return false;
   *out = std::move(rows_[pos_++]);
   return true;

@@ -217,20 +217,31 @@ class ExecNode {
 
 using ExecNodePtr = std::unique_ptr<ExecNode>;
 
+class MemoryAccountant;  // sql/spill.h
+
 /// Estimated in-memory footprint of one materialized row: the inline Value
-/// storage plus string heap payloads. Used with a sampled row for the
+/// storage plus string heap payloads. Used with sampled rows for the
 /// rows-times-width working-set estimates (DESIGN.md §11).
 int64_t EstimateRowBytes(const Row& row);
 
-/// rows * width(sample); 0 for an empty buffer. Also raises the named
-/// process-wide peak gauge so memory spikes survive into mr_metrics.
+/// rows times the mean EstimateRowBytes over up to 64 evenly spaced sample
+/// rows; 0 for an empty buffer. A single-row sample badly misestimates
+/// variable-width data, which is why the working-set estimates sample.
+int64_t SampledRowsBytes(const std::vector<Row>& rows);
+
+/// SampledRowsBytes, additionally raising the named process-wide peak gauge
+/// so memory spikes survive into mr_metrics.
 int64_t AccountBufferBytes(const char* gauge, const std::vector<Row>& rows);
 
 /// Drains an already-opened node into *out. When the node supports morsels
 /// and num_threads != 1, workers claim fixed-size morsels and the per-morsel
 /// outputs are concatenated in morsel order — bit-identical to the serial
-/// drain. Appends to *out.
-Status DrainOpenedNode(ExecNode* node, int num_threads, std::vector<Row>* out);
+/// drain. Appends to *out. When `accountant` is given, the drained rows are
+/// accounted while the buffer grows (per row on the serial path, per morsel
+/// slot during the parallel concatenation) so the peak gauge reflects the
+/// buffer before it is complete.
+Status DrainOpenedNode(ExecNode* node, int num_threads, std::vector<Row>* out,
+                       MemoryAccountant* accountant = nullptr);
 
 /// Drains a plan into a vector of rows.
 Result<std::vector<Row>> CollectRows(ExecNode* node);
@@ -442,6 +453,7 @@ class HashJoinNode : public ExecNode {
   HashJoinNode(ExecNodePtr left, ExecNodePtr right,
                std::vector<ExprPtr> left_keys, std::vector<ExprPtr> right_keys,
                ExprPtr residual, ExecContext* ctx);
+  ~HashJoinNode() override;
   const char* name() const override { return "HashJoin"; }
   std::string detail() const override;
   std::vector<ExecNode*> children() override {
@@ -464,12 +476,22 @@ class HashJoinNode : public ExecNode {
  private:
   using JoinTable = std::unordered_map<Row, std::vector<Row>, RowHash, RowEq>;
 
+  struct Spill;  // grace-hash state, local to operators_spill.cc
+
   Result<bool> ComputeKey(const std::vector<ExprPtr>& exprs, const Row& row,
                           Row* key) const;
   const std::vector<Row>* FindBucket(const Row& key) const;
   Status BuildParallel(int num_threads);
   Result<bool> PullLeft(Row* out);
   Status ProbeRow(const Row& left_row, Row* key, std::vector<Row>* out);
+
+  /// Budgeted serial path (ctx->memory_limit >= 0 and pure expressions):
+  /// streams the build side under a MemoryAccountant; within budget it
+  /// degenerates to the exact serial in-memory join, past it it becomes a
+  /// recursive grace-hash join whose merged output reproduces the serial
+  /// probe order bit for bit (operators_spill.cc, DESIGN.md §13).
+  Status OpenBudget();
+  Result<bool> NextSpill(Row* out);
 
   ExecNodePtr left_;
   ExecNodePtr right_;
@@ -486,6 +508,14 @@ class HashJoinNode : public ExecNode {
   size_t left_pos_ = 0;
   int64_t build_rows_ = 0;
   int64_t build_bytes_ = 0;  // estimated build working set (rows x width)
+  /// Build rows consumed including NULL-key rows, and their estimated
+  /// footprint: an all-NULL-key build still materialized its input, so the
+  /// working-set estimate must not read 0 (DESIGN.md §13).
+  int64_t build_consumed_rows_ = 0;
+  int64_t build_consumed_bytes_ = 0;
+  int64_t spill_bytes_ = 0;       // spill file bytes written by this open
+  int64_t spill_partitions_ = 0;  // leaf partitions joined on the spill path
+  std::unique_ptr<Spill> spill_;  // non-null only when the build overflowed
   Row current_left_;
   const std::vector<Row>* current_bucket_ = nullptr;
   size_t bucket_pos_ = 0;
@@ -516,6 +546,7 @@ class HashAggregateNode : public ExecNode {
   HashAggregateNode(ExecNodePtr child, std::vector<ExprPtr> group_exprs,
                     std::vector<AggSpec> aggs, Schema out_schema,
                     ExecContext* ctx);
+  ~HashAggregateNode() override;
   const char* name() const override { return "HashAggregate"; }
   std::string detail() const override;
   std::vector<ExecNode*> children() override { return {child_.get()}; }
@@ -533,8 +564,20 @@ class HashAggregateNode : public ExecNode {
   struct GroupTable;  // local to operators.cc
 
   std::vector<AggAccumulator> MakeAccumulators() const;
-  Status AggregateSerial(GroupTable* groups);
+  Status AggregateSerial(GroupTable* groups, MemoryAccountant* accountant);
   Status AggregateParallel(int num_threads, GroupTable* groups);
+
+  /// Budgeted serial path (ctx->memory_limit >= 0 and pure expressions):
+  /// buffers (input index, group key, aggregate args) tuples under a
+  /// MemoryAccountant; within budget it aggregates the buffer exactly like
+  /// the serial pass, past it the tuples spill to key-hash partitions that
+  /// are aggregated independently (recursing on oversized ones) and the
+  /// groups are re-emitted in serial first-seen order by their minimum
+  /// input index (operators_spill.cc, DESIGN.md §13).
+  Status OpenBudget();
+  Status AggregatePartition(const struct AggPartitionInput& input, int depth,
+                            bool can_split,
+                            std::vector<std::pair<uint64_t, Row>>* out);
 
   ExecNodePtr child_;
   std::vector<ExprPtr> group_exprs_;
@@ -544,6 +587,8 @@ class HashAggregateNode : public ExecNode {
   bool merge_exact_ = false; // every aggregate is exactly mergeable
   std::vector<Row> results_;
   int64_t table_bytes_ = 0;  // estimated result-table working set
+  int64_t spill_bytes_ = 0;       // spill file bytes written by this open
+  int64_t spill_partitions_ = 0;  // leaf partitions aggregated on disk
   size_t pos_ = 0;
 };
 
@@ -583,6 +628,7 @@ class SortNode : public ExecNode {
     bool descending = false;
   };
   SortNode(ExecNodePtr child, std::vector<SortKey> keys, ExecContext* ctx);
+  ~SortNode() override;
   const char* name() const override { return "Sort"; }
   std::string detail() const override;
   std::vector<ExecNode*> children() override { return {child_.get()}; }
@@ -597,12 +643,30 @@ class SortNode : public ExecNode {
   Result<bool> NextImpl(Row* out) override;
 
  private:
+  struct External;  // external-merge-sort state, local to operators_spill.cc
+
+  /// Total key order of `a` vs `b` under keys_ (ties false, so stable
+  /// sorting and run-order tie-breaking preserve input order).
+  bool KeyLess(const Row& a, const Row& b) const;
+
+  /// Budgeted serial path (ctx->memory_limit >= 0 and pure sort keys):
+  /// streams the child into a (key, row) buffer under a MemoryAccountant;
+  /// within budget it finishes with the exact in-memory stable sort, past
+  /// it each overflow writes a sorted run and NextImpl streams a fan-in-
+  /// capped multi-way merge that reproduces the stable order bit for bit
+  /// (operators_spill.cc, DESIGN.md §13).
+  Status OpenBudget();
+  Result<bool> NextExternal(Row* out);
+
   ExecNodePtr child_;
   std::vector<SortKey> keys_;
   ExecContext* ctx_;
   bool pure_ = false;  // sort keys free of NEXTVAL
   std::vector<Row> rows_;
   int64_t buffer_bytes_ = 0;  // estimated sort-buffer working set
+  int64_t spill_bytes_ = 0;       // spill file bytes written by this open
+  int64_t spill_partitions_ = 0;  // sorted runs written (incl. merge passes)
+  std::unique_ptr<External> external_;  // non-null only when spilling
   size_t pos_ = 0;
 };
 

@@ -842,8 +842,14 @@ bool VecAggEligible(const std::vector<ExprPtr>& group_exprs,
 
 }  // namespace
 
+// A memory budget (ctx->memory_limit >= 0) disables the vectorized
+// substitutions wholesale: the budgeted operators are the row-at-a-time
+// spill paths of DESIGN.md §13, and the columnar shims buffer whole columns
+// with no spill story. Results are bit-identical either way, so the budget
+// only changes the execution strategy — exactly like the vectorized flag
+// itself.
 ExecNodePtr MakeScanNode(std::shared_ptr<Table> table, ExecContext* ctx) {
-  if (ctx->vectorized) {
+  if (ctx->vectorized && ctx->memory_limit < 0) {
     return std::make_unique<VecScanNode>(std::move(table));
   }
   return std::make_unique<TableScanNode>(std::move(table));
@@ -851,7 +857,8 @@ ExecNodePtr MakeScanNode(std::shared_ptr<Table> table, ExecContext* ctx) {
 
 ExecNodePtr MakeFilterNode(ExecNodePtr child, ExprPtr predicate,
                            ExecContext* ctx) {
-  if (ctx->vectorized && dynamic_cast<VecScanNode*>(child.get()) != nullptr &&
+  if (ctx->vectorized && ctx->memory_limit < 0 &&
+      dynamic_cast<VecScanNode*>(child.get()) != nullptr &&
       !ContainsNextVal(*predicate)) {
     std::unique_ptr<VecScanNode> scan(
         static_cast<VecScanNode*>(child.release()));
@@ -866,7 +873,8 @@ ExecNodePtr MakeHashJoinNode(ExecNodePtr left, ExecNodePtr right,
                              std::vector<ExprPtr> left_keys,
                              std::vector<ExprPtr> right_keys, ExprPtr residual,
                              ExecContext* ctx) {
-  if (ctx->vectorized && residual == nullptr && left_keys.size() == 1 &&
+  if (ctx->vectorized && ctx->memory_limit < 0 && residual == nullptr &&
+      left_keys.size() == 1 &&
       InfersTo(left_keys[0], DataType::kInteger) &&
       InfersTo(right_keys[0], DataType::kInteger)) {
     return std::make_unique<VecHashJoinNode>(
@@ -883,7 +891,8 @@ ExecNodePtr MakeHashAggregateNode(ExecNodePtr child,
                                   std::vector<ExprPtr> group_exprs,
                                   std::vector<AggSpec> aggs, Schema out_schema,
                                   ExecContext* ctx) {
-  if (ctx->vectorized && VecAggEligible(group_exprs, aggs)) {
+  if (ctx->vectorized && ctx->memory_limit < 0 &&
+      VecAggEligible(group_exprs, aggs)) {
     return std::make_unique<VecHashAggregateNode>(
         std::move(child), std::move(group_exprs), std::move(aggs),
         std::move(out_schema), ctx);

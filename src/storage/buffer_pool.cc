@@ -1,0 +1,188 @@
+#include "storage/buffer_pool.h"
+
+#include <cstring>
+
+#include "common/metrics.h"
+
+namespace minerule::storage {
+
+namespace {
+
+Counter* HitCounter() {
+  static Counter* c = GlobalMetrics().GetCounter("storage.buffer_pool.hits");
+  return c;
+}
+Counter* MissCounter() {
+  static Counter* c = GlobalMetrics().GetCounter("storage.buffer_pool.misses");
+  return c;
+}
+Counter* EvictionCounter() {
+  static Counter* c =
+      GlobalMetrics().GetCounter("storage.buffer_pool.evictions");
+  return c;
+}
+Counter* WritebackCounter() {
+  static Counter* c =
+      GlobalMetrics().GetCounter("storage.buffer_pool.writebacks");
+  return c;
+}
+
+}  // namespace
+
+PageGuard& PageGuard::operator=(PageGuard&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    frame_ = other.frame_;
+    data_ = other.data_;
+    other.pool_ = nullptr;
+    other.data_ = nullptr;
+  }
+  return *this;
+}
+
+void PageGuard::MarkDirty() {
+  if (pool_ == nullptr) return;
+  std::lock_guard<std::mutex> lock(pool_->mutex_);
+  pool_->frames_[frame_].dirty = true;
+}
+
+void PageGuard::Release() {
+  if (pool_ == nullptr) return;
+  pool_->Unpin(frame_);
+  pool_ = nullptr;
+  data_ = nullptr;
+}
+
+BufferPool::BufferPool(size_t num_frames)
+    : frames_(num_frames == 0 ? 1 : num_frames) {
+  for (Frame& frame : frames_) {
+    frame.data = std::make_unique<char[]>(kPageSize);
+  }
+  page_table_.reserve(frames_.size() * 2);
+}
+
+int64_t BufferPool::hits() const { return HitCounter()->Value(); }
+int64_t BufferPool::misses() const { return MissCounter()->Value(); }
+
+void BufferPool::Unpin(size_t frame) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  --frames_[frame].pin_count;
+}
+
+Status BufferPool::WriteBack(Frame* frame) {
+  if (!frame->dirty) return Status::OK();
+  MR_RETURN_IF_ERROR(frame->file->WriteAt(frame->key.page_no * kPageSize,
+                                          frame->data.get(), kPageSize));
+  frame->dirty = false;
+  WritebackCounter()->Increment();
+  return Status::OK();
+}
+
+Result<size_t> BufferPool::EvictOne() {
+  // Clock sweep: skip pinned frames, give referenced frames a second
+  // chance, take the first unreferenced unpinned frame. Two full sweeps
+  // guarantee progress unless every frame is pinned.
+  const size_t n = frames_.size();
+  for (size_t step = 0; step < 2 * n; ++step) {
+    Frame& frame = frames_[clock_hand_];
+    const size_t index = clock_hand_;
+    clock_hand_ = (clock_hand_ + 1) % n;
+    if (frame.file == nullptr) return index;  // unused frame
+    if (frame.pin_count > 0) continue;
+    if (frame.referenced) {
+      frame.referenced = false;
+      continue;
+    }
+    MR_RETURN_IF_ERROR(WriteBack(&frame));
+    page_table_.erase(frame.key);
+    frame.file = nullptr;
+    EvictionCounter()->Increment();
+    return index;
+  }
+  return Status::ExecutionError(
+      "buffer pool exhausted: all " + std::to_string(n) +
+      " frames are pinned (pin pressure exceeds the pool size)");
+}
+
+Result<PageGuard> BufferPool::FetchInternal(PosixFile* file, uint64_t page_no,
+                                            bool read_from_disk) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const PageKey key{file->id(), page_no};
+  auto it = page_table_.find(key);
+  if (it != page_table_.end()) {
+    Frame& frame = frames_[it->second];
+    ++frame.pin_count;
+    frame.referenced = true;
+    if (!read_from_disk) {
+      // Create() promises a zeroed frame whether or not the page was cached.
+      std::memset(frame.data.get(), 0, kPageSize);
+      frame.dirty = true;
+    }
+    HitCounter()->Increment();
+    return PageGuard(this, it->second, frame.data.get());
+  }
+
+  MissCounter()->Increment();
+  MR_ASSIGN_OR_RETURN(size_t index, EvictOne());
+  Frame& frame = frames_[index];
+  if (read_from_disk) {
+    // Pages past EOF read as zeroes: a fresh page needs no allocation step.
+    MR_ASSIGN_OR_RETURN(size_t got, file->ReadAtPartial(page_no * kPageSize,
+                                                        frame.data.get(),
+                                                        kPageSize));
+    if (got < kPageSize) {
+      std::memset(frame.data.get() + got, 0, kPageSize - got);
+    }
+  } else {
+    std::memset(frame.data.get(), 0, kPageSize);
+  }
+  frame.key = key;
+  frame.file = file;
+  frame.pin_count = 1;
+  frame.dirty = !read_from_disk;
+  frame.referenced = true;
+  page_table_[key] = index;
+  return PageGuard(this, index, frame.data.get());
+}
+
+Result<PageGuard> BufferPool::Fetch(PosixFile* file, uint64_t page_no) {
+  return FetchInternal(file, page_no, /*read_from_disk=*/true);
+}
+
+Result<PageGuard> BufferPool::Create(PosixFile* file, uint64_t page_no) {
+  return FetchInternal(file, page_no, /*read_from_disk=*/false);
+}
+
+Status BufferPool::FlushFile(PosixFile* file) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (Frame& frame : frames_) {
+    if (frame.file == file) MR_RETURN_IF_ERROR(WriteBack(&frame));
+  }
+  return Status::OK();
+}
+
+Status BufferPool::EvictFile(PosixFile* file) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (Frame& frame : frames_) {
+    if (frame.file != file) continue;
+    if (frame.pin_count > 0) {
+      return Status::Internal("EvictFile('" + file->path() +
+                              "') with pinned pages outstanding");
+    }
+    MR_RETURN_IF_ERROR(WriteBack(&frame));
+    page_table_.erase(frame.key);
+    frame.file = nullptr;
+  }
+  return Status::OK();
+}
+
+Status BufferPool::FlushAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (Frame& frame : frames_) {
+    if (frame.file != nullptr) MR_RETURN_IF_ERROR(WriteBack(&frame));
+  }
+  return Status::OK();
+}
+
+}  // namespace minerule::storage

@@ -1,0 +1,113 @@
+#ifndef MINERULE_STORAGE_BUFFER_POOL_H_
+#define MINERULE_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/page.h"
+#include "storage/posix_file.h"
+
+namespace minerule::storage {
+
+class BufferPool;
+
+/// RAII pin on one buffer-pool frame. While alive the page cannot be
+/// evicted; data() points at the kPageSize frame bytes. Call MarkDirty()
+/// after mutating so eviction (or FlushAll) writes the page back.
+class PageGuard {
+ public:
+  PageGuard() = default;
+  PageGuard(PageGuard&& other) noexcept { *this = std::move(other); }
+  PageGuard& operator=(PageGuard&& other) noexcept;
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+  ~PageGuard() { Release(); }
+
+  char* data() const { return data_; }
+  bool valid() const { return pool_ != nullptr; }
+  void MarkDirty();
+  void Release();
+
+ private:
+  friend class BufferPool;
+  PageGuard(BufferPool* pool, size_t frame, char* data)
+      : pool_(pool), frame_(frame), data_(data) {}
+
+  BufferPool* pool_ = nullptr;
+  size_t frame_ = 0;
+  char* data_ = nullptr;
+};
+
+/// Fixed-size page cache over PosixFile page stores (DESIGN.md §13): a page
+/// table mapping (file id, page no) to frames, per-frame pin counts, clock
+/// (second-chance) eviction, and dirty write-back. One coarse mutex guards
+/// the metadata — the disk-backed paths are serial by design (spilling
+/// operators run single-threaded), so contention is not a concern; the lock
+/// simply keeps checkpoint/restore safe to run from any thread.
+///
+/// Metrics: storage.buffer_pool.{hits,misses,evictions,writebacks}.
+class BufferPool {
+ public:
+  explicit BufferPool(size_t num_frames);
+  ~BufferPool() = default;
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Pins the page, reading it from the file on a miss. Reading past the
+  /// current end of file yields a zeroed page (new pages need no explicit
+  /// allocation call). Fails when every frame is pinned.
+  Result<PageGuard> Fetch(PosixFile* file, uint64_t page_no);
+
+  /// Pins a zeroed frame for the page without reading the file (for pages
+  /// about to be fully overwritten); marks it dirty.
+  Result<PageGuard> Create(PosixFile* file, uint64_t page_no);
+
+  /// Writes back every dirty page of `file` (leaves them cached).
+  Status FlushFile(PosixFile* file);
+
+  /// Writes back every dirty page of `file` and drops its frames from the
+  /// pool. Call before closing the file.
+  Status EvictFile(PosixFile* file);
+
+  /// Writes back every dirty page in the pool.
+  Status FlushAll();
+
+  size_t num_frames() const { return frames_.size(); }
+  int64_t hits() const;
+  int64_t misses() const;
+
+ private:
+  friend class PageGuard;
+
+  struct Frame {
+    PageKey key;
+    PosixFile* file = nullptr;  // nullptr: frame unused
+    int pin_count = 0;
+    bool dirty = false;
+    bool referenced = false;  // clock second-chance bit
+    std::unique_ptr<char[]> data;
+  };
+
+  /// Finds a victim frame with the clock hand (pin_count == 0), writing it
+  /// back if dirty. Requires mutex_ held. Fails when all frames are pinned.
+  Result<size_t> EvictOne();
+
+  Status WriteBack(Frame* frame);
+  void Unpin(size_t frame);
+
+  Result<PageGuard> FetchInternal(PosixFile* file, uint64_t page_no,
+                                  bool read_from_disk);
+
+  mutable std::mutex mutex_;
+  std::vector<Frame> frames_;
+  std::unordered_map<PageKey, size_t, PageKeyHash> page_table_;
+  size_t clock_hand_ = 0;
+};
+
+}  // namespace minerule::storage
+
+#endif  // MINERULE_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,38 @@
+#ifndef MINERULE_STORAGE_PAGE_H_
+#define MINERULE_STORAGE_PAGE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace minerule::storage {
+
+/// Fixed page size of the disk-backed storage layer (DESIGN.md §13). Every
+/// page file is a sequence of kPageSize-byte pages addressed by page number;
+/// the buffer pool caches whole pages.
+inline constexpr size_t kPageSize = 8192;
+
+/// A page's identity inside the buffer pool: which file (by the file's
+/// process-unique id) and which page within it.
+struct PageKey {
+  uint64_t file_id = 0;
+  uint64_t page_no = 0;
+
+  bool operator==(const PageKey&) const = default;
+};
+
+struct PageKeyHash {
+  size_t operator()(const PageKey& key) const {
+    // splitmix64 over the two coordinates; cheap and well-distributed.
+    uint64_t x = key.file_id * 0x9e3779b97f4a7c15ULL + key.page_no;
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return static_cast<size_t>(x);
+  }
+};
+
+}  // namespace minerule::storage
+
+#endif  // MINERULE_STORAGE_PAGE_H_

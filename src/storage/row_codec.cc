@@ -1,0 +1,146 @@
+#include "storage/row_codec.h"
+
+#include <cstring>
+
+namespace minerule::storage {
+
+namespace {
+
+void EncodeU32(uint32_t v, std::string* out) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out->append(buf, 4);
+}
+
+void EncodeFixed64(uint64_t v, std::string* out) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out->append(buf, 8);
+}
+
+Status Underflow(const char* what) {
+  return Status::ExecutionError(std::string("corrupt spill/heap record: "
+                                            "truncated ") +
+                                what);
+}
+
+Status DecodeU32(const char* data, size_t len, size_t* pos, uint32_t* out) {
+  if (*pos + 4 > len) return Underflow("u32");
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(data[*pos + i]))
+         << (8 * i);
+  }
+  *pos += 4;
+  *out = v;
+  return Status::OK();
+}
+
+}  // namespace
+
+void EncodeU64(uint64_t v, std::string* out) { EncodeFixed64(v, out); }
+
+Status DecodeU64(const char* data, size_t len, size_t* pos, uint64_t* out) {
+  if (*pos + 8 > len) return Underflow("u64");
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(data[*pos + i]))
+         << (8 * i);
+  }
+  *pos += 8;
+  *out = v;
+  return Status::OK();
+}
+
+void EncodeRow(const Row& row, std::string* out) {
+  EncodeU32(static_cast<uint32_t>(row.size()), out);
+  for (const Value& v : row) {
+    switch (v.type()) {
+      case DataType::kNull:
+        out->push_back('N');
+        break;
+      case DataType::kBoolean:
+        out->push_back('B');
+        out->push_back(v.AsBoolean() ? 1 : 0);
+        break;
+      case DataType::kInteger:
+        out->push_back('I');
+        EncodeFixed64(static_cast<uint64_t>(v.AsInteger()), out);
+        break;
+      case DataType::kDouble: {
+        out->push_back('D');
+        double d = v.AsDouble();
+        uint64_t bits;
+        std::memcpy(&bits, &d, 8);  // exact IEEE bit pattern
+        EncodeFixed64(bits, out);
+        break;
+      }
+      case DataType::kString: {
+        out->push_back('S');
+        const std::string& s = v.AsString();
+        EncodeU32(static_cast<uint32_t>(s.size()), out);
+        out->append(s);
+        break;
+      }
+      case DataType::kDate:
+        out->push_back('T');
+        EncodeU32(static_cast<uint32_t>(v.AsDate()), out);
+        break;
+    }
+  }
+}
+
+Status DecodeRow(const char* data, size_t len, size_t* pos, Row* out) {
+  uint32_t count = 0;
+  MR_RETURN_IF_ERROR(DecodeU32(data, len, pos, &count));
+  out->clear();
+  out->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    if (*pos >= len) return Underflow("value tag");
+    const char tag = data[(*pos)++];
+    switch (tag) {
+      case 'N':
+        out->push_back(Value::Null());
+        break;
+      case 'B':
+        if (*pos >= len) return Underflow("boolean");
+        out->push_back(Value::Boolean(data[(*pos)++] != 0));
+        break;
+      case 'I': {
+        uint64_t bits = 0;
+        MR_RETURN_IF_ERROR(DecodeU64(data, len, pos, &bits));
+        out->push_back(Value::Integer(static_cast<int64_t>(bits)));
+        break;
+      }
+      case 'D': {
+        uint64_t bits = 0;
+        MR_RETURN_IF_ERROR(DecodeU64(data, len, pos, &bits));
+        double d;
+        std::memcpy(&d, &bits, 8);
+        out->push_back(Value::Double(d));
+        break;
+      }
+      case 'S': {
+        uint32_t n = 0;
+        MR_RETURN_IF_ERROR(DecodeU32(data, len, pos, &n));
+        if (*pos + n > len) return Underflow("string payload");
+        out->push_back(Value::String(std::string(data + *pos, n)));
+        *pos += n;
+        break;
+      }
+      case 'T': {
+        uint32_t days = 0;
+        MR_RETURN_IF_ERROR(DecodeU32(data, len, pos, &days));
+        out->push_back(Value::Date(static_cast<int32_t>(days)));
+        break;
+      }
+      default:
+        return Status::ExecutionError(
+            "corrupt spill/heap record: unknown value tag '" +
+            std::string(1, tag) + "'");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace minerule::storage

@@ -1,0 +1,36 @@
+#ifndef MINERULE_STORAGE_ROW_CODEC_H_
+#define MINERULE_STORAGE_ROW_CODEC_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "relational/schema.h"
+
+namespace minerule::storage {
+
+/// Binary Row serialization used by the spill files and the paged table
+/// heaps. The encoding is exact: INTEGER/DATE as fixed-width little-endian,
+/// DOUBLE as its IEEE bit pattern, strings as length-prefixed bytes — a
+/// decoded row is bit-identical to the encoded one, which is what lets the
+/// spill paths promise byte-identical query results (DESIGN.md §13).
+///
+/// Layout: u32 value count, then per value a 1-byte type tag
+/// (N/B/I/D/S/T for NULL/BOOLEAN/INTEGER/DOUBLE/STRING/DATE) and the
+/// payload (B: 1 byte; I/D: 8 bytes; T: 4 bytes; S: u32 length + bytes).
+
+/// Appends the encoding of `row` to *out.
+void EncodeRow(const Row& row, std::string* out);
+
+/// Appends a u64 in little-endian (spill-record index prefixes).
+void EncodeU64(uint64_t v, std::string* out);
+
+/// Decodes one row starting at data[*pos], advancing *pos past it.
+Status DecodeRow(const char* data, size_t len, size_t* pos, Row* out);
+
+/// Decodes a little-endian u64 at data[*pos], advancing *pos.
+Status DecodeU64(const char* data, size_t len, size_t* pos, uint64_t* out);
+
+}  // namespace minerule::storage
+
+#endif  // MINERULE_STORAGE_ROW_CODEC_H_

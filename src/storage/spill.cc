@@ -1,0 +1,96 @@
+#include "storage/spill.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace minerule::storage {
+
+namespace {
+
+/// Write-combining threshold and reader chunk size. Small enough that a
+/// fan-in-capped merge (kSpillMergeFanIn readers) stays around a megabyte
+/// of infrastructure buffers regardless of the data budget.
+constexpr size_t kWriteBufferBytes = 256 * 1024;
+constexpr size_t kReadChunkBytes = 16 * 1024;
+
+void AppendU32(uint32_t v, std::string* out) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out->append(buf, 4);
+}
+
+uint32_t ReadU32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<SpillFile>> SpillFile::Create(const std::string& dir) {
+  MR_ASSIGN_OR_RETURN(std::unique_ptr<PosixFile> file,
+                      PosixFile::CreateTemp(dir));
+  return std::unique_ptr<SpillFile>(new SpillFile(std::move(file)));
+}
+
+Status SpillFile::FlushBuffer() {
+  if (write_buffer_.empty()) return Status::OK();
+  MR_RETURN_IF_ERROR(
+      file_->WriteAt(tail_, write_buffer_.data(), write_buffer_.size()));
+  tail_ += write_buffer_.size();
+  write_buffer_.clear();
+  return Status::OK();
+}
+
+Status SpillFile::Append(std::string_view record) {
+  AppendU32(static_cast<uint32_t>(record.size()), &write_buffer_);
+  write_buffer_.append(record.data(), record.size());
+  ++run_records_;
+  if (write_buffer_.size() >= kWriteBufferBytes) return FlushBuffer();
+  return Status::OK();
+}
+
+Result<SpillRun> SpillFile::FinishRun() {
+  MR_RETURN_IF_ERROR(FlushBuffer());
+  SpillRun run{run_start_, tail_ - run_start_, run_records_};
+  run_start_ = tail_;
+  run_records_ = 0;
+  return run;
+}
+
+Status SpillFile::Reader::Refill(size_t need) {
+  const uint64_t run_end = run_.offset + run_.bytes;
+  if (pos_ + need > run_end) {
+    return Status::ExecutionError(
+        "corrupt spill run: record extends past the run extent");
+  }
+  const size_t want =
+      std::max(need, static_cast<size_t>(
+                         std::min<uint64_t>(kReadChunkBytes, run_end - pos_)));
+  buffer_.resize(want);
+  MR_RETURN_IF_ERROR(file_->ReadAt(pos_, buffer_.data(), want));
+  buffer_start_ = pos_;
+  return Status::OK();
+}
+
+Result<bool> SpillFile::Reader::Next(std::string* record) {
+  if (file_ == nullptr || read_records_ >= run_.records) return false;
+  // Length prefix.
+  if (pos_ < buffer_start_ || pos_ + 4 > buffer_start_ + buffer_.size()) {
+    MR_RETURN_IF_ERROR(Refill(4));
+  }
+  const uint32_t len = ReadU32(buffer_.data() + (pos_ - buffer_start_));
+  pos_ += 4;
+  // Payload.
+  if (pos_ < buffer_start_ || pos_ + len > buffer_start_ + buffer_.size()) {
+    MR_RETURN_IF_ERROR(Refill(len));
+  }
+  record->assign(buffer_.data() + (pos_ - buffer_start_), len);
+  pos_ += len;
+  ++read_records_;
+  return true;
+}
+
+}  // namespace minerule::storage

@@ -1,0 +1,89 @@
+#ifndef MINERULE_STORAGE_SPILL_H_
+#define MINERULE_STORAGE_SPILL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "storage/posix_file.h"
+
+namespace minerule::storage {
+
+/// One contiguous extent of records inside a SpillFile: the unit the
+/// external sort and the grace-hash partitions hand around (a sorted run, a
+/// build/probe partition, a merged output chunk).
+struct SpillRun {
+  uint64_t offset = 0;
+  uint64_t bytes = 0;
+  uint64_t records = 0;
+};
+
+/// An anonymous (created-and-unlinked) temp file holding length-prefixed
+/// records grouped into sequential runs. Writes are buffered and append to
+/// the tail; FinishRun() closes the current run and returns its extent.
+/// Runs already finished can be read back concurrently with further
+/// appends (readers pread fixed extents), which is what the multi-pass
+/// merges rely on. Because the file is unlinked at creation, spill data is
+/// reclaimed by the kernel as soon as the SpillFile dies — an error midway
+/// through a spill can never leak files into /tmp.
+class SpillFile {
+ public:
+  /// `dir` empty means $TMPDIR or /tmp.
+  static Result<std::unique_ptr<SpillFile>> Create(const std::string& dir);
+
+  /// Appends one record (u32 length + payload) to the current run.
+  Status Append(std::string_view record);
+
+  /// Flushes buffered writes, ends the current run, returns its extent, and
+  /// starts a fresh (empty) run at the tail.
+  Result<SpillRun> FinishRun();
+
+  /// Total record payload + framing bytes written so far (the
+  /// sql.*.spill_bytes metric source).
+  uint64_t bytes_written() const { return tail_; }
+
+  /// Sequential reader over one run's records, with its own read buffer.
+  /// Valid only for runs returned by FinishRun() on the same SpillFile; the
+  /// SpillFile must outlive the reader.
+  class Reader {
+   public:
+    Reader() = default;
+
+    /// Reads the next record into *record; false at end of the run.
+    Result<bool> Next(std::string* record);
+
+   private:
+    friend class SpillFile;
+    Reader(const PosixFile* file, SpillRun run)
+        : file_(file), run_(run), pos_(run.offset) {}
+
+    Status Refill(size_t need);
+
+    const PosixFile* file_ = nullptr;
+    SpillRun run_;
+    uint64_t pos_ = 0;        // absolute file offset of the next unread byte
+    std::string buffer_;      // window starting at buffer_start_
+    uint64_t buffer_start_ = 0;
+    uint64_t read_records_ = 0;
+  };
+
+  Reader OpenRun(const SpillRun& run) const { return Reader(file_.get(), run); }
+
+ private:
+  explicit SpillFile(std::unique_ptr<PosixFile> file)
+      : file_(std::move(file)) {}
+
+  Status FlushBuffer();
+
+  std::unique_ptr<PosixFile> file_;
+  std::string write_buffer_;
+  uint64_t tail_ = 0;       // file offset one past the last flushed byte
+  uint64_t run_start_ = 0;  // offset where the current run began
+  uint64_t run_records_ = 0;
+};
+
+}  // namespace minerule::storage
+
+#endif  // MINERULE_STORAGE_SPILL_H_

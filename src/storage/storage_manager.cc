@@ -1,0 +1,291 @@
+#include "storage/storage_manager.h"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "storage/row_codec.h"
+#include "storage/table_heap.h"
+
+namespace minerule::storage {
+
+namespace {
+
+/// Percent-escaping for names, view SQL and type names in the catalog file:
+/// '%', whitespace and control bytes become %XX, so arbitrary identifiers
+/// and statements survive the line/space-delimited format (same scheme as
+/// relational/catalog_io.cc).
+std::string Escape(const std::string& in) {
+  static const char* hex = "0123456789ABCDEF";
+  std::string out;
+  out.reserve(in.size());
+  for (unsigned char c : in) {
+    if (c == '%' || c <= ' ' || c == 0x7f) {
+      out.push_back('%');
+      out.push_back(hex[c >> 4]);
+      out.push_back(hex[c & 0xf]);
+    } else {
+      out.push_back(static_cast<char>(c));
+    }
+  }
+  return out;
+}
+
+Result<std::string> Unescape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (size_t i = 0; i < in.size(); ++i) {
+    if (in[i] != '%') {
+      out.push_back(in[i]);
+      continue;
+    }
+    if (i + 2 >= in.size()) {
+      return Status::ExecutionError("corrupt catalog file: bad escape");
+    }
+    auto nibble = [](char c) -> int {
+      if (c >= '0' && c <= '9') return c - '0';
+      if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+      return -1;
+    };
+    const int hi = nibble(in[i + 1]);
+    const int lo = nibble(in[i + 2]);
+    if (hi < 0 || lo < 0) {
+      return Status::ExecutionError("corrupt catalog file: bad escape");
+    }
+    out.push_back(static_cast<char>((hi << 4) | lo));
+    i += 2;
+  }
+  return out;
+}
+
+constexpr const char* kCatalogFile = "minerule.cat";
+constexpr const char* kCatalogHeader = "MINERULE-STORE 1";
+
+}  // namespace
+
+Result<std::unique_ptr<StorageManager>> StorageManager::Open(
+    const std::string& dir, size_t pool_frames) {
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status::ExecutionError("cannot create storage directory '" + dir +
+                                  "': " + std::strerror(errno));
+  }
+  std::unique_ptr<StorageManager> mgr(new StorageManager(dir, pool_frames));
+  MR_RETURN_IF_ERROR(mgr->LoadManifest());
+  return mgr;
+}
+
+Status StorageManager::LoadManifest() {
+  std::ifstream in(dir_ + "/" + kCatalogFile);
+  if (!in.is_open()) return Status::OK();  // fresh directory
+  std::string line;
+  if (!std::getline(in, line) || line != kCatalogHeader) {
+    return Status::ExecutionError("'" + dir_ + "/" + kCatalogFile +
+                                  "' is not a minerule catalog file");
+  }
+  TableState* current = nullptr;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::string kind;
+    fields >> kind;
+    if (kind == "T") {
+      std::string name, file;
+      uint64_t rows = 0;
+      fields >> name >> file >> rows;
+      if (fields.fail()) {
+        return Status::ExecutionError("corrupt catalog file: bad T line");
+      }
+      MR_ASSIGN_OR_RETURN(name, Unescape(name));
+      TableState state;
+      state.file_name = file;
+      state.rows = rows;
+      current = &tables_.emplace(name, std::move(state)).first->second;
+      // Keep slot numbering above every persisted file (t<N>.mrh).
+      int slot = 0;
+      if (std::sscanf(file.c_str(), "t%d.mrh", &slot) == 1) {
+        next_slot_ = std::max(next_slot_, slot + 1);
+      }
+    } else if (kind == "C") {
+      std::string col, type;
+      fields >> col >> type;
+      if (fields.fail() || current == nullptr) {
+        return Status::ExecutionError("corrupt catalog file: bad C line");
+      }
+      MR_ASSIGN_OR_RETURN(col, Unescape(col));
+      current->columns.emplace_back(col, type);
+    } else if (kind == "V") {
+      std::string name, sql;
+      fields >> name >> sql;
+      if (fields.fail()) {
+        return Status::ExecutionError("corrupt catalog file: bad V line");
+      }
+      MR_ASSIGN_OR_RETURN(name, Unescape(name));
+      MR_ASSIGN_OR_RETURN(sql, Unescape(sql));
+      views_.emplace_back(name, sql);
+    } else if (kind == "Q") {
+      std::string name;
+      int64_t next = 0;
+      fields >> name >> next;
+      if (fields.fail()) {
+        return Status::ExecutionError("corrupt catalog file: bad Q line");
+      }
+      MR_ASSIGN_OR_RETURN(name, Unescape(name));
+      sequences_.emplace_back(name, next);
+    } else {
+      return Status::ExecutionError("corrupt catalog file: unknown line '" +
+                                    line + "'");
+    }
+  }
+  return Status::OK();
+}
+
+Result<PosixFile*> StorageManager::OpenHeapFile(const std::string& file_name) {
+  auto it = open_files_.find(file_name);
+  if (it != open_files_.end()) return it->second.get();
+  MR_ASSIGN_OR_RETURN(std::unique_ptr<PosixFile> file,
+                      PosixFile::Open(dir_ + "/" + file_name, true));
+  PosixFile* raw = file.get();
+  open_files_[file_name] = std::move(file);
+  return raw;
+}
+
+Status StorageManager::WriteCatalogFile(const Catalog& catalog) {
+  const std::string tmp_path = dir_ + "/" + kCatalogFile + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::trunc);
+    if (!out.is_open()) {
+      return Status::ExecutionError("cannot write '" + tmp_path + "'");
+    }
+    out << kCatalogHeader << "\n";
+    for (const std::string& name : catalog.TableNames()) {
+      const TableState& state = tables_.at(name);
+      out << "T " << Escape(name) << " " << state.file_name << " "
+          << state.rows << "\n";
+      for (const auto& [col, type] : state.columns) {
+        out << "C " << Escape(col) << " " << type << "\n";
+      }
+    }
+    for (const std::string& name : catalog.ViewNames()) {
+      MR_ASSIGN_OR_RETURN(ViewDef view, catalog.GetView(name));
+      out << "V " << Escape(name) << " " << Escape(view.select_sql) << "\n";
+    }
+    for (const std::string& name : catalog.SequenceNames()) {
+      MR_ASSIGN_OR_RETURN(const Sequence* seq, catalog.GetSequence(name));
+      out << "Q " << Escape(name) << " " << seq->PeekNext() << "\n";
+    }
+    out.flush();
+    if (!out.good()) {
+      return Status::ExecutionError("write to '" + tmp_path + "' failed");
+    }
+  }
+  const std::string final_path = dir_ + "/" + kCatalogFile;
+  if (::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    return Status::ExecutionError("rename '" + tmp_path + "' -> '" +
+                                  final_path +
+                                  "' failed: " + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status StorageManager::Checkpoint(const Catalog& catalog) {
+  // Rewrite the heap of every new-or-modified table.
+  for (const std::string& name : catalog.TableNames()) {
+    MR_ASSIGN_OR_RETURN(std::shared_ptr<Table> table, catalog.GetTable(name));
+    auto it = tables_.find(name);
+    if (it != tables_.end() && it->second.version == table->version()) {
+      continue;  // unchanged since the last checkpoint/restore
+    }
+    TableState state;
+    if (it != tables_.end()) {
+      state.file_name = it->second.file_name;
+    } else {
+      state.file_name = "t";
+      state.file_name += std::to_string(next_slot_++);
+      state.file_name += ".mrh";
+    }
+    state.version = table->version();
+    state.rows = table->num_rows();
+    for (const Column& col : table->schema().columns()) {
+      state.columns.emplace_back(col.name, DataTypeName(col.type));
+    }
+    MR_ASSIGN_OR_RETURN(PosixFile* file, OpenHeapFile(state.file_name));
+    MR_ASSIGN_OR_RETURN(std::unique_ptr<TableHeap> heap,
+                        TableHeap::Create(&pool_, file));
+    std::string record;
+    for (const Row& row : table->rows()) {
+      record.clear();
+      EncodeRow(row, &record);
+      MR_RETURN_IF_ERROR(heap->Append(record));
+    }
+    MR_RETURN_IF_ERROR(heap->Finish());
+    MR_RETURN_IF_ERROR(file->Sync());
+    tables_[name] = std::move(state);
+  }
+
+  // Remove heaps of tables that no longer exist.
+  for (auto it = tables_.begin(); it != tables_.end();) {
+    if (catalog.HasTable(it->first)) {
+      ++it;
+      continue;
+    }
+    auto open = open_files_.find(it->second.file_name);
+    if (open != open_files_.end()) {
+      MR_RETURN_IF_ERROR(pool_.EvictFile(open->second.get()));
+      open_files_.erase(open);
+    }
+    ::unlink((dir_ + "/" + it->second.file_name).c_str());
+    it = tables_.erase(it);
+  }
+
+  return WriteCatalogFile(catalog);
+}
+
+Status StorageManager::Restore(Catalog* catalog) {
+  for (auto& [name, state] : tables_) {
+    Schema schema;
+    for (const auto& [col, type_name] : state.columns) {
+      MR_ASSIGN_OR_RETURN(DataType type, DataTypeFromName(type_name));
+      schema.AddColumn(Column{col, type});
+    }
+    MR_ASSIGN_OR_RETURN(std::shared_ptr<Table> table,
+                        catalog->CreateTable(name, std::move(schema)));
+    MR_ASSIGN_OR_RETURN(PosixFile* file, OpenHeapFile(state.file_name));
+    MR_ASSIGN_OR_RETURN(std::unique_ptr<TableHeap> heap,
+                        TableHeap::Open(&pool_, file));
+    table->Reserve(heap->record_count());
+    TableHeap::Scanner scanner = heap->Scan();
+    std::string record;
+    Row row;
+    while (true) {
+      MR_ASSIGN_OR_RETURN(bool more, scanner.Next(&record));
+      if (!more) break;
+      size_t pos = 0;
+      MR_RETURN_IF_ERROR(DecodeRow(record.data(), record.size(), &pos, &row));
+      table->AppendUnchecked(std::move(row));
+      row = Row();
+    }
+    if (table->num_rows() != state.rows) {
+      return Status::ExecutionError(
+          "table '" + name + "' heap holds " +
+          std::to_string(table->num_rows()) + " rows, catalog recorded " +
+          std::to_string(state.rows));
+    }
+    // The freshly loaded table counts as checkpointed at its current
+    // version, so an immediate Checkpoint skips the rewrite.
+    state.version = table->version();
+  }
+  for (const auto& [name, sql] : views_) {
+    MR_RETURN_IF_ERROR(catalog->CreateView(name, sql));
+  }
+  for (const auto& [name, next] : sequences_) {
+    MR_RETURN_IF_ERROR(catalog->CreateSequence(name, next));
+  }
+  return Status::OK();
+}
+
+}  // namespace minerule::storage

@@ -1,0 +1,78 @@
+#ifndef MINERULE_STORAGE_STORAGE_MANAGER_H_
+#define MINERULE_STORAGE_STORAGE_MANAGER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/catalog.h"
+#include "storage/buffer_pool.h"
+#include "storage/posix_file.h"
+
+namespace minerule::storage {
+
+/// Durable home of a catalog (DESIGN.md §13): a directory holding one text
+/// catalog file (`minerule.cat` — schemas, view SQL, sequence positions,
+/// and the heap-file directory) plus one paged TableHeap file per table,
+/// all I/O going through a shared fixed-size buffer pool. Tables survive a
+/// process restart: Checkpoint() writes the current catalog, Restore() on a
+/// fresh Catalog reloads it.
+///
+/// Checkpoints are incremental: a table whose modification epoch
+/// (Table::version) is unchanged since the last checkpoint or restore keeps
+/// its heap file untouched; the catalog file itself is rewritten atomically
+/// (temp file + rename).
+class StorageManager {
+ public:
+  /// Opens (creating if needed) the storage directory and reads the
+  /// existing catalog file's manifest, if any.
+  static Result<std::unique_ptr<StorageManager>> Open(const std::string& dir,
+                                                      size_t pool_frames = 256);
+
+  StorageManager(const StorageManager&) = delete;
+  StorageManager& operator=(const StorageManager&) = delete;
+
+  /// Persists the whole catalog: dirty (or new) tables are rewritten to
+  /// their heaps, dropped tables' heap files are deleted, then the catalog
+  /// file is atomically replaced.
+  Status Checkpoint(const Catalog& catalog);
+
+  /// Loads every persisted table, view and sequence into `catalog`, which
+  /// must not already contain objects with those names.
+  Status Restore(Catalog* catalog);
+
+  BufferPool* buffer_pool() { return &pool_; }
+  const std::string& dir() const { return dir_; }
+
+ private:
+  StorageManager(std::string dir, size_t pool_frames)
+      : dir_(std::move(dir)), pool_(pool_frames) {}
+
+  struct TableState {
+    std::string file_name;       // heap file, relative to dir_
+    uint64_t version = 0;        // Table::version at last checkpoint/restore
+    uint64_t rows = 0;
+    std::vector<std::pair<std::string, std::string>> columns;  // name, type
+  };
+
+  Status LoadManifest();
+  Status WriteCatalogFile(const Catalog& catalog);
+  Result<PosixFile*> OpenHeapFile(const std::string& file_name);
+
+  std::string dir_;
+  BufferPool pool_;
+  /// Persisted table states by (case-preserved) table name.
+  std::map<std::string, TableState> tables_;
+  std::vector<std::pair<std::string, std::string>> views_;      // name, sql
+  std::vector<std::pair<std::string, int64_t>> sequences_;      // name, next
+  std::map<std::string, std::unique_ptr<PosixFile>> open_files_;
+  int next_slot_ = 0;
+};
+
+}  // namespace minerule::storage
+
+#endif  // MINERULE_STORAGE_STORAGE_MANAGER_H_

@@ -1,0 +1,130 @@
+#include "storage/table_heap.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace minerule::storage {
+
+namespace {
+
+constexpr uint32_t kHeapMagic = 0x4d52'4850;  // "MRHP"
+
+void PutU32(char* p, uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+}
+void PutU64(char* p, uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+}
+uint32_t GetU32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+uint64_t GetU64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<TableHeap>> TableHeap::Create(BufferPool* pool,
+                                                     PosixFile* file) {
+  // Drop stale cached pages and on-disk content from any previous heap in
+  // this file before starting over.
+  MR_RETURN_IF_ERROR(pool->EvictFile(file));
+  MR_RETURN_IF_ERROR(file->Truncate(0));
+  return std::unique_ptr<TableHeap>(new TableHeap(pool, file));
+}
+
+Result<std::unique_ptr<TableHeap>> TableHeap::Open(BufferPool* pool,
+                                                   PosixFile* file) {
+  std::unique_ptr<TableHeap> heap(new TableHeap(pool, file));
+  MR_ASSIGN_OR_RETURN(PageGuard header, pool->Fetch(file, 0));
+  if (GetU32(header.data()) != kHeapMagic) {
+    return Status::ExecutionError("'" + file->path() +
+                                  "' is not a table heap (bad magic)");
+  }
+  heap->record_count_ = GetU64(header.data() + 8);
+  heap->data_bytes_ = GetU64(header.data() + 16);
+  return heap;
+}
+
+Status TableHeap::WriteBytes(uint64_t at, const char* src, size_t len) {
+  while (len > 0) {
+    const uint64_t page_no = 1 + at / kPageSize;
+    const size_t in_page = static_cast<size_t>(at % kPageSize);
+    const size_t chunk = std::min(len, kPageSize - in_page);
+    // A write starting at a page boundary that covers a whole page — or
+    // begins the page's first-ever bytes — never needs the old content;
+    // Fetch still works but Create skips the read for the common
+    // append-at-page-start case.
+    PageGuard guard;
+    if (in_page == 0 && at >= data_bytes_) {
+      MR_ASSIGN_OR_RETURN(guard, pool_->Create(file_, page_no));
+    } else {
+      MR_ASSIGN_OR_RETURN(guard, pool_->Fetch(file_, page_no));
+    }
+    std::memcpy(guard.data() + in_page, src, chunk);
+    guard.MarkDirty();
+    at += chunk;
+    src += chunk;
+    len -= chunk;
+  }
+  return Status::OK();
+}
+
+Status TableHeap::ReadBytes(uint64_t at, char* dst, size_t len) const {
+  while (len > 0) {
+    const uint64_t page_no = 1 + at / kPageSize;
+    const size_t in_page = static_cast<size_t>(at % kPageSize);
+    const size_t chunk = std::min(len, kPageSize - in_page);
+    MR_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(file_, page_no));
+    std::memcpy(dst, guard.data() + in_page, chunk);
+    at += chunk;
+    dst += chunk;
+    len -= chunk;
+  }
+  return Status::OK();
+}
+
+Status TableHeap::Append(std::string_view record) {
+  char prefix[4];
+  PutU32(prefix, static_cast<uint32_t>(record.size()));
+  MR_RETURN_IF_ERROR(WriteBytes(data_bytes_, prefix, 4));
+  MR_RETURN_IF_ERROR(WriteBytes(data_bytes_ + 4, record.data(), record.size()));
+  data_bytes_ += 4 + record.size();
+  ++record_count_;
+  return Status::OK();
+}
+
+Status TableHeap::Finish() {
+  MR_ASSIGN_OR_RETURN(PageGuard header, pool_->Create(file_, 0));
+  PutU32(header.data(), kHeapMagic);
+  PutU64(header.data() + 8, record_count_);
+  PutU64(header.data() + 16, data_bytes_);
+  header.MarkDirty();
+  header.Release();
+  return pool_->FlushFile(file_);
+}
+
+Result<bool> TableHeap::Scanner::Next(std::string* record) {
+  if (seen_ >= heap_->record_count_) return false;
+  char prefix[4];
+  MR_RETURN_IF_ERROR(heap_->ReadBytes(offset_, prefix, 4));
+  const uint32_t len = GetU32(prefix);
+  if (offset_ + 4 + len > heap_->data_bytes_) {
+    return Status::ExecutionError("corrupt table heap: record past the end");
+  }
+  record->resize(len);
+  MR_RETURN_IF_ERROR(heap_->ReadBytes(offset_ + 4, record->data(), len));
+  offset_ += 4 + len;
+  ++seen_;
+  return true;
+}
+
+}  // namespace minerule::storage

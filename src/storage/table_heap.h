@@ -1,0 +1,76 @@
+#ifndef MINERULE_STORAGE_TABLE_HEAP_H_
+#define MINERULE_STORAGE_TABLE_HEAP_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+#include "storage/posix_file.h"
+
+namespace minerule::storage {
+
+/// Paged record heap: the on-disk representation of one table's rows,
+/// accessed exclusively through the buffer pool (DESIGN.md §13).
+///
+/// Page 0 is the header (magic, record count, data byte length — the page
+/// directory of the heap); pages 1..N hold the records as one contiguous
+/// byte stream of [u32 length][payload] entries that may span page
+/// boundaries, addressed as data byte offsets (byte o lives on page
+/// 1 + o / kPageSize at offset o % kPageSize).
+class TableHeap {
+ public:
+  /// Starts an empty heap over `file` (truncates any previous content).
+  static Result<std::unique_ptr<TableHeap>> Create(BufferPool* pool,
+                                                   PosixFile* file);
+
+  /// Opens an existing heap, validating the header.
+  static Result<std::unique_ptr<TableHeap>> Open(BufferPool* pool,
+                                                 PosixFile* file);
+
+  /// Appends one record through the buffer pool.
+  Status Append(std::string_view record);
+
+  /// Writes the header and flushes every dirty page of the file.
+  Status Finish();
+
+  uint64_t record_count() const { return record_count_; }
+  uint64_t data_bytes() const { return data_bytes_; }
+
+  /// Sequential scan over the records, pulling pages through the pool.
+  class Scanner {
+   public:
+    Result<bool> Next(std::string* record);
+
+   private:
+    friend class TableHeap;
+    explicit Scanner(const TableHeap* heap) : heap_(heap) {}
+
+    const TableHeap* heap_ = nullptr;
+    uint64_t offset_ = 0;  // data byte offset
+    uint64_t seen_ = 0;
+  };
+
+  Scanner Scan() const { return Scanner(this); }
+
+ private:
+  TableHeap(BufferPool* pool, PosixFile* file)
+      : pool_(pool), file_(file) {}
+
+  /// Copies `len` bytes to/from the data byte stream at offset `at`,
+  /// fetching (or creating, when writing past the end) pages as needed.
+  Status WriteBytes(uint64_t at, const char* src, size_t len);
+  Status ReadBytes(uint64_t at, char* dst, size_t len) const;
+
+  BufferPool* pool_;
+  PosixFile* file_;
+  uint64_t record_count_ = 0;
+  uint64_t data_bytes_ = 0;
+};
+
+}  // namespace minerule::storage
+
+#endif  // MINERULE_STORAGE_TABLE_HEAP_H_

@@ -147,6 +147,35 @@ TEST_P(SqlParallelDifferentialTest, QuerySweepBitIdentical) {
   }
 }
 
+TEST_P(SqlParallelDifferentialTest, MemoryBudgetKeepsThreadCountInvariance) {
+  GenerateTables(GetParam());
+  // With a one-byte budget every buffering operator spills (DESIGN.md §13);
+  // the disk-backed paths must preserve the bit-identity guarantee across
+  // thread counts, and match the unbudgeted serial baseline exactly.
+  const char* queries[] = {
+      "SELECT k, v FROM L ORDER BY k DESC, v",
+      "SELECT L.k, L.v, R.w FROM L, R WHERE L.k = R.k",
+      "SELECT k, SUM(v), AVG(v) FROM L GROUP BY k",
+      "SELECT L.k, COUNT(*) FROM L, R WHERE L.k = R.k GROUP BY L.k "
+      "HAVING COUNT(*) > 2 ORDER BY L.k",
+  };
+  for (const char* sql : queries) {
+    auto base = engine_.Execute(sql);
+    ASSERT_TRUE(base.ok()) << sql << " -> " << base.status();
+    std::vector<std::string> baseline = RenderRows(base.value().rows);
+    engine_.set_memory_limit(1);
+    for (int threads : kThreadCounts) {
+      engine_.set_num_threads(threads);
+      auto result = engine_.Execute(sql);
+      ASSERT_TRUE(result.ok()) << sql << " -> " << result.status();
+      EXPECT_EQ(RenderRows(result.value().rows), baseline)
+          << sql << " diverged under budget at " << threads << " threads";
+    }
+    engine_.set_memory_limit(-1);
+    engine_.set_num_threads(1);
+  }
+}
+
 TEST_P(SqlParallelDifferentialTest, NextValForcesSerialAndStaysCorrect) {
   GenerateTables(GetParam());
   // NEXTVAL mutates the catalog, so any operator evaluating it must stay on

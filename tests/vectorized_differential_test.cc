@@ -296,6 +296,36 @@ TEST_P(VectorizedDifferentialTest, RandomizedQueriesBitIdentical) {
   }
 }
 
+TEST_P(VectorizedDifferentialTest, MemoryBudgetDisablesVectorizedSubstitution) {
+  GenerateTables(GetParam());
+  // The columnar shims have no spill story, so a budget falls back to the
+  // row operators (DESIGN.md §13) — with the vectorized knob on, results
+  // must still match the row-path baseline bit for bit.
+  const char* queries[] = {
+      "SELECT id, k, d FROM F WHERE k > 50",
+      "SELECT F.id, D.name FROM F, D WHERE F.k = D.k",
+      "SELECT k, SUM(d), AVG(d) FROM F GROUP BY k",
+      "SELECT k, d FROM F WHERE d >= 0 ORDER BY k DESC, id LIMIT 37",
+  };
+  for (const char* sql : queries) {
+    auto base = engine_.Execute(sql);
+    ASSERT_TRUE(base.ok()) << sql << " -> " << base.status();
+    std::vector<std::string> baseline = RenderRows(base.value().rows);
+    engine_.set_vectorized(true);
+    engine_.set_memory_limit(0);
+    for (int threads : kThreadCounts) {
+      engine_.set_num_threads(threads);
+      auto result = engine_.Execute(sql);
+      ASSERT_TRUE(result.ok()) << sql << " -> " << result.status();
+      EXPECT_EQ(RenderRows(result.value().rows), baseline)
+          << sql << " diverged vectorized-under-budget at " << threads;
+    }
+    engine_.set_vectorized(false);
+    engine_.set_memory_limit(-1);
+    engine_.set_num_threads(1);
+  }
+}
+
 TEST_P(VectorizedDifferentialTest, DmlThroughSelectMatches) {
   GenerateTables(GetParam());
   // CREATE TABLE AS SELECT and INSERT ... SELECT funnel vectorized results
