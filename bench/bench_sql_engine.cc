@@ -9,16 +9,26 @@
 //   bench_sql_engine                # full Google-benchmark sweep
 //   bench_sql_engine --smoke        # CI gate: row vs vectorized differential
 //                                   # + timing check, JSON report, "SMOKE OK"
+//   bench_sql_engine --plan-smoke   # CI gate: cost-based planning (DESIGN.md
+//                                   # §14) vs the syntactic planner on skewed
+//                                   # retail data + adaptive core-algorithm
+//                                   # selection, JSON report, "PLAN SMOKE OK"
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/json.h"
 #include "common/random.h"
+#include "datagen/quest_gen.h"
+#include "datagen/retail_gen.h"
+#include "mining/simple_miner.h"
 #include "relational/catalog.h"
 #include "sql/engine.h"
 #include "sql/parser.h"
@@ -174,6 +184,92 @@ BENCHMARK_REGISTER_F(EngineFixture, InsertSelect)
     ->ArgsProduct(kRowsRowOnly)
     ->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------------
+// Skewed-join axis (EXPERIMENTS.md): facts.grp drawn uniform or Zipf(1.0)
+// over the dim keys, with the small dim FIRST in the FROM list — the order a
+// naive statement writer produces and the worst case for the syntactic
+// planner, which always builds the hash table over the right (big) input.
+// Arg 2 toggles the cost-based planner (DESIGN.md §14), so the
+// {uniform, zipf} x {syntactic, cost-based} grid quantifies what the
+// build-side choice buys as skew grows.
+
+void FillSkewTables(Catalog* catalog, int64_t rows, bool zipf) {
+  const int64_t groups = rows / 100 + 1;
+  std::vector<double> cdf;
+  if (zipf) {
+    cdf.resize(static_cast<size_t>(groups));
+    double total = 0;
+    for (int64_t g = 0; g < groups; ++g) {
+      total += 1.0 / static_cast<double>(g + 1);
+      cdf[static_cast<size_t>(g)] = total;
+    }
+    for (double& c : cdf) c /= total;
+  }
+  Random rng(77);
+  auto facts = catalog->CreateTable(
+      "facts", Schema({{"id", DataType::kInteger},
+                       {"grp", DataType::kInteger},
+                       {"val", DataType::kDouble}}));
+  for (int64_t i = 0; i < rows; ++i) {
+    int64_t g;
+    if (zipf) {
+      const double u = rng.NextDouble();
+      g = static_cast<int64_t>(
+          std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+    } else {
+      g = static_cast<int64_t>(rng.NextBounded(groups));
+    }
+    facts.value()->AppendUnchecked({Value::Integer(i), Value::Integer(g),
+                                    Value::Double(rng.NextDouble() * 100)});
+  }
+  auto dims = catalog->CreateTable(
+      "dims", Schema({{"grp", DataType::kInteger},
+                      {"name", DataType::kString}}));
+  for (int64_t g = 0; g < groups; ++g) {
+    dims.value()->AppendUnchecked(
+        {Value::Integer(g), Value::String("g" + std::to_string(g))});
+  }
+}
+
+class SkewFixture : public benchmark::Fixture {
+ public:
+  void SetUp(const benchmark::State& state) override {
+    catalog_ = std::make_unique<Catalog>();
+    engine_ = std::make_unique<sql::SqlEngine>(catalog_.get());
+    FillSkewTables(catalog_.get(), state.range(0), state.range(1) == 1);
+    engine_->set_cost_based(state.range(2) == 1);
+    (void)engine_->Execute("ANALYZE");
+  }
+  void TearDown(const benchmark::State&) override {
+    engine_.reset();
+    catalog_.reset();
+  }
+
+ protected:
+  std::unique_ptr<Catalog> catalog_;
+  std::unique_ptr<sql::SqlEngine> engine_;
+};
+
+BENCHMARK_DEFINE_F(SkewFixture, SmallDimFirstJoin)(benchmark::State& state) {
+  const std::string sql =
+      "SELECT d.name, f.val FROM dims d, facts f WHERE d.grp = f.grp";
+  int64_t rows = 0;
+  for (auto _ : state) {
+    auto result = engine_->Execute(sql);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    rows = static_cast<int64_t>(result.value().rows.size());
+  }
+  state.counters["out_rows"] = static_cast<double>(rows);
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+// {rows} x {uniform, zipf} x {syntactic, cost-based}.
+BENCHMARK_REGISTER_F(SkewFixture, SmallDimFirstJoin)
+    ->ArgsProduct({{100000}, {0, 1}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
+
 void BM_ParseOnly(benchmark::State& state) {
   const char* sql =
       "SELECT DISTINCT V.Gid, B.Bid FROM Source AS S, ValidGroups AS V, "
@@ -282,11 +378,302 @@ int RunSmoke() {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// --plan-smoke: the cost-based planning CI gate (DESIGN.md §14). Two parts:
+//
+//  1. SQL planning on skewed retail data: every query runs under the
+//     syntactic planner and the cost-based planner; results must be
+//     byte-identical, the cost-based plan must never be > 5% slower, and at
+//     least one `checked` shape (build-side swap, join reorder) must improve
+//     by >= 1.15x.
+//  2. Adaptive core-algorithm selection: MINE-RULE's simple core with
+//     algorithm=auto vs the static default (gidlist) on shapes where the
+//     choice matters; identical rules, never > 5% slower, >= 1.15x on a
+//     `checked` shape.
+//
+// Emits one validated JSON report and PLAN SMOKE OK / PLAN SMOKE FAIL.
+
+struct PlanQuery {
+  const char* name;
+  const char* sql;
+  bool checked;  // expected to improve under cost-based planning
+};
+
+int RunPlanSmoke() {
+  constexpr int kReps = 5;
+  constexpr double kSlowdownTolerance = 1.05;
+  constexpr double kRequiredSpeedup = 1.15;
+
+  Catalog catalog;
+  sql::SqlEngine engine(&catalog);
+
+  // Skewed retail data: ~90k purchases over ~200 items, so the purchase
+  // table fans out ~450:1 against the per-item dim tables built below.
+  datagen::RetailParams rp;
+  rp.num_customers = 3000;
+  rp.num_items = 200;
+  rp.visits_per_customer = 6;
+  rp.items_per_visit = 5;
+  auto purchase = datagen::GenerateRetailTable(&catalog, "purchase", rp);
+  if (!purchase.ok()) {
+    std::fprintf(stderr, "retail gen: %s\n",
+                 purchase.status().ToString().c_str());
+    return 1;
+  }
+  {
+    // product: one row per item; promo: three rows per item. Built from the
+    // generated item universe so the join keys actually match.
+    auto items = engine.Execute("SELECT DISTINCT item FROM purchase");
+    if (!items.ok()) {
+      std::fprintf(stderr, "item scan: %s\n",
+                   items.status().ToString().c_str());
+      return 1;
+    }
+    auto product = catalog.CreateTable(
+        "product", Schema({{"item", DataType::kString},
+                           {"pid", DataType::kInteger}}));
+    // returns / restock: ~2000 rows each, joined to each other only through
+    // product — the shape where FROM order decides between a 4M-row cross
+    // product and a 20k-row chain.
+    auto returns = catalog.CreateTable(
+        "returns", Schema({{"item", DataType::kString},
+                           {"qty", DataType::kInteger}}));
+    auto restock = catalog.CreateTable(
+        "restock", Schema({{"item", DataType::kString},
+                           {"qty", DataType::kInteger}}));
+    const int64_t num_items =
+        static_cast<int64_t>(items.value().rows.size());
+    int64_t id = 0;
+    for (const Row& row : items.value().rows) {
+      product.value()->AppendUnchecked({row[0], Value::Integer(id)});
+      ++id;
+    }
+    for (int64_t i = 0; i < 10 * num_items; ++i) {
+      const Row& row = items.value().rows[static_cast<size_t>(i % num_items)];
+      returns.value()->AppendUnchecked({row[0], Value::Integer(i % 7)});
+      restock.value()->AppendUnchecked({row[0], Value::Integer(i % 5)});
+    }
+  }
+  (void)engine.Execute("ANALYZE");
+
+  const PlanQuery queries[] = {
+      // Build side: the 200-row dim is on the left, so the syntactic plan
+      // builds the hash table over the ~90k-row purchase side; the
+      // cost-based plan swaps the build to the dim.
+      {"build_swap",
+       "SELECT p.pid, s.price FROM product p, purchase s "
+       "WHERE p.item = s.item AND s.price > 50.0",
+       true},
+      // Join order: returns and restock have no direct predicate, so the
+      // syntactic left-deep plan crosses them (4M rows) before product can
+      // restrict anything; the cost-based plan joins each through product
+      // and never exceeds ~20k intermediate rows.
+      {"join_reorder",
+       "SELECT COUNT(*), SUM(r.qty + k.qty) FROM returns r, restock k, "
+       "product p WHERE r.item = p.item AND k.item = p.item",
+       true},
+      // Guard rails: shapes the syntactic planner already handles well
+      // must not regress.
+      {"filter_scan", "SELECT tr FROM purchase WHERE price > 100.0", false},
+      {"group_by",
+       "SELECT item, COUNT(*), SUM(price) FROM purchase GROUP BY item",
+       false},
+      {"good_join",
+       "SELECT s.tr, p.pid FROM purchase s, product p WHERE s.item = p.item",
+       false},
+  };
+
+  JsonWriter w;
+  w.BeginObject();
+  bool ok = true;
+  int improved = 0;
+  w.Key("sql").BeginArray();
+  for (const PlanQuery& q : queries) {
+    double best_ms[2] = {1e300, 1e300};
+    std::string dump[2];
+    // Interleaved with alternating order, for the same reason as the
+    // mining loop below: both modes should see the same allocator state.
+    for (int rep = 0; rep < kReps; ++rep) {
+      for (int pos = 0; pos < 2; ++pos) {
+        const int cost = (pos + rep) % 2;
+        engine.set_cost_based(cost == 1);
+        auto start = std::chrono::steady_clock::now();
+        auto result = engine.Execute(q.sql);
+        auto stop = std::chrono::steady_clock::now();
+        if (!result.ok()) {
+          std::fprintf(stderr, "PLAN SMOKE FAIL %s (%s): %s\n", q.name,
+                       cost ? "cost-based" : "syntactic",
+                       result.status().ToString().c_str());
+          return 1;
+        }
+        const double ms =
+            std::chrono::duration<double, std::milli>(stop - start).count();
+        if (ms < best_ms[cost]) best_ms[cost] = ms;
+        if (rep == 0) dump[cost] = RenderResult(result.value());
+      }
+    }
+    if (dump[0] != dump[1]) {
+      std::fprintf(stderr,
+                   "PLAN SMOKE FAIL %s: cost-based result differs from "
+                   "syntactic\n",
+                   q.name);
+      return 1;
+    }
+    const double speedup = best_ms[0] / best_ms[1];
+    const bool pass = best_ms[1] <= best_ms[0] * kSlowdownTolerance;
+    if (!pass) ok = false;
+    if (q.checked && speedup >= kRequiredSpeedup) ++improved;
+    w.BeginObject();
+    w.Key("query").String(q.name);
+    w.Key("syntactic_ms").Double(best_ms[0]);
+    w.Key("cost_based_ms").Double(best_ms[1]);
+    w.Key("speedup").Double(speedup);
+    w.Key("checked").Bool(q.checked);
+    w.Key("pass").Bool(pass);
+    w.EndObject();
+  }
+  w.EndArray();
+
+  // Part 2: adaptive algorithm selection. The static default is the paper's
+  // gid-list scheme; `checked` shapes are dense with a shallow frequent
+  // lattice, where auto resolves to DHP (~10x measured).
+  struct MineWorkload {
+    const char* name;
+    mining::TransactionDb db;
+    double support;
+    bool checked;
+  };
+  std::vector<MineWorkload> workloads;
+  {
+    Random rng(4242);
+    std::vector<mining::Itemset> txns;
+    for (int64_t i = 0; i < 8000; ++i) {
+      mining::Itemset t;
+      for (int k = 0; k < 12; ++k) {
+        t.push_back(static_cast<mining::ItemId>(rng.NextBounded(40)));
+      }
+      std::sort(t.begin(), t.end());
+      t.erase(std::unique(t.begin(), t.end()), t.end());
+      txns.push_back(std::move(t));
+    }
+    workloads.push_back(
+        {"dense_shallow",
+         mining::TransactionDb::FromTransactions(std::move(txns), 8000), 0.15,
+         true});
+  }
+  {
+    datagen::QuestParams qp;
+    qp.num_transactions = 10000;
+    qp.avg_transaction_size = 10;
+    qp.avg_pattern_size = 4;
+    qp.num_items = 500;
+    qp.num_patterns = 80;
+    workloads.push_back({"sparse", datagen::GenerateQuestDb(qp), 0.01, false});
+  }
+  {
+    datagen::QuestParams qp;
+    qp.num_transactions = 2000;
+    qp.avg_transaction_size = 12;
+    qp.avg_pattern_size = 5;
+    qp.num_items = 60;
+    qp.num_patterns = 15;
+    workloads.push_back(
+        {"deep_lattice", datagen::GenerateQuestDb(qp), 0.04, false});
+  }
+
+  int mine_improved = 0;
+  w.Key("mining").BeginArray();
+  for (const MineWorkload& load : workloads) {
+    const mining::SimpleAlgorithm algs[2] = {
+        mining::SimpleAlgorithm::kGidList, mining::SimpleAlgorithm::kAuto};
+    double best_ms[2] = {1e300, 1e300};
+    size_t rule_count[2] = {0, 0};
+    // Reps are interleaved and the run order alternates so allocator state
+    // is shared fairly; the parity workloads compare an algorithm against
+    // itself and would otherwise show pure measurement drift.
+    for (int rep = 0; rep < 4; ++rep) {
+      for (int pos = 0; pos < 2; ++pos) {
+        const int a = (pos + rep) % 2;
+        auto start = std::chrono::steady_clock::now();
+        auto rules = mining::MineSimpleRules(load.db, load.support, 0.3,
+                                             mining::CardinalityConstraint{},
+                                             mining::CardinalityConstraint{},
+                                             algs[a], {});
+        auto stop = std::chrono::steady_clock::now();
+        if (!rules.ok()) {
+          std::fprintf(stderr, "PLAN SMOKE FAIL %s: %s\n", load.name,
+                       rules.status().ToString().c_str());
+          return 1;
+        }
+        rule_count[a] = rules.value().size();
+        const double ms =
+            std::chrono::duration<double, std::milli>(stop - start).count();
+        if (ms < best_ms[a]) best_ms[a] = ms;
+      }
+    }
+    if (rule_count[0] != rule_count[1]) {
+      std::fprintf(stderr, "PLAN SMOKE FAIL %s: auto found %zu rules, "
+                   "static found %zu\n",
+                   load.name, rule_count[1], rule_count[0]);
+      return 1;
+    }
+    const mining::SimpleAlgorithm resolved = mining::ChooseSimpleAlgorithm(
+        load.db,
+        mining::MinGroupCount(load.support, load.db.total_groups()));
+    const double speedup = best_ms[0] / best_ms[1];
+    // When auto resolves to the static default the two runs execute the
+    // same member and the timing delta is pure allocator/cache noise (up to
+    // ~15% on the rule-heavy shapes); the timing gate only applies when the
+    // selection actually diverged.
+    const bool pass = resolved == mining::SimpleAlgorithm::kGidList ||
+                      best_ms[1] <= best_ms[0] * kSlowdownTolerance;
+    if (!pass) ok = false;
+    if (load.checked && speedup >= kRequiredSpeedup) ++mine_improved;
+    w.BeginObject();
+    w.Key("workload").String(load.name);
+    w.Key("auto_algorithm").String(mining::SimpleAlgorithmName(resolved));
+    w.Key("static_ms").Double(best_ms[0]);
+    w.Key("auto_ms").Double(best_ms[1]);
+    w.Key("speedup").Double(speedup);
+    w.Key("rules").Int(static_cast<int64_t>(rule_count[0]));
+    w.Key("checked").Bool(load.checked);
+    w.Key("pass").Bool(pass);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+
+  const std::string json = w.str();
+  auto valid = ValidateJson(json);
+  if (!valid.ok()) {
+    std::fprintf(stderr, "plan-smoke JSON invalid: %s\n",
+                 valid.ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", json.c_str());
+  if (improved == 0) {
+    std::printf("PLAN SMOKE FAIL: no checked query improved >= 1.15x\n");
+    return 1;
+  }
+  if (mine_improved == 0) {
+    std::printf(
+        "PLAN SMOKE FAIL: adaptive selection did not improve >= 1.15x\n");
+    return 1;
+  }
+  if (!ok) {
+    std::printf("PLAN SMOKE FAIL: a shape regressed past 5%%\n");
+    return 1;
+  }
+  std::printf("PLAN SMOKE OK\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) return RunSmoke();
+    if (std::strcmp(argv[i], "--plan-smoke") == 0) return RunPlanSmoke();
   }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

@@ -22,8 +22,11 @@ namespace minerule::mr {
 /// Knobs for one MINE RULE execution.
 struct MiningOptions {
   /// Which pool member the simple core uses (§3: algorithm
-  /// interoperability). The general core has a single implementation.
-  mining::SimpleAlgorithm algorithm = mining::SimpleAlgorithm::kGidList;
+  /// interoperability). The default, kAuto, resolves a member from the
+  /// encoded source's shape (DESIGN.md §14); naming a member pins it. The
+  /// general core has a single implementation. Every member returns the
+  /// same rules, so this only affects speed.
+  mining::SimpleAlgorithm algorithm = mining::SimpleAlgorithm::kAuto;
   mining::SimpleMinerOptions simple_options;
 
   /// Worker threads for the core operator, forwarded translator -> core
@@ -36,6 +39,13 @@ struct MiningOptions {
   /// mined rules are bit-identical either way; only the SQL engine's
   /// execution strategy changes.
   bool vectorized_sql = false;
+
+  /// Cost-based planning for the generated SQL (DESIGN.md §14): join
+  /// reordering, build-side choice, tiny-input vectorized fallback and
+  /// spill fan-out sizing from catalog statistics plus observed-cardinality
+  /// feedback. The mined rules are bit-identical either way (the fuzz
+  /// oracle's cost-based route pins it).
+  bool cost_based_sql = false;
 
   /// Memory budget in bytes for the SQL engine's operator working sets
   /// (DESIGN.md §13): >= 0 makes the buffering operators spill to disk past

@@ -39,6 +39,7 @@ int Usage() {
       "                     [--no-metamorphic] [--no-alt-algorithm]\n"
       "                     [--no-dup-invariance] [--no-vectorized]\n"
       "                     [--no-memory-budget] [--memory-budget=BYTES]\n"
+      "                     [--no-cost-based]\n"
       "       fuzz_minerule --replay=FILE_OR_DIR [--threads=N] ...\n"
       "       fuzz_minerule --minimize=FILE [--out=FILE] ...\n");
   return 2;
@@ -183,6 +184,8 @@ int main(int argc, char** argv) {
       options.oracle.run_vectorized = false;
     } else if (std::strcmp(arg, "--no-memory-budget") == 0) {
       options.oracle.run_memory_budget = false;
+    } else if (std::strcmp(arg, "--no-cost-based") == 0) {
+      options.oracle.run_cost_based = false;
     } else if (ParseFlag(arg, "--memory-budget", &value)) {
       options.oracle.memory_budget_bytes = std::atoll(value.c_str());
     } else if (std::strcmp(arg, "--metrics") == 0) {

@@ -27,6 +27,11 @@ struct OracleOptions {
   bool run_memory_budget = true;
   /// The budget the memory-budget route applies, in bytes.
   int64_t memory_budget_bytes = 1024;
+  /// Re-runs the pipeline with cost-based SQL planning (DESIGN.md §14) —
+  /// join reordering, build-side swaps, execution tuning — at 1 and
+  /// `threads` workers; the catalog dump must match the syntactic-planner
+  /// baseline byte for byte.
+  bool run_cost_based = true;
 };
 
 struct OracleFailure {

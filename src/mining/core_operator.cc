@@ -70,14 +70,20 @@ Result<std::vector<MinedRule>> RunCoreOperator(
         TransactionDb::FromPairs(data.simple_pairs, data.total_groups);
     SimpleMinerOptions simple_options = options.simple_options;
     simple_options.num_threads = options.num_threads;
+    SimpleAlgorithm algorithm = options.algorithm;
+    if (algorithm == SimpleAlgorithm::kAuto) {
+      algorithm = ChooseSimpleAlgorithm(
+          db, MinGroupCount(min_support, db.total_groups()));
+    }
     MR_ASSIGN_OR_RETURN(
         std::vector<MinedRule> rules,
         MineSimpleRules(db, min_support, min_confidence, body_card, head_card,
-                        options.algorithm, simple_options,
+                        algorithm, simple_options,
                         stats != nullptr ? &stats->simple : nullptr));
     if (stats != nullptr) {
       stats->used_general = false;
-      stats->algorithm = SimpleAlgorithmName(options.algorithm);
+      // Always the resolved pool member — kAuto never surfaces here.
+      stats->algorithm = SimpleAlgorithmName(algorithm);
       stats->rules_found = static_cast<int64_t>(rules.size());
     }
     return rules;

@@ -41,6 +41,12 @@ class Table {
   /// (e.g. the preprocess cache) fold it into their keys to detect DML.
   uint64_t version() const { return version_; }
 
+  /// Epoch of the last *non-append* mutation (Clear, mutable_rows). While
+  /// shape_version() holds still, the table has only grown at the tail, so
+  /// incremental consumers (the statistics catalog) may fold just the new
+  /// suffix instead of rescanning (DESIGN.md §14).
+  uint64_t shape_version() const { return shape_version_; }
+
   /// Appends after checking arity and per-column type compatibility
   /// (NULL fits any column; INTEGER widens into DOUBLE columns).
   Status Append(Row row);
@@ -55,6 +61,7 @@ class Table {
   void Clear() {
     rows_.clear();
     version_ = NextTableVersion();
+    shape_version_ = version_;
   }
   void Reserve(size_t n) { rows_.reserve(n); }
 
@@ -62,6 +69,7 @@ class Table {
   /// Conservatively counts as a mutation.
   std::vector<Row>& mutable_rows() {
     version_ = NextTableVersion();
+    shape_version_ = version_;
     return rows_;
   }
 
@@ -79,6 +87,7 @@ class Table {
   Schema schema_;
   std::vector<Row> rows_;
   uint64_t version_ = NextTableVersion();
+  uint64_t shape_version_ = version_;
   std::shared_ptr<ColumnarCache> columnar_cache_ = MakeColumnarCache();
 };
 

@@ -57,6 +57,30 @@ Result<Value> SqlEngine::GetHostVariable(const std::string& name) const {
   return it->second;
 }
 
+ExecContext SqlEngine::MakeContext() {
+  ExecContext ctx;
+  ctx.catalog = catalog_;
+  ctx.host_vars = &host_vars_;
+  ctx.num_threads = num_threads_;
+  ctx.vectorized = vectorized_;
+  ctx.memory_limit = memory_limit_;
+  ctx.spill_dir = spill_dir_;
+  ctx.cost_based = cost_based_;
+  ctx.stats = &statistics_;
+  ctx.feedback = &feedback_;
+  return ctx;
+}
+
+void SqlEngine::RecordFeedback(const PlannedSelect& planned) {
+  for (const auto& [fingerprint, node] : planned.feedback) {
+    // Zero counts are ambiguous — a probe-skipped subtree never ran its
+    // scan — so only positive observations are trusted. Missing feedback
+    // degrades to formula estimates; it never changes results.
+    const int64_t observed = node->rows_out();
+    if (observed > 0) feedback_.Record(fingerprint, observed);
+  }
+}
+
 Result<QueryResult> SqlEngine::ExecuteStatement(Statement* stmt) {
   switch (stmt->kind) {
     case Statement::Kind::kSelect:
@@ -77,17 +101,19 @@ Result<QueryResult> SqlEngine::ExecuteStatement(Statement* stmt) {
       return ExecuteUpdate(stmt->update.get());
     case Statement::Kind::kExplain:
       return ExecuteExplain(stmt->explain.get());
+    case Statement::Kind::kAnalyze:
+      return ExecuteAnalyze(stmt->analyze.get());
   }
   return Status::Internal("unknown statement kind");
 }
 
 Result<QueryResult> SqlEngine::ExecuteSelect(SelectStmt* stmt) {
-  ExecContext ctx{catalog_,    &host_vars_,   num_threads_,
-                  vectorized_, memory_limit_, spill_dir_};
+  ExecContext ctx = MakeContext();
   Planner planner(catalog_, &ctx);
   MR_ASSIGN_OR_RETURN(PlannedSelect planned, planner.Plan(stmt));
   MR_ASSIGN_OR_RETURN(std::vector<Row> rows,
                       CollectRowsParallel(planned.node.get(), num_threads_));
+  RecordFeedback(planned);
 
   QueryResult result;
   result.schema = std::move(planned.out_schema);
@@ -112,13 +138,13 @@ Result<QueryResult> SqlEngine::ExecuteSelect(SelectStmt* stmt) {
 Result<QueryResult> SqlEngine::ExecuteCreateTable(CreateTableStmt* stmt) {
   QueryResult result;
   if (stmt->as_select != nullptr) {
-    ExecContext ctx{catalog_,    &host_vars_,   num_threads_,
-                  vectorized_, memory_limit_, spill_dir_};
+    ExecContext ctx = MakeContext();
     Planner planner(catalog_, &ctx);
     MR_ASSIGN_OR_RETURN(PlannedSelect planned,
                         planner.Plan(stmt->as_select.get()));
     MR_ASSIGN_OR_RETURN(std::vector<Row> rows,
                         CollectRowsParallel(planned.node.get(), num_threads_));
+    RecordFeedback(planned);
     if (collect_operator_stats_) {
       result.profile = FlattenPlanProfile(planned.node.get());
     }
@@ -197,8 +223,7 @@ Result<QueryResult> SqlEngine::ExecuteInsert(InsertStmt* stmt) {
   std::vector<Row> incoming;
   std::vector<OperatorProfile> profile;
   if (stmt->select != nullptr) {
-    ExecContext ctx{catalog_,    &host_vars_,   num_threads_,
-                  vectorized_, memory_limit_, spill_dir_};
+    ExecContext ctx = MakeContext();
     Planner planner(catalog_, &ctx);
     MR_ASSIGN_OR_RETURN(PlannedSelect planned, planner.Plan(stmt->select.get()));
     if (planned.out_schema.num_columns() != positions.size()) {
@@ -209,6 +234,7 @@ Result<QueryResult> SqlEngine::ExecuteInsert(InsertStmt* stmt) {
     }
     MR_ASSIGN_OR_RETURN(incoming,
                         CollectRowsParallel(planned.node.get(), num_threads_));
+    RecordFeedback(planned);
     if (collect_operator_stats_) {
       profile = FlattenPlanProfile(planned.node.get());
     }
@@ -271,14 +297,14 @@ Result<QueryResult> SqlEngine::ExecuteExplain(ExplainStmt* stmt) {
         "CREATE TABLE ... AS SELECT");
   }
 
-  ExecContext ctx{catalog_,    &host_vars_,   num_threads_,
-                  vectorized_, memory_limit_, spill_dir_};
+  ExecContext ctx = MakeContext();
   Planner planner(catalog_, &ctx);
   MR_ASSIGN_OR_RETURN(PlannedSelect planned, planner.Plan(select));
   if (stmt->analyze) {
     planned.node->EnableTimingTree(true);
     MR_RETURN_IF_ERROR(
         CollectRowsParallel(planned.node.get(), num_threads_).status());
+    RecordFeedback(planned);
   }
 
   QueryResult result;
@@ -288,6 +314,27 @@ Result<QueryResult> SqlEngine::ExecuteExplain(ExplainStmt* stmt) {
   }
   if (stmt->analyze) {
     result.profile = FlattenPlanProfile(planned.node.get());
+  }
+  return result;
+}
+
+Result<QueryResult> SqlEngine::ExecuteAnalyze(AnalyzeStmt* stmt) {
+  // ANALYZE [table]: force a full statistics rebuild for one table or, with
+  // no argument, every catalog table. affected_rows reports the number of
+  // tables analyzed. Statistics also collect lazily during cost-based
+  // planning; ANALYZE exists for explicit refresh and for warming the
+  // mr_table_stats view.
+  QueryResult result;
+  std::vector<std::string> names;
+  if (stmt->table.empty()) {
+    names = catalog_->TableNames();
+  } else {
+    names.push_back(stmt->table);
+  }
+  for (const std::string& name : names) {
+    MR_ASSIGN_OR_RETURN(std::shared_ptr<Table> table, catalog_->GetTable(name));
+    statistics_.Analyze(*table);
+    ++result.affected_rows;
   }
   return result;
 }

@@ -872,19 +872,18 @@ ExecNodePtr MakeFilterNode(ExecNodePtr child, ExprPtr predicate,
 ExecNodePtr MakeHashJoinNode(ExecNodePtr left, ExecNodePtr right,
                              std::vector<ExprPtr> left_keys,
                              std::vector<ExprPtr> right_keys, ExprPtr residual,
-                             ExecContext* ctx) {
-  if (ctx->vectorized && ctx->memory_limit < 0 && residual == nullptr &&
-      left_keys.size() == 1 &&
+                             ExecContext* ctx, bool swap_build) {
+  if (!swap_build && ctx->vectorized && ctx->memory_limit < 0 &&
+      residual == nullptr && left_keys.size() == 1 &&
       InfersTo(left_keys[0], DataType::kInteger) &&
       InfersTo(right_keys[0], DataType::kInteger)) {
     return std::make_unique<VecHashJoinNode>(
         std::move(left), std::move(right), std::move(left_keys[0]),
         std::move(right_keys[0]), ctx);
   }
-  return std::make_unique<HashJoinNode>(std::move(left), std::move(right),
-                                        std::move(left_keys),
-                                        std::move(right_keys),
-                                        std::move(residual), ctx);
+  return std::make_unique<HashJoinNode>(
+      std::move(left), std::move(right), std::move(left_keys),
+      std::move(right_keys), std::move(residual), ctx, swap_build);
 }
 
 ExecNodePtr MakeHashAggregateNode(ExecNodePtr child,

@@ -268,10 +268,13 @@ ExecNodePtr MakeFilterNode(ExecNodePtr child, ExprPtr predicate,
 
 /// Equi hash join. Vectorized iff there is exactly one key pair, both sides
 /// infer INTEGER, the keys are NEXTVAL-free and there is no residual.
+/// `swap_build` (cost-based planner) builds over the LEFT input instead of
+/// the right; it forces the row-at-a-time node, whose swapped mode emits the
+/// canonical output order exactly.
 ExecNodePtr MakeHashJoinNode(ExecNodePtr left, ExecNodePtr right,
                              std::vector<ExprPtr> left_keys,
                              std::vector<ExprPtr> right_keys, ExprPtr residual,
-                             ExecContext* ctx);
+                             ExecContext* ctx, bool swap_build = false);
 
 /// GROUP BY. Vectorized iff every group key infers INTEGER, no aggregate is
 /// DISTINCT, SUM/AVG/MIN/MAX arguments infer INTEGER or DOUBLE, and all

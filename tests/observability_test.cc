@@ -202,7 +202,10 @@ TEST_F(MiningObservabilityTest, PerPassCountersArePopulated) {
   SetUpRetail();
   mr::MiningRunStats stats = MustMine(&system_, kSimpleStatement);
   EXPECT_FALSE(stats.core.used_general);
-  EXPECT_EQ(stats.core.algorithm, "gidlist");
+  // The default algorithm is adaptive: the stats always report the
+  // resolved pool member, never "auto".
+  EXPECT_NE(stats.core.algorithm, "auto");
+  EXPECT_FALSE(stats.core.algorithm.empty());
   EXPECT_GE(stats.core.simple.passes, 1);
   ASSERT_FALSE(stats.core.simple.candidates_per_level.empty());
   ASSERT_FALSE(stats.core.simple.large_per_level.empty());

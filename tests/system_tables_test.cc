@@ -65,12 +65,12 @@ std::string ColumnNames(const Schema& schema) {
   return names;
 }
 
-// The five schemas are part of the public surface: pinned as goldens.
+// The six schemas are part of the public surface: pinned as goldens.
 TEST_F(SystemTablesTest, SchemasGolden) {
   EXPECT_EQ(sql::SystemTableNames(),
             (std::vector<std::string>{"mr_runs", "mr_query_profile",
                                       "mr_operator_stats", "mr_metrics",
-                                      "mr_trace_spans"}));
+                                      "mr_trace_spans", "mr_table_stats"}));
   auto names = [](const std::string& table) {
     auto schema = sql::SystemTableSchema(table);
     EXPECT_TRUE(schema.ok()) << schema.status();
@@ -86,6 +86,9 @@ TEST_F(SystemTablesTest, SchemasGolden) {
   EXPECT_EQ(names("mr_metrics"), "name,kind,value,count,sum,p50,p95,p99");
   EXPECT_EQ(names("mr_trace_spans"),
             "tid,thread,name,category,start_micros,duration_micros");
+  EXPECT_EQ(names("mr_table_stats"),
+            "table_name,column_name,row_count,ndv,min_value,max_value,"
+            "null_frac,stats_epoch");
 
   EXPECT_TRUE(sql::IsSystemTable("mr_runs"));
   EXPECT_TRUE(sql::IsSystemTable("MR_RUNS"));  // case-insensitive
