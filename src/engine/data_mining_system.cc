@@ -352,6 +352,9 @@ Result<MiningRunStats> DataMiningSystem::ExecuteStatement(
   run.statement = stmt.ToString();
   run.threads = ResolveThreadCount(options.num_threads);
   run.total_micros = total_micros;
+  run.session_id = attribution_.session_id;
+  run.queue_wait_micros = attribution_.queue_wait_micros;
+  run.admission = attribution_.admission;
   if (result.ok()) {
     MiningRunStats& stats = *result;
     run.rules = stats.core.rules_found;
@@ -532,6 +535,11 @@ Result<MiningRunStats> DataMiningSystem::ExecuteStatementImpl(
     for (const GeneratedQuery& q : preprocess->program.drops) {
       MR_RETURN_IF_ERROR(sql_engine_.Execute(q.sql).status());
     }
+    // The postprocessor's fixed-name normalized output is scratch too: it
+    // must not outlive the run, or concurrent sessions' final catalog
+    // state would depend on which run finished last (DESIGN.md §15).
+    catalog_->DropTableIfExists("OutputBodies");
+    catalog_->DropTableIfExists("OutputHeads");
     InvalidateCache();
     cached_preprocess_.reset();
   }

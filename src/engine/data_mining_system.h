@@ -171,6 +171,18 @@ class DataMiningSystem {
   /// epochs in the cache key; this remains for explicit resets.
   void InvalidateCache() { cache_key_.reset(); }
 
+  /// Per-session attribution stamped onto every mr_runs row this system
+  /// records (DESIGN.md §15). The server session layer sets it before each
+  /// statement; library callers leave the default (session 0, no queue).
+  struct RunAttribution {
+    int64_t session_id = 0;
+    int64_t queue_wait_micros = 0;
+    std::string admission;  // "", "immediate" or "queued"
+  };
+  void set_run_attribution(RunAttribution attribution) {
+    attribution_ = std::move(attribution);
+  }
+
   sql::SqlEngine* sql_engine() { return &sql_engine_; }
   Catalog* catalog() { return catalog_; }
 
@@ -191,6 +203,7 @@ class DataMiningSystem {
 
   Catalog* catalog_;
   sql::SqlEngine sql_engine_;
+  RunAttribution attribution_;
 
   std::optional<std::string> cache_key_;
   std::optional<PreprocessResult> cached_preprocess_;

@@ -39,7 +39,8 @@ int Usage() {
       "                     [--no-metamorphic] [--no-alt-algorithm]\n"
       "                     [--no-dup-invariance] [--no-vectorized]\n"
       "                     [--no-memory-budget] [--memory-budget=BYTES]\n"
-      "                     [--no-cost-based]\n"
+      "                     [--no-cost-based] [--no-concurrent]\n"
+      "                     [--concurrent-sessions=N]\n"
       "       fuzz_minerule --replay=FILE_OR_DIR [--threads=N] ...\n"
       "       fuzz_minerule --minimize=FILE [--out=FILE] ...\n");
   return 2;
@@ -186,6 +187,10 @@ int main(int argc, char** argv) {
       options.oracle.run_memory_budget = false;
     } else if (std::strcmp(arg, "--no-cost-based") == 0) {
       options.oracle.run_cost_based = false;
+    } else if (std::strcmp(arg, "--no-concurrent") == 0) {
+      options.oracle.run_concurrent = false;
+    } else if (ParseFlag(arg, "--concurrent-sessions", &value)) {
+      options.oracle.concurrent_sessions = std::atoi(value.c_str());
     } else if (ParseFlag(arg, "--memory-budget", &value)) {
       options.oracle.memory_budget_bytes = std::atoll(value.c_str());
     } else if (std::strcmp(arg, "--metrics") == 0) {

@@ -4,10 +4,12 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <atomic>
 #include <map>
 #include <memory>
 #include <optional>
 #include <set>
+#include <thread>
 
 #include "common/rng.h"
 #include "common/string_util.h"
@@ -18,6 +20,8 @@
 #include "minerule/parser.h"
 #include "minerule/translator.h"
 #include "mining/simple_miner.h"
+#include "server/server.h"
+#include "server/session.h"
 #include "sql/ast.h"
 
 namespace minerule::fuzz {
@@ -911,6 +915,97 @@ Result<CaseOutcome> RunCase(const WorkloadSpec& spec,
                  "--- syntactic ---\n" +
                  Truncate(baseline.dump) + "\n--- cost-based ---\n" +
                  Truncate(run.dump));
+      }
+    }
+  }
+
+  // Route: the same case replayed through K server sessions racing over
+  // one shared catalog (DESIGN.md §15). Every session snapshot-reads the
+  // source, then runs the same MINE RULE; the catalog latch serializes the
+  // write statements, so whichever session finishes last must leave the
+  // output tables byte-identical to the single-session baseline — and each
+  // session statement must append exactly one mr_runs row.
+  if (options.run_concurrent && options.concurrent_sessions > 1) {
+    const int k = options.concurrent_sessions;
+    const std::string label = "concurrent@" + std::to_string(k);
+    Catalog shared_catalog;
+    MR_RETURN_IF_ERROR(BuildWorkload(&shared_catalog, spec).status());
+    server::Server server(&shared_catalog);
+    const DatasetProfile profile = ProfileFor(spec);
+    const int64_t runs_before = sql::GlobalObservability().run_count();
+
+    std::vector<std::string> errors(static_cast<size_t>(k));
+    std::vector<mr::MiningRunStats> session_stats(static_cast<size_t>(k));
+    std::vector<std::thread> racers;
+    for (int s = 0; s < k; ++s) {
+      racers.emplace_back([&, s] {
+        auto session = server.Connect();
+        auto read = session->Execute("SELECT COUNT(*) FROM " + profile.table);
+        if (!read.ok()) {
+          errors[s] = "read: " + read.status().ToString();
+          return;
+        }
+        if (read->epoch_start != read->epoch_end) {
+          errors[s] = "read saw an unstable epoch: " +
+                      std::to_string(read->epoch_start) + " vs " +
+                      std::to_string(read->epoch_end);
+          return;
+        }
+        auto mined = session->Execute(statement);
+        if (!mined.ok()) {
+          errors[s] = "mine: " + mined.status().ToString();
+          return;
+        }
+        session_stats[s] = std::move(mined->mining);
+      });
+    }
+    for (std::thread& t : racers) t.join();
+    outcome.routes.push_back(label);
+
+    bool all_ok = true;
+    for (int s = 0; s < k; ++s) {
+      if (!errors[s].empty()) {
+        all_ok = false;
+        fail("concurrent-agreement",
+             label + " session " + std::to_string(s + 1) +
+                 " failed where the single-session baseline succeeded: " +
+                 errors[s]);
+      } else if (session_stats[s].output.num_rules != baseline.num_rules ||
+                 session_stats[s].total_groups != baseline.total_groups) {
+        all_ok = false;
+        fail("concurrent-agreement",
+             label + " session " + std::to_string(s + 1) + " mined " +
+                 std::to_string(session_stats[s].output.num_rules) +
+                 " rules over " +
+                 std::to_string(session_stats[s].total_groups) +
+                 " groups; baseline has " +
+                 std::to_string(baseline.num_rules) + " over " +
+                 std::to_string(baseline.total_groups));
+      }
+    }
+    if (all_ok) {
+      // 2 statements per session (the snapshot read and the MINE RULE),
+      // one mr_runs row each.
+      const int64_t recorded =
+          sql::GlobalObservability().run_count() - runs_before;
+      if (recorded != 2 * k) {
+        fail("concurrent-run-record",
+             label + " appended " + std::to_string(recorded) +
+                 " mr_runs rows, expected " + std::to_string(2 * k));
+      }
+      std::string dump = "directives=" +
+                         session_stats[0].directives.ToString() + " totg=" +
+                         std::to_string(session_stats[0].total_groups) + "\n";
+      dump += DumpTable(&shared_catalog, session_stats[0].output.rules_table);
+      dump +=
+          DumpTable(&shared_catalog, session_stats[0].output.bodies_table);
+      dump += DumpTable(&shared_catalog, session_stats[0].output.heads_table);
+      if (dump != baseline.dump) {
+        fail("concurrent-agreement",
+             label + " final output differs from the single-session "
+                     "baseline\n--- baseline ---\n" +
+                 Truncate(baseline.dump) + "\n--- concurrent ---\n" +
+                 Truncate(dump));
       }
     }
   }

@@ -32,6 +32,13 @@ struct OracleOptions {
   /// `threads` workers; the catalog dump must match the syntactic-planner
   /// baseline byte for byte.
   bool run_cost_based = true;
+  /// Replays the case through `concurrent_sessions` server sessions racing
+  /// over one shared catalog (DESIGN.md §15): every session reads the
+  /// source then runs the same MINE RULE; the final output tables must
+  /// match the single-session baseline byte for byte, and each session
+  /// statement must append exactly one mr_runs row.
+  bool run_concurrent = true;
+  int concurrent_sessions = 3;
 };
 
 struct OracleFailure {

@@ -1,0 +1,254 @@
+// minerule_server: the line-protocol front end over a local socket
+// (DESIGN.md §15).
+//
+//   minerule_server --socket=PATH [--max-concurrent=N]
+//       Serve the paper's demo catalog at PATH until SIGINT/SIGTERM.
+//       Talk to it with e.g.:  nc -U PATH
+//
+//   minerule_server --smoke [--clients=N]
+//       Self-contained smoke test: start a server on a temp socket, run N
+//       concurrent clients through a CREATE/INSERT/SELECT/MINE RULE
+//       conversation each, verify one mr_runs row per statement with
+//       per-session attribution, shut down cleanly and print
+//       "SERVER SMOKE OK".
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "datagen/paper_example.h"
+#include "server/server.h"
+#include "server/session.h"
+#include "server/socket_server.h"
+#include "sql/system_tables.h"
+
+namespace {
+
+using namespace minerule;
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleSignal(int) { g_stop = 1; }
+
+int Fail(const std::string& message) {
+  std::cerr << "minerule_server: " << message << "\n";
+  return 1;
+}
+
+/// A minimal blocking client for the smoke test: connect, send statements,
+/// read '.'-terminated responses.
+class SmokeClient {
+ public:
+  explicit SmokeClient(const std::string& path) {
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) return;
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~SmokeClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool ok() const { return fd_ >= 0; }
+
+  /// Sends one statement (terminator appended) and returns the first
+  /// response line ("OK ..." / "ERR ...."); empty on transport failure.
+  std::string Execute(const std::string& statement) {
+    const std::string request = statement + ";\n";
+    size_t off = 0;
+    while (off < request.size()) {
+      const ssize_t n = ::send(fd_, request.data() + off,
+                               request.size() - off, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return "";
+      }
+      off += static_cast<size_t>(n);
+    }
+    // Read until the '.' terminator line.
+    while (buffer_.find("\n.\n") == std::string::npos &&
+           buffer_.rfind(".\n", 0) != 0) {
+      char chunk[1024];
+      const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return "";
+      buffer_.append(chunk, static_cast<size_t>(n));
+    }
+    const size_t end = buffer_.find("\n.\n");
+    std::string response;
+    if (end == std::string::npos) {
+      buffer_.erase(0, 2);  // response was just ".\n"
+    } else {
+      response = buffer_.substr(0, end);
+      buffer_.erase(0, end + 3);
+    }
+    const size_t newline = response.find('\n');
+    return newline == std::string::npos ? response
+                                        : response.substr(0, newline);
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+/// One smoke client's conversation; returns the number of failed
+/// statements.
+int RunSmokeClient(const std::string& path, int client_index) {
+  SmokeClient client(path);
+  if (!client.ok()) return 4;
+  const std::string k = std::to_string(client_index);
+  const std::vector<std::string> statements = {
+      "CREATE TABLE smoke_t" + k + " (x INTEGER)",
+      "INSERT INTO smoke_t" + k + " VALUES (" + k + ")",
+      "SELECT customer, item FROM Purchase",
+      "MINE RULE smoke_rules_" + k +
+          " AS\nSELECT DISTINCT 1..n item AS BODY, 1..n item AS HEAD, "
+          "SUPPORT, CONFIDENCE\nFROM Purchase\nGROUP BY customer\n"
+          "EXTRACTING RULES WITH SUPPORT: 0.2, CONFIDENCE: 0.3",
+  };
+  int failures = 0;
+  for (const std::string& statement : statements) {
+    const std::string reply = client.Execute(statement);
+    if (reply.rfind("OK", 0) != 0) {
+      std::cerr << "client " << client_index << ": '"
+                << statement.substr(0, 40) << "...' -> "
+                << (reply.empty() ? "<disconnected>" : reply) << "\n";
+      ++failures;
+    }
+  }
+  return failures;
+}
+
+int RunSmoke(int clients) {
+  const std::string path =
+      "/tmp/mr_smoke_" + std::to_string(::getpid()) + ".sock";
+  Catalog catalog;
+  if (auto seeded = datagen::MakePaperPurchaseTable(&catalog); !seeded.ok()) {
+    return Fail(seeded.status().ToString());
+  }
+  server::Server server(&catalog);
+  server::SocketServer socket_server(&server, path);
+  if (Status status = socket_server.Start(); !status.ok()) {
+    return Fail(status.ToString());
+  }
+
+  const int64_t runs_before = sql::GlobalObservability().run_count();
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int c = 1; c <= clients; ++c) {
+    threads.emplace_back(
+        [&, c] { failures.fetch_add(RunSmokeClient(path, c)); });
+  }
+  for (std::thread& t : threads) t.join();
+  socket_server.Stop();
+
+  if (failures.load() != 0) return Fail("statement failures over the socket");
+  if (socket_server.connections_accepted() != clients) {
+    return Fail("expected " + std::to_string(clients) + " connections, got " +
+                std::to_string(socket_server.connections_accepted()));
+  }
+
+  // Exactly one mr_runs row per statement, every one attributed to a
+  // session with an admission decision.
+  const int64_t expected = static_cast<int64_t>(clients) * 4;
+  const int64_t recorded = sql::GlobalObservability().run_count() - runs_before;
+  if (recorded != expected) {
+    return Fail("expected " + std::to_string(expected) + " mr_runs rows, got " +
+                std::to_string(recorded));
+  }
+  for (const sql::RunRecord& run : sql::GlobalObservability().Runs()) {
+    if (run.session_id <= 0 || run.admission.empty()) {
+      return Fail("mr_runs row " + std::to_string(run.run_id) +
+                  " lacks session attribution");
+    }
+  }
+
+  // And the attribution is queryable from SQL, through a fresh session.
+  auto session = server.Connect("smoke-check");
+  auto check = session->Execute(
+      "SELECT session_id, admission FROM mr_runs WHERE queue_wait_micros >= "
+      "0");
+  if (!check.ok()) return Fail(check.status().ToString());
+  if (static_cast<int64_t>(check->query.rows.size()) < expected) {
+    return Fail("mr_runs not queryable from SQL");
+  }
+
+  std::cout << "clients=" << clients << " statements=" << recorded
+            << " max_concurrent=" << server.scheduler()->max_concurrent()
+            << "\nSERVER SMOKE OK\n";
+  return 0;
+}
+
+int Serve(const std::string& path, int max_concurrent) {
+  Catalog catalog;
+  if (auto seeded = datagen::MakePaperPurchaseTable(&catalog); !seeded.ok()) {
+    return Fail(seeded.status().ToString());
+  }
+  server::ServerOptions options;
+  options.max_concurrent = max_concurrent;
+  server::Server server(&catalog, options);
+  server::SocketServer socket_server(&server, path);
+  if (Status status = socket_server.Start(); !status.ok()) {
+    return Fail(status.ToString());
+  }
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  std::cout << "minerule_server: serving the paper's demo catalog at " << path
+            << " (max_concurrent=" << server.scheduler()->max_concurrent()
+            << "); press Ctrl-C to stop\n";
+  while (!g_stop) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  socket_server.Stop();
+  std::cout << "minerule_server: stopped after "
+            << socket_server.connections_accepted() << " connection(s)\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  bool smoke = false;
+  int clients = 8;
+  int max_concurrent = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg.rfind("--socket=", 0) == 0) {
+      socket_path = arg.substr(9);
+    } else if (arg.rfind("--clients=", 0) == 0) {
+      clients = std::atoi(arg.c_str() + 10);
+    } else if (arg.rfind("--max-concurrent=", 0) == 0) {
+      max_concurrent = std::atoi(arg.c_str() + 17);
+    } else {
+      std::cerr << "usage: minerule_server --socket=PATH "
+                   "[--max-concurrent=N] | --smoke [--clients=N]\n";
+      return 2;
+    }
+  }
+  if (smoke) return RunSmoke(clients > 0 ? clients : 1);
+  if (socket_path.empty()) {
+    std::cerr << "usage: minerule_server --socket=PATH [--max-concurrent=N] "
+                 "| --smoke [--clients=N]\n";
+    return 2;
+  }
+  return Serve(socket_path, max_concurrent);
+}

@@ -1,0 +1,70 @@
+#include "server/scheduler.h"
+
+#include <algorithm>
+
+#include "common/metrics.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+
+namespace minerule::server {
+
+namespace {
+
+int ResolveSlots(int requested) {
+  if (requested > 0) return requested;
+  return std::max(2, HardwareThreads() / 2);
+}
+
+}  // namespace
+
+Scheduler::Scheduler(int max_concurrent)
+    : max_concurrent_(ResolveSlots(max_concurrent)) {}
+
+Admission Scheduler::Admit() {
+  static Counter* immediate =
+      GlobalMetrics().GetCounter("server.scheduler.admitted_immediate");
+  static Counter* queued =
+      GlobalMetrics().GetCounter("server.scheduler.admitted_queued");
+  static Histogram* wait = GlobalMetrics().GetHistogram(
+      "server.scheduler.queue_wait_micros", LatencyBucketsMicros());
+
+  Admission admission;
+  std::unique_lock<std::mutex> lock(mutex_);
+  const int64_t ticket = next_ticket_++;
+  if (ticket >= completed_ + max_concurrent_) {
+    admission.queued = true;
+    Stopwatch watch;
+    ++waiting_;
+    slot_free_.wait(lock,
+                    [&] { return ticket < completed_ + max_concurrent_; });
+    --waiting_;
+    admission.queue_wait_micros = watch.ElapsedMicros();
+  }
+  ++active_;
+  lock.unlock();
+
+  wait->Observe(admission.queue_wait_micros);
+  (admission.queued ? queued : immediate)->Increment();
+  return admission;
+}
+
+void Scheduler::Release() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++completed_;
+    --active_;
+  }
+  slot_free_.notify_all();
+}
+
+int Scheduler::active() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return active_;
+}
+
+int Scheduler::waiting() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return waiting_;
+}
+
+}  // namespace minerule::server

@@ -1,0 +1,70 @@
+#ifndef MINERULE_SERVER_SCHEDULER_H_
+#define MINERULE_SERVER_SCHEDULER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace minerule::server {
+
+/// What the scheduler decided about one statement.
+struct Admission {
+  /// Microseconds the statement waited for a slot; 0 when admitted
+  /// immediately.
+  int64_t queue_wait_micros = 0;
+  /// True when the statement had to wait behind other running statements.
+  bool queued = false;
+
+  const char* Decision() const { return queued ? "queued" : "immediate"; }
+};
+
+/// Admission control for the server front end (DESIGN.md §15): at most
+/// `max_concurrent` statements execute at once; the rest wait in strict
+/// FIFO order. Every statement — read or write — passes through here, so N
+/// sessions share the one process-wide thread pool at a bounded
+/// multiprogramming level instead of oversubscribing it N-fold.
+///
+/// Admission is independent of the catalog latch: a slot is acquired before
+/// the latch and released after it, so a queued writer never blocks an
+/// admitted reader (and vice versa) — only slot counts couple them.
+class Scheduler {
+ public:
+  /// `max_concurrent` <= 0 resolves to max(2, hardware_threads / 2): enough
+  /// multiprogramming to overlap readers, never more runners than can share
+  /// the worker pool productively.
+  explicit Scheduler(int max_concurrent = 0);
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Blocks until a slot is free (FIFO) and returns the admission record.
+  Admission Admit();
+
+  /// Returns the slot taken by Admit. Every Admit must be paired with
+  /// exactly one Release.
+  void Release();
+
+  int max_concurrent() const { return max_concurrent_; }
+
+  /// Statements currently holding a slot (diagnostics; racy by nature).
+  int active() const;
+
+  /// Statements currently blocked in Admit waiting for a slot. Lets tests
+  /// (and diagnostics) observe "someone is queued" deterministically.
+  int waiting() const;
+
+ private:
+  const int max_concurrent_;
+  mutable std::mutex mutex_;
+  std::condition_variable slot_free_;
+  /// Tickets are dense: statement i is admitted once completed_ +
+  /// max_concurrent_ > i, which is exactly FIFO admission.
+  int64_t next_ticket_ = 0;
+  int64_t completed_ = 0;
+  int active_ = 0;
+  int waiting_ = 0;
+};
+
+}  // namespace minerule::server
+
+#endif  // MINERULE_SERVER_SCHEDULER_H_

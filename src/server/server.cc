@@ -1,0 +1,44 @@
+#include "server/server.h"
+
+#include "common/metrics.h"
+#include "server/session.h"
+
+namespace minerule::server {
+
+namespace {
+
+Gauge* ActiveSessionsGauge() {
+  static Gauge* gauge = GlobalMetrics().GetGauge("server.sessions.active");
+  return gauge;
+}
+
+}  // namespace
+
+Server::Server(Catalog* catalog, ServerOptions options)
+    : catalog_(catalog),
+      options_(std::move(options)),
+      scheduler_(options_.max_concurrent) {
+  // Server sessions drop the encoded scratch tables after every MINE RULE
+  // run: with many sessions sharing one catalog, per-run scratch state
+  // must not leak into what other sessions (or the serial oracle) see.
+  options_.session_defaults.keep_encoded_tables = false;
+}
+
+std::unique_ptr<Session> Server::Connect(std::string name) {
+  const int64_t id =
+      next_session_id_.fetch_add(1, std::memory_order_relaxed);
+  if (name.empty()) name = "session-" + std::to_string(id);
+  GlobalMetrics().GetCounter("server.sessions.opened")->Increment();
+  ActiveSessionsGauge()->Set(
+      active_sessions_.fetch_add(1, std::memory_order_relaxed) + 1);
+  // Not make_unique: the constructor is private to this friend.
+  return std::unique_ptr<Session>(new Session(this, id, std::move(name)));
+}
+
+void Server::NoteSessionClosed() {
+  GlobalMetrics().GetCounter("server.sessions.closed")->Increment();
+  ActiveSessionsGauge()->Set(
+      active_sessions_.fetch_sub(1, std::memory_order_relaxed) - 1);
+}
+
+}  // namespace minerule::server

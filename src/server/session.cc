@@ -1,0 +1,182 @@
+#include "server/session.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/metrics.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+#include "minerule/parser.h"
+#include "server/server.h"
+#include "sql/system_tables.h"
+
+namespace minerule::server {
+
+namespace {
+
+/// First keyword of the statement, uppercased.
+std::string FirstKeyword(std::string_view text) {
+  size_t i = 0;
+  while (i < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[i]))) {
+    ++i;
+  }
+  size_t j = i;
+  while (j < text.size() &&
+         (std::isalpha(static_cast<unsigned char>(text[j])) ||
+          text[j] == '_')) {
+    ++j;
+  }
+  return ToUpper(text.substr(i, j - i));
+}
+
+bool MentionsNextval(std::string_view text) {
+  const std::string upper = ToUpper(text);
+  return upper.find("NEXTVAL") != std::string::npos;
+}
+
+/// Releases the scheduler slot on scope exit.
+struct SlotGuard {
+  explicit SlotGuard(Scheduler* scheduler) : scheduler(scheduler) {}
+  ~SlotGuard() { scheduler->Release(); }
+  Scheduler* scheduler;
+};
+
+}  // namespace
+
+StatementClass ClassifyStatement(std::string_view text) {
+  const std::string keyword = FirstKeyword(text);
+  if (keyword == "MINE") return StatementClass::kMineRule;
+  if (keyword == "SELECT" || keyword == "EXPLAIN" || keyword == "ANALYZE") {
+    // NEXTVAL advances a shared catalog sequence even inside a SELECT, so
+    // it must serialize with other writers. The substring test is
+    // conservative (a string literal saying "nextval" also matches), which
+    // only costs concurrency, never correctness.
+    return MentionsNextval(text) ? StatementClass::kWrite
+                                 : StatementClass::kRead;
+  }
+  return StatementClass::kWrite;
+}
+
+Session::Session(Server* server, int64_t id, std::string name)
+    : server_(server),
+      id_(id),
+      name_(std::move(name)),
+      options_(server->options().session_defaults),
+      system_(std::make_unique<mr::DataMiningSystem>(server->catalog())) {}
+
+Session::~Session() { server_->NoteSessionClosed(); }
+
+Result<SessionResult> Session::Execute(std::string_view statement) {
+  static Counter* statements =
+      GlobalMetrics().GetCounter("server.statements");
+  static Counter* errors =
+      GlobalMetrics().GetCounter("server.statement_errors");
+  static Counter* mine_rule_runs =
+      GlobalMetrics().GetCounter("server.mine_rule_runs");
+  static Histogram* micros = GlobalMetrics().GetHistogram(
+      "server.statement_micros", LatencyBucketsMicros());
+
+  SessionResult result;
+  result.statement_class = ClassifyStatement(statement);
+  statements->Increment();
+  if (result.is_mine_rule()) mine_rule_runs->Increment();
+
+  // Admission first, latch second: a queued statement holds nothing, so
+  // admitted statements always make progress.
+  Stopwatch watch;
+  const Admission admission = server_->scheduler()->Admit();
+  SlotGuard slot(server_->scheduler());
+  result.queue_wait_micros = admission.queue_wait_micros;
+  result.queued = admission.queued;
+
+  // Per-statement attribution for the mr_runs rows this statement appends.
+  system_->set_run_attribution({id_, admission.queue_wait_micros,
+                                admission.Decision()});
+
+  Status status;
+  SessionManager* manager = server_->session_manager();
+  if (result.statement_class == StatementClass::kRead) {
+    SessionManager::ReadPin pin(manager);
+    result.epoch_start = pin.epoch();
+    status = ExecuteClassified(statement, result.statement_class, &result);
+    result.epoch_end = manager->epoch();
+  } else {
+    SessionManager::WriteLock lock(manager);
+    result.epoch_start = manager->epoch();
+    status = ExecuteClassified(statement, result.statement_class, &result);
+    result.epoch_end = lock.Commit();
+  }
+  last_epoch_ = result.epoch_end;
+  micros->Observe(watch.ElapsedMicros());
+
+  if (!status.ok()) {
+    errors->Increment();
+    last_error_ = status.ToString();
+    return status;
+  }
+  last_error_.clear();
+  return result;
+}
+
+Status Session::ExecuteClassified(std::string_view statement,
+                                  StatementClass cls, SessionResult* result) {
+  if (cls == StatementClass::kMineRule) {
+    // Parse here so even a statement the MINE RULE parser rejects gets its
+    // one mr_runs row (DataMiningSystem only records parsed statements).
+    Result<mr::MineRuleStatement> parsed = mr::ParseMineRule(statement);
+    if (!parsed.ok()) {
+      sql::RunRecord run;
+      run.statement = std::string(statement);
+      run.status = parsed.status().ToString();
+      run.threads = ResolveThreadCount(options_.num_threads);
+      run.session_id = id_;
+      run.queue_wait_micros = result->queue_wait_micros;
+      run.admission = result->queued ? "queued" : "immediate";
+      result->run_id = sql::GlobalObservability().RecordRun(std::move(run));
+      return parsed.status();
+    }
+    Result<mr::MiningRunStats> stats =
+        system_->ExecuteStatement(*parsed, options_);
+    MR_RETURN_IF_ERROR(stats.status());
+    result->run_id = stats->run_id;
+    result->mining = std::move(*stats);
+    return Status::OK();
+  }
+
+  // Plain SQL: apply the session's engine-level options, execute, and
+  // append this statement's own mr_runs row.
+  sql::SqlEngine* engine = system_->sql_engine();
+  engine->set_num_threads(options_.num_threads);
+  engine->set_vectorized(options_.vectorized_sql);
+  engine->set_cost_based(options_.cost_based_sql);
+  if (options_.memory_limit != mr::MiningOptions::kMemoryLimitInherit) {
+    engine->set_memory_limit(options_.memory_limit);
+  }
+
+  Stopwatch watch;
+  Result<sql::QueryResult> query = system_->ExecuteSql(statement);
+
+  sql::RunRecord run;
+  run.statement = std::string(statement);
+  run.threads = ResolveThreadCount(options_.num_threads);
+  run.total_micros = watch.ElapsedMicros();
+  run.session_id = id_;
+  run.queue_wait_micros = result->queue_wait_micros;
+  run.admission = result->queued ? "queued" : "immediate";
+  if (query.ok()) {
+    run.rules = query->rows.empty()
+                    ? query->affected_rows
+                    : static_cast<int64_t>(query->rows.size());
+  } else {
+    run.status = query.status().ToString();
+  }
+  result->run_id = sql::GlobalObservability().RecordRun(std::move(run));
+
+  MR_RETURN_IF_ERROR(query.status());
+  result->query = std::move(*query);
+  return Status::OK();
+}
+
+}  // namespace minerule::server

@@ -29,7 +29,10 @@ Schema RunsSchema() {
                  {"total_micros", DataType::kInteger},
                  {"rules", DataType::kInteger},
                  {"peak_bytes", DataType::kInteger},
-                 {"reused_preprocess", DataType::kBoolean}});
+                 {"reused_preprocess", DataType::kBoolean},
+                 {"session_id", DataType::kInteger},
+                 {"queue_wait_micros", DataType::kInteger},
+                 {"admission", DataType::kString}});
 }
 
 Schema QueryProfileSchema() {
@@ -93,7 +96,10 @@ std::vector<Row> RunsRows(const std::vector<RunRecord>& runs) {
                     Value::String(run.status), Value::Integer(run.threads),
                     Value::Integer(run.total_micros),
                     Value::Integer(run.rules), Value::Integer(run.peak_bytes),
-                    Value::Boolean(run.reused_preprocess)});
+                    Value::Boolean(run.reused_preprocess),
+                    Value::Integer(run.session_id),
+                    Value::Integer(run.queue_wait_micros),
+                    Value::String(run.admission)});
   }
   return rows;
 }

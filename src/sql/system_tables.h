@@ -46,6 +46,11 @@ struct RunRecord {
   int64_t rules = 0;       // rules in the output table
   int64_t peak_bytes = 0;  // estimated peak working-set bytes of the run
   bool reused_preprocess = false;
+  /// Server-session attribution (DESIGN.md §15). Library runs outside a
+  /// session carry session 0 with an empty admission decision.
+  int64_t session_id = 0;
+  int64_t queue_wait_micros = 0;
+  std::string admission;  // "", "immediate" or "queued"
   std::vector<QueryProfileRecord> queries;
 };
 

@@ -1,0 +1,394 @@
+// Concurrent multi-session stress against a serial oracle (DESIGN.md §15).
+//
+// N client threads each drive their own session through a seeded mixed
+// workload — DDL, DML, SELECTs over a shared table, MINE RULE, and a few
+// deliberately failing statements. The same workload is then replayed
+// serially (one session at a time, client-major order) on a fresh catalog.
+// Because each client writes only its private tables and the shared table
+// is read-only, *every* interleaving is equivalent to that serialization:
+//
+//   - the final catalogs must be byte-identical (SaveCatalog dumps),
+//   - each client's per-statement results must be identical (FNV digest),
+//   - both executions must append exactly one mr_runs row per statement.
+//
+// A second flavor makes all clients write one shared table, where row
+// order is interleaving-dependent — there the row multiset must match.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "datagen/paper_example.h"
+#include "relational/catalog_io.h"
+#include "server/server.h"
+#include "server/session.h"
+#include "sql/system_tables.h"
+
+namespace minerule {
+namespace {
+
+constexpr uint64_t kSeed = 20260808;
+
+/// One client's scripted conversation.
+struct ClientScript {
+  std::vector<std::string> statements;
+};
+
+/// FNV-1a over a string; chained across a client's statement results so a
+/// single digest pins every row of every result in order.
+uint64_t Fnv1a(uint64_t hash, const std::string& data) {
+  for (unsigned char c : data) {
+    hash ^= c;
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+uint64_t DigestResult(uint64_t hash, const server::SessionResult& result) {
+  hash = Fnv1a(hash, "rows=" + std::to_string(result.query.rows.size()));
+  for (const Row& row : result.query.rows) {
+    for (const Value& value : row) hash = Fnv1a(hash, value.ToString());
+  }
+  hash = Fnv1a(hash, "affected=" + std::to_string(result.query.affected_rows));
+  if (result.is_mine_rule()) {
+    hash = Fnv1a(hash,
+                 "rules=" + std::to_string(result.mining.output.num_rules));
+  }
+  return hash;
+}
+
+/// Generates client k's script: private tables only, so any interleaving
+/// with other clients is serializable.
+ClientScript MakePrivateScript(uint64_t seed, int k) {
+  Random rng = StreamRng(seed).Stream("client", static_cast<uint64_t>(k));
+  const std::string t = "c" + std::to_string(k) + "_sales";
+  const std::vector<std::string> items = {"ski_pants", "hiking_boots",
+                                          "col_shirts", "brown_boots",
+                                          "jackets", "gloves"};
+  ClientScript script;
+  script.statements.push_back("CREATE TABLE " + t +
+                              " (tr INTEGER, cust VARCHAR, item VARCHAR, "
+                              "price DOUBLE)");
+  int tr = 0;
+  const int ops = 10 + static_cast<int>(rng.NextBounded(8));
+  for (int i = 0; i < ops; ++i) {
+    switch (rng.NextBounded(5)) {
+      case 0:
+      case 1: {  // a small multi-row INSERT into the private table
+        std::string sql = "INSERT INTO " + t + " VALUES ";
+        const int group_rows = 2 + static_cast<int>(rng.NextBounded(3));
+        ++tr;
+        for (int r = 0; r < group_rows; ++r) {
+          if (r > 0) sql += ", ";
+          const std::string& item = items[rng.NextBounded(items.size())];
+          sql += "(" + std::to_string(tr) + ", 'cust" +
+                 std::to_string(1 + rng.NextBounded(3)) + "', '" + item +
+                 "', " + std::to_string(25 + 25 * rng.NextBounded(12)) + ")";
+        }
+        script.statements.push_back(sql);
+        break;
+      }
+      case 2:  // read the private table
+        script.statements.push_back(
+            "SELECT cust, item, COUNT(*) FROM " + t +
+            " GROUP BY cust, item ORDER BY cust, item");
+        break;
+      case 3:  // read the shared table
+        script.statements.push_back(
+            "SELECT customer, item FROM Purchase WHERE price >= " +
+            std::to_string(50 * rng.NextBounded(6)) +
+            " ORDER BY customer, item");
+        break;
+      default:  // a statement that must fail (read-class: no mutation)
+        script.statements.push_back("SELECT nope FROM missing_" +
+                                    std::to_string(k));
+        break;
+    }
+  }
+  // Every client ends by mining its own table into a private rule table.
+  script.statements.push_back(
+      "MINE RULE c" + std::to_string(k) +
+      "_rules AS SELECT DISTINCT 1..n item AS BODY, 1..1 item AS HEAD, "
+      "SUPPORT, CONFIDENCE FROM " + t +
+      " GROUP BY cust EXTRACTING RULES WITH SUPPORT: 0.1, CONFIDENCE: 0.1");
+  // And one MINE RULE the parser rejects — still one mr_runs row.
+  if (rng.NextBool(0.5)) {
+    script.statements.push_back("MINE RULE broken AS SELECT");
+  }
+  return script;
+}
+
+/// Contended flavor: every client inserts disjoint rows into one shared
+/// table. Row order depends on the interleaving; the multiset must not.
+ClientScript MakeSharedScript(uint64_t seed, int k) {
+  Random rng = StreamRng(seed).Stream("shared-client", static_cast<uint64_t>(k));
+  ClientScript script;
+  const int ops = 6 + static_cast<int>(rng.NextBounded(4));
+  for (int i = 0; i < ops; ++i) {
+    // Rows are tagged with the writing client so every row is unique to
+    // its writer and the final multiset is interleaving-independent.
+    script.statements.push_back(
+        "INSERT INTO shared_log VALUES (" + std::to_string(k) + ", " +
+        std::to_string(i) + ", " + std::to_string(rng.NextInt(0, 999)) + ")");
+    if (rng.NextBool(0.3)) {
+      script.statements.push_back(
+          "SELECT COUNT(*) FROM shared_log WHERE writer = " +
+          std::to_string(k));
+    }
+  }
+  return script;
+}
+
+struct ClientOutcome {
+  uint64_t digest = 1469598103934665603ULL;  // FNV offset basis
+  int errors = 0;
+  int statements = 0;
+};
+
+/// Runs one client's script on one session, digesting results.
+ClientOutcome RunScript(server::Session* session, const ClientScript& script,
+                        bool digest_reads) {
+  ClientOutcome outcome;
+  for (const std::string& statement : script.statements) {
+    ++outcome.statements;
+    auto result = session->Execute(statement);
+    if (!result.ok()) {
+      ++outcome.errors;
+      outcome.digest = Fnv1a(outcome.digest, "error");
+      continue;
+    }
+    if (digest_reads) outcome.digest = DigestResult(outcome.digest, *result);
+  }
+  return outcome;
+}
+
+std::string DumpCatalog(const Catalog& catalog) {
+  std::ostringstream out;
+  Status status = SaveCatalog(catalog, out);
+  EXPECT_TRUE(status.ok()) << status;
+  return out.str();
+}
+
+void SeedShared(Catalog* catalog) {
+  auto purchase = datagen::MakePaperPurchaseTable(catalog);
+  ASSERT_TRUE(purchase.ok()) << purchase.status();
+}
+
+/// Executes the private-table workload with `num_clients` concurrent
+/// sessions and returns (dump, outcomes, mr_runs delta).
+struct ExecutionResult {
+  std::string dump;
+  std::vector<ClientOutcome> outcomes;
+  int64_t runs_delta = 0;
+};
+
+ExecutionResult RunConcurrent(const std::vector<ClientScript>& scripts,
+                              const server::ServerOptions& options) {
+  Catalog catalog;
+  SeedShared(&catalog);
+  server::Server server(&catalog, options);
+  const int64_t runs_before = sql::GlobalObservability().run_count();
+
+  ExecutionResult result;
+  result.outcomes.resize(scripts.size());
+  std::vector<std::thread> threads;
+  for (size_t k = 0; k < scripts.size(); ++k) {
+    threads.emplace_back([&, k] {
+      auto session = server.Connect();
+      result.outcomes[k] = RunScript(session.get(), scripts[k], true);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  result.runs_delta = sql::GlobalObservability().run_count() - runs_before;
+  result.dump = DumpCatalog(catalog);
+  return result;
+}
+
+ExecutionResult RunSerialOracle(const std::vector<ClientScript>& scripts,
+                                const server::ServerOptions& options) {
+  Catalog catalog;
+  SeedShared(&catalog);
+  server::Server server(&catalog, options);
+  const int64_t runs_before = sql::GlobalObservability().run_count();
+
+  ExecutionResult result;
+  for (const ClientScript& script : scripts) {
+    auto session = server.Connect();
+    result.outcomes.push_back(RunScript(session.get(), script, true));
+  }
+  result.runs_delta = sql::GlobalObservability().run_count() - runs_before;
+  result.dump = DumpCatalog(catalog);
+  return result;
+}
+
+int64_t TotalStatements(const std::vector<ClientScript>& scripts) {
+  int64_t total = 0;
+  for (const ClientScript& s : scripts) {
+    total += static_cast<int64_t>(s.statements.size());
+  }
+  return total;
+}
+
+class ServerStressTest : public ::testing::TestWithParam<int> {};
+
+// The tentpole check: for every thread count, the concurrent execution is
+// byte-identical to the serialized one — final catalog, per-client result
+// digests, and mr_runs accounting.
+TEST_P(ServerStressTest, MatchesSerialOracle) {
+  const int num_clients = GetParam();
+  std::vector<ClientScript> scripts;
+  for (int k = 1; k <= num_clients; ++k) {
+    scripts.push_back(MakePrivateScript(kSeed, k));
+  }
+
+  const ExecutionResult concurrent = RunConcurrent(scripts, {});
+  const ExecutionResult serial = RunSerialOracle(scripts, {});
+
+  EXPECT_EQ(concurrent.dump, serial.dump)
+      << "final catalog diverged from the serialized execution at "
+      << num_clients << " clients";
+  ASSERT_EQ(concurrent.outcomes.size(), serial.outcomes.size());
+  for (size_t k = 0; k < scripts.size(); ++k) {
+    EXPECT_EQ(concurrent.outcomes[k].digest, serial.outcomes[k].digest)
+        << "client " << k + 1 << " results diverged";
+    EXPECT_EQ(concurrent.outcomes[k].errors, serial.outcomes[k].errors)
+        << "client " << k + 1 << " error count diverged";
+  }
+  // One mr_runs row per statement, in both executions.
+  EXPECT_EQ(concurrent.runs_delta, TotalStatements(scripts));
+  EXPECT_EQ(serial.runs_delta, TotalStatements(scripts));
+}
+
+// Same oracle under a tight per-session memory budget: the spill path must
+// not change results either. (MINERULE_MEMORY_LIMIT, when exported by the
+// CI environment, additionally squeezes the engine-inherited default.)
+TEST_P(ServerStressTest, MatchesSerialOracleUnderMemoryBudget) {
+  const int num_clients = GetParam();
+  std::vector<ClientScript> scripts;
+  for (int k = 1; k <= num_clients; ++k) {
+    scripts.push_back(MakePrivateScript(kSeed ^ 0xbeef, k));
+  }
+  server::ServerOptions options;
+  options.session_defaults.memory_limit = 64 * 1024;
+
+  const ExecutionResult concurrent = RunConcurrent(scripts, options);
+  const ExecutionResult serial = RunSerialOracle(scripts, options);
+
+  EXPECT_EQ(concurrent.dump, serial.dump);
+  for (size_t k = 0; k < scripts.size(); ++k) {
+    EXPECT_EQ(concurrent.outcomes[k].digest, serial.outcomes[k].digest)
+        << "client " << k + 1;
+  }
+  EXPECT_EQ(concurrent.runs_delta, serial.runs_delta);
+}
+
+INSTANTIATE_TEST_SUITE_P(Clients, ServerStressTest,
+                         ::testing::Values(1, 2, 8));
+
+// Contended shared table: all clients write shared_log. Row order is
+// interleaving-dependent, so compare the sorted dump lines (a multiset
+// comparison) plus exact row counts.
+TEST(ServerStressSharedTableTest, SharedWritesMatchSerialMultiset) {
+  const int num_clients = 8;
+  std::vector<ClientScript> scripts;
+  for (int k = 1; k <= num_clients; ++k) {
+    scripts.push_back(MakeSharedScript(kSeed, k));
+  }
+
+  auto run = [&](bool concurrent) {
+    Catalog catalog;
+    SeedShared(&catalog);
+    server::Server server(&catalog);
+    {
+      auto admin = server.Connect("admin");
+      auto created = admin->Execute(
+          "CREATE TABLE shared_log (writer INTEGER, op INTEGER, v INTEGER)");
+      EXPECT_TRUE(created.ok()) << created.status();
+    }
+    if (concurrent) {
+      std::vector<std::thread> threads;
+      for (size_t k = 0; k < scripts.size(); ++k) {
+        threads.emplace_back([&, k] {
+          auto session = server.Connect();
+          // Reads over the contended table are interleaving-dependent;
+          // digest only the writes' effects via the final state below.
+          RunScript(session.get(), scripts[k], false);
+        });
+      }
+      for (std::thread& t : threads) t.join();
+    } else {
+      for (const ClientScript& script : scripts) {
+        auto session = server.Connect();
+        RunScript(session.get(), script, false);
+      }
+    }
+    std::vector<std::string> lines;
+    std::istringstream dump(DumpCatalog(catalog));
+    for (std::string line; std::getline(dump, line);) {
+      lines.push_back(std::move(line));
+    }
+    std::sort(lines.begin(), lines.end());
+    return lines;
+  };
+
+  EXPECT_EQ(run(true), run(false));
+}
+
+// Admission control actually bounds concurrency: with one slot held, the
+// next statement deterministically queues, and the queue-wait attribution
+// shows up in its mr_runs row.
+TEST(ServerStressSchedulerTest, SingleSlotSerializesAndAttributesWaits) {
+  Catalog catalog;
+  SeedShared(&catalog);
+  server::ServerOptions options;
+  options.max_concurrent = 1;
+  server::Server server(&catalog, options);
+  server::Scheduler* scheduler = server.scheduler();
+  ASSERT_EQ(scheduler->max_concurrent(), 1);
+
+  // Occupy the only slot directly; any session statement must now queue.
+  const server::Admission holder = scheduler->Admit();
+  EXPECT_FALSE(holder.queued);
+  EXPECT_EQ(scheduler->active(), 1);
+
+  const int64_t runs_before = sql::GlobalObservability().run_count();
+  std::thread blocked([&server] {
+    auto session = server.Connect();
+    auto result = session->Execute(
+        "SELECT customer, item FROM Purchase ORDER BY customer, item");
+    EXPECT_TRUE(result.ok()) << result.status();
+    EXPECT_EQ(result->query.rows.size(), 8u);
+    EXPECT_TRUE(result->queued);
+  });
+
+  // Wait until the statement is provably parked in the admission queue,
+  // then free the slot.
+  while (scheduler->waiting() == 0) {
+    std::this_thread::yield();
+  }
+  scheduler->Release();
+  blocked.join();
+
+  bool found = false;
+  for (const sql::RunRecord& run : sql::GlobalObservability().Runs()) {
+    if (run.run_id <= runs_before) continue;
+    found = true;
+    EXPECT_GT(run.session_id, 0);
+    EXPECT_EQ(run.admission, "queued");
+    EXPECT_GE(run.queue_wait_micros, 0);
+  }
+  EXPECT_TRUE(found);
+  EXPECT_EQ(scheduler->active(), 0);
+  EXPECT_EQ(scheduler->waiting(), 0);
+}
+
+}  // namespace
+}  // namespace minerule

@@ -78,7 +78,7 @@ TEST_F(SystemTablesTest, SchemasGolden) {
   };
   EXPECT_EQ(names("mr_runs"),
             "run_id,statement,status,threads,total_micros,rules,peak_bytes,"
-            "reused_preprocess");
+            "reused_preprocess,session_id,queue_wait_micros,admission");
   EXPECT_EQ(names("mr_query_profile"),
             "run_id,query_id,phase,sql,rows,micros,operators");
   EXPECT_EQ(names("mr_operator_stats"),
