@@ -38,6 +38,7 @@ void PrintHelp() {
       "  \\trace             toggle the JSON run trace after MINE RULE\n"
       "  \\trace FILE        record spans; write Chrome trace JSON on exit\n"
       "  \\metrics           print the process-wide metrics registry\n"
+      "  \\metrics prom      the same registry in Prometheus text format\n"
       "  .tables            list tables, views and sequences\n"
       "  .figure1           load the paper's Purchase table (Figure 1)\n"
       "  .quest N           load a Quest basket table 'Baskets' with N baskets\n"
@@ -78,7 +79,13 @@ void HandleDotCommand(const std::string& line, Catalog* catalog,
     return;
   }
   if (command == "\\metrics" || command == ".metrics") {
-    std::cout << MetricsRegistry::Format(GlobalMetrics().Snapshot());
+    std::string format;
+    in >> format;
+    if (format == "prom") {
+      std::cout << GlobalMetrics().FormatPrometheus();
+    } else {
+      std::cout << MetricsRegistry::Format(GlobalMetrics().Snapshot());
+    }
     return;
   }
   if (command == ".help") {

@@ -1,0 +1,156 @@
+#include "common/log.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/json.h"
+#include "common/string_util.h"
+
+namespace minerule {
+
+namespace {
+
+/// True when the value can go on the wire bare (no quotes) in key=value
+/// format: non-empty, printable, no spaces/quotes/equals.
+bool IsBareValue(std::string_view value) {
+  if (value.empty()) return false;
+  for (char c : value) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    if (u <= ' ' || u >= 0x7f || c == '"' || c == '=' || c == '\\') {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Quotes and escapes a value for key=value format (JSON string rules, so
+/// a consumer can unescape with any JSON string parser).
+std::string QuoteValue(std::string_view value) {
+  return "\"" + JsonEscape(value) + "\"";
+}
+
+}  // namespace
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kOff:
+      return "off";
+  }
+  return "info";
+}
+
+bool ParseLogLevel(std::string_view name, LogLevel* level) {
+  const std::string lower = ToLower(name);
+  if (lower == "debug") {
+    *level = LogLevel::kDebug;
+  } else if (lower == "info") {
+    *level = LogLevel::kInfo;
+  } else if (lower == "warn" || lower == "warning") {
+    *level = LogLevel::kWarn;
+  } else if (lower == "error") {
+    *level = LogLevel::kError;
+  } else if (lower == "off" || lower == "none") {
+    *level = LogLevel::kOff;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::string Logger::FormatLine(bool json, int64_t seq, LogLevel level,
+                               std::string_view component,
+                               std::string_view message,
+                               const std::vector<LogField>& fields) {
+  if (json) {
+    JsonWriter writer;
+    writer.BeginObject();
+    writer.Key("seq").Int(seq);
+    writer.Key("level").String(LogLevelName(level));
+    writer.Key("component").String(component);
+    writer.Key("msg").String(message);
+    for (const LogField& field : fields) {
+      writer.Key(field.key).String(field.value);
+    }
+    writer.EndObject();
+    return writer.str();
+  }
+  std::string line = "seq=" + std::to_string(seq) +
+                     " level=" + LogLevelName(level) + " component=";
+  line.append(component);
+  line += " msg=" + QuoteValue(message);
+  for (const LogField& field : fields) {
+    line += " " + field.key + "=";
+    line += IsBareValue(field.value) ? field.value : QuoteValue(field.value);
+  }
+  return line;
+}
+
+void Logger::Log(LogLevel level, std::string_view component,
+                 std::string_view message, std::vector<LogField> fields) {
+  if (level < min_level() || level == LogLevel::kOff) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::string line = FormatLine(json_, next_seq_++, level, component,
+                                      message, fields);
+  ++emitted_;
+  if (sink_) {
+    sink_(line);
+  } else {
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
+}
+
+void Logger::set_min_level(LogLevel level) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  min_level_ = level;
+}
+
+LogLevel Logger::min_level() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return min_level_;
+}
+
+void Logger::set_json(bool json) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  json_ = json;
+}
+
+bool Logger::json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return json_;
+}
+
+void Logger::set_sink(Sink sink) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sink_ = std::move(sink);
+}
+
+int64_t Logger::lines_emitted() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return emitted_;
+}
+
+Logger& GlobalLog() {
+  static Logger* logger = [] {
+    Logger* instance = new Logger();
+    if (const char* env = std::getenv("MINERULE_LOG_LEVEL")) {
+      LogLevel level;
+      if (ParseLogLevel(env, &level)) instance->set_min_level(level);
+    }
+    if (const char* env = std::getenv("MINERULE_LOG_JSON");
+        env != nullptr && env[0] != '\0') {
+      instance->set_json(true);
+    }
+    return instance;
+  }();
+  return *logger;
+}
+
+}  // namespace minerule

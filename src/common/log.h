@@ -1,0 +1,114 @@
+#ifndef MINERULE_COMMON_LOG_H_
+#define MINERULE_COMMON_LOG_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace minerule {
+
+/// Severity levels, ordered. kOff is only a filter setting, never a line
+/// level.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Canonical lower-case name ("debug", "info", "warn", "error", "off").
+const char* LogLevelName(LogLevel level);
+
+/// Parses a level name (case-insensitive); false on unknown names.
+bool ParseLogLevel(std::string_view name, LogLevel* level);
+
+/// One key=value pair attached to a log line. Values are free-form strings;
+/// the formatter quotes and escapes as needed.
+struct LogField {
+  std::string key;
+  std::string value;
+
+  LogField(std::string key, std::string value)
+      : key(std::move(key)), value(std::move(value)) {}
+  // Without this, a string literal converts to bool, not std::string.
+  LogField(std::string key, const char* value)
+      : key(std::move(key)), value(value) {}
+  LogField(std::string key, int64_t value)
+      : key(std::move(key)), value(std::to_string(value)) {}
+  LogField(std::string key, uint64_t value)
+      : key(std::move(key)), value(std::to_string(value)) {}
+  LogField(std::string key, int value)
+      : key(std::move(key)), value(std::to_string(value)) {}
+  LogField(std::string key, bool value)
+      : key(std::move(key)), value(value ? "true" : "false") {}
+};
+
+/// Structured, leveled logging for the serving path (DESIGN.md §16).
+///
+/// Every line carries a monotonic sequence number, the level, a component
+/// ("server.session", "server.socket", ...), a human message and zero or
+/// more key=value fields (session/statement ids, byte counts, ...). Two
+/// wire formats, chosen per logger:
+///
+///   key=value (default):
+///     seq=12 level=info component=server.session session=3 msg="..." ...
+///   JSON (one object per line, parseable by ValidateJson):
+///     {"seq":12,"level":"info","component":"server.session",...}
+///
+/// The sink defaults to stderr; tests install a capture sink. All methods
+/// are thread-safe; formatting happens outside the sink lock only for the
+/// line body, so concurrent writers never interleave bytes within a line.
+class Logger {
+ public:
+  Logger() = default;
+  Logger(const Logger&) = delete;
+  Logger& operator=(const Logger&) = delete;
+
+  using Sink = std::function<void(const std::string& line)>;
+
+  void Log(LogLevel level, std::string_view component,
+           std::string_view message, std::vector<LogField> fields = {});
+
+  /// Lines below this level are dropped before formatting.
+  void set_min_level(LogLevel level);
+  LogLevel min_level() const;
+
+  /// True when a Log call at `level` would be emitted — guard expensive
+  /// field construction (e.g. a flight-recorder dump) behind this.
+  bool Enabled(LogLevel level) const { return level >= min_level(); }
+
+  /// Switches between key=value (false, the default) and JSON lines.
+  void set_json(bool json);
+  bool json() const;
+
+  /// Replaces the sink; an empty function restores the stderr default.
+  /// The sink receives one complete line (no trailing newline).
+  void set_sink(Sink sink);
+
+  /// Lines emitted (post-filter) since process start.
+  int64_t lines_emitted() const;
+
+  /// Formats one line without emitting it (the formatter the sink path
+  /// uses; exposed so tests can pin the format).
+  static std::string FormatLine(bool json, int64_t seq, LogLevel level,
+                                std::string_view component,
+                                std::string_view message,
+                                const std::vector<LogField>& fields);
+
+ private:
+  mutable std::mutex mutex_;
+  LogLevel min_level_ = LogLevel::kInfo;
+  bool json_ = false;
+  Sink sink_;
+  int64_t next_seq_ = 1;
+  int64_t emitted_ = 0;
+};
+
+/// The process-wide logger. First use seeds the minimum level from
+/// MINERULE_LOG_LEVEL (debug|info|warn|error|off; default info) and the
+/// format from MINERULE_LOG_JSON (any non-empty value switches to JSON
+/// lines). Intentionally leaked, like the metrics registry, so worker
+/// threads may log during teardown.
+Logger& GlobalLog();
+
+}  // namespace minerule
+
+#endif  // MINERULE_COMMON_LOG_H_

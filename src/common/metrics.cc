@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <utility>
 
 #include "common/json.h"
 
@@ -146,6 +148,68 @@ std::vector<MetricSample> MetricsRegistry::Snapshot() const {
   return samples;
 }
 
+namespace {
+
+/// `server.statement_micros` -> `minerule_server_statement_micros`.
+std::string PrometheusName(const std::string& name) {
+  std::string out = "minerule_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+void AppendSample(std::string* out, const std::string& name, double value) {
+  char buf[64];
+  // Counters/gauges/bucket counts are integral in this registry; emit them
+  // without a fractional part so the text round-trips exactly.
+  if (value == static_cast<double>(static_cast<long long>(value))) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+  }
+  *out += name + " " + buf + "\n";
+}
+
+}  // namespace
+
+std::string MetricsRegistry::FormatPrometheus() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  for (const auto& [name, counter] : counters_) {
+    const std::string prom = PrometheusName(name);
+    out += "# TYPE " + prom + " counter\n";
+    AppendSample(&out, prom, static_cast<double>(counter.Value()));
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    const std::string prom = PrometheusName(name);
+    out += "# TYPE " + prom + " gauge\n";
+    AppendSample(&out, prom, static_cast<double>(gauge.Value()));
+    out += "# TYPE " + prom + "_peak gauge\n";
+    AppendSample(&out, prom + "_peak", static_cast<double>(gauge.Max()));
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    const std::string prom = PrometheusName(name);
+    const Histogram::Snapshot snap = histogram.Snap();
+    out += "# TYPE " + prom + " histogram\n";
+    int64_t cumulative = 0;
+    for (size_t i = 0; i < snap.bounds.size(); ++i) {
+      cumulative += snap.counts[i];
+      AppendSample(&out,
+                   prom + "_bucket{le=\"" + std::to_string(snap.bounds[i]) +
+                       "\"}",
+                   static_cast<double>(cumulative));
+    }
+    AppendSample(&out, prom + "_bucket{le=\"+Inf\"}",
+                 static_cast<double>(snap.count));
+    AppendSample(&out, prom + "_sum", static_cast<double>(snap.sum));
+    AppendSample(&out, prom + "_count", static_cast<double>(snap.count));
+  }
+  return out;
+}
+
 std::string MetricsRegistry::Format(const std::vector<MetricSample>& samples) {
   size_t width = 4;
   for (const MetricSample& s : samples) width = std::max(width, s.name.size());
@@ -204,6 +268,174 @@ void MetricsRegistry::ResetForTesting() {
 MetricsRegistry& GlobalMetrics() {
   static MetricsRegistry* registry = new MetricsRegistry();
   return *registry;
+}
+
+namespace {
+
+bool IsMetricNameChar(char c, bool first) {
+  if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+      c == ':') {
+    return true;
+  }
+  return !first && c >= '0' && c <= '9';
+}
+
+/// State accumulated for one histogram family while validating.
+struct HistogramSeries {
+  std::vector<std::pair<double, double>> buckets;  // (le, cumulative count)
+  bool has_inf = false;
+  double inf_count = 0;
+  bool has_count = false;
+  double count = 0;
+  bool has_sum = false;
+};
+
+}  // namespace
+
+Status ValidatePrometheusText(std::string_view text) {
+  std::map<std::string, HistogramSeries> histograms;
+  std::map<std::string, std::string> types;  // name -> declared type
+  size_t line_no = 0;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    const size_t end = text.find('\n', pos);
+    const std::string_view line =
+        text.substr(pos, end == std::string_view::npos ? text.size() - pos
+                                                       : end - pos);
+    pos = end == std::string_view::npos ? text.size() + 1 : end + 1;
+    ++line_no;
+    if (line.empty()) continue;
+    const std::string where = "prometheus line " + std::to_string(line_no);
+
+    if (line[0] == '#') {
+      // Only "# TYPE <name> <type>" and "# HELP <name> <text>" comments.
+      if (line.rfind("# TYPE ", 0) == 0) {
+        const std::string_view rest = line.substr(7);
+        const size_t space = rest.find(' ');
+        if (space == std::string_view::npos) {
+          return Status::InvalidArgument(where + ": malformed TYPE comment");
+        }
+        const std::string name(rest.substr(0, space));
+        const std::string type(rest.substr(space + 1));
+        if (type != "counter" && type != "gauge" && type != "histogram" &&
+            type != "summary" && type != "untyped") {
+          return Status::InvalidArgument(where + ": unknown type " + type);
+        }
+        types[name] = type;
+        continue;
+      }
+      if (line.rfind("# HELP ", 0) == 0) continue;
+      return Status::InvalidArgument(where + ": unrecognized comment");
+    }
+
+    // Sample: name[{labels}] value
+    size_t i = 0;
+    while (i < line.size() && IsMetricNameChar(line[i], i == 0)) ++i;
+    if (i == 0) {
+      return Status::InvalidArgument(where + ": missing metric name");
+    }
+    const std::string name(line.substr(0, i));
+    std::string le;
+    if (i < line.size() && line[i] == '{') {
+      const size_t close = line.find('}', i);
+      if (close == std::string_view::npos) {
+        return Status::InvalidArgument(where + ": unterminated label set");
+      }
+      const std::string_view labels = line.substr(i + 1, close - i - 1);
+      const size_t le_pos = labels.find("le=\"");
+      if (le_pos != std::string_view::npos) {
+        const size_t quote = labels.find('"', le_pos + 4);
+        if (quote == std::string_view::npos) {
+          return Status::InvalidArgument(where + ": unterminated le label");
+        }
+        le = std::string(labels.substr(le_pos + 4, quote - le_pos - 4));
+      }
+      i = close + 1;
+    }
+    if (i >= line.size() || line[i] != ' ') {
+      return Status::InvalidArgument(where + ": expected ' ' before value");
+    }
+    const std::string value_text(line.substr(i + 1));
+    char* parse_end = nullptr;
+    const double value = std::strtod(value_text.c_str(), &parse_end);
+    if (value_text.empty() || parse_end == value_text.c_str() ||
+        *parse_end != '\0') {
+      return Status::InvalidArgument(where + ": bad sample value '" +
+                                     value_text + "'");
+    }
+
+    // Histogram family bookkeeping keyed on the base name.
+    auto family_of = [&](const std::string& suffix) {
+      return name.size() > suffix.size() &&
+                     name.compare(name.size() - suffix.size(), suffix.size(),
+                                  suffix) == 0
+                 ? name.substr(0, name.size() - suffix.size())
+                 : std::string();
+    };
+    if (const std::string family = family_of("_bucket"); !family.empty()) {
+      if (le.empty()) {
+        return Status::InvalidArgument(where + ": _bucket without le label");
+      }
+      HistogramSeries& series = histograms[family];
+      if (le == "+Inf") {
+        series.has_inf = true;
+        series.inf_count = value;
+      } else {
+        char* le_end = nullptr;
+        const double bound = std::strtod(le.c_str(), &le_end);
+        if (*le_end != '\0') {
+          return Status::InvalidArgument(where + ": bad le bound " + le);
+        }
+        series.buckets.emplace_back(bound, value);
+      }
+      continue;
+    }
+    if (const std::string family = family_of("_count"); !family.empty()) {
+      if (histograms.count(family) != 0) {
+        histograms[family].has_count = true;
+        histograms[family].count = value;
+      }
+      continue;
+    }
+    if (const std::string family = family_of("_sum"); !family.empty()) {
+      if (histograms.count(family) != 0) histograms[family].has_sum = true;
+      continue;
+    }
+  }
+
+  for (const auto& [family, series] : histograms) {
+    double prev_bound = -1e308;
+    double prev_count = -1;
+    for (const auto& [bound, count] : series.buckets) {
+      if (bound <= prev_bound) {
+        return Status::InvalidArgument("histogram " + family +
+                                       ": le bounds not increasing");
+      }
+      if (count < prev_count) {
+        return Status::InvalidArgument("histogram " + family +
+                                       ": bucket counts not cumulative");
+      }
+      prev_bound = bound;
+      prev_count = count;
+    }
+    if (!series.has_inf) {
+      return Status::InvalidArgument("histogram " + family +
+                                     ": missing le=\"+Inf\" bucket");
+    }
+    if (series.inf_count < prev_count) {
+      return Status::InvalidArgument("histogram " + family +
+                                     ": +Inf bucket below a finite bucket");
+    }
+    if (!series.has_count || !series.has_sum) {
+      return Status::InvalidArgument("histogram " + family +
+                                     ": missing _count or _sum");
+    }
+    if (series.count != series.inf_count) {
+      return Status::InvalidArgument("histogram " + family +
+                                     ": _count differs from +Inf bucket");
+    }
+  }
+  return Status::OK();
 }
 
 std::vector<int64_t> LatencyBucketsMicros() {

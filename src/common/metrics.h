@@ -7,7 +7,10 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
+
+#include "common/status.h"
 
 namespace minerule {
 
@@ -153,6 +156,18 @@ class MetricsRegistry {
 
   std::vector<MetricSample> Snapshot() const;
 
+  /// Prometheus text exposition format (version 0.0.4) of the whole
+  /// registry. Metric names are `minerule_` plus the registry name with
+  /// every non-[a-zA-Z0-9_] mapped to '_': `server.statement_micros` ->
+  /// `minerule_server_statement_micros`. Counters and gauges emit one
+  /// sample each (gauges also emit a `_peak` gauge); histograms emit
+  /// cumulative `_bucket{le="..."}` series ending in `le="+Inf"`, plus
+  /// `_sum` and `_count`. Output is grouped by kind with each group sorted
+  /// by name, so it is deterministic for a fixed set of touched metrics.
+  /// Served by the socket front end's \metrics command and
+  /// `minerule_server --metrics-out` (DESIGN.md §16).
+  std::string FormatPrometheus() const;
+
   /// Human-readable aligned table of a snapshot (the shell's \metrics).
   static std::string Format(const std::vector<MetricSample>& samples);
 
@@ -180,6 +195,14 @@ MetricsRegistry& GlobalMetrics();
 /// Default bucket bounds for microsecond-scale latency histograms:
 /// 1,2,5-spaced from 10us to 10s.
 std::vector<int64_t> LatencyBucketsMicros();
+
+/// Validating parser for Prometheus text exposition format. Returns OK iff
+/// every line is a comment (`# TYPE` / `# HELP`) or a well-formed sample
+/// (`name{labels} value`), every histogram's `_bucket` series is cumulative
+/// (counts non-decreasing as `le` increases), ends in `le="+Inf"`, and that
+/// final bucket equals the histogram's `_count` sample. The CI smoke gates
+/// and unit tests run FormatPrometheus output through this.
+Status ValidatePrometheusText(std::string_view text);
 
 }  // namespace minerule
 

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "common/log.h"
 #include "common/metrics.h"
 #include "fuzz/harness.h"
 
@@ -40,7 +41,7 @@ int Usage() {
       "                     [--no-dup-invariance] [--no-vectorized]\n"
       "                     [--no-memory-budget] [--memory-budget=BYTES]\n"
       "                     [--no-cost-based] [--no-concurrent]\n"
-      "                     [--concurrent-sessions=N]\n"
+      "                     [--concurrent-sessions=N] [--no-oplog]\n"
       "       fuzz_minerule --replay=FILE_OR_DIR [--threads=N] ...\n"
       "       fuzz_minerule --minimize=FILE [--out=FILE] ...\n");
   return 2;
@@ -147,6 +148,12 @@ int MinimizePath(const std::string& path, const std::string& out_path,
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Fuzzing deliberately executes failing statements; without an explicit
+  // override, silence the server's warn-level failure logs (and their
+  // flight-recorder dumps) so the report stays readable.
+  if (std::getenv("MINERULE_LOG_LEVEL") == nullptr) {
+    minerule::GlobalLog().set_min_level(minerule::LogLevel::kError);
+  }
   FuzzOptions options;
   std::string replay_path, minimize_path, out_path, value;
   for (int i = 1; i < argc; ++i) {
@@ -189,6 +196,8 @@ int main(int argc, char** argv) {
       options.oracle.run_cost_based = false;
     } else if (std::strcmp(arg, "--no-concurrent") == 0) {
       options.oracle.run_concurrent = false;
+    } else if (std::strcmp(arg, "--no-oplog") == 0) {
+      options.oracle.run_oplog = false;
     } else if (ParseFlag(arg, "--concurrent-sessions", &value)) {
       options.oracle.concurrent_sessions = std::atoi(value.c_str());
     } else if (ParseFlag(arg, "--memory-budget", &value)) {

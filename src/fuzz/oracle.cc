@@ -14,6 +14,7 @@
 #include "common/rng.h"
 #include "common/string_util.h"
 #include "common/trace.h"
+#include "sql/statement_registry.h"
 #include "sql/system_tables.h"
 #include "decoupled/decoupled_miner.h"
 #include "engine/data_mining_system.h"
@@ -934,12 +935,19 @@ Result<CaseOutcome> RunCase(const WorkloadSpec& spec,
     const DatasetProfile profile = ProfileFor(spec);
     const int64_t runs_before = sql::GlobalObservability().run_count();
 
+    // Sessions live in this scope (not inside the racer lambdas) so their
+    // flight recorders are still inspectable after the join.
+    std::vector<std::unique_ptr<server::Session>> sessions;
+    sessions.reserve(static_cast<size_t>(k));
+    for (int s = 0; s < k; ++s) sessions.push_back(server.Connect());
     std::vector<std::string> errors(static_cast<size_t>(k));
+    std::vector<int64_t> executed(static_cast<size_t>(k), 0);
     std::vector<mr::MiningRunStats> session_stats(static_cast<size_t>(k));
     std::vector<std::thread> racers;
     for (int s = 0; s < k; ++s) {
       racers.emplace_back([&, s] {
-        auto session = server.Connect();
+        server::Session* session = sessions[static_cast<size_t>(s)].get();
+        ++executed[s];
         auto read = session->Execute("SELECT COUNT(*) FROM " + profile.table);
         if (!read.ok()) {
           errors[s] = "read: " + read.status().ToString();
@@ -951,6 +959,7 @@ Result<CaseOutcome> RunCase(const WorkloadSpec& spec,
                       std::to_string(read->epoch_end);
           return;
         }
+        ++executed[s];
         auto mined = session->Execute(statement);
         if (!mined.ok()) {
           errors[s] = "mine: " + mined.status().ToString();
@@ -961,6 +970,38 @@ Result<CaseOutcome> RunCase(const WorkloadSpec& spec,
     }
     for (std::thread& t : racers) t.join();
     outcome.routes.push_back(label);
+
+    // Observability invariant (DESIGN.md §16): with the racers joined,
+    // every session's flight recorder holds exactly the statements that
+    // session executed, each with a lifecycle id and an mr_runs row.
+    if (options.run_oplog) {
+      outcome.routes.push_back("oplog");
+      for (int s = 0; s < k; ++s) {
+        const server::FlightRecorder* recorder =
+            sessions[static_cast<size_t>(s)]->flight_recorder();
+        if (recorder->recorded() != executed[s]) {
+          fail("oplog-flight-recorder",
+               label + " session " + std::to_string(s + 1) + " recorded " +
+                   std::to_string(recorder->recorded()) +
+                   " flight events, executed " + std::to_string(executed[s]) +
+                   " statements");
+          continue;
+        }
+        for (const server::FlightEvent& event : recorder->Events()) {
+          // run_id attribution is only promised for completed statements
+          // (a failing MINE RULE run keeps its mr_runs row id internal).
+          if (event.statement_id <= 0 ||
+              (event.status == "ok" && event.run_id <= 0)) {
+            fail("oplog-flight-recorder",
+                 label + " session " + std::to_string(s + 1) +
+                     " flight event lacks attribution: statement_id=" +
+                     std::to_string(event.statement_id) +
+                     " run_id=" + std::to_string(event.run_id));
+            break;
+          }
+        }
+      }
+    }
 
     bool all_ok = true;
     for (int s = 0; s < k; ++s) {
@@ -1122,6 +1163,18 @@ Result<CaseOutcome> RunCase(const WorkloadSpec& spec,
              "independent reference evaluation disagrees\n" +
                  DiffRules(baseline.rules, *reference));
       }
+    }
+  }
+
+  // Observability invariant (DESIGN.md §16), independent of which routes
+  // ran: every session this case opened is gone, so nothing may linger in
+  // mr_active_statements.
+  if (options.run_oplog) {
+    const int64_t lingering = sql::GlobalStatementRegistry().active_count();
+    if (lingering != 0) {
+      fail("oplog-active-statements",
+           "mr_active_statements still holds " + std::to_string(lingering) +
+               " statement(s) after the case completed");
     }
   }
 

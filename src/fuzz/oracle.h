@@ -39,6 +39,12 @@ struct OracleOptions {
   /// statement must append exactly one mr_runs row.
   bool run_concurrent = true;
   int concurrent_sessions = 3;
+  /// Observability invariant (DESIGN.md §16), checked after every case:
+  /// mr_active_statements must be empty once all sessions are done, and
+  /// each concurrent-route session's flight recorder must have recorded
+  /// exactly the statements that session executed. Opt out with
+  /// fuzz_minerule --no-oplog.
+  bool run_oplog = true;
 };
 
 struct OracleFailure {

@@ -1,0 +1,57 @@
+#include "server/flight_recorder.h"
+
+#include "common/json.h"
+
+namespace minerule::server {
+
+void FlightRecorder::Record(FlightEvent event) {
+  if (event.statement.size() > kMaxStatementBytes) {
+    event.statement.resize(kMaxStatementBytes);
+    event.statement += "...";
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++recorded_;
+  events_.push_back(std::move(event));
+  while (events_.size() > kCapacity) events_.pop_front();
+}
+
+std::vector<FlightEvent> FlightRecorder::Events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {events_.begin(), events_.end()};
+}
+
+size_t FlightRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+int64_t FlightRecorder::recorded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return recorded_;
+}
+
+std::string FlightRecorder::DumpJson(int64_t session_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  JsonWriter writer;
+  writer.BeginObject();
+  writer.Key("session").Int(session_id);
+  writer.Key("recorded").Int(recorded_);
+  writer.Key("events").BeginArray();
+  for (const FlightEvent& event : events_) {
+    writer.BeginObject();
+    writer.Key("statement_id").Int(event.statement_id);
+    writer.Key("statement").String(event.statement);
+    writer.Key("class").String(event.statement_class);
+    writer.Key("status").String(event.status);
+    writer.Key("total_micros").Int(event.total_micros);
+    writer.Key("queue_wait_micros").Int(event.queue_wait_micros);
+    writer.Key("epoch_end").Int(static_cast<int64_t>(event.epoch_end));
+    writer.Key("run_id").Int(event.run_id);
+    writer.EndObject();
+  }
+  writer.EndArray();
+  writer.EndObject();
+  return writer.str();
+}
+
+}  // namespace minerule::server

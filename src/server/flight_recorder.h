@@ -1,0 +1,67 @@
+#ifndef MINERULE_SERVER_FLIGHT_RECORDER_H_
+#define MINERULE_SERVER_FLIGHT_RECORDER_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace minerule::server {
+
+/// One completed statement, as remembered by a session's flight recorder.
+struct FlightEvent {
+  int64_t statement_id = 0;  // StatementRegistry id
+  std::string statement;     // truncated to kMaxStatementBytes
+  std::string statement_class;  // "read" | "write" | "mine_rule"
+  std::string status = "ok";    // "ok" or the error message
+  int64_t total_micros = 0;
+  int64_t queue_wait_micros = 0;
+  uint64_t epoch_end = 0;
+  int64_t run_id = 0;  // mr_runs attribution, 0 when none was recorded
+};
+
+/// Per-session flight recorder (DESIGN.md §16): a fixed-size ring of the
+/// most recent statement events, cheap enough to record always. When a
+/// statement fails — or the socket front end sees a connection die with a
+/// statement half-assembled — the ring is dumped as one JSON object through
+/// the structured log, so the operator gets the lead-up, not just the
+/// failure. Thread-safe, though a session drives it from one thread; the
+/// dump may be taken by another (the socket server at teardown).
+class FlightRecorder {
+ public:
+  /// Events kept; older events are evicted in FIFO order.
+  static constexpr size_t kCapacity = 32;
+  /// Statement text kept per event (dumps stay bounded).
+  static constexpr size_t kMaxStatementBytes = 256;
+
+  FlightRecorder() = default;
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Appends one event, truncating its statement text.
+  void Record(FlightEvent event);
+
+  /// The ring, oldest first.
+  std::vector<FlightEvent> Events() const;
+
+  /// Events currently in the ring (<= kCapacity).
+  size_t size() const;
+
+  /// Events ever recorded, including ones evicted from the ring.
+  int64_t recorded() const;
+
+  /// Serializes the ring as one JSON object:
+  ///   {"session": id, "events": [{"statement_id": ..., ...}, ...]}
+  /// The output round-trips through ValidateJson (pinned by tests).
+  std::string DumpJson(int64_t session_id) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::deque<FlightEvent> events_;
+  int64_t recorded_ = 0;
+};
+
+}  // namespace minerule::server
+
+#endif  // MINERULE_SERVER_FLIGHT_RECORDER_H_

@@ -2,15 +2,20 @@
 // (DESIGN.md §15).
 //
 //   minerule_server --socket=PATH [--max-concurrent=N]
+//                   [--metrics-out=FILE] [--log-level=LEVEL] [--log-json]
 //       Serve the paper's demo catalog at PATH until SIGINT/SIGTERM.
 //       Talk to it with e.g.:  nc -U PATH
+//       --metrics-out rewrites FILE about once a second with the Prometheus
+//       text exposition of the metrics registry (node_exporter
+//       textfile-collector style; see README "Operating the server").
 //
 //   minerule_server --smoke [--clients=N]
 //       Self-contained smoke test: start a server on a temp socket, run N
 //       concurrent clients through a CREATE/INSERT/SELECT/MINE RULE
 //       conversation each, verify one mr_runs row per statement with
-//       per-session attribution, shut down cleanly and print
-//       "SERVER SMOKE OK".
+//       per-session attribution, verify \metrics emits parseable
+//       Prometheus text and a deliberately slow statement lands in
+//       mr_slow_queries, shut down cleanly and print "SERVER SMOKE OK".
 
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -19,16 +24,21 @@
 #include <atomic>
 #include <chrono>
 #include <csignal>
+#include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/log.h"
+#include "common/metrics.h"
 #include "datagen/paper_example.h"
 #include "server/server.h"
 #include "server/session.h"
 #include "server/socket_server.h"
+#include "sql/statement_registry.h"
 #include "sql/system_tables.h"
 
 namespace {
@@ -66,10 +76,11 @@ class SmokeClient {
 
   bool ok() const { return fd_ >= 0; }
 
-  /// Sends one statement (terminator appended) and returns the first
-  /// response line ("OK ..." / "ERR ...."); empty on transport failure.
-  std::string Execute(const std::string& statement) {
-    const std::string request = statement + ";\n";
+  /// Sends one raw protocol line (a '\'-command, or a statement carrying
+  /// its own ';') and returns the full response body — everything before
+  /// the '.' terminator line. Empty on transport failure.
+  std::string SendLine(const std::string& line) {
+    const std::string request = line + "\n";
     size_t off = 0;
     while (off < request.size()) {
       const ssize_t n = ::send(fd_, request.data() + off,
@@ -97,6 +108,13 @@ class SmokeClient {
       response = buffer_.substr(0, end);
       buffer_.erase(0, end + 3);
     }
+    return response;
+  }
+
+  /// Sends one statement (terminator appended) and returns the first
+  /// response line ("OK ..." / "ERR ...."); empty on transport failure.
+  std::string Execute(const std::string& statement) {
+    const std::string response = SendLine(statement + ";");
     const size_t newline = response.find('\n');
     return newline == std::string::npos ? response
                                         : response.substr(0, newline);
@@ -156,17 +174,45 @@ int RunSmoke(int clients) {
         [&, c] { failures.fetch_add(RunSmokeClient(path, c)); });
   }
   for (std::thread& t : threads) t.join();
+
+  // Observability gates (DESIGN.md §16): the slow-query log captures a
+  // deliberately slow statement, and \metrics emits Prometheus text that
+  // round-trips through the validating parser.
+  {
+    SmokeClient observer(path);
+    if (!observer.ok()) return Fail("observability client failed to connect");
+    if (observer.SendLine("\\set slow_query_micros 1") != "OK") {
+      return Fail("\\set slow_query_micros rejected");
+    }
+    // Any real statement takes >= 1us, so this must land in the slow ring.
+    if (observer.Execute("SELECT customer, item FROM Purchase")
+            .rfind("OK", 0) != 0) {
+      return Fail("slow probe statement failed");
+    }
+    const std::string metrics = observer.SendLine("\\metrics");
+    if (Status status = ValidatePrometheusText(metrics); !status.ok()) {
+      return Fail("\\metrics output not parseable: " + status.ToString());
+    }
+    if (metrics.find("minerule_server_statements") == std::string::npos ||
+        metrics.find("minerule_server_statement_micros_bucket") ==
+            std::string::npos) {
+      return Fail("\\metrics output missing server series");
+    }
+  }
   socket_server.Stop();
 
   if (failures.load() != 0) return Fail("statement failures over the socket");
-  if (socket_server.connections_accepted() != clients) {
-    return Fail("expected " + std::to_string(clients) + " connections, got " +
+  // The N conversation clients plus the observability client.
+  if (socket_server.connections_accepted() != clients + 1) {
+    return Fail("expected " + std::to_string(clients + 1) +
+                " connections, got " +
                 std::to_string(socket_server.connections_accepted()));
   }
 
-  // Exactly one mr_runs row per statement, every one attributed to a
-  // session with an admission decision.
-  const int64_t expected = static_cast<int64_t>(clients) * 4;
+  // Exactly one mr_runs row per statement — 4 per conversation client plus
+  // the observer's slow probe — every one attributed to a session with an
+  // admission decision.
+  const int64_t expected = static_cast<int64_t>(clients) * 4 + 1;
   const int64_t recorded = sql::GlobalObservability().run_count() - runs_before;
   if (recorded != expected) {
     return Fail("expected " + std::to_string(expected) + " mr_runs rows, got " +
@@ -189,13 +235,48 @@ int RunSmoke(int clients) {
     return Fail("mr_runs not queryable from SQL");
   }
 
+  // The slow probe above must be visible through the mr_slow_queries
+  // system table, operator profile included.
+  auto slow = session->Execute(
+      "SELECT statement, total_micros, operators FROM mr_slow_queries");
+  if (!slow.ok()) return Fail(slow.status().ToString());
+  bool probe_seen = false;
+  for (const Row& row : slow->query.rows) {
+    if (row[0].ToString().find("FROM Purchase") != std::string::npos &&
+        !row[2].ToString().empty()) {
+      probe_seen = true;
+    }
+  }
+  if (!probe_seen) {
+    return Fail("slow probe missing from mr_slow_queries");
+  }
+  // All smoke sessions are gone, so nothing may linger in-flight.
+  if (sql::GlobalStatementRegistry().active_count() != 0) {
+    return Fail("mr_active_statements not empty after smoke");
+  }
+
   std::cout << "clients=" << clients << " statements=" << recorded
             << " max_concurrent=" << server.scheduler()->max_concurrent()
             << "\nSERVER SMOKE OK\n";
   return 0;
 }
 
-int Serve(const std::string& path, int max_concurrent) {
+/// Atomically rewrites `path` with the Prometheus exposition of the whole
+/// registry (write to path.tmp, rename over), node_exporter
+/// textfile-collector style.
+bool WriteMetricsFile(const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return false;
+    out << GlobalMetrics().FormatPrometheus();
+    if (!out) return false;
+  }
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+int Serve(const std::string& path, int max_concurrent,
+          const std::string& metrics_out) {
   Catalog catalog;
   if (auto seeded = datagen::MakePaperPurchaseTable(&catalog); !seeded.ok()) {
     return Fail(seeded.status().ToString());
@@ -212,10 +293,19 @@ int Serve(const std::string& path, int max_concurrent) {
   std::cout << "minerule_server: serving the paper's demo catalog at " << path
             << " (max_concurrent=" << server.scheduler()->max_concurrent()
             << "); press Ctrl-C to stop\n";
+  int ticks = 0;
   while (!g_stop) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    if (!metrics_out.empty() && ++ticks % 10 == 0) {
+      if (!WriteMetricsFile(metrics_out)) {
+        GlobalLog().Log(LogLevel::kWarn, "server.main",
+                        "failed to write metrics file",
+                        {{"path", metrics_out}});
+      }
+    }
   }
   socket_server.Stop();
+  if (!metrics_out.empty()) WriteMetricsFile(metrics_out);
   std::cout << "minerule_server: stopped after "
             << socket_server.connections_accepted() << " connection(s)\n";
   return 0;
@@ -224,7 +314,12 @@ int Serve(const std::string& path, int max_concurrent) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const char* usage =
+      "usage: minerule_server --socket=PATH [--max-concurrent=N] "
+      "[--metrics-out=FILE] [--log-level=LEVEL] [--log-json] | "
+      "--smoke [--clients=N]\n";
   std::string socket_path;
+  std::string metrics_out;
   bool smoke = false;
   int clients = 8;
   int max_concurrent = 0;
@@ -238,17 +333,27 @@ int main(int argc, char** argv) {
       clients = std::atoi(arg.c_str() + 10);
     } else if (arg.rfind("--max-concurrent=", 0) == 0) {
       max_concurrent = std::atoi(arg.c_str() + 17);
+    } else if (arg.rfind("--metrics-out=", 0) == 0) {
+      metrics_out = arg.substr(14);
+    } else if (arg.rfind("--log-level=", 0) == 0) {
+      LogLevel level;
+      if (!ParseLogLevel(arg.substr(12), &level)) {
+        std::cerr << "minerule_server: unknown log level '" << arg.substr(12)
+                  << "'\n";
+        return 2;
+      }
+      GlobalLog().set_min_level(level);
+    } else if (arg == "--log-json") {
+      GlobalLog().set_json(true);
     } else {
-      std::cerr << "usage: minerule_server --socket=PATH "
-                   "[--max-concurrent=N] | --smoke [--clients=N]\n";
+      std::cerr << usage;
       return 2;
     }
   }
   if (smoke) return RunSmoke(clients > 0 ? clients : 1);
   if (socket_path.empty()) {
-    std::cerr << "usage: minerule_server --socket=PATH [--max-concurrent=N] "
-                 "| --smoke [--clients=N]\n";
+    std::cerr << usage;
     return 2;
   }
-  return Serve(socket_path, max_concurrent);
+  return Serve(socket_path, max_concurrent, metrics_out);
 }

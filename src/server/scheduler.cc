@@ -20,6 +20,22 @@ int ResolveSlots(int requested) {
 Scheduler::Scheduler(int max_concurrent)
     : max_concurrent_(ResolveSlots(max_concurrent)) {}
 
+namespace {
+
+// Live scheduler occupancy (DESIGN.md §16): current value plus the peak
+// the _peak gauge variant exposes through FormatPrometheus.
+Gauge* ActiveSlotsGauge() {
+  static Gauge* gauge = GlobalMetrics().GetGauge("server.scheduler.active");
+  return gauge;
+}
+
+Gauge* WaitingGauge() {
+  static Gauge* gauge = GlobalMetrics().GetGauge("server.scheduler.waiting");
+  return gauge;
+}
+
+}  // namespace
+
 Admission Scheduler::Admit() {
   static Counter* immediate =
       GlobalMetrics().GetCounter("server.scheduler.admitted_immediate");
@@ -35,12 +51,15 @@ Admission Scheduler::Admit() {
     admission.queued = true;
     Stopwatch watch;
     ++waiting_;
+    WaitingGauge()->Set(waiting_);
     slot_free_.wait(lock,
                     [&] { return ticket < completed_ + max_concurrent_; });
     --waiting_;
+    WaitingGauge()->Set(waiting_);
     admission.queue_wait_micros = watch.ElapsedMicros();
   }
   ++active_;
+  ActiveSlotsGauge()->Set(active_);
   lock.unlock();
 
   wait->Observe(admission.queue_wait_micros);
@@ -53,6 +72,7 @@ void Scheduler::Release() {
     std::lock_guard<std::mutex> lock(mutex_);
     ++completed_;
     --active_;
+    ActiveSlotsGauge()->Set(active_);
   }
   slot_free_.notify_all();
 }

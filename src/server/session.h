@@ -8,6 +8,7 @@
 
 #include "common/result.h"
 #include "engine/data_mining_system.h"
+#include "server/flight_recorder.h"
 #include "server/scheduler.h"
 #include "sql/engine.h"
 
@@ -30,6 +31,10 @@ enum class StatementClass {
 /// catalog sequence) is write-class; misclassifying a read as a write only
 /// costs concurrency, never correctness.
 StatementClass ClassifyStatement(std::string_view text);
+
+/// "read" | "write" | "mine_rule" — the class names used by
+/// mr_active_statements, the slow-query log and the flight recorder.
+const char* StatementClassName(StatementClass cls);
 
 /// The result of one session statement.
 struct SessionResult {
@@ -92,6 +97,17 @@ class Session {
   /// The session-private engine stack (testing and diagnostics).
   mr::DataMiningSystem* system() { return system_.get(); }
 
+  /// This session's flight recorder (DESIGN.md §16): the ring of recent
+  /// statement events, dumped as JSON when a statement fails.
+  FlightRecorder* flight_recorder() { return &flight_recorder_; }
+
+  /// Execution-time threshold (queue wait excluded) above which a
+  /// statement is captured into mr_slow_queries; <= 0 disables capture.
+  /// Seeded from MINERULE_SLOW_QUERY_MICROS (default 100ms); the socket
+  /// front end exposes it as `\set slow_query_micros N`.
+  int64_t slow_query_micros() const { return slow_query_micros_; }
+  void set_slow_query_micros(int64_t micros) { slow_query_micros_ = micros; }
+
  private:
   friend class Server;
   Session(Server* server, int64_t id, std::string name);
@@ -107,6 +123,8 @@ class Session {
   std::unique_ptr<mr::DataMiningSystem> system_;
   std::string last_error_;
   uint64_t last_epoch_ = 0;
+  FlightRecorder flight_recorder_;
+  int64_t slow_query_micros_ = 0;  // seeded in the constructor
 };
 
 }  // namespace minerule::server

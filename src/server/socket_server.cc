@@ -5,8 +5,10 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 
+#include "common/log.h"
 #include "common/metrics.h"
 #include "common/string_util.h"
 #include "server/session.h"
@@ -48,7 +50,19 @@ std::string TrimRight(std::string s) {
   return s;
 }
 
-/// Applies a "\set ..." command to the session; returns the reply line.
+/// Strict base-10 integer parse: the whole token must be a number.
+bool ParseInt64Strict(const std::string& text, int64_t* out) {
+  if (text.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(text.c_str(), &end, 10);
+  if (end != text.c_str() + text.size() || errno == ERANGE) return false;
+  *out = static_cast<int64_t>(parsed);
+  return true;
+}
+
+}  // namespace
+
 std::string ApplySetCommand(Session* session, const std::string& line) {
   std::vector<std::string> parts;
   std::string word;
@@ -71,22 +85,36 @@ std::string ApplySetCommand(Session* session, const std::string& line) {
     } else if (value == "off") {
       *flag = false;
     } else {
-      return "ERR expected on|off for \\set " + name;
+      return "ERR expected on|off for \\set " + name + ", got '" + value +
+             "'";
     }
+    return "OK";
+  };
+  auto integer = [&](auto apply) -> std::string {
+    int64_t parsed = 0;
+    if (!ParseInt64Strict(value, &parsed)) {
+      return "ERR expected an integer for \\set " + name + ", got '" +
+             value + "'";
+    }
+    apply(parsed);
     return "OK";
   };
   if (name == "vectorized") return on_off(&options->vectorized_sql);
   if (name == "cost_based") return on_off(&options->cost_based_sql);
   if (name == "threads") {
-    options->num_threads = std::atoi(value.c_str());
-    return "OK";
+    return integer(
+        [&](int64_t v) { options->num_threads = static_cast<int>(v); });
   }
   if (name == "memory_limit") {
-    options->memory_limit = std::atoll(value.c_str());
-    return "OK";
+    return integer([&](int64_t v) { options->memory_limit = v; });
+  }
+  if (name == "slow_query_micros") {
+    return integer([&](int64_t v) { session->set_slow_query_micros(v); });
   }
   return "ERR unknown option: " + name;
 }
+
+namespace {
 
 std::string FormatResponse(const SessionResult& result) {
   std::string out = "OK rows=" +
@@ -171,18 +199,42 @@ void SocketServer::ServeConnection(int fd) {
       GlobalMetrics().GetCounter("server.socket.statements");
   static Counter* bytes_read =
       GlobalMetrics().GetCounter("server.socket.bytes_read");
+  static Counter* oversized =
+      GlobalMetrics().GetCounter("server.socket.oversized_statements");
 
   std::unique_ptr<Session> session = server_->Connect();
+  GlobalLog().Log(LogLevel::kInfo, "server.socket", "connection opened",
+                  {{"fd", fd}, {"session", session->id()}});
   std::string pending;    // raw bytes not yet split into lines
   std::string statement;  // lines accumulated toward the next ';'
   char buf[4096];
   bool open = true;
+  bool rejected_oversized = false;
   while (open) {
     const ssize_t n = ::read(fd, buf, sizeof(buf));
     if (n < 0 && errno == EINTR) continue;
     if (n <= 0) break;
     bytes_read->Add(n);
     pending.append(buf, static_cast<size_t>(n));
+
+    // Bounded input (DESIGN.md §16): everything buffered toward the next
+    // statement — raw bytes plus accumulated lines — must fit the cap. A
+    // violating connection is closed: mid-statement there is no stream
+    // position at which the protocol could resynchronize.
+    if (pending.size() + statement.size() > kMaxStatementBytes) {
+      oversized->Increment();
+      rejected_oversized = true;
+      GlobalLog().Log(LogLevel::kWarn, "server.socket",
+                      "oversized statement rejected",
+                      {{"session", session->id()},
+                       {"buffered", static_cast<int64_t>(pending.size() +
+                                                         statement.size())},
+                       {"limit", static_cast<int64_t>(kMaxStatementBytes)}});
+      WriteAll(fd, "ERR statement too large (limit " +
+                       std::to_string(kMaxStatementBytes) +
+                       " bytes); closing connection\n.\n");
+      break;
+    }
 
     size_t newline;
     while (open && (newline = pending.find('\n')) != std::string::npos) {
@@ -199,7 +251,11 @@ void SocketServer::ServeConnection(int fd) {
           open = false;
           break;
         }
-        if (command.rfind("\\set", 0) == 0) {
+        if (command == "\\metrics") {
+          // Prometheus text exposition (DESIGN.md §16). No sample line can
+          // collide with the '.' response terminator.
+          WriteAll(fd, GlobalMetrics().FormatPrometheus() + ".\n");
+        } else if (command.rfind("\\set", 0) == 0) {
           WriteAll(fd, ApplySetCommand(session.get(), command) + "\n.\n");
         } else {
           WriteAll(fd, "ERR unknown command: " + command + "\n.\n");
@@ -232,6 +288,23 @@ void SocketServer::ServeConnection(int fd) {
       }
     }
   }
+
+  // A connection that died with a statement half-assembled (or was cut off
+  // for an oversized statement) ended uncleanly: dump the session's flight
+  // recorder so the operator sees what led up to it (DESIGN.md §16).
+  const bool unclean =
+      rejected_oversized || !TrimRight(statement + pending).empty();
+  if (unclean && GlobalLog().Enabled(LogLevel::kWarn)) {
+    GlobalLog().Log(LogLevel::kWarn, "server.socket",
+                    "connection ended mid-statement",
+                    {{"session", session->id()},
+                     {"flight", session->flight_recorder()->DumpJson(
+                                    session->id())}});
+  }
+  GlobalLog().Log(LogLevel::kInfo, "server.socket", "connection closed",
+                  {{"fd", fd},
+                   {"session", session->id()},
+                   {"statements", session->flight_recorder()->recorded()}});
   ::close(fd);
 }
 

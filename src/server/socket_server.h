@@ -13,6 +13,15 @@
 
 namespace minerule::server {
 
+class Session;
+
+/// Applies a "\set NAME VALUE" command to the session and returns the
+/// reply line ("OK" or a distinct "ERR ..." per failure mode: usage,
+/// unknown option, malformed value). Values are parsed strictly — "8x" is
+/// an error, not 8. Exposed for the key-matrix unit test; the socket
+/// protocol handler is the production caller.
+std::string ApplySetCommand(Session* session, const std::string& line);
+
 /// Thin line protocol over a local (AF_UNIX) stream socket — the network
 /// face of Server::Connect (DESIGN.md §15). One connection == one session.
 ///
@@ -22,7 +31,10 @@ namespace minerule::server {
 /// commands, executed immediately:
 ///
 ///   \set threads N | vectorized on|off | cost_based on|off |
-///        memory_limit BYTES          -- per-session options
+///        memory_limit BYTES | slow_query_micros N
+///                                    -- per-session options
+///   \metrics                         -- Prometheus text exposition of the
+///                                       whole metrics registry (§16)
 ///   \quit                            -- close the connection
 ///
 /// Every request gets one response, terminated by a line containing a
@@ -36,8 +48,17 @@ namespace minerule::server {
 /// or, on failure, "ERR <message with newlines collapsed>" followed by the
 /// '.' terminator. The connection survives errors; sessions end when the
 /// client disconnects or sends \quit.
+///
+/// Input is bounded: a connection buffering more than kMaxStatementBytes
+/// toward one statement gets "ERR statement too large ..." and is closed
+/// (the stream position is unrecoverable mid-statement), counted by the
+/// server.socket.oversized_statements metric.
 class SocketServer {
  public:
+  /// Bytes a connection may buffer toward one statement (raw input plus
+  /// accumulated lines) before it is rejected and closed.
+  static constexpr size_t kMaxStatementBytes = 1 << 20;  // 1 MiB
+
   /// Serves `server` at the given filesystem socket path (unlinked first
   /// if it exists; AF_UNIX paths must be short — keep them under ~100
   /// bytes).

@@ -1,0 +1,166 @@
+#include "sql/statement_registry.h"
+
+#include <chrono>
+
+namespace minerule::sql {
+
+namespace {
+
+int64_t MonotonicMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+const char* StatementStateName(StatementState state) {
+  switch (state) {
+    case StatementState::kQueued:
+      return "queued";
+    case StatementState::kAdmitted:
+      return "admitted";
+    case StatementState::kExecuting:
+      return "executing";
+  }
+  return "queued";
+}
+
+void StatementRegistry::RegisterSession(int64_t session_id,
+                                        const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SessionEntry& entry = sessions_[session_id];
+  entry.name = name;
+  entry.connect_micros = MonotonicMicros();
+}
+
+void StatementRegistry::UnregisterSession(int64_t session_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sessions_.erase(session_id);
+}
+
+int64_t StatementRegistry::BeginStatement(int64_t session_id,
+                                          std::string statement,
+                                          std::string statement_class) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const int64_t id = next_statement_id_++;
+  ActiveEntry& entry = active_[id];
+  entry.snapshot.statement_id = id;
+  entry.snapshot.session_id = session_id;
+  entry.snapshot.statement = std::move(statement);
+  entry.snapshot.statement_class = std::move(statement_class);
+  entry.snapshot.state = StatementState::kQueued;
+  entry.begin_micros = MonotonicMicros();
+  auto session = sessions_.find(session_id);
+  if (session != sessions_.end()) session->second.in_flight += 1;
+  return id;
+}
+
+void StatementRegistry::MarkAdmitted(int64_t statement_id,
+                                     int64_t queue_wait_micros) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = active_.find(statement_id);
+  if (it == active_.end()) return;
+  it->second.snapshot.state = StatementState::kAdmitted;
+  it->second.snapshot.queue_wait_micros = queue_wait_micros;
+}
+
+void StatementRegistry::MarkExecuting(int64_t statement_id,
+                                      int64_t pinned_epoch) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = active_.find(statement_id);
+  if (it == active_.end()) return;
+  it->second.snapshot.state = StatementState::kExecuting;
+  it->second.snapshot.pinned_epoch = pinned_epoch;
+}
+
+void StatementRegistry::EndStatement(int64_t statement_id, bool ok,
+                                     const std::string& error) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = active_.find(statement_id);
+  if (it == active_.end()) return;
+  auto session = sessions_.find(it->second.snapshot.session_id);
+  if (session != sessions_.end()) {
+    SessionEntry& entry = session->second;
+    entry.in_flight -= 1;
+    entry.statements += 1;
+    if (ok) {
+      entry.last_error.clear();
+    } else {
+      entry.errors += 1;
+      entry.last_error = error;
+    }
+  }
+  active_.erase(it);
+}
+
+void StatementRegistry::RecordSlowQuery(SlowQueryRecord record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++slow_recorded_;
+  slow_.push_back(std::move(record));
+  while (slow_.size() > kSlowQueryCapacity) slow_.pop_front();
+}
+
+std::vector<SessionSnapshot> StatementRegistry::Sessions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const int64_t now = MonotonicMicros();
+  std::vector<SessionSnapshot> out;
+  out.reserve(sessions_.size());
+  for (const auto& [id, entry] : sessions_) {
+    SessionSnapshot snapshot;
+    snapshot.session_id = id;
+    snapshot.name = entry.name;
+    snapshot.uptime_micros = now - entry.connect_micros;
+    snapshot.statements = entry.statements;
+    snapshot.errors = entry.errors;
+    snapshot.in_flight = entry.in_flight;
+    snapshot.last_error = entry.last_error;
+    out.push_back(std::move(snapshot));
+  }
+  return out;
+}
+
+std::vector<ActiveStatementSnapshot> StatementRegistry::ActiveStatements()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const int64_t now = MonotonicMicros();
+  std::vector<ActiveStatementSnapshot> out;
+  out.reserve(active_.size());
+  for (const auto& [id, entry] : active_) {
+    ActiveStatementSnapshot snapshot = entry.snapshot;
+    snapshot.elapsed_micros = now - entry.begin_micros;
+    out.push_back(std::move(snapshot));
+  }
+  return out;
+}
+
+std::vector<SlowQueryRecord> StatementRegistry::SlowQueries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {slow_.begin(), slow_.end()};
+}
+
+int64_t StatementRegistry::active_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int64_t>(active_.size());
+}
+
+int64_t StatementRegistry::slow_queries_recorded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return slow_recorded_;
+}
+
+void StatementRegistry::ResetForTesting() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sessions_.clear();
+  active_.clear();
+  slow_.clear();
+  next_statement_id_ = 1;
+  slow_recorded_ = 0;
+}
+
+StatementRegistry& GlobalStatementRegistry() {
+  static StatementRegistry* registry = new StatementRegistry();
+  return *registry;
+}
+
+}  // namespace minerule::sql

@@ -1,0 +1,147 @@
+#ifndef MINERULE_SQL_STATEMENT_REGISTRY_H_
+#define MINERULE_SQL_STATEMENT_REGISTRY_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace minerule::sql {
+
+// ---------------------------------------------------------------------------
+// Statement lifecycle registry (DESIGN.md §16): the live-introspection
+// counterpart of the append-only ObservabilityRegistry. The server session
+// layer registers every connection and every in-flight statement here, so
+// any concurrent session can ask "what is the server doing right now"
+// through plain SQL:
+//
+//   SELECT session_id, state, elapsed_micros FROM mr_active_statements;
+//   SELECT * FROM mr_sessions;
+//   SELECT statement, total_micros, operators FROM mr_slow_queries;
+//
+// Lives in the sql layer (not server/) so the system-table materializer can
+// read it without a dependency cycle; the server is the only writer.
+// ---------------------------------------------------------------------------
+
+/// Lifecycle of one statement: queued in the admission scheduler, admitted
+/// to a slot, executing under the catalog latch. Completed statements leave
+/// the registry (their trace lives on in mr_runs and the session flight
+/// recorder).
+enum class StatementState { kQueued, kAdmitted, kExecuting };
+
+/// "queued" | "admitted" | "executing".
+const char* StatementStateName(StatementState state);
+
+/// One live session, as surfaced by mr_sessions.
+struct SessionSnapshot {
+  int64_t session_id = 0;
+  std::string name;
+  int64_t uptime_micros = 0;  // since Connect
+  int64_t statements = 0;     // completed (success and failure)
+  int64_t errors = 0;         // completed with an error
+  int64_t in_flight = 0;      // 0 or 1 (a session runs one statement at a time)
+  std::string last_error;     // empty after a successful statement
+};
+
+/// One in-flight statement, as surfaced by mr_active_statements.
+struct ActiveStatementSnapshot {
+  int64_t statement_id = 0;  // process-wide, 1-based, dense
+  int64_t session_id = 0;
+  std::string statement;
+  std::string statement_class;  // "read" | "write" | "mine_rule"
+  StatementState state = StatementState::kQueued;
+  int64_t elapsed_micros = 0;     // since BeginStatement, at snapshot time
+  int64_t queue_wait_micros = 0;  // 0 until admitted
+  int64_t pinned_epoch = -1;      // catalog epoch; -1 until executing
+};
+
+/// One slow statement, as surfaced by mr_slow_queries (DESIGN.md §16).
+struct SlowQueryRecord {
+  int64_t statement_id = 0;
+  int64_t session_id = 0;
+  std::string statement;
+  std::string statement_class;
+  int64_t total_micros = 0;       // execution time, queue wait excluded
+  int64_t queue_wait_micros = 0;
+  int64_t threshold_micros = 0;   // the threshold that was crossed
+  int64_t rows = 0;               // result/affected rows (rules for MINE RULE)
+  int64_t peak_bytes = 0;         // estimated peak working-set bytes
+  std::string operators;          // compressed operator profile, "op:rows ..."
+  std::string status = "ok";      // "ok" or the error message
+};
+
+/// Process-wide registry of live sessions, in-flight statements and the
+/// bounded slow-query ring. All methods are thread-safe; snapshots compute
+/// elapsed times against a monotonic clock at call time. Leaked like the
+/// other global registries.
+class StatementRegistry {
+ public:
+  /// Slow queries kept; older entries are evicted in FIFO order.
+  static constexpr size_t kSlowQueryCapacity = 128;
+
+  StatementRegistry() = default;
+  StatementRegistry(const StatementRegistry&) = delete;
+  StatementRegistry& operator=(const StatementRegistry&) = delete;
+
+  void RegisterSession(int64_t session_id, const std::string& name);
+  void UnregisterSession(int64_t session_id);
+
+  /// Starts tracking a statement in state kQueued; returns its id.
+  int64_t BeginStatement(int64_t session_id, std::string statement,
+                         std::string statement_class);
+  /// kQueued -> kAdmitted, with the admission scheduler's wait attribution.
+  void MarkAdmitted(int64_t statement_id, int64_t queue_wait_micros);
+  /// kAdmitted -> kExecuting, with the catalog epoch the statement pinned
+  /// (readers) or observed at entry (writers).
+  void MarkExecuting(int64_t statement_id, int64_t pinned_epoch);
+  /// Removes the statement and folds its outcome into the session counters.
+  void EndStatement(int64_t statement_id, bool ok, const std::string& error);
+
+  /// Appends to the bounded slow-query ring.
+  void RecordSlowQuery(SlowQueryRecord record);
+
+  /// Sessions in id order.
+  std::vector<SessionSnapshot> Sessions() const;
+  /// In-flight statements in statement-id (begin) order.
+  std::vector<ActiveStatementSnapshot> ActiveStatements() const;
+  /// The slow-query ring, oldest first.
+  std::vector<SlowQueryRecord> SlowQueries() const;
+
+  int64_t active_count() const;
+  /// Slow queries ever recorded (including ones evicted from the ring).
+  int64_t slow_queries_recorded() const;
+
+  /// Drops everything. Tests only.
+  void ResetForTesting();
+
+ private:
+  struct ActiveEntry {
+    ActiveStatementSnapshot snapshot;
+    int64_t begin_micros = 0;  // monotonic, for elapsed computation
+  };
+  struct SessionEntry {
+    std::string name;
+    int64_t connect_micros = 0;  // monotonic
+    int64_t statements = 0;
+    int64_t errors = 0;
+    int64_t in_flight = 0;
+    std::string last_error;
+  };
+
+  mutable std::mutex mutex_;
+  int64_t next_statement_id_ = 1;
+  std::map<int64_t, SessionEntry> sessions_;
+  std::map<int64_t, ActiveEntry> active_;  // keyed by statement_id
+  std::deque<SlowQueryRecord> slow_;
+  int64_t slow_recorded_ = 0;
+};
+
+/// The process-wide registry behind mr_sessions / mr_active_statements /
+/// mr_slow_queries.
+StatementRegistry& GlobalStatementRegistry();
+
+}  // namespace minerule::sql
+
+#endif  // MINERULE_SQL_STATEMENT_REGISTRY_H_

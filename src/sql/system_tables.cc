@@ -6,6 +6,7 @@
 #include "common/metrics.h"
 #include "common/string_util.h"
 #include "common/trace.h"
+#include "sql/statement_registry.h"
 #include "sql/statistics.h"
 
 namespace minerule::sql {
@@ -77,6 +78,41 @@ Schema TableStatsSchema() {
                  {"max_value", DataType::kString},
                  {"null_frac", DataType::kDouble},
                  {"stats_epoch", DataType::kInteger}});
+}
+
+Schema SessionsSchema() {
+  return Schema({{"session_id", DataType::kInteger},
+                 {"name", DataType::kString},
+                 {"uptime_micros", DataType::kInteger},
+                 {"statements", DataType::kInteger},
+                 {"errors", DataType::kInteger},
+                 {"in_flight", DataType::kInteger},
+                 {"last_error", DataType::kString}});
+}
+
+Schema ActiveStatementsSchema() {
+  return Schema({{"statement_id", DataType::kInteger},
+                 {"session_id", DataType::kInteger},
+                 {"state", DataType::kString},
+                 {"class", DataType::kString},
+                 {"statement", DataType::kString},
+                 {"elapsed_micros", DataType::kInteger},
+                 {"queue_wait_micros", DataType::kInteger},
+                 {"pinned_epoch", DataType::kInteger}});
+}
+
+Schema SlowQueriesSchema() {
+  return Schema({{"statement_id", DataType::kInteger},
+                 {"session_id", DataType::kInteger},
+                 {"statement", DataType::kString},
+                 {"class", DataType::kString},
+                 {"total_micros", DataType::kInteger},
+                 {"queue_wait_micros", DataType::kInteger},
+                 {"threshold_micros", DataType::kInteger},
+                 {"rows", DataType::kInteger},
+                 {"peak_bytes", DataType::kInteger},
+                 {"operators", DataType::kString},
+                 {"status", DataType::kString}});
 }
 
 Schema TraceSpansSchema() {
@@ -169,6 +205,49 @@ std::vector<Row> TableStatsRows(const StatisticsCatalog* stats) {
   return rows;
 }
 
+std::vector<Row> SessionsRows() {
+  std::vector<Row> rows;
+  for (const SessionSnapshot& s : GlobalStatementRegistry().Sessions()) {
+    rows.push_back({Value::Integer(s.session_id), Value::String(s.name),
+                    Value::Integer(s.uptime_micros),
+                    Value::Integer(s.statements), Value::Integer(s.errors),
+                    Value::Integer(s.in_flight),
+                    Value::String(s.last_error)});
+  }
+  return rows;
+}
+
+std::vector<Row> ActiveStatementsRows() {
+  std::vector<Row> rows;
+  for (const ActiveStatementSnapshot& s :
+       GlobalStatementRegistry().ActiveStatements()) {
+    rows.push_back({Value::Integer(s.statement_id),
+                    Value::Integer(s.session_id),
+                    Value::String(StatementStateName(s.state)),
+                    Value::String(s.statement_class),
+                    Value::String(s.statement),
+                    Value::Integer(s.elapsed_micros),
+                    Value::Integer(s.queue_wait_micros),
+                    Value::Integer(s.pinned_epoch)});
+  }
+  return rows;
+}
+
+std::vector<Row> SlowQueriesRows() {
+  std::vector<Row> rows;
+  for (const SlowQueryRecord& s : GlobalStatementRegistry().SlowQueries()) {
+    rows.push_back({Value::Integer(s.statement_id),
+                    Value::Integer(s.session_id), Value::String(s.statement),
+                    Value::String(s.statement_class),
+                    Value::Integer(s.total_micros),
+                    Value::Integer(s.queue_wait_micros),
+                    Value::Integer(s.threshold_micros),
+                    Value::Integer(s.rows), Value::Integer(s.peak_bytes),
+                    Value::String(s.operators), Value::String(s.status)});
+  }
+  return rows;
+}
+
 std::vector<Row> TraceSpansRows() {
   SpanTracer& tracer = GlobalTracer();
   std::map<int, std::string> names;
@@ -222,8 +301,9 @@ ObservabilityRegistry& GlobalObservability() {
 
 const std::vector<std::string>& SystemTableNames() {
   static const std::vector<std::string>* names = new std::vector<std::string>{
-      "mr_runs", "mr_query_profile", "mr_operator_stats", "mr_metrics",
-      "mr_trace_spans", "mr_table_stats"};
+      "mr_runs",        "mr_query_profile",     "mr_operator_stats",
+      "mr_metrics",     "mr_trace_spans",       "mr_table_stats",
+      "mr_sessions",    "mr_active_statements", "mr_slow_queries"};
   return *names;
 }
 
@@ -241,6 +321,9 @@ Result<Schema> SystemTableSchema(const std::string& name) {
   if (lower == "mr_metrics") return MetricsSchema();
   if (lower == "mr_trace_spans") return TraceSpansSchema();
   if (lower == "mr_table_stats") return TableStatsSchema();
+  if (lower == "mr_sessions") return SessionsSchema();
+  if (lower == "mr_active_statements") return ActiveStatementsSchema();
+  if (lower == "mr_slow_queries") return SlowQueriesSchema();
   return Status::NotFound("not a system table: " + name);
 }
 
@@ -255,6 +338,12 @@ Result<std::pair<Schema, std::vector<Row>>> MaterializeSystemTable(
     rows = TraceSpansRows();
   } else if (lower == "mr_table_stats") {
     rows = TableStatsRows(stats);
+  } else if (lower == "mr_sessions") {
+    rows = SessionsRows();
+  } else if (lower == "mr_active_statements") {
+    rows = ActiveStatementsRows();
+  } else if (lower == "mr_slow_queries") {
+    rows = SlowQueriesRows();
   } else {
     const std::vector<RunRecord> runs = GlobalObservability().Runs();
     if (lower == "mr_runs") {

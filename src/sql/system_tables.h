@@ -14,15 +14,18 @@
 namespace minerule::sql {
 
 // ---------------------------------------------------------------------------
-// Queryable telemetry (DESIGN.md §11): six virtual mr_* tables materialized
-// on scan from the process-wide registries, so the embedded SQL engine can
-// query its own execution history — the same tight coupling the paper argues
-// for applied to the system's introspection:
+// Queryable telemetry (DESIGN.md §11, §16): nine virtual mr_* tables
+// materialized on scan from the process-wide registries, so the embedded SQL
+// engine can query its own execution history — the same tight coupling the
+// paper argues for applied to the system's introspection:
 //
 //   SELECT * FROM mr_query_profile WHERE query_id = 'Q4' ORDER BY rows DESC;
+//   SELECT session_id, state FROM mr_active_statements;   -- live (§16)
 //
-// A catalog table or view with the same name shadows the system table, so
-// existing workloads can never break.
+// mr_sessions, mr_active_statements and mr_slow_queries materialize from the
+// statement lifecycle registry (sql/statement_registry.h) the server session
+// layer maintains. A catalog table or view with the same name shadows the
+// system table, so existing workloads can never break.
 // ---------------------------------------------------------------------------
 
 /// Profile of one generated query inside one run (a preprocess Q0..Q11,
@@ -80,7 +83,7 @@ class ObservabilityRegistry {
 
 ObservabilityRegistry& GlobalObservability();
 
-/// True for the six mr_* system tables (case-insensitive).
+/// True for the nine mr_* system tables (case-insensitive).
 bool IsSystemTable(const std::string& name);
 
 /// The system-table names in display order.
@@ -92,9 +95,11 @@ Result<Schema> SystemTableSchema(const std::string& name);
 /// Materializes the current contents of a system table. Row order is
 /// deterministic: history tables in run order, mr_metrics sorted by name,
 /// mr_trace_spans in (tid, record order), mr_table_stats in (table, column
-/// position) order. `stats` feeds mr_table_stats — it shows the entries the
-/// engine's statistics catalog has already collected (via planning under
-/// cost-based mode or ANALYZE); null yields an empty table, never an error.
+/// position) order, mr_sessions in session-id order, mr_active_statements
+/// in statement-id order, mr_slow_queries oldest first. `stats` feeds
+/// mr_table_stats — it shows the entries the engine's statistics catalog
+/// has already collected (via planning under cost-based mode or ANALYZE);
+/// null yields an empty table, never an error.
 Result<std::pair<Schema, std::vector<Row>>> MaterializeSystemTable(
     const std::string& name, const class StatisticsCatalog* stats = nullptr);
 

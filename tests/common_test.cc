@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "common/json.h"
+#include "common/log.h"
 #include "common/metrics.h"
 #include "common/random.h"
 #include "common/result.h"
@@ -288,6 +289,172 @@ TEST(MetricsTest, RegistrySnapshotSortedAndStable) {
   JsonWriter writer;
   MetricsRegistry::AppendJson(samples, &writer);
   EXPECT_TRUE(ValidateJson(writer.str()).ok()) << writer.str();
+}
+
+TEST(MetricsTest, HistogramPercentileEdgeCases) {
+  // Empty histogram: every percentile is 0 by definition.
+  Histogram empty({10, 100});
+  Histogram::Snapshot none = empty.Snap();
+  EXPECT_EQ(none.count, 0);
+  EXPECT_DOUBLE_EQ(none.Percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(none.Percentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(none.Percentile(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(none.Mean(), 0.0);
+
+  // Single observation: min == max pins every percentile to the value.
+  Histogram single({10, 100});
+  single.Observe(42);
+  Histogram::Snapshot one = single.Snap();
+  EXPECT_DOUBLE_EQ(one.Percentile(0.0), 42.0);
+  EXPECT_DOUBLE_EQ(one.Percentile(0.5), 42.0);
+  EXPECT_DOUBLE_EQ(one.Percentile(1.0), 42.0);
+
+  // q=0 hits the observed minimum, q=1 the observed maximum; out-of-range
+  // q is clamped, not undefined.
+  Histogram spread({10});
+  spread.Observe(5);     // first bucket
+  spread.Observe(100);   // overflow bucket
+  spread.Observe(1000);  // overflow bucket
+  Histogram::Snapshot snap = spread.Snap();
+  EXPECT_DOUBLE_EQ(snap.Percentile(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(snap.Percentile(1.0), 1000.0);
+  EXPECT_DOUBLE_EQ(snap.Percentile(-0.5), snap.Percentile(0.0));
+  EXPECT_DOUBLE_EQ(snap.Percentile(1.5), snap.Percentile(1.0));
+  // The overflow bucket has no upper bound; interpolation uses the
+  // observed max as its edge, so percentiles stay within the data.
+  EXPECT_GE(snap.Percentile(0.9), 10.0);
+  EXPECT_LE(snap.Percentile(0.9), 1000.0);
+}
+
+TEST(MetricsTest, PrometheusFormatRoundTripsThroughValidator) {
+  MetricsRegistry registry;
+  registry.GetCounter("server.statements")->Add(12);
+  registry.GetGauge("server.sessions.active")->Set(3);
+  Histogram* histogram =
+      registry.GetHistogram("server.statement_micros", {10, 100, 1000});
+  histogram->Observe(5);
+  histogram->Observe(50);
+  histogram->Observe(5000);  // overflow bucket
+
+  const std::string text = registry.FormatPrometheus();
+  EXPECT_TRUE(ValidatePrometheusText(text).ok())
+      << ValidatePrometheusText(text).ToString() << "\n" << text;
+
+  // Name mangling: dots become underscores under the minerule_ prefix.
+  EXPECT_NE(text.find("# TYPE minerule_server_statements counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("minerule_server_statements 12\n"), std::string::npos);
+  // Gauges also expose their running peak.
+  EXPECT_NE(text.find("minerule_server_sessions_active 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("minerule_server_sessions_active_peak 3\n"),
+            std::string::npos);
+  // Histogram buckets are cumulative and end in +Inf == _count.
+  EXPECT_NE(text.find("minerule_server_statement_micros_bucket{le=\"10\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("minerule_server_statement_micros_bucket{le=\"100\"} 2\n"),
+      std::string::npos);
+  EXPECT_NE(
+      text.find("minerule_server_statement_micros_bucket{le=\"1000\"} 2\n"),
+      std::string::npos);
+  EXPECT_NE(
+      text.find("minerule_server_statement_micros_bucket{le=\"+Inf\"} 3\n"),
+      std::string::npos);
+  EXPECT_NE(text.find("minerule_server_statement_micros_sum 5055\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("minerule_server_statement_micros_count 3\n"),
+            std::string::npos);
+}
+
+TEST(MetricsTest, PrometheusValidatorRejectsBrokenExpositions) {
+  // Well-formed baseline accepted.
+  EXPECT_TRUE(ValidatePrometheusText("# TYPE minerule_x counter\n"
+                                     "minerule_x 1\n")
+                  .ok());
+  // Non-cumulative buckets.
+  EXPECT_FALSE(ValidatePrometheusText("h_bucket{le=\"1\"} 5\n"
+                                      "h_bucket{le=\"2\"} 3\n"
+                                      "h_bucket{le=\"+Inf\"} 5\n"
+                                      "h_sum 9\nh_count 5\n")
+                   .ok());
+  // Missing the +Inf bucket.
+  EXPECT_FALSE(ValidatePrometheusText("h_bucket{le=\"1\"} 5\n"
+                                      "h_sum 9\nh_count 5\n")
+                   .ok());
+  // _count disagrees with the +Inf bucket.
+  EXPECT_FALSE(ValidatePrometheusText("h_bucket{le=\"1\"} 5\n"
+                                      "h_bucket{le=\"+Inf\"} 5\n"
+                                      "h_sum 9\nh_count 6\n")
+                   .ok());
+  // Malformed sample values and comments.
+  EXPECT_FALSE(ValidatePrometheusText("minerule_x one\n").ok());
+  EXPECT_FALSE(ValidatePrometheusText("# BOGUS comment\n").ok());
+  EXPECT_FALSE(ValidatePrometheusText("{oops} 1\n").ok());
+}
+
+TEST(LogTest, KeyValueFormatIsPinned) {
+  const std::string line = Logger::FormatLine(
+      /*json=*/false, /*seq=*/7, LogLevel::kInfo, "server.session",
+      "statement failed",
+      {{"session", 3}, {"class", "read"}, {"error", "a \"b\" c"}});
+  EXPECT_EQ(line,
+            "seq=7 level=info component=server.session "
+            "msg=\"statement failed\" session=3 class=read "
+            "error=\"a \\\"b\\\" c\"");
+}
+
+TEST(LogTest, JsonFormatValidates) {
+  const std::string line = Logger::FormatLine(
+      /*json=*/true, /*seq=*/2, LogLevel::kWarn, "server.socket",
+      "oversized statement rejected", {{"limit", int64_t{1048576}}});
+  EXPECT_TRUE(ValidateJson(line).ok()) << line;
+  EXPECT_NE(line.find("\"level\":\"warn\""), std::string::npos);
+  EXPECT_NE(line.find("\"component\":\"server.socket\""), std::string::npos);
+  EXPECT_NE(line.find("\"limit\":\"1048576\""), std::string::npos);
+}
+
+TEST(LogTest, LevelsFilterAndSinkCaptures) {
+  Logger logger;
+  std::vector<std::string> lines;
+  logger.set_sink([&lines](const std::string& line) {
+    lines.push_back(line);
+  });
+  logger.set_min_level(LogLevel::kWarn);
+  EXPECT_FALSE(logger.Enabled(LogLevel::kInfo));
+  EXPECT_TRUE(logger.Enabled(LogLevel::kError));
+
+  logger.Log(LogLevel::kDebug, "c", "dropped");
+  logger.Log(LogLevel::kInfo, "c", "dropped");
+  logger.Log(LogLevel::kWarn, "c", "kept");
+  logger.Log(LogLevel::kError, "c", "kept too");
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("msg=\"kept\""), std::string::npos);
+  EXPECT_EQ(logger.lines_emitted(), 2);
+
+  // kOff silences everything, including errors.
+  logger.set_min_level(LogLevel::kOff);
+  logger.Log(LogLevel::kError, "c", "silenced");
+  EXPECT_EQ(logger.lines_emitted(), 2);
+}
+
+TEST(LogTest, ParseLogLevelNames) {
+  LogLevel level;
+  EXPECT_TRUE(ParseLogLevel("debug", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(ParseLogLevel("WARN", &level));
+  EXPECT_EQ(level, LogLevel::kWarn);
+  EXPECT_TRUE(ParseLogLevel("off", &level));
+  EXPECT_EQ(level, LogLevel::kOff);
+  EXPECT_FALSE(ParseLogLevel("loud", &level));
+  EXPECT_STREQ(LogLevelName(LogLevel::kError), "error");
+}
+
+TEST(LogTest, StringLiteralFieldStaysAString) {
+  // Regression: without the const char* constructor, a string literal
+  // converts to bool and "read" logs as "true".
+  const LogField field("class", "read");
+  EXPECT_EQ(field.value, "read");
 }
 
 TEST(SpanTracerTest, RecordsInTidOrderAndExportsChromeJson) {

@@ -1,0 +1,361 @@
+// Operational observability for the serving path (DESIGN.md §16): the
+// statement lifecycle registry behind mr_sessions / mr_active_statements,
+// the slow-query ring behind mr_slow_queries, and the per-session flight
+// recorder. The tentpole check runs 8 client sessions under load while an
+// observer session watches them *through plain SQL* from a ninth session —
+// live introspection must be queryable concurrently (and clean under TSan).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.h"
+#include "datagen/retail_gen.h"
+#include "server/flight_recorder.h"
+#include "server/server.h"
+#include "server/session.h"
+#include "sql/statement_registry.h"
+#include "sql/system_tables.h"
+
+namespace minerule {
+namespace {
+
+using server::FlightEvent;
+using server::FlightRecorder;
+using sql::GlobalStatementRegistry;
+using sql::StatementRegistry;
+
+// --------------------------------------------------------------------------
+// FlightRecorder unit tests.
+// --------------------------------------------------------------------------
+
+FlightEvent MakeEvent(int64_t id, std::string statement) {
+  FlightEvent event;
+  event.statement_id = id;
+  event.statement = std::move(statement);
+  event.statement_class = "read";
+  event.total_micros = 10 * id;
+  return event;
+}
+
+TEST(FlightRecorderTest, RingEvictsOldestBeyondCapacity) {
+  FlightRecorder recorder;
+  const int total = static_cast<int>(FlightRecorder::kCapacity) + 8;
+  for (int i = 1; i <= total; ++i) {
+    recorder.Record(MakeEvent(i, "stmt " + std::to_string(i)));
+  }
+  EXPECT_EQ(recorder.size(), FlightRecorder::kCapacity);
+  EXPECT_EQ(recorder.recorded(), total);
+  const std::vector<FlightEvent> events = recorder.Events();
+  ASSERT_EQ(events.size(), FlightRecorder::kCapacity);
+  // Oldest surviving event is the (total - kCapacity + 1)-th; newest is last.
+  EXPECT_EQ(events.front().statement_id,
+            total - static_cast<int>(FlightRecorder::kCapacity) + 1);
+  EXPECT_EQ(events.back().statement_id, total);
+}
+
+TEST(FlightRecorderTest, TruncatesOversizedStatementText) {
+  FlightRecorder recorder;
+  recorder.Record(
+      MakeEvent(1, std::string(FlightRecorder::kMaxStatementBytes + 100, 'x')));
+  const std::vector<FlightEvent> events = recorder.Events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].statement.size(), FlightRecorder::kMaxStatementBytes + 3);
+  EXPECT_EQ(events[0].statement.substr(FlightRecorder::kMaxStatementBytes),
+            "...");
+  // At the limit exactly, nothing is touched.
+  recorder.Record(
+      MakeEvent(2, std::string(FlightRecorder::kMaxStatementBytes, 'y')));
+  EXPECT_EQ(recorder.Events()[1].statement.size(),
+            FlightRecorder::kMaxStatementBytes);
+}
+
+TEST(FlightRecorderTest, DumpJsonValidatesAndCarriesEventFields) {
+  FlightRecorder recorder;
+  FlightEvent event = MakeEvent(7, "SELECT \"quoted\" FROM t");
+  event.status = "error: table t does not exist";
+  event.run_id = 42;
+  recorder.Record(event);
+  const std::string dump = recorder.DumpJson(/*session_id=*/3);
+  EXPECT_TRUE(ValidateJson(dump).ok()) << dump;
+  EXPECT_NE(dump.find("\"session\":3"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("\"statement_id\":7"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("\"run_id\":42"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("error: table t does not exist"), std::string::npos);
+  // An empty recorder still dumps a valid object.
+  FlightRecorder empty;
+  EXPECT_TRUE(ValidateJson(empty.DumpJson(1)).ok());
+}
+
+// --------------------------------------------------------------------------
+// StatementRegistry unit tests (a private instance, not the global one).
+// --------------------------------------------------------------------------
+
+TEST(StatementRegistryTest, LifecycleTransitionsAreVisibleInSnapshots) {
+  StatementRegistry registry;
+  registry.RegisterSession(5, "tester");
+
+  const int64_t id = registry.BeginStatement(5, "SELECT 1", "read");
+  EXPECT_GT(id, 0);
+  EXPECT_EQ(registry.active_count(), 1);
+  {
+    auto active = registry.ActiveStatements();
+    ASSERT_EQ(active.size(), 1u);
+    EXPECT_EQ(active[0].statement_id, id);
+    EXPECT_EQ(active[0].session_id, 5);
+    EXPECT_EQ(active[0].state, sql::StatementState::kQueued);
+    EXPECT_EQ(active[0].pinned_epoch, -1);
+    EXPECT_GE(active[0].elapsed_micros, 0);
+  }
+  registry.MarkAdmitted(id, /*queue_wait_micros=*/123);
+  {
+    auto active = registry.ActiveStatements();
+    ASSERT_EQ(active.size(), 1u);
+    EXPECT_EQ(active[0].state, sql::StatementState::kAdmitted);
+    EXPECT_EQ(active[0].queue_wait_micros, 123);
+  }
+  registry.MarkExecuting(id, /*pinned_epoch=*/9);
+  {
+    auto active = registry.ActiveStatements();
+    ASSERT_EQ(active.size(), 1u);
+    EXPECT_EQ(active[0].state, sql::StatementState::kExecuting);
+    EXPECT_EQ(active[0].pinned_epoch, 9);
+    auto sessions = registry.Sessions();
+    ASSERT_EQ(sessions.size(), 1u);
+    EXPECT_EQ(sessions[0].in_flight, 1);
+    EXPECT_EQ(sessions[0].statements, 0);
+  }
+  registry.EndStatement(id, /*ok=*/false, "boom");
+  EXPECT_EQ(registry.active_count(), 0);
+  {
+    auto sessions = registry.Sessions();
+    ASSERT_EQ(sessions.size(), 1u);
+    EXPECT_EQ(sessions[0].statements, 1);
+    EXPECT_EQ(sessions[0].errors, 1);
+    EXPECT_EQ(sessions[0].in_flight, 0);
+    EXPECT_EQ(sessions[0].last_error, "boom");
+  }
+  registry.UnregisterSession(5);
+  EXPECT_TRUE(registry.Sessions().empty());
+}
+
+TEST(StatementRegistryTest, StateNamesArePinned) {
+  EXPECT_STREQ(sql::StatementStateName(sql::StatementState::kQueued), "queued");
+  EXPECT_STREQ(sql::StatementStateName(sql::StatementState::kAdmitted),
+               "admitted");
+  EXPECT_STREQ(sql::StatementStateName(sql::StatementState::kExecuting),
+               "executing");
+}
+
+TEST(StatementRegistryTest, SlowQueryRingIsBounded) {
+  StatementRegistry registry;
+  const int total = static_cast<int>(StatementRegistry::kSlowQueryCapacity) + 5;
+  for (int i = 1; i <= total; ++i) {
+    sql::SlowQueryRecord record;
+    record.statement_id = i;
+    record.statement = "q" + std::to_string(i);
+    record.total_micros = i;
+    registry.RecordSlowQuery(record);
+  }
+  EXPECT_EQ(registry.slow_queries_recorded(), total);
+  const auto slow = registry.SlowQueries();
+  ASSERT_EQ(slow.size(), StatementRegistry::kSlowQueryCapacity);
+  EXPECT_EQ(slow.front().statement_id,
+            total - static_cast<int>(StatementRegistry::kSlowQueryCapacity) +
+                1);
+  EXPECT_EQ(slow.back().statement_id, total);
+}
+
+// --------------------------------------------------------------------------
+// End-to-end through real sessions and the mr_* system tables.
+// --------------------------------------------------------------------------
+
+class ServerObservabilityTest : public ::testing::Test {
+ protected:
+  ServerObservabilityTest() : server_(&catalog_) {
+    datagen::RetailParams params;
+    params.num_customers = 60;
+    params.num_items = 24;
+    auto table = datagen::GenerateRetailTable(&catalog_, "Purchase", params);
+    EXPECT_TRUE(table.ok()) << table.status();
+  }
+
+  Catalog catalog_;
+  server::Server server_;
+};
+
+sql::QueryResult MustQuery(server::Session* session, const std::string& sql) {
+  auto result = session->Execute(sql);
+  EXPECT_TRUE(result.ok()) << sql << " -> " << result.status();
+  return result.ok() ? std::move(result)->query : sql::QueryResult{};
+}
+
+TEST_F(ServerObservabilityTest, SessionsTableTracksCountersAndLastError) {
+  auto session = server_.Connect("counter");
+  MustQuery(session.get(), "SELECT COUNT(*) FROM Purchase");
+  auto failed = session->Execute("SELECT nope FROM missing_table");
+  ASSERT_FALSE(failed.ok());
+
+  sql::QueryResult rows = MustQuery(
+      session.get(), "SELECT name, statements, errors, in_flight, last_error "
+                     "FROM mr_sessions WHERE session_id = " +
+                         std::to_string(session->id()));
+  ASSERT_EQ(rows.rows.size(), 1u);
+  EXPECT_EQ(rows.rows[0][0].AsString(), "counter");
+  // The mr_sessions probe itself is in flight while it materializes.
+  EXPECT_EQ(rows.rows[0][1].AsInteger(), 2);  // completed before the probe
+  EXPECT_EQ(rows.rows[0][2].AsInteger(), 1);
+  EXPECT_EQ(rows.rows[0][3].AsInteger(), 1);
+  EXPECT_FALSE(rows.rows[0][4].AsString().empty());
+}
+
+TEST_F(ServerObservabilityTest, ObserverSeesItsOwnActiveStatement) {
+  auto session = server_.Connect("self");
+  // PROCESSLIST-style: the query over mr_active_statements is itself an
+  // in-flight statement, so it must see (at least) itself, executing.
+  sql::QueryResult rows = MustQuery(
+      session.get(),
+      "SELECT session_id, state, class, pinned_epoch FROM "
+      "mr_active_statements WHERE session_id = " +
+          std::to_string(session->id()));
+  ASSERT_EQ(rows.rows.size(), 1u);
+  EXPECT_EQ(rows.rows[0][1].AsString(), "executing");
+  EXPECT_EQ(rows.rows[0][2].AsString(), "read");
+  EXPECT_GE(rows.rows[0][3].AsInteger(), 0);  // readers pin a real epoch
+  // Once the statement returns, nothing from this session is in flight.
+  for (const auto& active : GlobalStatementRegistry().ActiveStatements()) {
+    EXPECT_NE(active.session_id, session->id());
+  }
+}
+
+TEST_F(ServerObservabilityTest, SlowQueryCaptureFeedsSystemTable) {
+  auto session = server_.Connect("slowpoke");
+  session->set_slow_query_micros(1);  // everything measurable is "slow"
+  MustQuery(session.get(),
+            "SELECT customer, COUNT(*) FROM Purchase GROUP BY customer");
+  session->set_slow_query_micros(0);  // the probe itself must not re-enter
+
+  // Session ids restart per Server, and the slow-query ring is process-wide
+  // — other tests' sessions may share this id. Match on the statement text.
+  sql::QueryResult all = MustQuery(
+      session.get(),
+      "SELECT statement, class, total_micros, threshold_micros, rows, "
+      "operators, status FROM mr_slow_queries WHERE session_id = " +
+          std::to_string(session->id()));
+  std::vector<Row> rows;
+  for (const Row& row : all.rows) {
+    if (row[0].AsString().find("GROUP BY customer") != std::string::npos) {
+      rows.push_back(row);
+    }
+  }
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][1].AsString(), "read");
+  EXPECT_GE(rows[0][2].AsInteger(), 1);
+  EXPECT_EQ(rows[0][3].AsInteger(), 1);
+  EXPECT_GT(rows[0][4].AsInteger(), 0);  // one row per customer seen
+  EXPECT_FALSE(rows[0][5].AsString().empty());
+  EXPECT_EQ(rows[0][6].AsString(), "ok");
+}
+
+TEST_F(ServerObservabilityTest, FlightRecorderFollowsTheSession) {
+  auto session = server_.Connect("recorder");
+  MustQuery(session.get(), "SELECT COUNT(*) FROM Purchase");
+  auto failed = session->Execute("SELECT nope FROM missing_table");
+  ASSERT_FALSE(failed.ok());
+  MustQuery(session.get(), "SELECT item FROM Purchase WHERE price < 0");
+
+  FlightRecorder* recorder = session->flight_recorder();
+  EXPECT_EQ(recorder->recorded(), 3);
+  const std::vector<FlightEvent> events = recorder->Events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].status, "ok");
+  EXPECT_GT(events[0].run_id, 0);  // ok statements carry mr_runs attribution
+  EXPECT_NE(events[1].status, "ok");
+  EXPECT_EQ(events[1].statement_class, "read");
+  EXPECT_EQ(events[2].status, "ok");
+  EXPECT_TRUE(ValidateJson(recorder->DumpJson(session->id())).ok());
+}
+
+// The tentpole: 8 runner sessions loop a self-join aggregate while a ninth
+// session watches them through SELECTs over mr_active_statements. The
+// observer must (a) see runner statements in flight with sane fields while
+// the load runs, and (b) see them all gone once the runners stop. Runs
+// under TSan in CI, so this also proves the registry's locking.
+TEST_F(ServerObservabilityTest, ConcurrentSessionsAreVisibleToAnObserver) {
+  constexpr int kClients = 8;
+  const std::string heavy =
+      "SELECT a.customer, COUNT(*) FROM Purchase a, Purchase b "
+      "WHERE a.item = b.item GROUP BY a.customer ORDER BY a.customer";
+
+  std::atomic<bool> stop{false};
+  std::set<int64_t> runner_ids;
+  std::vector<std::unique_ptr<server::Session>> runners;
+  for (int k = 0; k < kClients; ++k) {
+    runners.push_back(server_.Connect("runner" + std::to_string(k)));
+    runner_ids.insert(runners.back()->id());
+  }
+  std::vector<std::thread> threads;
+  for (int k = 0; k < kClients; ++k) {
+    threads.emplace_back([&, k] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto result = runners[k]->Execute(heavy);
+        EXPECT_TRUE(result.ok()) << result.status();
+      }
+    });
+  }
+
+  auto observer = server_.Connect("observer");
+  bool saw_runner = false;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (!saw_runner && std::chrono::steady_clock::now() < deadline) {
+    sql::QueryResult rows = MustQuery(
+        observer.get(),
+        "SELECT session_id, state, class, statement, elapsed_micros "
+        "FROM mr_active_statements");
+    for (const Row& row : rows.rows) {
+      if (runner_ids.count(row[0].AsInteger()) == 0) continue;
+      saw_runner = true;
+      const std::string state = row[1].AsString();
+      EXPECT_TRUE(state == "queued" || state == "admitted" ||
+                  state == "executing")
+          << state;
+      EXPECT_EQ(row[2].AsString(), "read");
+      EXPECT_NE(row[3].AsString().find("FROM Purchase"), std::string::npos);
+      EXPECT_GE(row[4].AsInteger(), 0);
+    }
+  }
+  EXPECT_TRUE(saw_runner)
+      << "observer never saw a runner statement in mr_active_statements";
+
+  // mr_sessions lists every runner while they are still connected.
+  sql::QueryResult sessions =
+      MustQuery(observer.get(), "SELECT session_id FROM mr_sessions");
+  std::set<int64_t> listed;
+  for (const Row& row : sessions.rows) listed.insert(row[0].AsInteger());
+  for (int64_t id : runner_ids) EXPECT_EQ(listed.count(id), 1u) << id;
+
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : threads) t.join();
+
+  // Quiesced: no runner statement may linger in the registry.
+  sql::QueryResult after = MustQuery(
+      observer.get(), "SELECT session_id FROM mr_active_statements");
+  for (const Row& row : after.rows) {
+    EXPECT_EQ(runner_ids.count(row[0].AsInteger()), 0u)
+        << "session " << row[0].AsInteger() << " still listed after join";
+  }
+  // Dropping the runner sessions removes them from mr_sessions.
+  runners.clear();
+  for (const auto& snapshot : GlobalStatementRegistry().Sessions()) {
+    EXPECT_EQ(runner_ids.count(snapshot.session_id), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace minerule

@@ -15,8 +15,10 @@
 #include <thread>
 #include <vector>
 
+#include "common/metrics.h"
 #include "datagen/paper_example.h"
 #include "server/server.h"
+#include "server/session.h"
 #include "server/socket_server.h"
 
 namespace minerule {
@@ -209,6 +211,103 @@ TEST_F(ServerSocketTest, ConcurrentConnectionsGetOwnSessions) {
   for (std::thread& t : threads) t.join();
   EXPECT_EQ(failures.load(), 0);
   EXPECT_EQ(socket_server_.connections_accepted(), kClients);
+}
+
+// Bounded input (DESIGN.md §16): a statement that exceeds the 1 MiB cap
+// without ever reaching its ';' gets a protocol error, bumps the oversized
+// counter, and the connection is closed (mid-statement there is no point at
+// which the stream could resynchronize).
+TEST_F(ServerSocketTest, OversizedStatementRejectedAndConnectionClosed) {
+  Counter* oversized =
+      GlobalMetrics().GetCounter("server.socket.oversized_statements");
+  const int64_t before = oversized->Value();
+
+  Client client(path_);
+  // One byte past the cap, no ';' and no newline: the server must reject on
+  // size alone, not on statement structure.
+  const std::string blob(server::SocketServer::kMaxStatementBytes + 1, 'x');
+  client.Send("SELECT " + blob);  // may fail midway once the server closes
+  auto response = client.ReadResponse();
+  ASSERT_EQ(response.size(), 1u);
+  EXPECT_EQ(response[0],
+            "ERR statement too large (limit " +
+                std::to_string(server::SocketServer::kMaxStatementBytes) +
+                " bytes); closing connection");
+  EXPECT_EQ(oversized->Value(), before + 1);
+  // The connection is gone: the next read sees EOF.
+  EXPECT_TRUE(client.Roundtrip("SELECT 1;\n").empty());
+
+  // A fresh connection still works, and a large-but-legal statement passes.
+  Client again(path_);
+  auto ok = again.Roundtrip("SELECT COUNT(*) FROM Purchase;\n");
+  ASSERT_FALSE(ok.empty());
+  EXPECT_EQ(ok[0].rfind("OK rows=1 ", 0), 0u) << ok[0];
+}
+
+// \set parsing is a hardened surface: every key with good and bad values,
+// unknown keys, and malformed lines (exercised directly through the free
+// function so the matrix stays cheap).
+TEST_F(ServerSocketTest, SetCommandKeyMatrix) {
+  auto session = server_.Connect("set-matrix");
+  server::Session* s = session.get();
+
+  // Usage errors: wrong token counts.
+  EXPECT_EQ(server::ApplySetCommand(s, "\\set"), "ERR usage: \\set NAME VALUE");
+  EXPECT_EQ(server::ApplySetCommand(s, "\\set threads"),
+            "ERR usage: \\set NAME VALUE");
+  EXPECT_EQ(server::ApplySetCommand(s, "\\set threads 2 3"),
+            "ERR usage: \\set NAME VALUE");
+
+  // on|off keys, including case-insensitive key names.
+  EXPECT_EQ(server::ApplySetCommand(s, "\\set vectorized on"), "OK");
+  EXPECT_TRUE(s->options()->vectorized_sql);
+  EXPECT_EQ(server::ApplySetCommand(s, "\\set VECTORIZED off"), "OK");
+  EXPECT_FALSE(s->options()->vectorized_sql);
+  EXPECT_EQ(server::ApplySetCommand(s, "\\set vectorized sideways"),
+            "ERR expected on|off for \\set vectorized, got 'sideways'");
+  EXPECT_EQ(server::ApplySetCommand(s, "\\set cost_based on"), "OK");
+  EXPECT_TRUE(s->options()->cost_based_sql);
+
+  // Integer keys: strict parse, no trailing junk, no empty, range-checked.
+  EXPECT_EQ(server::ApplySetCommand(s, "\\set threads 3"), "OK");
+  EXPECT_EQ(s->options()->num_threads, 3);
+  EXPECT_EQ(server::ApplySetCommand(s, "\\set threads 2x"),
+            "ERR expected an integer for \\set threads, got '2x'");
+  EXPECT_EQ(server::ApplySetCommand(s, "\\set threads banana"),
+            "ERR expected an integer for \\set threads, got 'banana'");
+  EXPECT_EQ(server::ApplySetCommand(
+                s, "\\set memory_limit 99999999999999999999999999"),
+            "ERR expected an integer for \\set memory_limit, got "
+            "'99999999999999999999999999'");
+  EXPECT_EQ(server::ApplySetCommand(s, "\\set memory_limit 65536"), "OK");
+  EXPECT_EQ(s->options()->memory_limit, 65536);
+  EXPECT_EQ(server::ApplySetCommand(s, "\\set slow_query_micros 250"), "OK");
+  EXPECT_EQ(s->slow_query_micros(), 250);
+  EXPECT_EQ(server::ApplySetCommand(s, "\\set slow_query_micros 0"), "OK");
+  EXPECT_EQ(s->slow_query_micros(), 0);  // 0 disables capture
+
+  // Unknown keys name the key, lower-cased.
+  EXPECT_EQ(server::ApplySetCommand(s, "\\set Frobnication on"),
+            "ERR unknown option: frobnication");
+}
+
+// \metrics over the wire emits Prometheus text that round-trips through the
+// validating parser and carries the socket front end's own counters.
+TEST_F(ServerSocketTest, MetricsCommandEmitsValidPrometheus) {
+  Client client(path_);
+  // Execute something first so statement metrics exist.
+  auto warm = client.Roundtrip("SELECT COUNT(*) FROM Purchase;\n");
+  ASSERT_FALSE(warm.empty());
+
+  auto response = client.Roundtrip("\\metrics\n");
+  ASSERT_FALSE(response.empty());
+  std::string body;
+  for (const std::string& line : response) body += line + "\n";
+  Status valid = ValidatePrometheusText(body);
+  EXPECT_TRUE(valid.ok()) << valid << "\n" << body;
+  EXPECT_NE(body.find("minerule_server_socket_connections"),
+            std::string::npos);
+  EXPECT_NE(body.find("minerule_server_socket_statements"), std::string::npos);
 }
 
 TEST_F(ServerSocketTest, StopWithLiveConnectionsIsClean) {

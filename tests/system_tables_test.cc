@@ -65,12 +65,13 @@ std::string ColumnNames(const Schema& schema) {
   return names;
 }
 
-// The six schemas are part of the public surface: pinned as goldens.
+// The nine schemas are part of the public surface: pinned as goldens.
 TEST_F(SystemTablesTest, SchemasGolden) {
   EXPECT_EQ(sql::SystemTableNames(),
-            (std::vector<std::string>{"mr_runs", "mr_query_profile",
-                                      "mr_operator_stats", "mr_metrics",
-                                      "mr_trace_spans", "mr_table_stats"}));
+            (std::vector<std::string>{
+                "mr_runs", "mr_query_profile", "mr_operator_stats",
+                "mr_metrics", "mr_trace_spans", "mr_table_stats", "mr_sessions",
+                "mr_active_statements", "mr_slow_queries"}));
   auto names = [](const std::string& table) {
     auto schema = sql::SystemTableSchema(table);
     EXPECT_TRUE(schema.ok()) << schema.status();
@@ -89,6 +90,16 @@ TEST_F(SystemTablesTest, SchemasGolden) {
   EXPECT_EQ(names("mr_table_stats"),
             "table_name,column_name,row_count,ndv,min_value,max_value,"
             "null_frac,stats_epoch");
+  EXPECT_EQ(names("mr_sessions"),
+            "session_id,name,uptime_micros,statements,errors,in_flight,"
+            "last_error");
+  EXPECT_EQ(names("mr_active_statements"),
+            "statement_id,session_id,state,class,statement,elapsed_micros,"
+            "queue_wait_micros,pinned_epoch");
+  EXPECT_EQ(names("mr_slow_queries"),
+            "statement_id,session_id,statement,class,total_micros,"
+            "queue_wait_micros,threshold_micros,rows,peak_bytes,operators,"
+            "status");
 
   EXPECT_TRUE(sql::IsSystemTable("mr_runs"));
   EXPECT_TRUE(sql::IsSystemTable("MR_RUNS"));  // case-insensitive
